@@ -1,0 +1,75 @@
+// Ablation — RIPS transfer policies (Section 2).
+//
+// Runs every combination of local policy (Eager / Lazy) and global policy
+// (ALL / ANY) over the paper workloads, plus the FIFO vs LIFO execution-
+// order variant, to reproduce the claim from [24] that ANY-Lazy is the
+// best of the four combinations.
+//
+//   --quick     shrink workloads (the full sweep is ~5x Table I)
+//   --nodes=32
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rips;
+  const Args args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+
+  std::printf("Ablation: RIPS policy combinations on %d processors%s\n",
+              nodes, quick ? " (quick workloads)" : "");
+  const auto workloads = apps::build_paper_workloads(quick);
+
+  std::vector<core::RipsConfig> configs;
+  for (const core::LocalPolicy local :
+       {core::LocalPolicy::kEager, core::LocalPolicy::kLazy}) {
+    for (const core::GlobalPolicy global :
+         {core::GlobalPolicy::kAll, core::GlobalPolicy::kAny}) {
+      core::RipsConfig config;
+      config.local = local;
+      config.global = global;
+      configs.push_back(config);
+    }
+  }
+  core::RipsConfig lifo;
+  lifo.lifo_execution = true;
+
+  TextTable table;
+  table.header({"workload", "policy", "phases", "# non-local", "Th (s)",
+                "Ti (s)", "T (s)", "mu"});
+  for (const auto& workload : workloads) {
+    double best = 0.0;
+    std::string best_name;
+    for (const auto& config : configs) {
+      const auto run =
+          bench::run_strategy(workload, nodes, bench::Kind::kRips, 0.4, config);
+      table.row({workload.group + " " + workload.name, config.name(),
+                 cell(static_cast<long long>(run.metrics.system_phases)),
+                 cell(static_cast<long long>(run.metrics.nonlocal_tasks)),
+                 cell(run.metrics.overhead_s(), 2),
+                 cell(run.metrics.idle_s(), 2), cell(run.metrics.exec_s(), 2),
+                 cell_pct(run.metrics.efficiency())});
+      if (run.metrics.efficiency() > best) {
+        best = run.metrics.efficiency();
+        best_name = config.name();
+      }
+    }
+    const auto lifo_run =
+        bench::run_strategy(workload, nodes, bench::Kind::kRips, 0.4, lifo);
+    table.row({workload.group + " " + workload.name, "ANY-Lazy LIFO",
+               cell(static_cast<long long>(lifo_run.metrics.system_phases)),
+               cell(static_cast<long long>(lifo_run.metrics.nonlocal_tasks)),
+               cell(lifo_run.metrics.overhead_s(), 2),
+               cell(lifo_run.metrics.idle_s(), 2),
+               cell(lifo_run.metrics.exec_s(), 2),
+               cell_pct(lifo_run.metrics.efficiency())});
+    table.separator();
+    std::printf("  best policy for %s: %s (%.0f%%)\n", workload.name.c_str(),
+                best_name.c_str(), 100.0 * best);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation — RIPS across interconnect topologies (Section 5 / conclusion:
+// "RIPS is a general method and applies to different topologies, such as
+// the tree, mesh, and hypercube").
+//
+// Runs the same workload under the RIPS engine with the topology-matched
+// exact scheduler: MWA (mesh), TorusWalk (torus), TWA (binary tree), HWA
+// (hypercube) and RingScan (ring). All five guarantee quota-exact balance;
+// what differs is route length and lock-step cost, which shows up in Th
+// and the end-to-end efficiency.
+//
+//   --queens=14
+//   --nodes=32
+#include <cstdio>
+
+#include "apps/nqueens.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/scheduler.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rips;
+  const Args args(argc, argv);
+  const i32 queens = static_cast<i32>(args.get_int("queens", 14));
+  const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+
+  const apps::TaskTrace trace = apps::build_nqueens_trace(queens, 4);
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+
+  std::printf(
+      "Ablation: RIPS on different topologies, %d-queens on %d nodes\n\n",
+      queens, nodes);
+
+  TextTable table;
+  table.header({"scheduler", "topology", "diameter", "phases", "# non-local",
+                "tasks moved", "Th (s)", "Ti (s)", "T (s)", "mu"});
+  for (const char* kind : {"mwa", "torus", "hwa", "twa", "ring"}) {
+    auto sched = sched::make_scheduler(kind, nodes);
+    core::RipsEngine engine(*sched, cost, core::RipsConfig{});
+    const auto m = engine.run(trace);
+    table.row({sched->name(), sched->topology().name(),
+               cell(sched->topology().diameter()),
+               cell(static_cast<long long>(m.system_phases)),
+               cell(static_cast<long long>(m.nonlocal_tasks)),
+               cell(static_cast<long long>(m.tasks_migrated)),
+               cell(m.overhead_s(), 3), cell(m.idle_s(), 3),
+               cell(m.exec_s(), 2), cell_pct(m.efficiency())});
+  }
+  table.print();
+  std::printf(
+      "\nAll five schedulers are quota-exact; richer topologies (hypercube,\n"
+      "torus) move tasks over shorter routes, the ring pays the longest.\n");
+  return 0;
+}

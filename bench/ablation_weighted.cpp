@@ -1,0 +1,79 @@
+// Ablation — count-based vs work-based balancing (Section 3's design
+// choice).
+//
+// The paper deliberately balances task COUNTS: "the estimation
+// [of execution time] is application-specific ... each task is presumed
+// to require the equal execution time, and the goal of the algorithm is
+// to schedule tasks so that each processor has the same number of tasks.
+// The inaccuracy due to the grain-size variation can be corrected in the
+// next system phase." This bench measures exactly what that choice costs
+// by also running RIPS in weighted mode (perfect grain estimates): the
+// gap between the two is the value of the estimation the paper decided it
+// could live without — small for mild grain variance, large for
+// heavy-tailed grains.
+//
+//   --quick     shrink workloads
+//   --nodes=32
+#include <cstdio>
+
+#include "apps/synthetic.hpp"
+#include "harness.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rips;
+  const Args args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+
+  std::printf(
+      "Ablation: count-balanced vs work-balanced RIPS on %d processors\n\n",
+      nodes);
+
+  auto workloads = apps::build_paper_workloads(quick);
+  {
+    // An adversarial heavy-tailed synthetic: 90%% tiny, 10%% of tasks 10x.
+    apps::SyntheticConfig config;
+    config.num_roots = 2000;
+    config.spawn_prob = 0.0;
+    config.work_model = 3;
+    config.mean_work = 20000;
+    apps::Workload heavy;
+    heavy.group = "Synthetic";
+    heavy.name = "bimodal";
+    heavy.trace = apps::build_synthetic_trace(config, 4242);
+    heavy.cost.ns_per_work = 2000.0;
+    heavy.tasks_reported = heavy.trace.size();
+    workloads.push_back(std::move(heavy));
+  }
+
+  TextTable table;
+  table.header({"workload", "balanced by", "phases", "tasks moved", "Ti (s)",
+                "T (s)", "mu"});
+  for (const auto& workload : workloads) {
+    for (const bool weighted : {false, true}) {
+      core::RipsConfig config;
+      config.weighted = weighted;
+      const auto run = bench::run_strategy(workload, nodes,
+                                           bench::Kind::kRips, 0.4, config);
+      table.row({workload.group + " " + workload.name,
+                 weighted ? "work (perfect estimates)" : "count (paper)",
+                 cell(static_cast<long long>(run.metrics.system_phases)),
+                 cell(static_cast<long long>(run.metrics.tasks_migrated)),
+                 cell(run.metrics.idle_s(), 2), cell(run.metrics.exec_s(), 2),
+                 cell_pct(run.metrics.efficiency())});
+    }
+    table.separator();
+  }
+  table.print();
+  std::printf(
+      "\nMeasured shape: near-parity on the queens workloads — the\n"
+      "incremental phases absorb the estimation error, vindicating the\n"
+      "paper's count-based choice there — but work-balancing wins clearly\n"
+      "where synchronization barriers leave no later phase to correct in\n"
+      "(IDA* iterations, GROMOS MD steps). Coarse bimodal grains can even\n"
+      "regress: matching work amounts with 10x-sized tasks misfires and\n"
+      "triggers extra phases.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "harness.hpp"
+
+#include "balance/engine.hpp"
+#include "balance/gradient.hpp"
+#include "balance/random_alloc.hpp"
+#include "balance/sender_initiated.hpp"
+#include "sched/mwa.hpp"
+#include "topo/topology.hpp"
+#include "util/check.hpp"
+
+namespace rips::bench {
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kRandom:
+      return "Random";
+    case Kind::kGradient:
+      return "Gradient";
+    case Kind::kRid:
+      return "RID";
+    case Kind::kRips:
+      return "RIPS";
+    case Kind::kSid:
+      return "SID";
+  }
+  return "?";
+}
+
+StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
+                         double rid_u, core::RipsConfig config) {
+  const topo::MeshShape shape = topo::paper_mesh_shape(nodes);
+  topo::Mesh mesh(shape.rows, shape.cols);
+
+  StrategyRun out;
+  out.strategy = kind_name(kind);
+  if (kind == Kind::kRips) {
+    sched::Mwa mwa(mesh);
+    core::RipsEngine engine(mwa, workload.cost, config);
+    out.metrics = engine.run(workload.trace);
+    out.phases = engine.phases();
+    return out;
+  }
+
+  // Dynamic strategies share the event-driven engine.
+  switch (kind) {
+    case Kind::kRandom: {
+      balance::RandomAlloc strategy(/*seed=*/0xC0FFEE);
+      balance::DynamicEngine engine(mesh, workload.cost, strategy);
+      out.metrics = engine.run(workload.trace);
+      break;
+    }
+    case Kind::kGradient: {
+      balance::Gradient strategy;
+      balance::DynamicEngine engine(mesh, workload.cost, strategy);
+      out.metrics = engine.run(workload.trace);
+      break;
+    }
+    case Kind::kRid: {
+      balance::Rid::Params params;
+      params.u = rid_u;
+      balance::Rid strategy(params);
+      balance::DynamicEngine engine(mesh, workload.cost, strategy);
+      out.metrics = engine.run(workload.trace);
+      break;
+    }
+    case Kind::kSid: {
+      balance::SenderInitiated strategy;
+      balance::DynamicEngine engine(mesh, workload.cost, strategy);
+      out.metrics = engine.run(workload.trace);
+      break;
+    }
+    case Kind::kRips:
+      RIPS_CHECK(false);
+  }
+  return out;
+}
+
+std::vector<Kind> table1_kinds() {
+  return {Kind::kRandom, Kind::kGradient, Kind::kRid, Kind::kRips};
+}
+
+}  // namespace rips::bench

@@ -1,0 +1,40 @@
+// Shared bench harness: runs one paper workload under each scheduling
+// strategy on an N-node mesh and returns Table-I style metrics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/paper_workloads.hpp"
+#include "balance/rid.hpp"
+#include "rips/config.hpp"
+#include "rips/rips_engine.hpp"
+#include "sim/metrics.hpp"
+#include "util/types.hpp"
+
+namespace rips::bench {
+
+struct StrategyRun {
+  std::string strategy;
+  sim::RunMetrics metrics;
+  std::vector<core::RipsEngine::PhaseStats> phases;  // RIPS only
+};
+
+/// Strategy selector for run_strategy().
+enum class Kind { kRandom, kGradient, kRid, kRips, kSid };
+
+std::string kind_name(Kind kind);
+
+/// Runs `workload` on `nodes` processors (paper mesh shape) under the
+/// given strategy. `rid_u` overrides RID's load-update factor (the paper
+/// retunes it to 0.7 for IDA* on 64/128 nodes); `config` selects the RIPS
+/// policies (default ANY-Lazy).
+StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
+                         double rid_u = 0.4,
+                         core::RipsConfig config = core::RipsConfig{});
+
+/// The paper's four Table-I strategies in row order.
+std::vector<Kind> table1_kinds();
+
+}  // namespace rips::bench

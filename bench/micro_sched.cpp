@@ -1,0 +1,98 @@
+// Micro benchmarks (google-benchmark): wall-clock scaling of the parallel
+// scheduling algorithms and the flow solver with machine size — the
+// "runtime cost of the system phase" on the host running the simulation.
+// The paper's complexity argument (O(n^2 v) flow vs linear-step MWA,
+// Section 3) shows up directly in these curves.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "flow/mincost_flow.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rips;
+
+std::vector<i64> random_load(i32 n, i64 mean, u64 seed) {
+  Rng rng(seed);
+  std::vector<i64> load(static_cast<size_t>(n));
+  for (auto& w : load) w = static_cast<i64>(rng.next_below(2 * mean + 1));
+  return load;
+}
+
+void BM_Mwa(benchmark::State& state) {
+  const auto n = static_cast<i32>(state.range(0));
+  auto sched = sched::make_scheduler("mwa", n);
+  const auto load = random_load(n, 50, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched->schedule(load));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Mwa)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_Twa(benchmark::State& state) {
+  const auto n = static_cast<i32>(state.range(0));
+  auto sched = sched::make_scheduler("twa", n);
+  const auto load = random_load(n, 50, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched->schedule(load));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Twa)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_DemHypercube(benchmark::State& state) {
+  const auto n = static_cast<i32>(state.range(0));
+  auto sched = sched::make_scheduler("dem", n);
+  const auto load = random_load(n, 50, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched->schedule(load));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DemHypercube)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_RingScan(benchmark::State& state) {
+  const auto n = static_cast<i32>(state.range(0));
+  auto sched = sched::make_scheduler("ring", n);
+  const auto load = random_load(n, 50, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched->schedule(load));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RingScan)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_OptimalFlow(benchmark::State& state) {
+  const auto n = static_cast<i32>(state.range(0));
+  auto sched = sched::make_scheduler("optimal", n);
+  const auto load = random_load(n, 50, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched->schedule(load));
+  }
+  state.SetComplexityN(n);
+}
+// The flow-based optimum is the expensive one ("not realistic for runtime
+// scheduling"); cap the sweep so the bench binary stays fast.
+BENCHMARK(BM_OptimalFlow)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_MinCostFlowSolve(benchmark::State& state) {
+  const auto n = static_cast<i32>(state.range(0));
+  const auto shape = topo::paper_mesh_shape(n);
+  topo::Mesh mesh(shape.rows, shape.cols);
+  const auto load = random_load(n, 50, 6);
+  const i64 total = std::accumulate(load.begin(), load.end(), i64{0});
+  const auto quota = sched::quota_for(total, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::optimal_balance_cost(mesh, load, quota));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MinCostFlowSolve)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table II — Optimal Efficiencies for Test Problems.
+//
+// The best possible efficiency on 32 processors assuming optimal
+// scheduling and zero overhead: Ts / (N * sum over sync segments of
+// max(ceil(W_seg / N), critical path, largest task)). Printed next to the
+// paper's Table II values for side-by-side comparison.
+//
+//   --quick     shrink workloads
+//   --nodes=32
+#include <cstdio>
+
+#include "apps/paper_workloads.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rips;
+  const Args args(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+
+  std::printf("Table II: optimal efficiencies on %d processors\n", nodes);
+  TextTable table;
+  table.header({"workload", "tasks", "total work", "max task",
+                "optimal efficiency", "paper value"});
+  for (const auto& w : apps::build_paper_workloads(quick)) {
+    table.row({w.group + " " + w.name,
+               cell(static_cast<long long>(w.trace.size())),
+               cell(static_cast<long long>(w.trace.total_work())),
+               cell(static_cast<long long>(w.trace.max_task_work())),
+               cell_pct(w.trace.optimal_efficiency(nodes), 1),
+               w.paper_optimal_efficiency > 0.0
+                   ? cell_pct(w.paper_optimal_efficiency, 1)
+                   : "-"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Parallel IDA* example: the paper's 15-puzzle scenario. Solves a scrambled
+// board, shows the per-iteration task structure (each iteration is a
+// global synchronization segment) and how RIPS handles the wildly varying
+// grain sizes.
+//
+//   ./ida_search [--scramble=40] [--seed=7] [--depth=6] [--nodes=32]
+#include <cstdio>
+
+#include "apps/puzzle.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "topo/topology.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rips;
+  const Args args(argc, argv);
+  apps::PuzzleConfig config;
+  config.name = "example";
+  config.scramble_steps = static_cast<i32>(args.get_int("scramble", 40));
+  config.seed = static_cast<u64>(args.get_int("seed", 7));
+  config.frontier_depth = static_cast<i32>(args.get_int("depth", 6));
+  const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+
+  apps::Board15 board;
+  board.scramble(config.scramble_steps, config.seed);
+  std::printf("start position (h = %d):\n%s\n", board.manhattan(),
+              board.to_string().c_str());
+
+  apps::IdaStats stats;
+  const apps::TaskTrace trace = apps::build_ida_trace(config, &stats);
+  std::printf(
+      "IDA* found an optimal solution of %d moves in %d iterations "
+      "(%llu search nodes)\n\n",
+      stats.solution_length, stats.iterations,
+      static_cast<unsigned long long>(stats.total_nodes));
+
+  // Per-iteration structure: most early tasks are pruned instantly, the
+  // final iterations dominate — the "grain size may vary substantially"
+  // property that stresses any load balancer.
+  TextTable iterations;
+  iterations.header({"iteration", "tasks", "work (nodes)", "largest task"});
+  for (u32 s = 0; s < trace.num_segments(); ++s) {
+    u64 max_work = 0;
+    for (TaskId t : trace.roots(s)) {
+      max_work = std::max(max_work, trace.task(t).work);
+    }
+    iterations.row({cell(static_cast<long long>(s)),
+                    cell(static_cast<long long>(trace.roots(s).size())),
+                    cell(static_cast<long long>(trace.segment_work(s))),
+                    cell(static_cast<long long>(max_work))});
+  }
+  iterations.print();
+
+  sim::CostModel cost;
+  cost.ns_per_work = 9600.0;
+  const auto shape = topo::paper_mesh_shape(nodes);
+  topo::Mesh mesh(shape.rows, shape.cols);
+  sched::Mwa mwa(mesh);
+  core::RipsEngine engine(mwa, cost, core::RipsConfig{});
+  const auto m = engine.run(trace);
+  std::printf(
+      "\nRIPS on %s: T = %.2f s, efficiency %.0f%%, %llu system phases "
+      "(>= one per iteration: each threshold round ends in a barrier)\n",
+      mesh.name().c_str(), m.exec_s(), 100.0 * m.efficiency(),
+      static_cast<unsigned long long>(m.system_phases));
+  std::printf("optimal efficiency bound: %.0f%% — the synchronization at\n"
+              "each iteration is what limits this workload (Section 4).\n",
+              100.0 * trace.optimal_efficiency(nodes));
+  return 0;
+}

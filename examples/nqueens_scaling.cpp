@@ -1,0 +1,53 @@
+// Scaling study: the irregular exhaustive-search workload from the paper's
+// introduction, run under RIPS across machine sizes. Prints the speedup
+// curve and the per-phase incremental-scheduling behaviour at the largest
+// size.
+//
+//   ./nqueens_scaling [--queens=13] [--max-nodes=128]
+#include <cstdio>
+
+#include "apps/nqueens.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "topo/topology.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rips;
+  const Args args(argc, argv);
+  const i32 queens = static_cast<i32>(args.get_int("queens", 13));
+  const i32 max_nodes = static_cast<i32>(args.get_int("max-nodes", 128));
+
+  u64 solutions = 0;
+  const apps::TaskTrace trace =
+      apps::build_nqueens_trace(queens, 4, &solutions);
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+  std::printf("%d-queens: %s, %llu solutions, Ts = %.1f s (simulated)\n\n",
+              queens, trace.summary().c_str(),
+              static_cast<unsigned long long>(solutions),
+              1e-9 * static_cast<double>(trace.total_work()) *
+                  cost.ns_per_work / 1.0);
+
+  TextTable table;
+  table.header({"nodes", "mesh", "T (s)", "speedup", "efficiency", "phases",
+                "# non-local"});
+  for (i32 n = 4; n <= max_nodes; n *= 2) {
+    const auto shape = topo::paper_mesh_shape(n);
+    topo::Mesh mesh(shape.rows, shape.cols);
+    sched::Mwa mwa(mesh);
+    core::RipsEngine engine(mwa, cost, core::RipsConfig{});
+    const auto m = engine.run(trace);
+    table.row({cell(n), mesh.name(), cell(m.exec_s(), 2),
+               cell(m.speedup(), 1), cell_pct(m.efficiency()),
+               cell(static_cast<long long>(m.system_phases)),
+               cell(static_cast<long long>(m.nonlocal_tasks))});
+  }
+  table.print();
+  std::printf(
+      "\nNote how the incremental system phases keep the load balanced as\n"
+      "the search tree unfolds unpredictably; efficiency falls off only\n"
+      "when per-node work gets small relative to the phase cost.\n");
+  return 0;
+}

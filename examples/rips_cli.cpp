@@ -1,0 +1,183 @@
+// rips_cli — general driver over the whole library: pick an application,
+// a machine size, a strategy (RIPS with any parallel scheduler, or one of
+// the dynamic baselines) and the RIPS policies, and get the Table-I style
+// metrics. The kitchen-sink entry point for exploring the system.
+//
+// Examples:
+//   ./rips_cli --app=queens --n=13 --nodes=64
+//   ./rips_cli --app=gromos --cutoff=12 --strategy=rid
+//   ./rips_cli --app=ida --config=2 --strategy=rips --sched=torus
+//   ./rips_cli --app=synthetic --roots=5000 --strategy=rips --policy=all-eager
+//   ./rips_cli --app=gauss --matrix=4096 --block=256 --weighted=1
+//   ./rips_cli --app=queens --timeline=1      (ASCII utilization chart)
+#include <cstdio>
+#include <string>
+
+#include "apps/gauss.hpp"
+#include "apps/gromos.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/puzzle.hpp"
+#include "apps/synthetic.hpp"
+#include "balance/engine.hpp"
+#include "balance/gradient.hpp"
+#include "balance/random_alloc.hpp"
+#include "balance/rid.hpp"
+#include "balance/sender_initiated.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/timeline.hpp"
+#include "topo/topology.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace rips;
+
+apps::TaskTrace build_app(const Args& args, double& ns_per_work) {
+  const std::string app = args.get("app", "queens");
+  if (app == "queens") {
+    ns_per_work = 2000.0;
+    return apps::build_nqueens_trace(
+        static_cast<i32>(args.get_int("n", 13)),
+        static_cast<i32>(args.get_int("split", 4)));
+  }
+  if (app == "ida") {
+    ns_per_work = 9600.0;
+    const i32 index = static_cast<i32>(args.get_int("config", 1));
+    RIPS_CHECK_MSG(index >= 1 && index <= 3, "--config must be 1..3");
+    return apps::build_ida_trace(
+        apps::paper_puzzle_configs()[static_cast<size_t>(index - 1)]);
+  }
+  if (app == "gromos") {
+    ns_per_work = 13000.0;
+    apps::GromosConfig config;
+    config.cutoff_angstrom = args.get_double("cutoff", 12.0);
+    config.num_steps = static_cast<i32>(args.get_int("steps", 5));
+    return apps::build_gromos_trace(config);
+  }
+  if (app == "gauss") {
+    ns_per_work = 10.0;
+    apps::GaussConfig config;
+    config.matrix_n = static_cast<i32>(args.get_int("matrix", 4096));
+    config.block = static_cast<i32>(args.get_int("block", 256));
+    return apps::build_gauss_trace(config);
+  }
+  if (app == "synthetic") {
+    ns_per_work = 2000.0;
+    apps::SyntheticConfig config;
+    config.num_roots = static_cast<i32>(args.get_int("roots", 1000));
+    config.spawn_prob = args.get_double("spawn", 0.5);
+    config.max_depth = static_cast<i32>(args.get_int("depth", 4));
+    config.work_model = static_cast<i32>(args.get_int("work-model", 2));
+    config.mean_work = static_cast<u64>(args.get_int("mean-work", 10000));
+    config.num_segments = static_cast<i32>(args.get_int("segments", 1));
+    return apps::build_synthetic_trace(
+        config, static_cast<u64>(args.get_int("seed", 1)));
+  }
+  RIPS_CHECK_MSG(false,
+                 "--app must be queens|ida|gromos|gauss|synthetic");
+  return {};
+}
+
+core::RipsConfig parse_policy(const Args& args) {
+  core::RipsConfig config;
+  const std::string policy = args.get("policy", "any-lazy");
+  if (policy == "any-lazy") {
+    config.global = core::GlobalPolicy::kAny;
+    config.local = core::LocalPolicy::kLazy;
+  } else if (policy == "any-eager") {
+    config.global = core::GlobalPolicy::kAny;
+    config.local = core::LocalPolicy::kEager;
+  } else if (policy == "all-lazy") {
+    config.global = core::GlobalPolicy::kAll;
+    config.local = core::LocalPolicy::kLazy;
+  } else if (policy == "all-eager") {
+    config.global = core::GlobalPolicy::kAll;
+    config.local = core::LocalPolicy::kEager;
+  } else {
+    RIPS_CHECK_MSG(false, "--policy must be {any,all}-{lazy,eager}");
+  }
+  if (args.has("periodic-us")) {
+    config.detect = core::DetectMode::kPeriodic;
+    config.periodic_interval_ns = args.get_int("periodic-us", 10000) * 1000;
+  }
+  config.lifo_execution = args.get_bool("lifo", false);
+  config.weighted = args.get_bool("weighted", false);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: rips_cli [--app=queens|ida|gromos|gauss|synthetic]\n"
+        "  [--nodes=32] [--strategy=rips|random|gradient|rid|sid]\n"
+        "  [--sched=mwa|torus|hwa|twa|ring|optimal|dem]\n"
+        "  [--policy={any,all}-{lazy,eager}] [--weighted=1] [--lifo=1]\n"
+        "  [--periodic-us=N] [--timeline=1] [--timeline-width=100]\n"
+        "  app params: --n --split (queens), --config (ida),\n"
+        "  --cutoff --steps (gromos), --matrix --block (gauss),\n"
+        "  --roots --spawn --depth --work-model --mean-work --segments\n"
+        "  --seed (synthetic)\n");
+    return 0;
+  }
+
+  double ns_per_work = 2000.0;
+  const apps::TaskTrace trace = build_app(args, ns_per_work);
+  sim::CostModel cost;
+  cost.ns_per_work = args.get_double("ns-per-work", ns_per_work);
+  const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+  const std::string strategy = args.get("strategy", "rips");
+
+  std::printf("app: %s\n", trace.summary().c_str());
+
+  sim::Timeline timeline;
+  const bool want_timeline = args.get_bool("timeline", false);
+  sim::RunMetrics metrics;
+
+  if (strategy == "rips") {
+    auto sched = sched::make_scheduler(args.get("sched", "mwa"), nodes);
+    core::RipsEngine engine(*sched, cost, parse_policy(args));
+    if (want_timeline) engine.set_timeline(&timeline);
+    metrics = engine.run(trace);
+    std::printf("RIPS %s on %s, scheduler %s\n",
+                parse_policy(args).name().c_str(),
+                sched->topology().name().c_str(), sched->name().c_str());
+    std::printf("%s\n", metrics.summary().c_str());
+  } else {
+    const auto topo = topo::make_topology(args.get("topo", "mesh"), nodes);
+    std::unique_ptr<balance::Strategy> impl;
+    if (strategy == "random") {
+      impl = std::make_unique<balance::RandomAlloc>(
+          static_cast<u64>(args.get_int("seed", 42)));
+    } else if (strategy == "gradient") {
+      impl = std::make_unique<balance::Gradient>();
+    } else if (strategy == "rid") {
+      balance::Rid::Params params;
+      params.u = args.get_double("rid-u", 0.4);
+      impl = std::make_unique<balance::Rid>(params);
+    } else if (strategy == "sid") {
+      impl = std::make_unique<balance::SenderInitiated>();
+    } else {
+      RIPS_CHECK_MSG(false,
+                     "--strategy must be rips|random|gradient|rid|sid");
+    }
+    balance::DynamicEngine engine(*topo, cost, *impl);
+    if (want_timeline) engine.set_timeline(&timeline);
+    metrics = engine.run(trace);
+    std::printf("%s on %s\n", impl->name().c_str(), topo->name().c_str());
+    std::printf("%s\n", metrics.summary().c_str());
+  }
+
+  std::printf("Th=%.3fs Ti=%.3fs speedup=%.1f optimal-bound=%.1f%%\n",
+              metrics.overhead_s(), metrics.idle_s(), metrics.speedup(),
+              100.0 * trace.optimal_efficiency(nodes));
+  if (want_timeline) {
+    const i32 width = static_cast<i32>(args.get_int("timeline-width", 100));
+    std::fputs(timeline.render(nodes, width).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "apps/gauss.hpp"
+
+#include "util/check.hpp"
+
+namespace rips::apps {
+
+i32 gauss_num_steps(const GaussConfig& config) {
+  RIPS_CHECK(config.block > 0 && config.matrix_n > 0);
+  RIPS_CHECK_MSG(config.matrix_n % config.block == 0,
+                 "block size must divide the matrix dimension");
+  return config.matrix_n / config.block;
+}
+
+TaskTrace build_gauss_trace(const GaussConfig& config) {
+  const i32 steps = gauss_num_steps(config);
+  const u64 b = static_cast<u64>(config.block);
+  const u64 pivot_work = b * b * b / 3;
+  const u64 panel_work = b * b * b / 2;
+  const u64 update_work = b * b * b;
+
+  TaskTrace trace;
+  for (i32 k = 0; k < steps; ++k) {
+    if (k > 0) trace.begin_segment();
+    // Pivot factorization.
+    trace.add_root(pivot_work);
+    // Row and column panels.
+    const i32 remaining = steps - k - 1;
+    for (i32 p = 0; p < 2 * remaining; ++p) trace.add_root(panel_work);
+    // Trailing submatrix updates.
+    for (i32 i = 0; i < remaining; ++i) {
+      for (i32 j = 0; j < remaining; ++j) trace.add_root(update_work);
+    }
+  }
+  return trace;
+}
+
+i32 fft_num_stages(const FftConfig& config) {
+  RIPS_CHECK_MSG(config.size >= 2 && (config.size & (config.size - 1)) == 0,
+                 "FFT size must be a power of two");
+  i32 stages = 0;
+  for (i64 s = config.size; s > 1; s /= 2) ++stages;
+  return stages;
+}
+
+TaskTrace build_fft_trace(const FftConfig& config) {
+  const i32 stages = fft_num_stages(config);
+  RIPS_CHECK(config.tasks_per_stage >= 1);
+  const i64 butterflies = config.size / 2;
+  RIPS_CHECK_MSG(butterflies % config.tasks_per_stage == 0,
+                 "tasks_per_stage must divide size/2");
+  const u64 work = static_cast<u64>(butterflies / config.tasks_per_stage);
+
+  TaskTrace trace;
+  for (i32 stage = 0; stage < stages; ++stage) {
+    if (stage > 0) trace.begin_segment();
+    for (i32 t = 0; t < config.tasks_per_stage; ++t) trace.add_root(work);
+  }
+  return trace;
+}
+
+}  // namespace rips::apps

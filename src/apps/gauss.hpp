@@ -1,0 +1,46 @@
+// Blocked Gaussian elimination — the paper's introduction names it as the
+// canonical *static* problem ("static scheduling applies to problems with
+// a predictable structure, [such as] Gaussian elimination, FFT"). We build
+// its task trace so the benches can demonstrate the intro's claim: for a
+// predictable workload a single scheduling round (prescheduling) is
+// enough, while the irregular applications need incremental rebalancing.
+//
+// Decomposition: an N x N matrix in B x B blocks of size b. Elimination
+// step k (one synchronization segment) factors the pivot block, updates
+// the 2(B-k-1) panel blocks and the (B-k-1)^2 trailing blocks. Work is
+// the classic operation count (b^3/3 for the pivot, b^3/2 for panels, b^3
+// for trailing updates); it is perfectly predictable, but the task count
+// shrinks quadratically with k, so the tail has less parallelism than the
+// machine — the known limitation static schedules handle well.
+#pragma once
+
+#include "apps/task_trace.hpp"
+#include "util/types.hpp"
+
+namespace rips::apps {
+
+struct GaussConfig {
+  i32 matrix_n = 2048;  ///< matrix dimension
+  i32 block = 128;      ///< block size b (must divide matrix_n)
+};
+
+/// Number of elimination steps (= segments) for a config.
+i32 gauss_num_steps(const GaussConfig& config);
+
+TaskTrace build_gauss_trace(const GaussConfig& config);
+
+/// Radix-2 FFT — the introduction's second static example. log2(size)
+/// butterfly stages (one synchronization segment each), each stage's
+/// size/2 butterflies grouped into `tasks_per_stage` perfectly uniform
+/// tasks. The most regular workload in the suite: any scheduler that gets
+/// the first distribution right never needs to move anything again.
+struct FftConfig {
+  i64 size = 1 << 20;        ///< transform length (power of two)
+  i32 tasks_per_stage = 256; ///< butterfly groups per stage
+};
+
+i32 fft_num_stages(const FftConfig& config);
+
+TaskTrace build_fft_trace(const FftConfig& config);
+
+}  // namespace rips::apps

@@ -1,0 +1,203 @@
+#include "apps/gromos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rips::apps {
+
+namespace {
+
+/// Uniform cell grid over the molecule's bounding box for neighbor search.
+class CellList {
+ public:
+  CellList(const std::vector<Vec3>& atoms, double cell_size)
+      : atoms_(atoms), cell_(cell_size) {
+    RIPS_CHECK(cell_size > 0.0);
+    lo_ = atoms.front();
+    Vec3 hi = atoms.front();
+    for (const Vec3& a : atoms) {
+      lo_.x = std::min(lo_.x, a.x);
+      lo_.y = std::min(lo_.y, a.y);
+      lo_.z = std::min(lo_.z, a.z);
+      hi.x = std::max(hi.x, a.x);
+      hi.y = std::max(hi.y, a.y);
+      hi.z = std::max(hi.z, a.z);
+    }
+    nx_ = dim(lo_.x, hi.x);
+    ny_ = dim(lo_.y, hi.y);
+    nz_ = dim(lo_.z, hi.z);
+    cells_.resize(static_cast<size_t>(nx_) * ny_ * nz_);
+    for (i32 i = 0; i < static_cast<i32>(atoms.size()); ++i) {
+      cells_[cell_index(atoms[static_cast<size_t>(i)])].push_back(i);
+    }
+  }
+
+  /// Calls fn(j) for every atom j in the 27-cell neighborhood of `pos`.
+  template <typename Fn>
+  void for_neighborhood(const Vec3& pos, Fn&& fn) const {
+    const i32 cx = coord(pos.x, lo_.x, nx_);
+    const i32 cy = coord(pos.y, lo_.y, ny_);
+    const i32 cz = coord(pos.z, lo_.z, nz_);
+    for (i32 dx = -1; dx <= 1; ++dx) {
+      for (i32 dy = -1; dy <= 1; ++dy) {
+        for (i32 dz = -1; dz <= 1; ++dz) {
+          const i32 x = cx + dx;
+          const i32 y = cy + dy;
+          const i32 z = cz + dz;
+          if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 || z >= nz_) {
+            continue;
+          }
+          const auto& bucket =
+              cells_[(static_cast<size_t>(x) * ny_ + y) * nz_ + z];
+          for (i32 j : bucket) fn(j);
+        }
+      }
+    }
+  }
+
+ private:
+  i32 dim(double lo, double hi) const {
+    return std::max<i32>(1, static_cast<i32>((hi - lo) / cell_) + 1);
+  }
+  i32 coord(double v, double lo, i32 n) const {
+    return std::clamp(static_cast<i32>((v - lo) / cell_), 0, n - 1);
+  }
+  size_t cell_index(const Vec3& a) const {
+    return (static_cast<size_t>(coord(a.x, lo_.x, nx_)) * ny_ +
+            coord(a.y, lo_.y, ny_)) *
+               nz_ +
+           coord(a.z, lo_.z, nz_);
+  }
+
+  const std::vector<Vec3>& atoms_;
+  double cell_;
+  Vec3 lo_;
+  i32 nx_ = 1, ny_ = 1, nz_ = 1;
+  std::vector<std::vector<i32>> cells_;
+};
+
+double dist2(const Vec3& a, const Vec3& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+}  // namespace
+
+Molecule::Molecule(const GromosConfig& config) {
+  RIPS_CHECK(config.num_atoms >= config.num_groups);
+  RIPS_CHECK(config.num_groups >= 1);
+  Rng rng(config.seed);
+
+  // Two dense lobes (SOD is a homodimer) plus a diffuse shell. Protein
+  // packing is ~0.1 atom/A^3; a ~6968-atom dimer fits in two ~20 A-radius
+  // lobes whose centers sit ~24 A apart.
+  const i32 n = config.num_atoms;
+  const i32 shell_atoms = n / 8;           // diffuse outer shell
+  const i32 lobe_atoms = (n - shell_atoms) / 2;
+  const double lobe_radius = 20.0;
+  const Vec3 centers[2] = {{-12.0, 0.0, 0.0}, {12.0, 0.0, 0.0}};
+
+  auto sample_ball = [&](const Vec3& c, double radius, double bias) {
+    // bias < 1 concentrates atoms near the center => density gradient.
+    const double u = rng.next_double();
+    const double r = radius * std::pow(u, bias);
+    const double cos_t = 2.0 * rng.next_double() - 1.0;
+    const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+    const double phi = 2.0 * 3.14159265358979323846 * rng.next_double();
+    return Vec3{c.x + r * sin_t * std::cos(phi),
+                c.y + r * sin_t * std::sin(phi), c.z + r * cos_t};
+  };
+
+  atoms_.reserve(static_cast<size_t>(n));
+  for (i32 lobe = 0; lobe < 2; ++lobe) {
+    for (i32 i = 0; i < lobe_atoms; ++i) {
+      atoms_.push_back(sample_ball(centers[static_cast<size_t>(lobe)],
+                                   lobe_radius, 0.45));
+    }
+  }
+  while (static_cast<i32>(atoms_.size()) < n) {
+    // Shell: sparse solvent out to 36 A around the origin.
+    atoms_.push_back(sample_ball({0.0, 0.0, 0.0}, 36.0, 0.9));
+  }
+
+  // Charge groups partition the atom array into contiguous runs of size 1
+  // or 2 (6968 atoms / 4986 groups => 1982 pairs + 3004 singletons,
+  // interleaved deterministically).
+  const i32 groups = config.num_groups;
+  const i32 pairs = config.num_atoms - groups;  // groups of size 2
+  RIPS_CHECK(pairs >= 0 && pairs <= groups);
+  group_start_.reserve(static_cast<size_t>(groups) + 1);
+  group_start_.push_back(0);
+  i32 pos = 0;
+  for (i32 g = 0; g < groups; ++g) {
+    // Spread the size-2 groups evenly over the group sequence.
+    const bool big =
+        (static_cast<i64>(g + 1) * pairs) / groups >
+        (static_cast<i64>(g) * pairs) / groups;
+    pos += big ? 2 : 1;
+    group_start_.push_back(pos);
+  }
+  RIPS_CHECK(pos == config.num_atoms);
+}
+
+std::vector<u64> Molecule::pair_counts(double cutoff) const {
+  RIPS_CHECK(cutoff > 0.0);
+  const CellList cells(atoms_, cutoff);
+  const double cutoff2 = cutoff * cutoff;
+
+  // Atom -> group map.
+  std::vector<i32> group_of(static_cast<size_t>(num_atoms()));
+  for (i32 g = 0; g < num_groups(); ++g) {
+    for (i32 a = group_begin(g); a < group_end(g); ++a) {
+      group_of[static_cast<size_t>(a)] = g;
+    }
+  }
+
+  std::vector<u64> counts(static_cast<size_t>(num_groups()), 0);
+  for (i32 i = 0; i < num_atoms(); ++i) {
+    const Vec3& a = atoms_[static_cast<size_t>(i)];
+    u64 local = 0;
+    cells.for_neighborhood(a, [&](i32 j) {
+      // Charge each unordered pair once, to the lower-indexed atom.
+      if (j <= i) return;
+      if (dist2(a, atoms_[static_cast<size_t>(j)]) <= cutoff2) ++local;
+    });
+    counts[static_cast<size_t>(group_of[static_cast<size_t>(i)])] += local;
+  }
+  return counts;
+}
+
+void Molecule::jiggle(double sigma_angstrom, u64 seed) {
+  Rng rng(seed);
+  for (Vec3& a : atoms_) {
+    a.x += sigma_angstrom * rng.next_gaussian();
+    a.y += sigma_angstrom * rng.next_gaussian();
+    a.z += sigma_angstrom * rng.next_gaussian();
+  }
+}
+
+TaskTrace build_gromos_trace(const GromosConfig& config) {
+  RIPS_CHECK(config.num_steps >= 1);
+  Molecule mol(config);
+  TaskTrace trace;
+  for (i32 step = 0; step < config.num_steps; ++step) {
+    if (step > 0) {
+      trace.begin_segment();
+      mol.jiggle(0.05, config.seed + static_cast<u64>(step) * 7919);
+    }
+    const std::vector<u64> counts = mol.pair_counts(config.cutoff_angstrom);
+    for (u64 c : counts) {
+      // Every group is a task even when its neighborhood is empty: the
+      // force routine still runs per group (work >= 1).
+      trace.add_root(std::max<u64>(c, 1));
+    }
+  }
+  return trace;
+}
+
+}  // namespace rips::apps

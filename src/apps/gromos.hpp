@@ -1,0 +1,75 @@
+// GROMOS-like molecular dynamics — the paper's third test application, a
+// "real application" with "a more predictable structure: the number of
+// processes is known with the given input data, but the computation
+// density in each process varies".
+//
+// Substitution (see DESIGN.md): the paper runs GROMOS on the bovine
+// superoxide dismutase (SOD) data set — 6968 atoms, cutoff radius 8/12/16 Å,
+// decomposed into 4986 charge groups. We cannot redistribute that data set,
+// so we synthesize a protein-like globular cluster with exactly 6968 atoms
+// and 4986 charge groups: two dense lobes (SOD is a homodimer) plus a
+// diffuse solvent shell. The scheduling-relevant property — a fixed set of
+// tasks whose work is the number of atom pairs within the cutoff, strongly
+// varying with local density — is preserved by construction.
+//
+// Per MD step (one synchronization segment) every charge group is one task;
+// its work is the exact count of atom pairs (group atom, other atom) within
+// the cutoff, computed with a cell-list neighbor search. Atoms jiggle
+// deterministically between steps, so the per-step profiles differ slightly
+// like in a real simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/task_trace.hpp"
+#include "util/types.hpp"
+
+namespace rips::apps {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+struct GromosConfig {
+  double cutoff_angstrom = 8.0;
+  i32 num_steps = 1;   ///< MD steps = synchronization segments
+  u64 seed = 0x50D;    ///< structure seed (default spells "SOD")
+  i32 num_atoms = 6968;
+  i32 num_groups = 4986;
+};
+
+/// The synthetic molecule: positions plus the charge-group partition.
+class Molecule {
+ public:
+  explicit Molecule(const GromosConfig& config);
+
+  i32 num_atoms() const { return static_cast<i32>(atoms_.size()); }
+  i32 num_groups() const { return static_cast<i32>(group_start_.size()) - 1; }
+  const Vec3& atom(i32 i) const { return atoms_[static_cast<size_t>(i)]; }
+  /// Atoms of group g occupy indices [group_begin(g), group_end(g)).
+  i32 group_begin(i32 g) const { return group_start_[static_cast<size_t>(g)]; }
+  i32 group_end(i32 g) const {
+    return group_start_[static_cast<size_t>(g) + 1];
+  }
+
+  /// Per-group pair counts within `cutoff` (each unordered atom pair is
+  /// charged to the group of its lower-indexed atom, so the total work
+  /// equals the number of interacting pairs — no double counting).
+  std::vector<u64> pair_counts(double cutoff) const;
+
+  /// Thermal jiggle: displaces every atom by a small Gaussian step.
+  void jiggle(double sigma_angstrom, u64 seed);
+
+ private:
+  std::vector<Vec3> atoms_;
+  std::vector<i32> group_start_;  // size num_groups + 1
+};
+
+/// Builds the MD task trace: `num_steps` segments of one task per charge
+/// group, work = pair count under the cutoff.
+TaskTrace build_gromos_trace(const GromosConfig& config);
+
+}  // namespace rips::apps

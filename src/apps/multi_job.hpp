@@ -1,0 +1,41 @@
+// Multi-job workloads — the paper's Section 1 mentions that "RIPS can be
+// used for a single job on a dedicated machine or a multiprogramming
+// environment" but only develops the single-job case. This extension
+// merges several single-segment job traces into one trace so the engines
+// schedule them together, and maps executed tasks back to jobs for
+// per-job completion metrics (see examples/multi_job.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/task_trace.hpp"
+#include "sim/timeline.hpp"
+
+namespace rips::apps {
+
+struct JobSpan {
+  std::string name;
+  TaskId first_task = 0;  ///< id of the job's first task in the merged trace
+  u32 num_tasks = 0;      ///< total tasks contributed (ids are NOT contiguous
+                          ///< beyond the root block; use owner lookup)
+};
+
+struct MergedJobs {
+  TaskTrace trace;
+  std::vector<JobSpan> jobs;
+  std::vector<u32> owner;  ///< per merged-trace task: index into `jobs`
+};
+
+/// Merges single-segment traces into one. Roots interleave round-robin so
+/// no job monopolizes the head of the initial schedule; spawn structure
+/// and work are preserved exactly. All inputs must have one segment.
+MergedJobs merge_jobs(const std::vector<std::pair<std::string,
+                                                  const TaskTrace*>>& jobs);
+
+/// Per-job completion time (simulated ns of the job's last task end)
+/// extracted from a timeline recorded during the merged run.
+std::vector<SimTime> job_completion_times(const MergedJobs& merged,
+                                          const sim::Timeline& timeline);
+
+}  // namespace rips::apps

@@ -1,0 +1,98 @@
+#include "apps/nqueens.hpp"
+
+#include "util/check.hpp"
+
+namespace rips::apps {
+
+namespace {
+
+/// Core bitmask recursion. Masks hold occupied columns / diagonals shifted
+/// to the current row; `full` is the n-bit mask of all columns.
+void dfs(u32 full, u32 cols, u32 diag_l, u32 diag_r, NQueensResult& out) {
+  ++out.nodes;
+  if (cols == full) {
+    ++out.solutions;
+    return;
+  }
+  u32 free = full & ~(cols | diag_l | diag_r);
+  while (free != 0) {
+    const u32 bit = free & (0 - free);
+    free ^= bit;
+    dfs(full, cols | bit, (diag_l | bit) << 1, (diag_r | bit) >> 1, out);
+  }
+}
+
+}  // namespace
+
+NQueensResult solve_nqueens(i32 n, i32 row, u32 cols, u32 diag_l, u32 diag_r) {
+  RIPS_CHECK(n >= 1 && n <= 30);
+  RIPS_CHECK(row >= 0 && row <= n);
+  (void)row;  // masks encode the position fully; row is documentation
+  NQueensResult out;
+  dfs((1u << n) - 1, cols, diag_l, diag_r, out);
+  // The dfs counts its entry node; callers treat the subproblem root as a
+  // visited node, which matches "one work unit per attempted placement".
+  return out;
+}
+
+NQueensResult solve_nqueens(i32 n) { return solve_nqueens(n, 0, 0, 0, 0); }
+
+TaskTrace build_nqueens_trace(i32 n, i32 split_depth, u64* solutions_out) {
+  RIPS_CHECK(n >= 1 && n <= 30);
+  RIPS_CHECK(split_depth >= 1 && split_depth < n);
+
+  TaskTrace trace;
+  const u32 full = (1u << n) - 1;
+  u64 solutions = 0;
+
+  struct Frontier {
+    TaskId task;
+    u32 cols, diag_l, diag_r;
+  };
+
+  // Work of a task at `depth`: split-depth tasks carry their whole
+  // remaining subtree (measured by the sequential solver); shallower tasks
+  // only pay their own expansion (scanning n candidate columns) and spawn
+  // children instead.
+  const auto work_of = [&](i32 depth, u32 cols, u32 diag_l, u32 diag_r) {
+    if (depth < split_depth) return static_cast<u64>(n);
+    NQueensResult sub;
+    dfs(full, cols, diag_l, diag_r, sub);
+    solutions += sub.solutions;
+    return sub.nodes;
+  };
+
+  // Breadth-first expansion so that each parent's children are added
+  // consecutively (TaskTrace requirement) and ids grow with depth.
+  std::vector<Frontier> level;
+  std::vector<Frontier> next;
+
+  // Row-0 placements are the root tasks.
+  for (i32 c = 0; c < n; ++c) {
+    const u32 bit = 1u << c;
+    const TaskId id = trace.add_root(work_of(1, bit, bit << 1, bit >> 1));
+    if (split_depth > 1) level.push_back({id, bit, bit << 1, bit >> 1});
+  }
+
+  for (i32 depth = 2; depth <= split_depth && !level.empty(); ++depth) {
+    next.clear();
+    for (const Frontier& f : level) {
+      u32 free = full & ~(f.cols | f.diag_l | f.diag_r);
+      while (free != 0) {
+        const u32 bit = free & (0 - free);
+        free ^= bit;
+        const u32 cols = f.cols | bit;
+        const u32 diag_l = (f.diag_l | bit) << 1;
+        const u32 diag_r = (f.diag_r | bit) >> 1;
+        const TaskId id =
+            trace.add_child(f.task, work_of(depth, cols, diag_l, diag_r));
+        if (depth < split_depth) next.push_back({id, cols, diag_l, diag_r});
+      }
+    }
+    level.swap(next);
+  }
+  if (solutions_out != nullptr) *solutions_out = solutions;
+  return trace;
+}
+
+}  // namespace rips::apps

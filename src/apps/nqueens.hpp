@@ -1,0 +1,37 @@
+// Exhaustive N-Queens search — the paper's first test application
+// ("irregular and dynamic structure; the number of tasks generated and the
+// computation amount in each task are unpredictable").
+//
+// The search tree is divided at `split_depth`: every valid partial
+// placement of up to split_depth queens is a task; placements at
+// split_depth carry their entire remaining subtree as work, counted by a
+// bitmask depth-first solver (one work unit = one attempted placement).
+// Shallower tasks carry only their own expansion work and spawn children,
+// which is what gives the trace its dynamic, unpredictable shape.
+#pragma once
+
+#include "apps/task_trace.hpp"
+#include "util/types.hpp"
+
+namespace rips::apps {
+
+struct NQueensResult {
+  u64 solutions = 0;  ///< number of complete placements
+  u64 nodes = 0;      ///< search nodes visited (work units)
+};
+
+/// Sequential bitmask solver for the subproblem where `row` queens are
+/// already placed with the given column/diagonal occupation masks.
+NQueensResult solve_nqueens(i32 n, i32 row, u32 cols, u32 diag_l, u32 diag_r);
+
+/// Full-board convenience wrapper.
+NQueensResult solve_nqueens(i32 n);
+
+/// Builds the task trace for an n-queens exhaustive search split at
+/// `split_depth` (1 <= split_depth < n). Single synchronization segment.
+/// If `solutions_out` is non-null it receives the total solution count
+/// found while measuring the leaf subtrees (validates the decomposition).
+TaskTrace build_nqueens_trace(i32 n, i32 split_depth,
+                              u64* solutions_out = nullptr);
+
+}  // namespace rips::apps

@@ -1,0 +1,103 @@
+#include "apps/paper_workloads.hpp"
+
+#include "apps/trace_io.hpp"
+
+#include "apps/gromos.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/puzzle.hpp"
+#include "util/check.hpp"
+
+namespace rips::apps {
+
+namespace {
+
+constexpr double kQueensNsPerNode = 2000.0;
+constexpr double kIdaNsPerNode = 9600.0;
+constexpr double kGromosNsPerPair = 13000.0;
+constexpr i32 kQueensSplitDepth = 4;
+constexpr i32 kGromosSteps = 5;
+
+// Table II of the paper, for side-by-side reporting in EXPERIMENTS.md.
+double paper_table2(const std::string& group, const std::string& name) {
+  if (group == "Exhaustive search") {
+    if (name == "13-Queens") return 0.988;
+    if (name == "14-Queens") return 0.992;
+    if (name == "15-Queens") return 0.994;
+  } else if (group == "IDA* search") {
+    if (name == "config #1") return 0.917;
+    if (name == "config #2") return 0.972;
+    if (name == "config #3") return 0.853;
+  } else if (group == "GROMOS") {
+    return 0.989;  // 8 A, 12 A and 16 A all read 98.9% in Table II
+  }
+  return 0.0;
+}
+
+Workload finish(std::string group, std::string name, TaskTrace trace,
+                double ns_per_work, u64 tasks_reported) {
+  Workload w;
+  w.group = std::move(group);
+  w.name = std::move(name);
+  w.tasks_reported = tasks_reported == 0 ? trace.size() : tasks_reported;
+  w.trace = std::move(trace);
+  w.cost.ns_per_work = ns_per_work;
+  w.paper_optimal_efficiency = paper_table2(w.group, w.name);
+  return w;
+}
+
+}  // namespace
+
+Workload build_queens_workload(i32 n) {
+  TaskTrace trace =
+      cached_trace("queens-" + std::to_string(n) + "-d" +
+                       std::to_string(kQueensSplitDepth),
+                   [n] { return build_nqueens_trace(n, kQueensSplitDepth); });
+  return finish("Exhaustive search", std::to_string(n) + "-Queens",
+                std::move(trace), kQueensNsPerNode, 0);
+}
+
+Workload build_ida_workload(i32 config_index) {
+  RIPS_CHECK(config_index >= 1 && config_index <= 3);
+  const PuzzleConfig config =
+      paper_puzzle_configs()[static_cast<size_t>(config_index - 1)];
+  TaskTrace trace = cached_trace(
+      "ida-" + config.name, [&config] { return build_ida_trace(config); });
+  return finish("IDA* search", "config #" + std::to_string(config_index),
+                std::move(trace), kIdaNsPerNode, 0);
+}
+
+Workload build_gromos_workload(double cutoff_angstrom) {
+  GromosConfig config;
+  config.cutoff_angstrom = cutoff_angstrom;
+  config.num_steps = kGromosSteps;
+  TaskTrace trace = build_gromos_trace(config);
+  const u64 per_step = trace.size() / static_cast<u64>(config.num_steps);
+  return finish("GROMOS",
+                std::to_string(static_cast<i32>(cutoff_angstrom)) + " A",
+                std::move(trace), kGromosNsPerPair, per_step);
+}
+
+std::vector<Workload> build_paper_workloads(bool quick) {
+  std::vector<Workload> out;
+  if (quick) {
+    for (i32 n : {11, 12}) out.push_back(build_queens_workload(n));
+    PuzzleConfig pc = paper_puzzle_configs()[0];
+    pc.frontier_depth = 5;
+    out.push_back(finish("IDA* search", "config #1",
+                         build_ida_trace(pc), kIdaNsPerNode, 0));
+    GromosConfig gc;
+    gc.cutoff_angstrom = 8.0;
+    gc.num_steps = 2;
+    gc.num_atoms = 1742;
+    gc.num_groups = 1246;
+    out.push_back(finish("GROMOS", "8 A", build_gromos_trace(gc),
+                         kGromosNsPerPair, 1246));
+    return out;
+  }
+  for (i32 n : {13, 14, 15}) out.push_back(build_queens_workload(n));
+  for (i32 c : {1, 2, 3}) out.push_back(build_ida_workload(c));
+  for (double r : {8.0, 12.0, 16.0}) out.push_back(build_gromos_workload(r));
+  return out;
+}
+
+}  // namespace rips::apps

@@ -1,0 +1,86 @@
+// Iterative-deepening A* on the 15-puzzle — the paper's second test
+// application ("grain size may vary substantially, since it dynamically
+// depends on the currently estimated cost; synchronization at each
+// iteration reduces the effective parallelism").
+//
+// Parallel decomposition: the root is expanded breadth-first (avoiding
+// immediate move inversions) into a frontier of subproblems. Every IDA*
+// iteration is one synchronization segment whose tasks are the frontier
+// subproblems searched to the current cost threshold; per-task work is the
+// exact number of nodes the depth-first search visits. Thresholds follow
+// the standard IDA* schedule (next = minimum f that exceeded the bound).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "apps/task_trace.hpp"
+#include "util/types.hpp"
+
+namespace rips::apps {
+
+/// 4x4 sliding-tile board, nibble-packed (position p holds tile value in
+/// bits [4p, 4p+4)); tile 0 is the blank. Solved = tiles 1..15 then blank.
+class Board15 {
+ public:
+  Board15();  // solved board
+
+  static Board15 from_tiles(const std::array<u8, 16>& tiles);
+
+  u8 tile_at(i32 pos) const {
+    return static_cast<u8>((packed_ >> (4 * pos)) & 0xF);
+  }
+  i32 blank_pos() const { return blank_; }
+  bool is_solved() const;
+
+  /// Sum of Manhattan distances of all tiles to their goal squares.
+  i32 manhattan() const;
+
+  /// Applies move `dir` (0=up,1=down,2=left,3=right = direction the blank
+  /// moves). Returns false if the move is off-board.
+  bool apply(i32 dir);
+
+  /// Scrambles by a random walk of `steps` moves from the current state
+  /// (never undoing the previous move); stays solvable by construction.
+  void scramble(i32 steps, u64 seed);
+
+  bool operator==(const Board15& other) const {
+    return packed_ == other.packed_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  u64 packed_;
+  i32 blank_;
+};
+
+/// One of the paper's three problem configurations.
+struct PuzzleConfig {
+  std::string name;
+  i32 scramble_steps = 0;
+  u64 seed = 0;
+  i32 frontier_depth = 5;  ///< root expansion depth for the task frontier
+};
+
+/// The three configurations used throughout the benches (increasing
+/// difficulty, mirroring the paper's config #1..#3).
+std::vector<PuzzleConfig> paper_puzzle_configs();
+
+struct IdaStats {
+  i32 solution_length = -1;  ///< optimal moves (g of the first goal found)
+  i32 iterations = 0;
+  u64 total_nodes = 0;
+};
+
+/// Sequential IDA* (for validation). Node budget guards runaway instances.
+IdaStats solve_ida(const Board15& start, u64 max_nodes = 2'000'000'000ULL);
+
+/// Builds the IDA* task trace: one segment per iteration, one task per
+/// frontier subproblem. If `stats_out` is non-null it receives the search
+/// statistics (solution length found, iterations, node total).
+TaskTrace build_ida_trace(const PuzzleConfig& config,
+                          IdaStats* stats_out = nullptr);
+
+}  // namespace rips::apps

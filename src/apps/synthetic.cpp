@@ -1,0 +1,73 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rips::apps {
+
+namespace {
+
+u64 sample_work(const SyntheticConfig& config, Rng& rng) {
+  switch (config.work_model) {
+    case 0:
+      return std::max<u64>(1, config.mean_work);
+    case 1:
+      return 1 + rng.next_below(2 * std::max<u64>(1, config.mean_work));
+    case 2:
+      return std::max<u64>(
+          1, static_cast<u64>(
+                 rng.next_exponential(static_cast<double>(config.mean_work))));
+    case 3:
+      return rng.next_double() < 0.9
+                 ? std::max<u64>(1, config.mean_work / 2)
+                 : std::max<u64>(1, config.mean_work * 10);
+    default:
+      RIPS_CHECK_MSG(false, "unknown work model");
+      return 1;
+  }
+}
+
+}  // namespace
+
+TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed) {
+  RIPS_CHECK(config.num_roots >= 1);
+  RIPS_CHECK(config.num_segments >= 1);
+  RIPS_CHECK(config.max_branch >= 1);
+  Rng rng(seed);
+  TaskTrace trace;
+
+  struct Open {
+    TaskId id;
+    i32 depth;
+  };
+  std::vector<Open> level;
+  std::vector<Open> next;
+
+  for (i32 seg = 0; seg < config.num_segments; ++seg) {
+    if (seg > 0) trace.begin_segment();
+    level.clear();
+    for (i32 r = 0; r < config.num_roots; ++r) {
+      level.push_back({trace.add_root(sample_work(config, rng)), 0});
+    }
+    // Breadth-first spawning keeps each parent's children consecutive.
+    while (!level.empty()) {
+      next.clear();
+      for (const Open& open : level) {
+        if (open.depth >= config.max_depth) continue;
+        if (rng.next_double() >= config.spawn_prob) continue;
+        const i64 kids = rng.next_range(1, config.max_branch);
+        for (i64 k = 0; k < kids; ++k) {
+          next.push_back(
+              {trace.add_child(open.id, sample_work(config, rng)),
+               open.depth + 1});
+        }
+      }
+      level.swap(next);
+    }
+  }
+  return trace;
+}
+
+}  // namespace rips::apps

@@ -1,0 +1,25 @@
+// Parameterized synthetic irregular workload — used by unit tests and by
+// the ablation benches to sweep task-structure properties (grain-size
+// variance, spawn depth, branching) independently of any real application.
+#pragma once
+
+#include "apps/task_trace.hpp"
+#include "util/types.hpp"
+
+namespace rips::apps {
+
+struct SyntheticConfig {
+  i32 num_roots = 64;        ///< initial tasks (segment 0)
+  i32 max_depth = 4;         ///< spawn tree depth limit
+  double spawn_prob = 0.5;   ///< probability a task spawns children
+  i32 max_branch = 4;        ///< children per spawning task: 1..max_branch
+  u64 mean_work = 1000;      ///< mean task work
+  /// Grain-size model: 0 = constant, 1 = uniform in [1, 2*mean],
+  /// 2 = exponential(mean), 3 = bimodal (90% small, 10% 10x).
+  i32 work_model = 2;
+  i32 num_segments = 1;      ///< synchronization segments
+};
+
+TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed);
+
+}  // namespace rips::apps

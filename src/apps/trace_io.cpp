@@ -1,0 +1,143 @@
+#include "apps/trace_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rips::apps {
+
+namespace {
+
+constexpr u64 kMagic = 0x3143525453504952ULL;  // "RIPSTRC1" little-endian
+constexpr u64 kRootParent = ~u64{0};
+
+class Fnv1a {
+ public:
+  void mix(u64 value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (value >> (8 * byte)) & 0xFF;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  u64 value() const { return hash_; }
+
+ private:
+  u64 hash_ = 0xCBF29CE484222325ULL;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool write_u64(std::FILE* f, u64 v, Fnv1a* sum) {
+  if (sum != nullptr) sum->mix(v);
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  return std::fwrite(bytes, 1, 8, f) == 8;
+}
+
+bool read_u64(std::FILE* f, u64& v, Fnv1a* sum) {
+  unsigned char bytes[8];
+  if (std::fread(bytes, 1, 8, f) != 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(bytes[i]) << (8 * i);
+  if (sum != nullptr) sum->mix(v);
+  return true;
+}
+
+/// Recovers each task's parent from the consecutive child spans.
+std::vector<u64> parents_of(const TaskTrace& trace) {
+  std::vector<u64> parent(trace.size(), kRootParent);
+  for (TaskId t = 0; t < trace.size(); ++t) {
+    const TaskId* child = trace.children_begin(t);
+    for (u32 c = 0; c < trace.num_children(t); ++c) {
+      parent[static_cast<size_t>(child[c])] = t;
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+bool save_trace(const TaskTrace& trace, const std::string& path) {
+  const File file(std::fopen(path.c_str(), "wb"));
+  if (!file) return false;
+  Fnv1a sum;
+  bool ok = write_u64(file.get(), kMagic, &sum) &&
+            write_u64(file.get(), trace.size(), &sum) &&
+            write_u64(file.get(), trace.num_segments(), &sum);
+  const auto parent = parents_of(trace);
+  for (TaskId t = 0; ok && t < trace.size(); ++t) {
+    ok = write_u64(file.get(), trace.task(t).work, &sum) &&
+         write_u64(file.get(), parent[static_cast<size_t>(t)], &sum) &&
+         write_u64(file.get(), trace.task(t).segment, &sum);
+  }
+  ok = ok && write_u64(file.get(), sum.value(), nullptr);
+  return ok;
+}
+
+std::optional<TaskTrace> load_trace(const std::string& path) {
+  const File file(std::fopen(path.c_str(), "rb"));
+  if (!file) return std::nullopt;
+  Fnv1a sum;
+  u64 magic = 0;
+  u64 count = 0;
+  u64 segments = 0;
+  if (!read_u64(file.get(), magic, &sum) || magic != kMagic ||
+      !read_u64(file.get(), count, &sum) ||
+      !read_u64(file.get(), segments, &sum) || segments == 0) {
+    return std::nullopt;
+  }
+  TaskTrace trace;
+  u64 current_segment = 0;
+  for (u64 t = 0; t < count; ++t) {
+    u64 work = 0;
+    u64 parent = 0;
+    u64 segment = 0;
+    if (!read_u64(file.get(), work, &sum) ||
+        !read_u64(file.get(), parent, &sum) ||
+        !read_u64(file.get(), segment, &sum)) {
+      return std::nullopt;
+    }
+    // Tasks are stored in creation order, so segments never decrease.
+    if (segment < current_segment || segment >= segments) return std::nullopt;
+    while (current_segment < segment) {
+      trace.begin_segment();
+      ++current_segment;
+    }
+    if (parent == kRootParent) {
+      trace.add_root(work);
+    } else {
+      if (parent >= t) return std::nullopt;
+      trace.add_child(static_cast<TaskId>(parent), work);
+    }
+  }
+  // Trailing empty segments (possible in principle) are not representable;
+  // reject mismatches instead of guessing.
+  if (trace.num_segments() != segments) return std::nullopt;
+  u64 checksum = 0;
+  if (!read_u64(file.get(), checksum, nullptr) || checksum != sum.value()) {
+    return std::nullopt;
+  }
+  return trace;
+}
+
+TaskTrace cached_trace(const std::string& cache_key,
+                       const std::function<TaskTrace()>& build) {
+  const char* dir = std::getenv("RIPS_TRACE_CACHE");
+  if (dir == nullptr || *dir == '\0') return build();
+  const std::string path = std::string(dir) + "/" + cache_key + ".trace";
+  if (auto cached = load_trace(path)) return std::move(*cached);
+  TaskTrace trace = build();
+  // Failure to persist is not fatal: the trace is still correct.
+  (void)save_trace(trace, path);
+  return trace;
+}
+
+}  // namespace rips::apps

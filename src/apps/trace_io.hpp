@@ -1,0 +1,34 @@
+// Binary serialization of TaskTrace — lets the bench harness cache the
+// expensive application runs (a full 15-Queens enumeration, the IDA*
+// searches) across bench invocations.
+//
+// Format (little-endian u64 fields): magic "RIPSTRC1", task count,
+// segment count, then per task: work, parent id (max = root), segment;
+// finally an FNV-1a checksum of everything before it. Traces are
+// reconstructed by replaying add_root/add_child in creation order, so the
+// round trip preserves ids, child spans and segment membership exactly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "apps/task_trace.hpp"
+
+namespace rips::apps {
+
+/// Writes `trace` to `path`. Returns false on I/O failure.
+bool save_trace(const TaskTrace& trace, const std::string& path);
+
+/// Reads a trace from `path`; std::nullopt if the file is missing,
+/// malformed or fails its checksum.
+std::optional<TaskTrace> load_trace(const std::string& path);
+
+/// Cached build: if `cache_key` exists under the directory named by the
+/// RIPS_TRACE_CACHE environment variable, load it; otherwise invoke
+/// `build` and persist the result. With the variable unset this is just
+/// `build()`.
+TaskTrace cached_trace(const std::string& cache_key,
+                       const std::function<TaskTrace()>& build);
+
+}  // namespace rips::apps

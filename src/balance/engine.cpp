@@ -1,0 +1,275 @@
+#include "balance/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rips::balance {
+
+DynamicEngine::DynamicEngine(const topo::Topology& topo,
+                             const sim::CostModel& cost, Strategy& strategy)
+    : topo_(topo), cost_(cost), strategy_(strategy) {}
+
+i64 DynamicEngine::load_of(NodeId node) const {
+  const NodeRt& n = nodes_[static_cast<size_t>(node)];
+  return static_cast<i64>(n.queue.size()) + (n.executing ? 1 : 0);
+}
+
+std::vector<DynamicEngine::NodeTotals> DynamicEngine::node_totals() const {
+  std::vector<NodeTotals> out;
+  out.reserve(nodes_.size());
+  for (const NodeRt& n : nodes_) out.push_back({n.busy_ns, n.ovh_ns});
+  return out;
+}
+
+i64 DynamicEngine::queued_of(NodeId node) const {
+  return static_cast<i64>(nodes_[static_cast<size_t>(node)].queue.size());
+}
+
+SimTime DynamicEngine::node_now(NodeId node) const {
+  return nodes_[static_cast<size_t>(node)].free_at;
+}
+
+void DynamicEngine::charge_overhead(NodeId node, SimTime ns) {
+  NodeRt& n = nodes_[static_cast<size_t>(node)];
+  n.free_at = std::max(n.free_at, now_) + ns;
+  n.ovh_ns += ns;
+}
+
+void DynamicEngine::enqueue_local(NodeId node, TaskId task) {
+  nodes_[static_cast<size_t>(node)].queue.push_back(task);
+  maybe_start(node);
+  strategy_.on_load_change(*this, node);
+}
+
+void DynamicEngine::send_message(NodeId from, NodeId to, i32 kind, i64 a,
+                                 i64 b, i64 max_tasks) {
+  RIPS_CHECK(from != to);
+  NodeRt& sender = nodes_[static_cast<size_t>(from)];
+  Message msg;
+  msg.kind = kind;
+  msg.a = a;
+  msg.b = b;
+  msg.from = from;
+  const i64 take = std::min<i64>(max_tasks,
+                                 static_cast<i64>(sender.queue.size()));
+  for (i64 i = 0; i < take; ++i) {
+    // Migrate the OLDEST queued tasks: with depth-first local execution
+    // (see maybe_start) the oldest entries are the shallowest, largest
+    // subtrees — moving one of them moves a whole pocket of future work,
+    // which is what lets load spread faster than the task-by-task
+    // diffusion decay (the classic work-stealing discipline).
+    msg.tasks.push_back(sender.queue.front());
+    sender.queue.pop_front();
+  }
+  charge_overhead(from, cost_.send_time(static_cast<i64>(msg.tasks.size())));
+  metrics_.messages += 1;
+  metrics_.tasks_migrated += static_cast<u64>(msg.tasks.size());
+  RIPS_CHECK_MSG(metrics_.messages < 200'000'000ULL,
+                 "runaway strategy: message budget exceeded");
+  const SimTime arrival =
+      sender.free_at + cost_.network_time(topo_.distance(from, to));
+  Pending p;
+  p.kind = Pending::kDeliver;
+  p.node = to;
+  p.msg = std::move(msg);
+  events_.push(arrival, std::move(p));
+  if (take > 0) strategy_.on_load_change(*this, from);
+}
+
+void DynamicEngine::send_spawned_task(NodeId from, NodeId to, TaskId task) {
+  RIPS_CHECK(from != to);
+  Message msg;
+  msg.kind = -1;  // pure migration, no strategy meaning
+  msg.from = from;
+  msg.tasks.push_back(task);
+  charge_overhead(from, cost_.send_time(1));
+  metrics_.messages += 1;
+  metrics_.tasks_migrated += 1;
+  const SimTime arrival = nodes_[static_cast<size_t>(from)].free_at +
+                          cost_.network_time(topo_.distance(from, to));
+  Pending p;
+  p.kind = Pending::kDeliver;
+  p.node = to;
+  p.msg = std::move(msg);
+  events_.push(arrival, std::move(p));
+}
+
+void DynamicEngine::maybe_start(NodeId node) {
+  NodeRt& n = nodes_[static_cast<size_t>(node)];
+  if (n.executing || n.queue.empty()) return;
+  // Depth-first local execution: run the newest task first so spawned
+  // subtrees are consumed as they unfold and the queue stays shallow.
+  const TaskId task = n.queue.back();
+  n.queue.pop_back();
+  n.executing = true;
+  const SimTime work = cost_.work_time(trace_->task(task).work);
+  n.task_start_ns = std::max(n.free_at, now_);
+  n.free_at = n.task_start_ns + work;
+  n.busy_ns += work;
+  Pending p;
+  p.kind = Pending::kTaskFinish;
+  p.node = node;
+  p.task = task;
+  events_.push(n.free_at, std::move(p));
+}
+
+void DynamicEngine::finish_task(NodeId node, TaskId task) {
+  NodeRt& n = nodes_[static_cast<size_t>(node)];
+  n.executing = false;
+  if (timeline_ != nullptr) {
+    timeline_->record({sim::TimelineEvent::Kind::kTask, node, n.task_start_ns,
+                       n.free_at, task});
+  }
+  exec_node_[static_cast<size_t>(task)] = node;
+  metrics_.num_tasks += 1;
+  completed_in_segment_ += 1;
+
+  // Spawn children at this node; the strategy places each one.
+  const u32 kids = trace_->num_children(task);
+  const TaskId* child = trace_->children_begin(task);
+  for (u32 c = 0; c < kids; ++c) {
+    charge_overhead(node, cost_.spawn_ns);
+    origin_[static_cast<size_t>(child[c])] = node;
+    strategy_.on_spawn(*this, node, child[c]);
+  }
+  strategy_.on_load_change(*this, node);
+
+  const bool segment_done =
+      completed_in_segment_ == segment_sizes_[current_segment_];
+  if (segment_done && current_segment_ + 1 < trace_->num_segments()) {
+    release_segment(current_segment_ + 1, n.free_at);
+  }
+
+  maybe_start(node);
+  if (!nodes_[static_cast<size_t>(node)].executing &&
+      nodes_[static_cast<size_t>(node)].queue.empty() && !segment_done) {
+    strategy_.on_idle(*this, node);
+  }
+}
+
+void DynamicEngine::deliver(NodeId node, Message msg, SimTime arrival) {
+  (void)arrival;  // now_ == arrival when this runs
+  charge_overhead(node, cost_.recv_time(static_cast<i64>(msg.tasks.size())));
+  for (TaskId t : msg.tasks) {
+    nodes_[static_cast<size_t>(node)].queue.push_back(t);
+  }
+  if (!msg.tasks.empty()) {
+    maybe_start(node);
+    strategy_.on_load_change(*this, node);
+  }
+  if (msg.kind >= 0) strategy_.on_message(*this, node, msg);
+  maybe_start(node);
+}
+
+void DynamicEngine::release_segment(u32 segment, SimTime at) {
+  current_segment_ = segment;
+  completed_in_segment_ = 0;
+
+  // Global barrier: combine + broadcast over the topology. Every node pays
+  // the protocol overhead and cannot proceed before the release time.
+  const SimTime barrier_ns =
+      2 * static_cast<SimTime>(topo_.diameter()) * cost_.per_hop_ns +
+      cost_.send_overhead_ns + cost_.recv_overhead_ns;
+  SimTime latest = at;
+  for (const NodeRt& n : nodes_) latest = std::max(latest, n.free_at);
+  const SimTime release_t = latest + barrier_ns;
+  if (timeline_ != nullptr) {
+    timeline_->record({sim::TimelineEvent::Kind::kBarrier, kInvalidNode,
+                       latest, release_t, kInvalidTask});
+  }
+  for (auto& n : nodes_) {
+    n.ovh_ns += cost_.send_overhead_ns + cost_.recv_overhead_ns;
+    n.free_at = std::max(n.free_at, release_t);
+  }
+
+  // Segment roots materialize on the node that executed the corresponding
+  // root of the previous segment (data affinity).
+  const auto& prev_roots = trace_->roots(segment - 1);
+  const auto& roots = trace_->roots(segment);
+  const SimTime saved_now = now_;
+  now_ = release_t;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    NodeId home = 0;
+    if (!prev_roots.empty()) {
+      const TaskId prev = prev_roots[i % prev_roots.size()];
+      home = exec_node_[static_cast<size_t>(prev)];
+      if (home == kInvalidNode) home = 0;
+    }
+    charge_overhead(home, cost_.spawn_ns);
+    origin_[static_cast<size_t>(roots[i])] = home;
+    strategy_.on_spawn(*this, home, roots[i]);
+  }
+  for (NodeId v = 0; v < static_cast<NodeId>(nodes_.size()); ++v) {
+    if (load_of(v) == 0) strategy_.on_idle(*this, v);
+  }
+  now_ = saved_now;
+}
+
+sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
+  RIPS_CHECK_MSG(!running_, "DynamicEngine::run is not reentrant");
+  running_ = true;
+  trace_ = &trace;
+  const i32 n = topo_.size();
+  nodes_.assign(static_cast<size_t>(n), NodeRt{});
+  origin_.assign(trace.size(), kInvalidNode);
+  exec_node_.assign(trace.size(), kInvalidNode);
+  metrics_ = sim::RunMetrics{};
+  metrics_.num_nodes = n;
+  events_ = sim::EventQueue<Pending>{};
+  if (timeline_ != nullptr) timeline_->clear();
+  now_ = 0;
+  current_segment_ = 0;
+  completed_in_segment_ = 0;
+
+  segment_sizes_.assign(trace.num_segments(), 0);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    segment_sizes_[trace.task(static_cast<TaskId>(i)).segment] += 1;
+    metrics_.sequential_ns +=
+        cost_.work_time(trace.task(static_cast<TaskId>(i)).work);
+  }
+
+  strategy_.reset(*this);
+
+  // Segment 0 roots materialize on node 0 (sequential root expansion).
+  for (TaskId root : trace.roots(0)) {
+    charge_overhead(0, cost_.spawn_ns);
+    origin_[static_cast<size_t>(root)] = 0;
+    strategy_.on_spawn(*this, 0, root);
+  }
+  // Everyone else starts idle; give receiver-initiated strategies their
+  // first chance to act.
+  for (NodeId v = 0; v < n; ++v) {
+    if (load_of(v) == 0) strategy_.on_idle(*this, v);
+  }
+
+  while (!events_.empty()) {
+    auto event = events_.pop();
+    now_ = event.time;
+    Pending& p = event.payload;
+    if (p.kind == Pending::kTaskFinish) {
+      finish_task(p.node, p.task);
+    } else {
+      deliver(p.node, std::move(p.msg), event.time);
+    }
+  }
+
+  RIPS_CHECK_MSG(metrics_.num_tasks == trace.size(),
+                 "engine finished with unexecuted tasks");
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (exec_node_[i] != origin_[i]) metrics_.nonlocal_tasks += 1;
+  }
+  SimTime makespan = 0;
+  for (const NodeRt& node : nodes_) makespan = std::max(makespan, node.free_at);
+  metrics_.makespan_ns = makespan;
+  for (const NodeRt& node : nodes_) {
+    metrics_.total_busy_ns += node.busy_ns;
+    metrics_.total_overhead_ns += node.ovh_ns;
+    metrics_.total_idle_ns += makespan - node.busy_ns - node.ovh_ns;
+  }
+  running_ = false;
+  return metrics_;
+}
+
+}  // namespace rips::balance

@@ -1,0 +1,126 @@
+// DynamicEngine — discrete-event simulation of a task trace executing on
+// the simulated multicomputer under a dynamic load-balancing Strategy.
+//
+// Execution model (single-ported CPUs, message-driven runtime):
+//   * every node runs one task at a time from its FIFO ready queue;
+//   * completing a task spawns its trace children at that node; the
+//     strategy places each child (locally or by message);
+//   * messages cost the sender and receiver CPU time (see sim::CostModel)
+//     plus per-hop network latency that occupies no CPU;
+//   * synchronization segments end with a global barrier; the roots of the
+//     next segment materialize on the node that executed the corresponding
+//     task of the previous segment (data affinity), except segment 0 whose
+//     roots all materialize on node 0 (sequential root expansion).
+//
+// The run is bit-deterministic: one event queue with stable tie-breaking,
+// strategy randomness from an explicit seed.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "apps/task_trace.hpp"
+#include "balance/strategy.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/timeline.hpp"
+#include "topo/topology.hpp"
+#include "util/types.hpp"
+
+namespace rips::balance {
+
+class DynamicEngine {
+ public:
+  DynamicEngine(const topo::Topology& topo, const sim::CostModel& cost,
+                Strategy& strategy);
+
+  /// Executes the whole trace; returns the Table-I style metrics.
+  sim::RunMetrics run(const apps::TaskTrace& trace);
+
+  /// Optional instrumentation: when set, every task execution and segment
+  /// barrier of subsequent runs is recorded (cleared at run start).
+  void set_timeline(sim::Timeline* timeline) { timeline_ = timeline; }
+
+  /// Per-node (busy, overhead) of the last run, for diagnostics/tests.
+  struct NodeTotals {
+    SimTime busy_ns = 0;
+    SimTime ovh_ns = 0;
+  };
+  std::vector<NodeTotals> node_totals() const;
+
+  // --- API for strategies -------------------------------------------------
+
+  const topo::Topology& topology() const { return topo_; }
+  const sim::CostModel& cost_model() const { return cost_; }
+
+  /// Queue length of `node` including the task in execution.
+  i64 load_of(NodeId node) const;
+
+  /// Tasks waiting in `node`'s queue (excludes the executing task) — the
+  /// number of tasks that could be migrated away.
+  i64 queued_of(NodeId node) const;
+
+  /// Simulated time at which `node`'s CPU becomes free.
+  SimTime node_now(NodeId node) const;
+
+  /// Places `task` on `node`'s own queue (charges spawn cost only).
+  void enqueue_local(NodeId node, TaskId task);
+
+  /// Sends a strategy message, optionally migrating queued tasks. The
+  /// engine takes the OLDEST queued tasks (the shallowest, largest
+  /// subtrees under the depth-first local execution order — the classic
+  /// work-stealing discipline that lets load spread faster than pure
+  /// diffusion). `max_tasks` limits how many are taken; the actual tasks
+  /// are appended to the message. Charges sender CPU; the receiver is
+  /// charged at delivery.
+  void send_message(NodeId from, NodeId to, i32 kind, i64 a = 0, i64 b = 0,
+                    i64 max_tasks = 0);
+
+  /// Sends a freshly spawned (not yet enqueued) task to another node.
+  void send_spawned_task(NodeId from, NodeId to, TaskId task);
+
+ private:
+  struct Pending {
+    enum Kind { kTaskFinish, kDeliver } kind;
+    NodeId node;
+    TaskId task = kInvalidTask;
+    Message msg;
+  };
+
+  struct NodeRt {
+    std::deque<TaskId> queue;
+    SimTime free_at = 0;
+    SimTime busy_ns = 0;
+    SimTime ovh_ns = 0;
+    SimTime task_start_ns = 0;  // start of the executing task (timeline)
+    bool executing = false;
+  };
+
+  void charge_overhead(NodeId node, SimTime ns);
+  void maybe_start(NodeId node);
+  void finish_task(NodeId node, TaskId task);
+  void deliver(NodeId node, Message msg, SimTime arrival);
+  void release_segment(u32 segment, SimTime at);
+  void after_queue_change(NodeId node);
+
+  const topo::Topology& topo_;
+  sim::CostModel cost_;
+  Strategy& strategy_;
+
+  const apps::TaskTrace* trace_ = nullptr;
+  sim::EventQueue<Pending> events_;
+  std::vector<NodeRt> nodes_;
+  std::vector<NodeId> origin_;     // per task: node where it materialized
+  std::vector<NodeId> exec_node_;  // per task: node where it executed
+  u64 completed_in_segment_ = 0;
+  u32 current_segment_ = 0;
+  std::vector<u64> segment_sizes_;
+  sim::RunMetrics metrics_;
+  sim::Timeline* timeline_ = nullptr;
+  SimTime now_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace rips::balance

@@ -1,0 +1,48 @@
+// Randomized allocation — the paper's low-overhead baseline: every newly
+// created task is shipped to a uniformly random processor. Locality is
+// poor ((N-1)/N of the tasks are non-local) but the load balances fairly
+// well by the law of large numbers, which is exactly the behaviour the
+// paper reports for it.
+#pragma once
+
+#include "balance/engine.hpp"
+#include "balance/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace rips::balance {
+
+class RandomAlloc final : public Strategy {
+ public:
+  explicit RandomAlloc(u64 seed) : seed_(seed), rng_(seed) {}
+
+  std::string name() const override { return "random"; }
+
+  void reset(DynamicEngine& engine) override {
+    (void)engine;
+    rng_ = Rng(seed_);
+  }
+
+  void on_spawn(DynamicEngine& engine, NodeId node, TaskId task) override {
+    const auto n = static_cast<u64>(engine.topology().size());
+    const NodeId dst = static_cast<NodeId>(rng_.next_below(n));
+    if (dst == node) {
+      engine.enqueue_local(node, task);
+    } else {
+      engine.send_spawned_task(node, dst, task);
+    }
+  }
+
+  void on_message(DynamicEngine& engine, NodeId node,
+                  const Message& msg) override {
+    // Migrated tasks are enqueued by the engine; nothing else to do.
+    (void)engine;
+    (void)node;
+    (void)msg;
+  }
+
+ private:
+  u64 seed_;
+  Rng rng_;
+};
+
+}  // namespace rips::balance

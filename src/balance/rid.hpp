@@ -1,0 +1,69 @@
+// RID — Receiver-Initiated Diffusion (Willebeek-LeMair & Reeves, IEEE
+// TPDS 1993) — dynamic baseline #3, with the paper's tuned parameters:
+// L_LOW = 2, L_threshold = 1, load update factor u = 0.4 (0.7 for IDA* on
+// the big machines, Section 4 / Table III note).
+//
+// Protocol: nodes broadcast their load to neighbors whenever it changed by
+// more than a (1 - u) fraction since the last broadcast. A node whose load
+// drops below L_LOW computes its neighborhood average and requests a
+// proportional share of the excess from every neighbor above the average;
+// a neighbor grants min(requested, load - L_threshold) tasks (possibly
+// zero — the reply still clears the requester's outstanding flag).
+#pragma once
+
+#include <vector>
+
+#include "balance/engine.hpp"
+#include "balance/strategy.hpp"
+
+namespace rips::balance {
+
+class Rid final : public Strategy {
+ public:
+  struct Params {
+    i64 l_low = 2;        ///< request threshold (paper: L_LOW = 2)
+    i64 l_threshold = 1;  ///< granting floor (paper: L_threshold = 1)
+    double u = 0.4;       ///< load update factor (paper: 0.4; 0.7 for IDA*)
+  };
+
+  Rid() : params_{} {}
+  explicit Rid(Params params) : params_(params) {}
+
+  std::string name() const override { return "rid"; }
+  void reset(DynamicEngine& engine) override;
+  void on_spawn(DynamicEngine& engine, NodeId node, TaskId task) override;
+  void on_message(DynamicEngine& engine, NodeId node,
+                  const Message& msg) override;
+  void on_idle(DynamicEngine& engine, NodeId node) override;
+  void on_load_change(DynamicEngine& engine, NodeId node) override;
+
+  // Introspection for tests and diagnostics.
+  const std::vector<std::vector<i64>>& known_neighbor_loads() const {
+    return nbr_load_;
+  }
+  const std::vector<std::vector<bool>>& blocked_neighbors() const {
+    return blocked_;
+  }
+  const std::vector<i32>& outstanding_requests() const { return outstanding_; }
+
+ private:
+  static constexpr i32 kLoadUpdate = 1;
+  static constexpr i32 kRequest = 2;
+  static constexpr i32 kGrant = 3;
+
+  void maybe_broadcast_load(DynamicEngine& engine, NodeId node);
+  void maybe_request(DynamicEngine& engine, NodeId node);
+
+  Params params_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::vector<i64>> nbr_load_;
+  std::vector<i64> last_broadcast_;
+  std::vector<i32> outstanding_;  ///< open requests per node
+  /// blocked_[node][k]: neighbor k returned an empty grant; don't
+  /// re-request it until a fresh load update arrives (prevents request
+  /// storms against a neighbor pinned at the granting floor).
+  std::vector<std::vector<bool>> blocked_;
+  bool granting_ = false;         ///< re-entrancy guard
+};
+
+}  // namespace rips::balance

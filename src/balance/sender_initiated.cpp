@@ -1,0 +1,87 @@
+#include "balance/sender_initiated.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rips::balance {
+
+void SenderInitiated::reset(DynamicEngine& engine) {
+  const auto n = static_cast<size_t>(engine.topology().size());
+  neighbors_.assign(n, {});
+  nbr_load_.assign(n, {});
+  last_broadcast_.assign(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    neighbors_[v] = engine.topology().neighbors(static_cast<NodeId>(v));
+    nbr_load_[v].assign(neighbors_[v].size(), 0);
+  }
+}
+
+void SenderInitiated::on_spawn(DynamicEngine& engine, NodeId node,
+                               TaskId task) {
+  engine.enqueue_local(node, task);
+}
+
+void SenderInitiated::maybe_broadcast_load(DynamicEngine& engine,
+                                           NodeId node) {
+  const auto v = static_cast<size_t>(node);
+  const i64 load = engine.load_of(node);
+  const i64 last = last_broadcast_[v];
+  const double trigger = std::max(
+      1.0, (1.0 - params_.u) * static_cast<double>(std::max<i64>(last, 1)));
+  if (std::abs(static_cast<double>(load - last)) < trigger) return;
+  last_broadcast_[v] = load;
+  for (NodeId nbr : neighbors_[v]) {
+    engine.send_message(node, nbr, kLoadUpdate, /*a=*/load);
+  }
+}
+
+void SenderInitiated::maybe_push(DynamicEngine& engine, NodeId node) {
+  if (pushing_) return;
+  const auto v = static_cast<size_t>(node);
+  const i64 load = engine.load_of(node);
+  if (load <= params_.l_high) return;
+
+  // Least loaded neighbor by our (possibly stale) view.
+  size_t best = neighbors_[v].size();
+  i64 best_load = load;
+  for (size_t k = 0; k < neighbors_[v].size(); ++k) {
+    if (nbr_load_[v][k] < best_load) {
+      best_load = nbr_load_[v][k];
+      best = k;
+    }
+  }
+  if (best == neighbors_[v].size()) return;
+  const i64 amount = std::min((load - best_load) / 2,
+                              engine.queued_of(node));
+  if (amount <= 0) return;
+  pushing_ = true;
+  engine.send_message(node, neighbors_[v][best], kTaskPush, /*a=*/0, /*b=*/0,
+                      /*max_tasks=*/amount);
+  pushing_ = false;
+  // Assume the push landed; avoids re-pushing to the same target before
+  // its next real update.
+  nbr_load_[v][best] += amount;
+}
+
+void SenderInitiated::on_message(DynamicEngine& engine, NodeId node,
+                                 const Message& msg) {
+  const auto v = static_cast<size_t>(node);
+  if (msg.kind == kLoadUpdate || msg.kind == kTaskPush) {
+    if (msg.kind == kLoadUpdate) {
+      for (size_t k = 0; k < neighbors_[v].size(); ++k) {
+        if (neighbors_[v][k] == msg.from) {
+          nbr_load_[v][k] = msg.a;
+          break;
+        }
+      }
+    }
+    maybe_push(engine, node);
+  }
+}
+
+void SenderInitiated::on_load_change(DynamicEngine& engine, NodeId node) {
+  maybe_broadcast_load(engine, node);
+  maybe_push(engine, node);
+}
+
+}  // namespace rips::balance

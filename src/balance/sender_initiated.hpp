@@ -1,0 +1,48 @@
+// Sender-Initiated Diffusion (SID) — an extension baseline beyond the
+// paper's three (Willebeek-LeMair & Reeves also evaluate SID; Eager et al.
+// compare sender- vs receiver-initiated policies). A node whose load rises
+// above its neighborhood's known average pushes the excess to its least
+// loaded neighbor. Complements RID in the policy-ablation benches: sender-
+// initiated schemes do well in lightly loaded systems and poorly in heavily
+// loaded ones — the mirror image of RID.
+#pragma once
+
+#include <vector>
+
+#include "balance/engine.hpp"
+#include "balance/strategy.hpp"
+
+namespace rips::balance {
+
+class SenderInitiated final : public Strategy {
+ public:
+  struct Params {
+    i64 l_high = 2;  ///< push only when load exceeds this
+    double u = 0.4;  ///< load update factor (as in RID)
+  };
+
+  SenderInitiated() : params_{} {}
+  explicit SenderInitiated(Params params) : params_(params) {}
+
+  std::string name() const override { return "sid"; }
+  void reset(DynamicEngine& engine) override;
+  void on_spawn(DynamicEngine& engine, NodeId node, TaskId task) override;
+  void on_message(DynamicEngine& engine, NodeId node,
+                  const Message& msg) override;
+  void on_load_change(DynamicEngine& engine, NodeId node) override;
+
+ private:
+  static constexpr i32 kLoadUpdate = 1;
+  static constexpr i32 kTaskPush = 2;
+
+  void maybe_broadcast_load(DynamicEngine& engine, NodeId node);
+  void maybe_push(DynamicEngine& engine, NodeId node);
+
+  Params params_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::vector<i64>> nbr_load_;
+  std::vector<i64> last_broadcast_;
+  bool pushing_ = false;
+};
+
+}  // namespace rips::balance

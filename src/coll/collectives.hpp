@@ -1,0 +1,88 @@
+// Collective operations over a topology, in the lock-step model the paper
+// uses for its cost analysis: in one communication step every node may
+// exchange one message with each of its neighbors (synchronous, all-port).
+//
+// Under this model a broadcast from root r takes ecc(r) steps (the BFS
+// eccentricity of r), a reduction takes the same, an all-reduce or
+// or-barrier takes 2 * ecc and a tree ready-signal protocol (the paper's
+// ALL-policy implementation) takes depth(tree) up + ecc down for the init
+// broadcast.
+//
+// The engine also executes data-carrying collectives (used by schedulers
+// and tests) while counting steps, so claimed costs are measured, not
+// asserted.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/types.hpp"
+
+namespace rips::coll {
+
+/// Counters accumulated by collective executions.
+struct Ledger {
+  i64 comm_steps = 0;  ///< lock-step rounds
+  i64 messages = 0;    ///< point-to-point messages sent
+
+  void merge(const Ledger& other) {
+    comm_steps += other.comm_steps;
+    messages += other.messages;
+  }
+};
+
+class Collectives {
+ public:
+  explicit Collectives(const topo::Topology& topo);
+
+  const topo::Topology& topology() const { return topo_; }
+
+  /// BFS eccentricity of `root` (max hop distance to any node).
+  i32 eccentricity(NodeId root) const;
+
+  /// Step cost of a broadcast from `root` (flooding along BFS levels).
+  i32 broadcast_steps(NodeId root) const { return eccentricity(root); }
+
+  /// Step cost of a reduction to `root`.
+  i32 reduce_steps(NodeId root) const { return eccentricity(root); }
+
+  /// Step cost of an or-barrier initiated by `initiator` (reduce + bcast).
+  /// This models both the Cray T3D eureka-style synchronization and the
+  /// ANY-policy init broadcast followed by quiescence detection.
+  i32 or_barrier_steps(NodeId initiator) const {
+    return 2 * eccentricity(initiator);
+  }
+
+  /// Step cost of the ALL-policy ready-signal protocol: ready signals climb
+  /// a spanning tree rooted at node 0, then `init` is broadcast back down.
+  i32 ready_signal_steps() const { return 2 * eccentricity(0); }
+
+  /// Executes an all-reduce of per-node values with a binary combiner by
+  /// flooding over the topology; returns the combined value and charges
+  /// the ledger with the measured number of steps until every node has
+  /// converged (= diameter under the lock-step model).
+  i64 all_reduce(const std::vector<i64>& values,
+                 const std::function<i64(i64, i64)>& combine,
+                 Ledger& ledger) const;
+
+  /// Executes a broadcast of `value` from `root`; returns per-node values
+  /// (all equal) and charges measured steps.
+  std::vector<i64> broadcast(NodeId root, i64 value, Ledger& ledger) const;
+
+ private:
+  const topo::Topology& topo_;
+  mutable std::vector<i32> ecc_cache_;  // -1 = unknown
+};
+
+/// Mesh scan collectives — the primitives behind MWA's information phase
+/// (Figure 3 steps 1-2). Each returns the per-node inclusive prefix and
+/// charges the ledger with the lock-step cost of the pipelined scan.
+std::vector<i64> mesh_row_scan(const topo::Mesh& mesh,
+                               const std::vector<i64>& values,
+                               Ledger& ledger);
+std::vector<i64> mesh_col_scan(const topo::Mesh& mesh,
+                               const std::vector<i64>& values,
+                               Ledger& ledger);
+
+}  // namespace rips::coll

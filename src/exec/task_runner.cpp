@@ -1,0 +1,128 @@
+#include "exec/task_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace rips::exec {
+
+namespace {
+// Which worker the current thread is (kInvalidNode outside the pool).
+thread_local i32 tl_worker = kInvalidNode;
+}  // namespace
+
+TaskRunner::TaskRunner(i32 num_threads) {
+  RIPS_CHECK(num_threads >= 1);
+  queues_.reserve(static_cast<size_t>(num_threads));
+  for (i32 w = 0; w < num_threads; ++w) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (i32 w = 0; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+TaskRunner::~TaskRunner() {
+  shutdown_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+u64 TaskRunner::steals() const {
+  return steals_.load(std::memory_order_relaxed);
+}
+
+void TaskRunner::spawn(Task task) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  i32 home = tl_worker;
+  if (home == kInvalidNode) {
+    home = static_cast<i32>(next_home_.fetch_add(1) %
+                            static_cast<u32>(queues_.size()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[static_cast<size_t>(home)]->mutex);
+    queues_[static_cast<size_t>(home)]->queue.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+bool TaskRunner::try_pop_local(i32 self, Task& out) {
+  Worker& worker = *queues_[static_cast<size_t>(self)];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.queue.empty()) return false;
+  // Depth-first locally: newest task first.
+  out = std::move(worker.queue.back());
+  worker.queue.pop_back();
+  return true;
+}
+
+bool TaskRunner::try_steal(i32 self, Task& out) {
+  // Global information: scan every queue length (racy reads are fine — a
+  // stale victim just means a failed lock-and-retry) and raid the most
+  // loaded worker for half its tasks, oldest first.
+  i32 victim = kInvalidNode;
+  size_t best = 0;
+  for (i32 w = 0; w < static_cast<i32>(queues_.size()); ++w) {
+    if (w == self) continue;
+    const size_t depth = queues_[static_cast<size_t>(w)]->queue.size();
+    if (depth > best) {
+      best = depth;
+      victim = w;
+    }
+  }
+  if (victim == kInvalidNode || best == 0) return false;
+
+  std::vector<Task> taken;
+  {
+    std::lock_guard<std::mutex> lock(
+        queues_[static_cast<size_t>(victim)]->mutex);
+    auto& queue = queues_[static_cast<size_t>(victim)]->queue;
+    const size_t grab = (queue.size() + 1) / 2;
+    for (size_t i = 0; i < grab; ++i) {
+      taken.push_back(std::move(queue.front()));
+      queue.pop_front();
+    }
+  }
+  if (taken.empty()) return false;
+  steals_.fetch_add(taken.size(), std::memory_order_relaxed);
+  out = std::move(taken.front());
+  if (taken.size() > 1) {
+    std::lock_guard<std::mutex> lock(queues_[static_cast<size_t>(self)]->mutex);
+    auto& mine = queues_[static_cast<size_t>(self)]->queue;
+    for (size_t i = 1; i < taken.size(); ++i) {
+      mine.push_back(std::move(taken[i]));
+    }
+  }
+  return true;
+}
+
+void TaskRunner::worker_loop(i32 self) {
+  tl_worker = self;
+  while (true) {
+    Task task;
+    if (try_pop_local(self, task) || try_steal(self, task)) {
+      task(*this);
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task done: wake wait() (lock closes the missed-wakeup race).
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    // Nothing to do: doze briefly; spawn() and shutdown notify us.
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_cv_.wait_for(lock, std::chrono::microseconds(100));
+  }
+}
+
+void TaskRunner::wait() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  done_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace rips::exec

@@ -1,0 +1,78 @@
+// TaskRunner — a real (non-simulated) shared-memory task executor, so the
+// library is usable for actual computations, not only for scheduling
+// studies. It mirrors the paper's design at miniature scale:
+//
+//   * every worker owns a deque (its RTE queue); spawned tasks go to the
+//     spawning worker's deque (the Lazy policy);
+//   * an idle worker scans ALL queue lengths — global load information,
+//     the paper's core tenet — and takes the oldest tasks from the most
+//     loaded worker, half of its surplus at once (an incremental
+//     rebalance, not task-by-task begging);
+//   * quiescence is detected with an outstanding-task counter (the
+//     real-world stand-in for the ANY-policy's init broadcast).
+//
+// The runner is for correctness-scale workloads (tests, the real_nqueens
+// example); it is deliberately simple — one mutex per queue, a condition
+// variable for sleep/wake — rather than a lock-free marvel.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rips::exec {
+
+class TaskRunner {
+ public:
+  /// A task may spawn further tasks through the runner it runs on.
+  using Task = std::function<void(TaskRunner&)>;
+
+  explicit TaskRunner(i32 num_threads);
+  ~TaskRunner();
+
+  TaskRunner(const TaskRunner&) = delete;
+  TaskRunner& operator=(const TaskRunner&) = delete;
+
+  /// Enqueues a task. Callable from outside or from within a task.
+  void spawn(Task task);
+
+  /// Blocks until every spawned task (including transitively spawned
+  /// ones) has finished. May be called repeatedly for successive waves.
+  void wait();
+
+  i32 num_threads() const { return static_cast<i32>(workers_.size()); }
+
+  /// Tasks migrated between workers so far (diagnostic).
+  u64 steals() const;
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> queue;
+  };
+
+  void worker_loop(i32 self);
+  bool try_pop_local(i32 self, Task& out);
+  bool try_steal(i32 self, Task& out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;   // wakes sleeping workers
+  std::condition_variable done_cv_;   // wakes wait()
+
+  std::atomic<u64> outstanding_{0};   // spawned but not yet finished
+  std::atomic<u64> steals_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<u32> next_home_{0};     // round-robin for external spawns
+};
+
+}  // namespace rips::exec

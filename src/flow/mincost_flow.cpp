@@ -1,0 +1,154 @@
+#include "flow/mincost_flow.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace rips::flow {
+
+namespace {
+constexpr i64 kInf = std::numeric_limits<i64>::max() / 4;
+}
+
+MinCostMaxFlow::MinCostMaxFlow(i32 num_nodes)
+    : head_(static_cast<size_t>(num_nodes), -1),
+      potential_(static_cast<size_t>(num_nodes), 0) {
+  RIPS_CHECK(num_nodes > 0);
+}
+
+i32 MinCostMaxFlow::add_edge(i32 from, i32 to, i64 capacity, i64 cost) {
+  RIPS_CHECK(from >= 0 && from < num_nodes());
+  RIPS_CHECK(to >= 0 && to < num_nodes());
+  RIPS_CHECK(capacity >= 0);
+  RIPS_CHECK_MSG(cost >= 0, "negative costs unsupported (Dijkstra-based SSP)");
+  RIPS_CHECK_MSG(!solved_, "add_edge after solve");
+  const i32 handle = static_cast<i32>(initial_cap_.size());
+  const i32 fwd = static_cast<i32>(arcs_.size());
+  arcs_.push_back({to, head_[from], capacity, cost});
+  head_[from] = fwd;
+  arcs_.push_back({from, head_[to], 0, -cost});
+  head_[to] = fwd + 1;
+  initial_cap_.push_back(capacity);
+  return handle;
+}
+
+bool MinCostMaxFlow::dijkstra(i32 s, i32 t, std::vector<i64>& dist,
+                              std::vector<i32>& prev_arc) {
+  const auto n = static_cast<size_t>(num_nodes());
+  dist.assign(n, kInf);
+  prev_arc.assign(n, -1);
+  using Item = std::pair<i64, i32>;  // (reduced distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<size_t>(s)] = 0;
+  pq.emplace(0, s);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    for (i32 a = head_[static_cast<size_t>(u)]; a != -1;
+         a = arcs_[static_cast<size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<size_t>(a)];
+      if (arc.cap <= 0) continue;
+      const i64 reduced = arc.cost + potential_[static_cast<size_t>(u)] -
+                          potential_[static_cast<size_t>(arc.to)];
+      RIPS_DCHECK(reduced >= 0);
+      const i64 nd = d + reduced;
+      if (nd < dist[static_cast<size_t>(arc.to)]) {
+        dist[static_cast<size_t>(arc.to)] = nd;
+        prev_arc[static_cast<size_t>(arc.to)] = a;
+        pq.emplace(nd, arc.to);
+      }
+    }
+  }
+  return dist[static_cast<size_t>(t)] < kInf;
+}
+
+MinCostMaxFlow::Result MinCostMaxFlow::solve(i32 s, i32 t) {
+  RIPS_CHECK(s != t);
+  RIPS_CHECK_MSG(!solved_, "solve called twice");
+  solved_ = true;
+
+  Result result;
+  std::vector<i64> dist;
+  std::vector<i32> prev_arc;
+  while (dijkstra(s, t, dist, prev_arc)) {
+    // Update potentials for reachable nodes so reduced costs stay >= 0.
+    for (size_t v = 0; v < potential_.size(); ++v) {
+      if (dist[v] < kInf) potential_[v] += dist[v];
+    }
+    // Find bottleneck along the shortest path.
+    i64 push = kInf;
+    for (i32 v = t; v != s;) {
+      const i32 a = prev_arc[static_cast<size_t>(v)];
+      push = std::min(push, arcs_[static_cast<size_t>(a)].cap);
+      v = arcs_[static_cast<size_t>(a ^ 1)].to;
+    }
+    // Apply it.
+    for (i32 v = t; v != s;) {
+      const i32 a = prev_arc[static_cast<size_t>(v)];
+      arcs_[static_cast<size_t>(a)].cap -= push;
+      arcs_[static_cast<size_t>(a ^ 1)].cap += push;
+      result.cost += push * arcs_[static_cast<size_t>(a)].cost;
+      v = arcs_[static_cast<size_t>(a ^ 1)].to;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+i64 MinCostMaxFlow::flow_on(i32 handle) const {
+  RIPS_CHECK(handle >= 0 &&
+             handle < static_cast<i32>(initial_cap_.size()));
+  const auto fwd = static_cast<size_t>(2 * handle);
+  return initial_cap_[static_cast<size_t>(handle)] - arcs_[fwd].cap;
+}
+
+BalanceFlowResult optimal_balance_cost(const topo::Topology& topo,
+                                       const std::vector<i64>& load,
+                                       const std::vector<i64>& quota) {
+  const i32 n = topo.size();
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+  RIPS_CHECK(static_cast<i32>(quota.size()) == n);
+  i64 total_load = 0;
+  i64 total_quota = 0;
+  for (i32 i = 0; i < n; ++i) {
+    total_load += load[static_cast<size_t>(i)];
+    total_quota += quota[static_cast<size_t>(i)];
+  }
+  RIPS_CHECK_MSG(total_load == total_quota, "quotas must conserve tasks");
+
+  // Nodes 0..n-1 are machine nodes; n is the source, n+1 the sink.
+  MinCostMaxFlow mcmf(n + 2);
+  const i32 s = n;
+  const i32 t = n + 1;
+  std::vector<NodeId> nbr;
+  for (NodeId u = 0; u < n; ++u) {
+    nbr.clear();
+    topo.append_neighbors(u, nbr);
+    for (NodeId v : nbr) {
+      // Each directed link once; capacity unlimited, cost 1 per task-hop.
+      mcmf.add_edge(u, v, kInf, 1);
+    }
+  }
+  BalanceFlowResult out;
+  i64 surplus_total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const i64 diff =
+        load[static_cast<size_t>(u)] - quota[static_cast<size_t>(u)];
+    if (diff > 0) {
+      mcmf.add_edge(s, u, diff, 0);
+      surplus_total += diff;
+    } else if (diff < 0) {
+      mcmf.add_edge(u, t, -diff, 0);
+    }
+  }
+  const auto result = mcmf.solve(s, t);
+  RIPS_CHECK_MSG(result.flow == surplus_total,
+                 "balance flow infeasible (topology disconnected?)");
+  out.total_cost = result.cost;
+  out.total_moved = surplus_total;
+  return out;
+}
+
+}  // namespace rips::flow

@@ -1,0 +1,67 @@
+// Min-cost max-flow solver (successive shortest paths with Johnson
+// potentials). Used to compute the optimal task-migration cost the paper
+// normalizes MWA against (Section 3: convert load balancing to min-cost
+// flow with edge cost 1, source edges to overloaded nodes, sink edges from
+// underloaded nodes).
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/types.hpp"
+
+namespace rips::flow {
+
+class MinCostMaxFlow {
+ public:
+  explicit MinCostMaxFlow(i32 num_nodes);
+
+  /// Adds a directed edge and its zero-capacity residual twin.
+  /// Returns a handle usable with flow_on(). Costs must be non-negative.
+  i32 add_edge(i32 from, i32 to, i64 capacity, i64 cost);
+
+  struct Result {
+    i64 flow = 0;  ///< max flow value pushed from s to t
+    i64 cost = 0;  ///< total cost of that flow
+  };
+
+  /// Computes the min-cost max-flow from s to t. Call at most once.
+  Result solve(i32 s, i32 t);
+
+  /// Flow pushed on the edge identified by the handle from add_edge().
+  i64 flow_on(i32 handle) const;
+
+  i32 num_nodes() const { return static_cast<i32>(head_.size()); }
+
+ private:
+  struct Arc {
+    i32 to;
+    i32 next;  // next arc out of the same node, -1 terminates
+    i64 cap;
+    i64 cost;
+  };
+
+  bool dijkstra(i32 s, i32 t, std::vector<i64>& dist,
+                std::vector<i32>& prev_arc);
+
+  std::vector<Arc> arcs_;
+  std::vector<i32> head_;
+  std::vector<i64> potential_;
+  std::vector<i64> initial_cap_;  // indexed by handle
+  bool solved_ = false;
+};
+
+/// The paper's reduction: given per-node loads w and per-node quotas q over
+/// a topology whose links all have cost 1 and infinite capacity, returns the
+/// minimum total number of (task, link) traversals needed to move every node
+/// to its quota. This is the C_OPT of Figure 4.
+struct BalanceFlowResult {
+  i64 total_cost = 0;   ///< sum over links of tasks crossing them
+  i64 total_moved = 0;  ///< tasks leaving their origin node (= surplus sum)
+};
+
+BalanceFlowResult optimal_balance_cost(const topo::Topology& topo,
+                                       const std::vector<i64>& load,
+                                       const std::vector<i64>& quota);
+
+}  // namespace rips::flow

@@ -1,0 +1,353 @@
+#include "rips/rips_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace rips::core {
+
+namespace {
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max() / 4;
+}
+
+RipsEngine::RipsEngine(sched::ParallelScheduler& scheduler,
+                       const sim::CostModel& cost, RipsConfig config)
+    : scheduler_(scheduler), cost_(cost), config_(config) {}
+
+void RipsEngine::release_segment_roots(u32 segment) {
+  const auto& roots = trace_->roots(segment);
+  if (segment == 0) {
+    // Sequential root expansion: everything materializes on node 0.
+    for (TaskId r : roots) {
+      origin_[static_cast<size_t>(r)] = 0;
+      nodes_[0].rts.push_back(r);
+      nodes_[0].ovh_ns += cost_.spawn_ns;
+    }
+  } else {
+    // Data affinity: a segment root lives where the corresponding root of
+    // the previous segment executed.
+    const auto& prev = trace_->roots(segment - 1);
+    for (size_t i = 0; i < roots.size(); ++i) {
+      NodeId home = 0;
+      if (!prev.empty()) {
+        home = exec_node_[static_cast<size_t>(prev[i % prev.size()])];
+        if (home == kInvalidNode) home = 0;
+      }
+      origin_[static_cast<size_t>(roots[i])] = home;
+      nodes_[static_cast<size_t>(home)].rts.push_back(roots[i]);
+      nodes_[static_cast<size_t>(home)].ovh_ns += cost_.spawn_ns;
+    }
+  }
+  released_segments_ = segment + 1;
+}
+
+SimTime RipsEngine::system_phase(SimTime t) {
+  const i32 n = scheduler_.topology().size();
+
+  // Collect: leftover RTE tasks are moved back to RTS and rescheduled
+  // together with the newly generated ones (Section 2).
+  for (auto& node : nodes_) {
+    node.rts.insert(node.rts.end(), node.rte.begin(), node.rte.end());
+    node.rte.clear();
+  }
+  u64 total = 0;
+  for (const auto& node : nodes_) total += node.rts.size();
+
+  if (total == 0 && released_segments_ < trace_->num_segments()) {
+    // Segment barrier: this same system phase schedules the next segment.
+    release_segment_roots(released_segments_);
+    total = 0;
+    for (const auto& node : nodes_) total += node.rts.size();
+  }
+
+  // Counts (the paper's choice) or work totals (weighted mode: what
+  // perfect grain estimation would let the scheduler balance).
+  std::vector<i64> load(static_cast<size_t>(n), 0);
+  for (i32 j = 0; j < n; ++j) {
+    for (TaskId task : nodes_[static_cast<size_t>(j)].rts) {
+      load[static_cast<size_t>(j)] +=
+          config_.weighted ? static_cast<i64>(trace_->task(task).work) : 1;
+    }
+  }
+  const sched::ScheduleResult plan = scheduler_.schedule(load);
+
+  // Replay the transfer plan on the actual task ids. Nodes forward tasks
+  // that are already non-local before giving up their own (locality).
+  struct Pool {
+    std::vector<TaskId> local;
+    std::vector<TaskId> foreign;
+  };
+  std::vector<Pool> pools(static_cast<size_t>(n));
+  for (i32 j = 0; j < n; ++j) {
+    for (TaskId task : nodes_[static_cast<size_t>(j)].rts) {
+      if (origin_[static_cast<size_t>(task)] == j) {
+        pools[static_cast<size_t>(j)].local.push_back(task);
+      } else {
+        pools[static_cast<size_t>(j)].foreign.push_back(task);
+      }
+    }
+    nodes_[static_cast<size_t>(j)].rts.clear();
+  }
+  std::vector<SimTime> migration(static_cast<size_t>(n), 0);
+  u64 moved = 0;
+  for (const sched::Transfer& tr : plan.transfers) {
+    Pool& src = pools[static_cast<size_t>(tr.from)];
+    Pool& dst = pools[static_cast<size_t>(tr.to)];
+    if (!config_.weighted) {
+      RIPS_CHECK_MSG(
+          static_cast<i64>(src.local.size() + src.foreign.size()) >= tr.count,
+          "scheduler transfer exceeds node holdings");
+    }
+    // Count mode: move exactly tr.count tasks. Weighted mode: tr.count is
+    // an amount of WORK; move tasks greedily until the planned amount is
+    // matched as closely as task granularity allows (stop early rather
+    // than overshoot by more than the final task's better half).
+    i64 sent = 0;     // tasks moved for this transfer
+    i64 sent_work = 0;
+    while (!src.local.empty() || !src.foreign.empty()) {
+      const bool from_foreign = !src.foreign.empty();
+      const TaskId task = from_foreign ? src.foreign.back() : src.local.back();
+      if (config_.weighted) {
+        const i64 w = static_cast<i64>(trace_->task(task).work);
+        const i64 undershoot = tr.count - sent_work;
+        if (undershoot <= 0) break;
+        if (sent > 0 && sent_work + w - tr.count > undershoot) break;
+        sent_work += w;
+      } else {
+        if (sent >= tr.count) break;
+      }
+      if (from_foreign) {
+        src.foreign.pop_back();
+      } else {
+        src.local.pop_back();
+      }
+      if (origin_[static_cast<size_t>(task)] == tr.to) {
+        dst.local.push_back(task);
+      } else {
+        dst.foreign.push_back(task);
+      }
+      ++sent;
+    }
+    moved += static_cast<u64>(sent);
+    migration[static_cast<size_t>(tr.from)] += cost_.send_time(sent);
+    migration[static_cast<size_t>(tr.to)] += cost_.recv_time(sent);
+    metrics_.messages += 1;
+  }
+  metrics_.tasks_migrated += moved;
+
+  // Scheduled tasks enter the RTE queues (own tasks first, then received).
+  for (i32 j = 0; j < n; ++j) {
+    auto& rte = nodes_[static_cast<size_t>(j)].rte;
+    for (TaskId task : pools[static_cast<size_t>(j)].local) rte.push_back(task);
+    for (TaskId task : pools[static_cast<size_t>(j)].foreign) rte.push_back(task);
+  }
+
+  // Cost: lock-step scheduling rounds (cheap scalar-only information steps
+  // plus full task-payload steps — the paper's "each communication step to
+  // migrate tasks takes about 1 ms") plus the slowest node's migration CPU
+  // time; the phase is synchronous, everyone leaves it together.
+  SimTime max_migration = 0;
+  for (SimTime m : migration) max_migration = std::max(max_migration, m);
+  const SimTime step_time = plan.info_steps * cost_.info_step_ns +
+                            plan.transfer_steps * cost_.step_ns;
+  const SimTime duration = step_time + max_migration;
+  for (i32 j = 0; j < n; ++j) {
+    nodes_[static_cast<size_t>(j)].ovh_ns +=
+        step_time + migration[static_cast<size_t>(j)];
+  }
+
+  phases_.push_back({total, moved, plan.comm_steps, duration});
+  metrics_.system_phases += 1;
+  if (timeline_ != nullptr) {
+    timeline_->record({sim::TimelineEvent::Kind::kSystemPhase, kInvalidNode,
+                       t, t + duration, kInvalidTask});
+  }
+  return t + duration;
+}
+
+SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
+                                        SimTime stop_t, bool apply) {
+  NodeRt& n = nodes_[static_cast<size_t>(node)];
+  std::deque<TaskId> scratch;
+  std::deque<TaskId>* queue;
+  if (apply) {
+    queue = &n.rte;
+  } else {
+    scratch = n.rte;
+    queue = &scratch;
+  }
+  const bool lazy = config_.local == LocalPolicy::kLazy;
+
+  SimTime now = start_t;
+  while (!queue->empty() && now < stop_t) {
+    TaskId task;
+    if (config_.lifo_execution) {
+      task = queue->back();
+      queue->pop_back();
+    } else {
+      task = queue->front();
+      queue->pop_front();
+    }
+    const SimTime work = cost_.work_time(trace_->task(task).work);
+    now += work;
+    if (apply) {
+      n.busy_ns += work;
+      exec_node_[static_cast<size_t>(task)] = node;
+      executed_total_ += 1;
+      metrics_.num_tasks += 1;
+      if (timeline_ != nullptr) {
+        timeline_->record({sim::TimelineEvent::Kind::kTask, node, now - work,
+                           now, task});
+      }
+    }
+    const u32 kids = trace_->num_children(task);
+    const TaskId* child = trace_->children_begin(task);
+    for (u32 c = 0; c < kids; ++c) {
+      now += cost_.spawn_ns;
+      if (apply) {
+        n.ovh_ns += cost_.spawn_ns;
+        origin_[static_cast<size_t>(child[c])] = node;
+      }
+      if (lazy) {
+        queue->push_back(child[c]);
+      } else if (apply) {
+        n.rts.push_back(child[c]);
+      }
+    }
+  }
+  return now;
+}
+
+sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
+  trace_ = &trace;
+  const i32 n = scheduler_.topology().size();
+  const auto& topo = scheduler_.topology();
+  nodes_.assign(static_cast<size_t>(n), NodeRt{});
+  origin_.assign(trace.size(), kInvalidNode);
+  exec_node_.assign(trace.size(), kInvalidNode);
+  executed_total_ = 0;
+  released_segments_ = 0;
+  phases_.clear();
+  user_phases_.clear();
+  metrics_ = sim::RunMetrics{};
+  metrics_.num_nodes = n;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    metrics_.sequential_ns +=
+        cost_.work_time(trace.task(static_cast<TaskId>(i)).work);
+  }
+
+  if (timeline_ != nullptr) timeline_->clear();
+  release_segment_roots(0);
+  SimTime t = 0;
+
+  while (true) {
+    t = system_phase(t);
+    if (executed_total_ == trace.size()) {
+      bool empty = true;
+      for (const auto& node : nodes_) {
+        empty = empty && node.rte.empty() && node.rts.empty();
+      }
+      RIPS_CHECK(empty);
+      break;  // the final (empty) system phase detected termination
+    }
+
+    // --- User phase.
+    const u64 executed_before = executed_total_;
+    const SimTime user_start = t;
+    // Measuring pass: when would each node drain its RTE, undisturbed?
+    std::vector<SimTime> drain(static_cast<size_t>(n));
+    for (i32 j = 0; j < n; ++j) {
+      drain[static_cast<size_t>(j)] =
+          simulate_user_phase(j, t, kNever, /*apply=*/false);
+    }
+
+    // Global condition time.
+    SimTime t_cond;
+    NodeId initiator = 0;
+    if (config_.global == GlobalPolicy::kAny) {
+      // Any processor whose RTE drains initiates — including processors
+      // that received no work at all (with fewer tasks than processors the
+      // idle ones trigger an immediate incremental rebalance; every busy
+      // processor still completes its current task, so each phase makes
+      // progress).
+      t_cond = kNever;
+      for (i32 j = 0; j < n; ++j) {
+        if (drain[static_cast<size_t>(j)] < t_cond) {
+          t_cond = drain[static_cast<size_t>(j)];
+          initiator = j;
+        }
+      }
+      RIPS_CHECK(t_cond != kNever);
+    } else {
+      t_cond = t;
+      for (i32 j = 0; j < n; ++j) {
+        t_cond = std::max(t_cond, drain[static_cast<size_t>(j)]);
+      }
+    }
+
+    // Detection: signal protocol or naive periodic reduction.
+    SimTime t_detect = t_cond;
+    SimTime periodic_penalty = 0;
+    if (config_.detect == DetectMode::kPeriodic) {
+      const SimTime interval = config_.periodic_interval_ns;
+      RIPS_CHECK(interval > 0);
+      const SimTime elapsed = t_cond - t;
+      const SimTime checks = std::max<SimTime>(
+          1, (elapsed + interval - 1) / interval);
+      t_detect = t + checks * interval;
+      // Every reduction interrupts every node briefly: the CPU cost is
+      // overhead AND it stretches the phase by the same amount (the
+      // computation pauses while the global reduction runs).
+      periodic_penalty =
+          checks * (cost_.send_overhead_ns + cost_.recv_overhead_ns);
+      for (auto& node : nodes_) node.ovh_ns += periodic_penalty;
+    }
+
+    // Commit pass with per-node stop times.
+    SimTime phase_end = t;
+    if (config_.global == GlobalPolicy::kAny) {
+      for (i32 j = 0; j < n; ++j) {
+        const SimTime delay =
+            cost_.send_overhead_ns + cost_.recv_overhead_ns +
+            cost_.network_time(topo.distance(initiator, j));
+        const SimTime stop = t_detect + (j == initiator ? 0 : delay);
+        const SimTime quiesce = simulate_user_phase(j, t, stop, /*apply=*/true);
+        nodes_[static_cast<size_t>(j)].ovh_ns +=
+            cost_.send_overhead_ns + cost_.recv_overhead_ns;
+        phase_end = std::max(phase_end, std::max(quiesce, stop));
+      }
+      phase_end += cost_.step_ns;  // quiescence confirmation
+    } else {
+      for (i32 j = 0; j < n; ++j) {
+        const SimTime quiesce =
+            simulate_user_phase(j, t, kNever, /*apply=*/true);
+        nodes_[static_cast<size_t>(j)].ovh_ns +=
+            cost_.send_overhead_ns + cost_.recv_overhead_ns;
+        phase_end = std::max(phase_end, quiesce);
+      }
+      // Ready signals climb the spanning tree, init returns.
+      phase_end = std::max(phase_end, t_detect) +
+                  2 * cost_.network_time(topo.diameter());
+    }
+    phase_end += periodic_penalty;
+    user_phases_.push_back(
+        {user_start, t_cond, phase_end, executed_total_ - executed_before});
+    t = phase_end;
+  }
+
+  metrics_.makespan_ns = t;
+  for (const auto& node : nodes_) {
+    metrics_.total_busy_ns += node.busy_ns;
+    metrics_.total_overhead_ns += node.ovh_ns;
+    metrics_.total_idle_ns += t - node.busy_ns - node.ovh_ns;
+  }
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (exec_node_[i] != origin_[i]) metrics_.nonlocal_tasks += 1;
+  }
+  RIPS_CHECK_MSG(executed_total_ == trace.size(),
+                 "RIPS finished with unexecuted tasks");
+  return metrics_;
+}
+
+}  // namespace rips::core

@@ -1,0 +1,108 @@
+// RipsEngine — Runtime Incremental Parallel Scheduling (the paper's core
+// contribution, Figure 1).
+//
+// Execution alternates between
+//   SYSTEM PHASES: all processors cooperatively collect global load
+//     information and rebalance their ready-to-schedule tasks with a
+//     ParallelScheduler (MWA on meshes). Cost = the scheduler's lock-step
+//     communication steps plus the per-node task-migration CPU time.
+//   USER PHASES: every processor executes tasks from its RTE queue.
+//     Lazy policy: spawned children enter the local RTE directly and may
+//     run without ever being scheduled. Eager policy: children enter the
+//     RTS queue and wait for the next system phase.
+//     The phase ends per the global policy: ANY (first processor to drain
+//     its RTE broadcasts `init`; everyone stops after its current task) or
+//     ALL (tree ready-signal once every RTE drained). A periodic-reduction
+//     detection mode models the naive implementation the paper argues
+//     against (bench/ablation_interval).
+//
+// Synchronization segments of the trace (IDA* iterations, MD steps) end at
+// a system phase that finds no work: the next segment's roots materialize
+// on the nodes that executed the corresponding tasks of the previous
+// segment (data affinity) and are scheduled in that same phase.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "apps/task_trace.hpp"
+#include "rips/config.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/timeline.hpp"
+#include "util/types.hpp"
+
+namespace rips::core {
+
+class RipsEngine {
+ public:
+  RipsEngine(sched::ParallelScheduler& scheduler, const sim::CostModel& cost,
+             RipsConfig config);
+
+  /// Executes the whole trace; returns Table-I style metrics.
+  sim::RunMetrics run(const apps::TaskTrace& trace);
+
+  /// Optional instrumentation: when set, every task execution and system
+  /// phase of subsequent runs is recorded (the timeline is cleared at the
+  /// start of each run). Pass nullptr to detach.
+  void set_timeline(sim::Timeline* timeline) { timeline_ = timeline; }
+
+  /// Per-system-phase breakdown of the last run (Section 4's 15-Queens
+  /// narrative: phases, non-local tasks per phase, migration time).
+  struct PhaseStats {
+    u64 tasks_scheduled = 0;  ///< tasks visible to the scheduler
+    u64 tasks_moved = 0;      ///< tasks that changed node in this phase
+    i64 comm_steps = 0;       ///< scheduler lock-step rounds
+    SimTime duration_ns = 0;  ///< wall time of the system phase
+  };
+  const std::vector<PhaseStats>& phases() const { return phases_; }
+
+  /// Per-user-phase timing of the last run (for diagnosis and the policy
+  /// ablation bench).
+  struct UserPhaseStats {
+    SimTime start_ns = 0;     ///< user phase begin
+    SimTime cond_ns = 0;      ///< when the global condition was met
+    SimTime end_ns = 0;       ///< when the next system phase began
+    u64 tasks_executed = 0;
+  };
+  const std::vector<UserPhaseStats>& user_phases() const {
+    return user_phases_;
+  }
+
+ private:
+  struct NodeRt {
+    std::deque<TaskId> rte;    // ready to execute
+    std::vector<TaskId> rts;   // ready to schedule (eager policy)
+    SimTime busy_ns = 0;
+    SimTime ovh_ns = 0;
+  };
+
+  /// Simulates one node's user phase. In measuring mode (apply == false)
+  /// it runs on scratch state and only returns the drain time; in apply
+  /// mode it commits execution, spawns and queue updates. `stop_t` is the
+  /// time the node learns of the phase transfer (it finishes the task in
+  /// flight, then stops).
+  SimTime simulate_user_phase(NodeId node, SimTime start_t, SimTime stop_t,
+                              bool apply);
+
+  void release_segment_roots(u32 segment);
+  SimTime system_phase(SimTime t);
+
+  sched::ParallelScheduler& scheduler_;
+  sim::CostModel cost_;
+  RipsConfig config_;
+
+  const apps::TaskTrace* trace_ = nullptr;
+  std::vector<NodeRt> nodes_;
+  std::vector<NodeId> origin_;
+  std::vector<NodeId> exec_node_;
+  u64 executed_total_ = 0;
+  u32 released_segments_ = 0;
+  std::vector<PhaseStats> phases_;
+  std::vector<UserPhaseStats> user_phases_;
+  sim::Timeline* timeline_ = nullptr;
+  sim::RunMetrics metrics_;
+};
+
+}  // namespace rips::core

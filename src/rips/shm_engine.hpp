@@ -1,0 +1,51 @@
+// Shared-memory execution — the paper notes RIPS "can be applied to both
+// shared memory and distributed memory machines" (Section 1). On shared
+// memory the natural competitor is no scheduler at all: a central task
+// queue that every processor dequeues from. Balance is perfect by
+// construction; the cost is the serialized queue lock.
+//
+// This engine simulates exactly that: P workers share one FIFO whose
+// every operation (dequeue, spawn-enqueue) holds a lock for lock_op_ns.
+// The lock is modeled as a resource timeline — an operation at time t is
+// served at max(t, lock_free_at) — so contention emerges naturally: with
+// small tasks and many processors the lock serializes the machine, which
+// is the classic argument for distributed queues and, at scale, for
+// message-passing schedulers like RIPS. bench/ablation_shm quantifies the
+// crossover.
+#pragma once
+
+#include <vector>
+
+#include "apps/task_trace.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
+#include "util/types.hpp"
+
+namespace rips::core {
+
+struct ShmConfig {
+  i32 num_procs = 32;
+  SimTime lock_op_ns = 2'000;   ///< queue lock hold time per operation
+  SimTime dequeue_ns = 500;     ///< task pop cost outside the lock
+  SimTime enqueue_ns = 500;     ///< task push cost outside the lock
+};
+
+class SharedMemoryEngine {
+ public:
+  SharedMemoryEngine(const sim::CostModel& cost, ShmConfig config)
+      : cost_(cost), config_(config) {}
+
+  /// Executes the trace on the central-queue machine.
+  sim::RunMetrics run(const apps::TaskTrace& trace);
+
+  /// Total simulated time the lock was held during the last run — the
+  /// serialization floor of the makespan.
+  SimTime lock_busy_ns() const { return lock_busy_ns_; }
+
+ private:
+  sim::CostModel cost_;
+  ShmConfig config_;
+  SimTime lock_busy_ns_ = 0;
+};
+
+}  // namespace rips::core

@@ -1,0 +1,105 @@
+#include "sched/dem.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+namespace {
+
+/// Splits the combined load of a partner pair. The lower-id node takes the
+/// ceiling — a fixed tie-break keeps runs deterministic.
+void exchange_pair(std::vector<i64>& w, NodeId a, NodeId b, i32 step,
+                   i32 hop_distance, ScheduleResult& out) {
+  RIPS_DCHECK(a < b);
+  i64& wa = w[static_cast<size_t>(a)];
+  i64& wb = w[static_cast<size_t>(b)];
+  const i64 sum = wa + wb;
+  const i64 new_a = (sum + 1) / 2;
+  const i64 new_b = sum / 2;
+  if (wa > new_a) {
+    const i64 amount = wa - new_a;
+    out.transfers.push_back({a, b, amount, step});
+    out.task_hops += amount * hop_distance;
+  } else if (wb > new_b) {
+    const i64 amount = wb - new_b;
+    out.transfers.push_back({b, a, amount, step});
+    out.task_hops += amount * hop_distance;
+  }
+  wa = new_a;
+  wb = new_b;
+}
+
+}  // namespace
+
+ScheduleResult DemHypercube::schedule(const std::vector<i64>& load) {
+  const i32 n = cube_.size();
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+  ScheduleResult out;
+  out.new_load = load;
+  for (i32 k = 0; k < cube_.dim(); ++k) {
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId partner = v ^ (1 << k);
+      if (v < partner) {
+        exchange_pair(out.new_load, v, partner, k + 1, /*hop_distance=*/1,
+                      out);
+      }
+    }
+    // One step to exchange load info with the partner, one to move tasks.
+    out.info_steps += 1;
+    out.transfer_steps += 1;
+  }
+  out.comm_steps = out.info_steps + out.transfer_steps;
+  return out;
+}
+
+DemMesh::DemMesh(topo::Mesh mesh) : mesh_(mesh) {
+  RIPS_CHECK_MSG(std::has_single_bit(static_cast<u32>(mesh_.rows())) &&
+                     std::has_single_bit(static_cast<u32>(mesh_.cols())),
+                 "DemMesh needs power-of-two mesh dimensions");
+}
+
+ScheduleResult DemMesh::schedule(const std::vector<i64>& load) {
+  const i32 n1 = mesh_.rows();
+  const i32 n2 = mesh_.cols();
+  RIPS_CHECK(static_cast<i32>(load.size()) == n1 * n2);
+  ScheduleResult out;
+  out.new_load = load;
+  i32 step = 0;
+  // Column dimensions: partners inside each row at distance 2^k.
+  for (i32 dist = 1; dist < n2; dist *= 2) {
+    ++step;
+    for (i32 i = 0; i < n1; ++i) {
+      for (i32 j = 0; j < n2; ++j) {
+        const i32 pj = j ^ dist;
+        if (j < pj && pj < n2) {
+          exchange_pair(out.new_load, mesh_.at(i, j), mesh_.at(i, pj), step,
+                        dist, out);
+        }
+      }
+    }
+    // Info exchange and task movement both pay the multi-hop distance.
+    out.info_steps += dist;
+    out.transfer_steps += dist;
+  }
+  // Row dimensions: partners inside each column.
+  for (i32 dist = 1; dist < n1; dist *= 2) {
+    ++step;
+    for (i32 j = 0; j < n2; ++j) {
+      for (i32 i = 0; i < n1; ++i) {
+        const i32 pi = i ^ dist;
+        if (i < pi && pi < n1) {
+          exchange_pair(out.new_load, mesh_.at(i, j), mesh_.at(pi, j), step,
+                        dist, out);
+        }
+      }
+    }
+    out.info_steps += dist;
+    out.transfer_steps += dist;
+  }
+  out.comm_steps = out.info_steps + out.transfer_steps;
+  return out;
+}
+
+}  // namespace rips::sched

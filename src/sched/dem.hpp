@@ -1,0 +1,44 @@
+// Dimension Exchange Method (Cybenko, JPDC 1989) — the parallel scheduling
+// baseline the paper discusses in Section 5 ("generates redundant
+// communications ... designed specifically for the hypercube topology and
+// implemented much less efficiently on a simpler topology").
+//
+// DemHypercube: for each dimension k, partners (v, v ^ 2^k) split their
+// combined load as evenly as integers allow. d steps, adjacent transfers.
+//
+// DemMesh: the same exchange-halving executed on a power-of-two mesh;
+// partners at distance 2^k are not adjacent, so every transferred task pays
+// 2^k link hops — this is exactly the inefficiency the paper calls out and
+// what bench/ablation_schedulers quantifies against MWA.
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::sched {
+
+class DemHypercube final : public ParallelScheduler {
+ public:
+  explicit DemHypercube(topo::Hypercube cube) : cube_(cube) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return cube_; }
+  std::string name() const override { return "dem-hypercube"; }
+
+ private:
+  topo::Hypercube cube_;
+};
+
+class DemMesh final : public ParallelScheduler {
+ public:
+  explicit DemMesh(topo::Mesh mesh);
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return mesh_; }
+  std::string name() const override { return "dem-mesh"; }
+
+ private:
+  topo::Mesh mesh_;
+};
+
+}  // namespace rips::sched

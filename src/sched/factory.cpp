@@ -1,0 +1,82 @@
+#include <bit>
+
+#include "sched/dem.hpp"
+#include "sched/hwa.hpp"
+#include "sched/kd_walk.hpp"
+#include "sched/mwa.hpp"
+#include "sched/optimal.hpp"
+#include "sched/ring_scan.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/torus_walk.hpp"
+#include "sched/twa.hpp"
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+namespace {
+
+/// OptimalFlow holds a topology reference; this wrapper owns both.
+class OwningOptimal final : public ParallelScheduler {
+ public:
+  explicit OwningOptimal(std::unique_ptr<topo::Topology> topo)
+      : topo_(std::move(topo)), inner_(*topo_) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override {
+    return inner_.schedule(load);
+  }
+  const topo::Topology& topology() const override { return *topo_; }
+  std::string name() const override { return inner_.name(); }
+
+ private:
+  std::unique_ptr<topo::Topology> topo_;
+  OptimalFlow inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<ParallelScheduler> make_scheduler(const std::string& kind,
+                                                  i32 n) {
+  if (kind == "mwa") {
+    const auto shape = topo::paper_mesh_shape(n);
+    return std::make_unique<Mwa>(topo::Mesh(shape.rows, shape.cols));
+  }
+  if (kind == "twa") {
+    return std::make_unique<Twa>(topo::BinaryTree(n));
+  }
+  if (kind == "dem") {
+    RIPS_CHECK_MSG((n & (n - 1)) == 0, "DEM needs a power-of-two size");
+    return std::make_unique<DemHypercube>(
+        topo::Hypercube(std::countr_zero(static_cast<u32>(n))));
+  }
+  if (kind == "dem-mesh") {
+    const auto shape = topo::paper_mesh_shape(n);
+    return std::make_unique<DemMesh>(topo::Mesh(shape.rows, shape.cols));
+  }
+  if (kind == "hwa") {
+    RIPS_CHECK_MSG((n & (n - 1)) == 0, "HWA needs a power-of-two size");
+    return std::make_unique<Hwa>(
+        topo::Hypercube(std::countr_zero(static_cast<u32>(n))));
+  }
+  if (kind == "kd") {
+    // As-cubic-as-possible 3-D shape for a power-of-two n.
+    RIPS_CHECK_MSG((n & (n - 1)) == 0, "kd-walk factory needs a power of two");
+    const i32 log = std::countr_zero(static_cast<u32>(n));
+    std::vector<i32> dims{1 << ((log + 2) / 3), 1 << ((log + 1) / 3),
+                          1 << (log / 3)};
+    return std::make_unique<KdWalk>(topo::MeshKd(std::move(dims)));
+  }
+  if (kind == "torus") {
+    const auto shape = topo::paper_mesh_shape(n);
+    return std::make_unique<TorusWalk>(topo::Torus(shape.rows, shape.cols));
+  }
+  if (kind == "ring") {
+    return std::make_unique<RingScan>(topo::Ring(n));
+  }
+  if (kind == "optimal") {
+    return std::make_unique<OwningOptimal>(topo::make_topology("mesh", n));
+  }
+  RIPS_CHECK_MSG(false, "unknown scheduler kind");
+  return nullptr;
+}
+
+}  // namespace rips::sched

@@ -1,0 +1,102 @@
+#include "sched/hwa.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+namespace {
+
+/// The eta/gamma share computation (see Mwa): distributes `amount` over
+/// the senders so each sends at most its surplus delta and earlier
+/// deficits are reserved from later surpluses.
+void eta_gamma_apply(const std::vector<NodeId>& senders,
+                     const std::vector<NodeId>& receivers,
+                     std::vector<i64>& w, const std::vector<i64>& quota,
+                     i64 amount, i32 step, ScheduleResult& out) {
+  i64 eta = amount;
+  i64 gamma = 0;
+  for (size_t i = 0; i < senders.size(); ++i) {
+    const auto v = static_cast<size_t>(senders[i]);
+    const i64 delta = w[v] - quota[v];
+    const i64 send = std::clamp(delta - gamma, i64{0}, eta);
+    gamma -= delta - send;
+    eta -= send;
+    if (send > 0) {
+      w[v] -= send;
+      w[static_cast<size_t>(receivers[i])] += send;
+      out.transfers.push_back({senders[i], receivers[i], send, step});
+      out.task_hops += send;
+    }
+  }
+  RIPS_CHECK_MSG(eta == 0, "subcube lacked surplus for its quota");
+}
+
+}  // namespace
+
+ScheduleResult Hwa::schedule(const std::vector<i64>& load) {
+  const i32 n = cube_.size();
+  const i32 dim = cube_.dim();
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+
+  ScheduleResult out;
+  out.new_load = load;
+
+  i64 total = 0;
+  for (i64 w : load) total += w;
+  const std::vector<i64> quota = quota_for(total, n);
+
+  // Load gathering by recursive doubling (every node learns its subcube's
+  // loads as the walk needs them): d info steps; one transfer step per
+  // dimension.
+  out.info_steps = dim;
+  out.transfer_steps = 0;
+
+  // Walk dimensions from the highest: at stage k each subcube (fixed bits
+  // above k) settles the balance between its two dimension-k halves.
+  std::vector<NodeId> senders;
+  std::vector<NodeId> receivers;
+  for (i32 k = dim - 1; k >= 0; --k) {
+    const i32 bit = 1 << k;
+    const i32 step = dim - k;
+    bool moved = false;
+    for (i32 base = 0; base < n; base += 2 * bit) {
+      // Lower half: ids [base, base+bit); upper: [base+bit, base+2*bit).
+      i64 diff = 0;  // surplus of the lower half over its quota
+      for (i32 v = base; v < base + bit; ++v) {
+        diff += out.new_load[static_cast<size_t>(v)] -
+                quota[static_cast<size_t>(v)];
+      }
+      senders.clear();
+      receivers.clear();
+      if (diff > 0) {
+        for (i32 v = base; v < base + bit; ++v) {
+          senders.push_back(v);
+          receivers.push_back(v | bit);
+        }
+        eta_gamma_apply(senders, receivers, out.new_load, quota, diff, step,
+                        out);
+        moved = true;
+      } else if (diff < 0) {
+        for (i32 v = base + bit; v < base + 2 * bit; ++v) {
+          senders.push_back(v);
+          receivers.push_back(v ^ bit);
+        }
+        eta_gamma_apply(senders, receivers, out.new_load, quota, -diff, step,
+                        out);
+        moved = true;
+      }
+    }
+    if (moved) out.transfer_steps += 1;
+  }
+
+  out.comm_steps = out.info_steps + out.transfer_steps;
+  for (NodeId v = 0; v < n; ++v) {
+    RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
+               quota[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace rips::sched

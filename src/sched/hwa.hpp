@@ -1,0 +1,36 @@
+// Hypercube Walking Algorithm (HWA) — the exact parallel scheduler for
+// hypercubes the paper alludes to in Section 5 ("RIPS ... applies to
+// different topologies, such as the tree, mesh, and hypercube [32]").
+//
+// Unlike DEM's independent pairwise averaging (which leaves up to log2 N
+// residual imbalance and moves redundant volume), HWA walks the dimensions
+// once with full subcube information:
+//   for each dimension k (highest first), the cube splits into two
+//   subcubes; the surplus of one side over its exact quota is transferred
+//   across dimension-k links, each pair (v, v ^ 2^k) carrying a share
+//   backed by the sender's surplus (the same eta/gamma discipline as MWA
+//   rows). Recursion on both halves then balances within.
+//
+// Guarantees (property-tested): final load == canonical quota (Theorem-1
+// analogue), transfers are link-local, and only genuine surplus moves
+// (locality optimality, Theorem-2 analogue).
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::sched {
+
+class Hwa final : public ParallelScheduler {
+ public:
+  explicit Hwa(topo::Hypercube cube) : cube_(cube) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return cube_; }
+  std::string name() const override { return "hwa"; }
+
+ private:
+  topo::Hypercube cube_;
+};
+
+}  // namespace rips::sched

@@ -1,0 +1,136 @@
+#include "sched/kd_walk.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+namespace {
+
+/// eta/gamma surplus split (see Mwa): distributes `amount` over the
+/// ordered `senders`, each sending at most its surplus, with earlier
+/// deficits reserved from later surpluses. Applies the moves to `w` and
+/// records transfers to the paired receivers.
+void split_and_send(const std::vector<NodeId>& senders, i32 receiver_offset,
+                    std::vector<i64>& w, const std::vector<i64>& quota,
+                    i64 amount, i32 step, ScheduleResult& out) {
+  i64 eta = amount;
+  i64 gamma = 0;
+  for (const NodeId sender : senders) {
+    const auto v = static_cast<size_t>(sender);
+    const i64 delta = w[v] - quota[v];
+    const i64 send = std::clamp(delta - gamma, i64{0}, eta);
+    gamma -= delta - send;
+    eta -= send;
+    if (send > 0) {
+      const NodeId receiver = sender + receiver_offset;
+      w[v] -= send;
+      w[static_cast<size_t>(receiver)] += send;
+      out.transfers.push_back({sender, receiver, send, step});
+      out.task_hops += send;
+    }
+  }
+  RIPS_CHECK_MSG(eta == 0, "slab lacked surplus for its quota");
+}
+
+}  // namespace
+
+void KdWalk::balance_box(const std::vector<NodeId>& nodes, i32 axis,
+                         std::vector<i64>& w, const std::vector<i64>& quota,
+                         ScheduleResult& out,
+                         std::vector<i32>& axis_rounds) {
+  if (axis >= mesh_.rank() || nodes.size() <= 1) return;
+  const i32 extent = mesh_.dims()[static_cast<size_t>(axis)];
+  const i32 stride = mesh_.stride(axis);
+  RIPS_CHECK(static_cast<i32>(nodes.size()) % extent == 0);
+  const auto slab_size = nodes.size() / static_cast<size_t>(extent);
+
+  // Slab k: the contiguous run of `slab_size` ids in row-major order.
+  std::vector<std::vector<NodeId>> slabs(static_cast<size_t>(extent));
+  for (i32 k = 0; k < extent; ++k) {
+    slabs[static_cast<size_t>(k)].assign(
+        nodes.begin() + static_cast<std::ptrdiff_t>(k * slab_size),
+        nodes.begin() + static_cast<std::ptrdiff_t>((k + 1) * slab_size));
+  }
+
+  // Prefix flows between adjacent slabs: y_k > 0 means slabs 0..k send
+  // y_k to slab k+1 (the path version of MWA's step 4).
+  std::vector<i64> y(static_cast<size_t>(extent), 0);
+  i64 prefix = 0;
+  for (i32 k = 0; k < extent; ++k) {
+    for (const NodeId v : slabs[static_cast<size_t>(k)]) {
+      prefix += w[static_cast<size_t>(v)] - quota[static_cast<size_t>(v)];
+    }
+    y[static_cast<size_t>(k)] = prefix;
+  }
+  RIPS_CHECK(y[static_cast<size_t>(extent - 1)] == 0);
+
+  // Downward cascade (receipts from slab k-1 land before slab k sends).
+  i32 down = 0;
+  {
+    i32 chain = 0;
+    for (i32 k = 0; k + 1 < extent; ++k) {
+      if (y[static_cast<size_t>(k)] > 0) {
+        chain += 1;
+        split_and_send(slabs[static_cast<size_t>(k)], stride, w, quota,
+                       y[static_cast<size_t>(k)], chain, out);
+        down = std::max(down, chain);
+      } else {
+        chain = 0;
+      }
+    }
+  }
+  // Upward cascade.
+  i32 up = 0;
+  {
+    i32 chain = 0;
+    for (i32 k = extent - 1; k >= 1; --k) {
+      if (y[static_cast<size_t>(k - 1)] < 0) {
+        chain += 1;
+        split_and_send(slabs[static_cast<size_t>(k)], -stride, w, quota,
+                       -y[static_cast<size_t>(k - 1)], chain, out);
+        up = std::max(up, chain);
+      } else {
+        chain = 0;
+      }
+    }
+  }
+  axis_rounds[static_cast<size_t>(axis)] =
+      std::max(axis_rounds[static_cast<size_t>(axis)], std::max(down, up));
+
+  for (const auto& slab : slabs) {
+    balance_box(slab, axis + 1, w, quota, out, axis_rounds);
+  }
+}
+
+ScheduleResult KdWalk::schedule(const std::vector<i64>& load) {
+  const i32 n = mesh_.size();
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+
+  ScheduleResult out;
+  out.new_load = load;
+  i64 total = 0;
+  for (i64 w : load) total += w;
+  const std::vector<i64> quota = quota_for(total, n);
+
+  // Information: scan + spread along every axis (the MWA pattern).
+  i64 info = 0;
+  for (const i32 dim : mesh_.dims()) info += dim;
+  out.info_steps = 2 * info;
+
+  std::vector<NodeId> all(static_cast<size_t>(n));
+  for (i32 v = 0; v < n; ++v) all[static_cast<size_t>(v)] = v;
+  std::vector<i32> axis_rounds(static_cast<size_t>(mesh_.rank()), 0);
+  balance_box(all, 0, out.new_load, quota, out, axis_rounds);
+  for (const i32 rounds : axis_rounds) out.transfer_steps += rounds;
+
+  out.comm_steps = out.info_steps + out.transfer_steps;
+  for (NodeId v = 0; v < n; ++v) {
+    RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
+               quota[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace rips::sched

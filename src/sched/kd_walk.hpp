@@ -1,0 +1,41 @@
+// K-dimensional Mesh Walking Algorithm — MWA generalized to any mesh rank.
+//
+// MWA's two phases (vertical between rows, then horizontal within each
+// row) are really one recursive pattern: balance slabs along the first
+// axis so each slab holds exactly its slab quota (cascaded prefix flows,
+// per-node splits via the eta/gamma surplus rule), then recurse into each
+// slab over the remaining axes. On a 2-D mesh this reduces to MWA
+// (identical final loads); on a 1-D array it is the step-5 linear
+// balancing; on 3-D it covers the machines the original algorithm never
+// reached.
+//
+// Guarantees (property-tested): final load == canonical quota; transfers
+// link-local; only surplus moves (locality optimality in the exact
+// regime); step count <= 3 * sum(dims).
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "topo/mesh_kd.hpp"
+
+namespace rips::sched {
+
+class KdWalk final : public ParallelScheduler {
+ public:
+  explicit KdWalk(topo::MeshKd mesh) : mesh_(std::move(mesh)) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return mesh_; }
+  std::string name() const override { return "kd-walk"; }
+
+ private:
+  /// Balances the sub-box of nodes whose coordinates on axes < `axis`
+  /// equal those encoded in `base`, over axes >= `axis`. `nodes` holds the
+  /// ids of the box members in row-major order.
+  void balance_box(const std::vector<NodeId>& nodes, i32 axis,
+                   std::vector<i64>& w, const std::vector<i64>& quota,
+                   ScheduleResult& out, std::vector<i32>& axis_rounds);
+
+  topo::MeshKd mesh_;
+};
+
+}  // namespace rips::sched

@@ -1,0 +1,225 @@
+#include "sched/mwa.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+namespace {
+
+/// The eta/gamma recurrence of Figure 3, shared by the d- and u-vector
+/// computations. `delta[k] = w[k] - q[k]` is the surplus at column k.
+/// Returns per-column send amounts whose sum is exactly `amount`; a column
+/// never sends more than max(0, delta[k]) (so sends are physically backed
+/// by the sender's holdings and only surplus tasks leave their node, which
+/// is what makes the algorithm locality-optimal).
+std::vector<i64> eta_gamma_sends(const std::vector<i64>& delta, i64 amount) {
+  std::vector<i64> send(delta.size(), 0);
+  i64 eta = amount;  // tasks still to send out of this row
+  i64 gamma = 0;     // unmet deficit of columns to the left
+  for (size_t k = 0; k < delta.size(); ++k) {
+    const i64 d = std::clamp(delta[k] - gamma, i64{0}, eta);
+    send[k] = d;
+    gamma -= delta[k] - d;
+    eta -= d;
+  }
+  RIPS_CHECK_MSG(eta == 0, "row lacked surplus to satisfy its vertical quota");
+  return send;
+}
+
+}  // namespace
+
+ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
+  const i32 n1 = mesh_.rows();
+  const i32 n2 = mesh_.cols();
+  const i32 n = n1 * n2;
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+
+  ScheduleResult out;
+
+  // Working copy of per-node loads, indexed [row][col].
+  auto w = [&](i32 i, i32 j) -> i64& {
+    return out.new_load[static_cast<size_t>(i * n2 + j)];
+  };
+  out.new_load = load;
+
+  // --- Steps 1-2: information collection.
+  // Row scans, column scan-with-sum, broadcast of wavg/R, spread of s/t.
+  // Serially we just compute the sums; the step cost is the paper's.
+  i64 total = 0;
+  std::vector<i64> t(static_cast<size_t>(n1), 0);  // t_i = sum of rows 0..i
+  for (i32 i = 0; i < n1; ++i) {
+    i64 s = 0;
+    for (i32 j = 0; j < n2; ++j) s += w(i, j);
+    total += s;
+    t[static_cast<size_t>(i)] = total;
+  }
+  out.info_steps += 2 * (n1 + n2);
+
+  // --- Step 3: quotas.
+  const std::vector<i64> quota = quota_for(total, n);
+  auto q = [&](i32 i, i32 j) -> i64 {
+    return quota[static_cast<size_t>(i * n2 + j)];
+  };
+  const i64 wavg = total / n;
+  const i64 remainder = total % n;
+  // Row-accumulation quota Q_i = quota of the submesh rows 0..i.
+  std::vector<i64> big_q(static_cast<size_t>(n1));
+  for (i32 i = 0; i < n1; ++i) {
+    const i64 filled = static_cast<i64>(i + 1) * n2;
+    big_q[static_cast<size_t>(i)] =
+        wavg * filled + std::min<i64>(filled, remainder);
+  }
+
+  // y_i > 0: rows 0..i are overloaded and send y_i tasks to row i+1.
+  // y_i < 0: rows 0..i are underloaded and receive |y_i| from row i+1.
+  std::vector<i64> y(static_cast<size_t>(n1), 0);
+  for (i32 i = 0; i < n1; ++i) {
+    y[static_cast<size_t>(i)] = t[static_cast<size_t>(i)] - big_q[static_cast<size_t>(i)];
+  }
+  RIPS_CHECK(y[static_cast<size_t>(n1 - 1)] == 0);
+
+  // --- Step 4: vertical balancing.
+  // Downward cascade (rows with y_i > 0 send to row i+1). Row order
+  // matters: receipts from row i-1 must land before row i computes its
+  // d vector. The lock-step round of each send is the length of the
+  // consecutive chain of sending rows that feeds it.
+  std::vector<i64> delta(static_cast<size_t>(n2));
+  i32 step4_down = 0;
+  {
+    i32 chain = 0;
+    for (i32 i = 0; i + 1 < n1; ++i) {
+      if (y[static_cast<size_t>(i)] > 0) {
+        chain += 1;
+        for (i32 j = 0; j < n2; ++j) delta[static_cast<size_t>(j)] = w(i, j) - q(i, j);
+        const std::vector<i64> d =
+            eta_gamma_sends(delta, y[static_cast<size_t>(i)]);
+        for (i32 j = 0; j < n2; ++j) {
+          const i64 amount = d[static_cast<size_t>(j)];
+          if (amount == 0) continue;
+          w(i, j) -= amount;
+          w(i + 1, j) += amount;
+          out.transfers.push_back(
+              {mesh_.at(i, j), mesh_.at(i + 1, j), amount, chain});
+        }
+        step4_down = std::max(step4_down, chain);
+      } else {
+        chain = 0;
+      }
+    }
+  }
+  // Upward cascade (rows above row i are underloaded: y_{i-1} < 0, so row i
+  // sends |y_{i-1}| up). Processed bottom-up so receipts from below land
+  // first.
+  i32 step4_up = 0;
+  {
+    i32 chain = 0;
+    for (i32 i = n1 - 1; i >= 1; --i) {
+      if (y[static_cast<size_t>(i - 1)] < 0) {
+        chain += 1;
+        for (i32 j = 0; j < n2; ++j) delta[static_cast<size_t>(j)] = w(i, j) - q(i, j);
+        const std::vector<i64> u =
+            eta_gamma_sends(delta, -y[static_cast<size_t>(i - 1)]);
+        for (i32 j = 0; j < n2; ++j) {
+          const i64 amount = u[static_cast<size_t>(j)];
+          if (amount == 0) continue;
+          w(i, j) -= amount;
+          w(i - 1, j) += amount;
+          out.transfers.push_back(
+              {mesh_.at(i, j), mesh_.at(i - 1, j), amount, chain});
+        }
+        step4_up = std::max(step4_up, chain);
+      } else {
+        chain = 0;
+      }
+    }
+  }
+  const i32 step4_rounds = std::max(step4_down, step4_up);
+  out.transfer_steps += step4_rounds;
+
+  // Every row now holds exactly its row quota.
+#ifndef NDEBUG
+  for (i32 i = 0; i < n1; ++i) {
+    i64 row_total = 0;
+    i64 row_quota = 0;
+    for (i32 j = 0; j < n2; ++j) {
+      row_total += w(i, j);
+      row_quota += q(i, j);
+    }
+    RIPS_DCHECK(row_total == row_quota);
+  }
+#endif
+
+  // --- Step 5: horizontal balancing inside each row.
+  // Net rightward flow across the boundary between columns b-1 and b is
+  // z_b = sum_{k<b} (w - q). Transfers are executed in synchronous rounds
+  // (a relay node can only forward what it already holds), which is what
+  // bounds the step count by n2.
+  i32 step5_rounds = 0;
+  for (i32 i = 0; i < n1; ++i) {
+    std::vector<i64> flow(static_cast<size_t>(n2), 0);  // flow[b], b>=1
+    i64 prefix = 0;
+    for (i32 b = 1; b < n2; ++b) {
+      prefix += w(i, b - 1) - q(i, b - 1);
+      flow[static_cast<size_t>(b)] = prefix;
+    }
+    std::vector<i64> hold(static_cast<size_t>(n2));
+    for (i32 j = 0; j < n2; ++j) hold[static_cast<size_t>(j)] = w(i, j);
+
+    i32 round = 0;
+    bool pending = true;
+    while (pending) {
+      pending = false;
+      ++round;
+      RIPS_CHECK_MSG(round <= n2 + 1, "step 5 failed to settle in n2 rounds");
+      // Decide all sends against start-of-round holdings.
+      std::vector<i64> reserved(static_cast<size_t>(n2), 0);
+      std::vector<Transfer> batch;
+      for (i32 b = 1; b < n2; ++b) {
+        i64& f = flow[static_cast<size_t>(b)];
+        if (f == 0) continue;
+        const i32 sender = f > 0 ? b - 1 : b;
+        const i32 receiver = f > 0 ? b : b - 1;
+        const i64 want = std::abs(f);
+        // Surplus gating: a relay never dips below its own quota — it
+        // waits for inflow instead. This is what makes the non-local task
+        // count exactly the Theorem-2 minimum (a relay forwards received
+        // tasks rather than evicting its own).
+        const i64 avail =
+            std::max<i64>(0, hold[static_cast<size_t>(sender)] -
+                                 reserved[static_cast<size_t>(sender)] -
+                                 q(i, sender));
+        const i64 amount = std::min(want, avail);
+        if (amount > 0) {
+          reserved[static_cast<size_t>(sender)] += amount;
+          batch.push_back({mesh_.at(i, sender), mesh_.at(i, receiver), amount,
+                           step4_rounds + round});
+          f -= f > 0 ? amount : -amount;
+        }
+        if (f != 0) pending = true;
+      }
+      for (const Transfer& tr : batch) {
+        hold[static_cast<size_t>(mesh_.col_of(tr.from))] -= tr.count;
+        hold[static_cast<size_t>(mesh_.col_of(tr.to))] += tr.count;
+        out.transfers.push_back(tr);
+      }
+    }
+    // `round` counts one trailing no-op round; real rounds are round - 1.
+    step5_rounds = std::max(step5_rounds, round - 1);
+    for (i32 j = 0; j < n2; ++j) w(i, j) = hold[static_cast<size_t>(j)];
+  }
+  out.transfer_steps += step5_rounds;
+
+  // Theorem 1: every node ends exactly at its quota.
+  for (i32 k = 0; k < n; ++k) {
+    RIPS_CHECK(out.new_load[static_cast<size_t>(k)] ==
+               quota[static_cast<size_t>(k)]);
+  }
+  for (const Transfer& tr : out.transfers) out.task_hops += tr.count;
+  out.comm_steps = out.info_steps + out.transfer_steps;
+  return out;
+}
+
+}  // namespace rips::sched

@@ -1,0 +1,39 @@
+// Mesh Walking Algorithm (paper Figure 3).
+//
+// Balances task counts over an n1 x n2 mesh in at most 3(n1 + n2)
+// lock-step communication steps:
+//   1. scan of the partial load vector along each row            (n2 steps)
+//   2. scan-with-sum down the last column; total T, wavg, R      (n1 steps)
+//      broadcast of wavg/R and spread of s/t along rows     (n1 + n2 steps)
+//   3. local quota computation q_ij and row-accumulation quota Q_i
+//   4. vertical balancing between adjacent rows (d/u vectors via the
+//      eta/gamma recurrences)                                  (<= n1 steps)
+//   5. horizontal balancing inside each row (z/v vectors)      (<= n2 steps)
+//
+// Guarantees (enforced as property tests):
+//   Theorem 1 — final loads equal the quotas (difference at most one).
+//   Theorem 2 — the number of non-local tasks is exactly
+//               sum over underloaded nodes of (quota - load), the minimum.
+//   Lemma 2  — for N <= 4 the link cost (sum e_k) is the optimum.
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::sched {
+
+class Mwa final : public ParallelScheduler {
+ public:
+  explicit Mwa(topo::Mesh mesh) : mesh_(mesh) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return mesh_; }
+  std::string name() const override { return "mwa"; }
+
+  const topo::Mesh& mesh() const { return mesh_; }
+
+ private:
+  topo::Mesh mesh_;
+};
+
+}  // namespace rips::sched

@@ -1,0 +1,116 @@
+#include "sched/optimal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "flow/mincost_flow.hpp"
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+ScheduleResult OptimalFlow::schedule(const std::vector<i64>& load) {
+  const i32 n = topo_.size();
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+
+  ScheduleResult out;
+  out.new_load = load;
+  i64 total = 0;
+  for (i64 w : load) total += w;
+  const std::vector<i64> quota = quota_for(total, n);
+
+  // Build the flow network: machine links with cost 1, a source feeding
+  // every overloaded node and a sink draining every underloaded one.
+  constexpr i64 kInf = std::numeric_limits<i64>::max() / 4;
+  flow::MinCostMaxFlow mcmf(n + 2);
+  const i32 source = n;
+  const i32 sink = n + 1;
+  struct LinkEdge {
+    NodeId from;
+    NodeId to;
+    i32 handle;
+  };
+  std::vector<LinkEdge> links;
+  std::vector<NodeId> nbr;
+  for (NodeId u = 0; u < n; ++u) {
+    nbr.clear();
+    topo_.append_neighbors(u, nbr);
+    for (NodeId v : nbr) {
+      links.push_back({u, v, mcmf.add_edge(u, v, kInf, 1)});
+    }
+  }
+  i64 surplus = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const i64 diff =
+        load[static_cast<size_t>(u)] - quota[static_cast<size_t>(u)];
+    if (diff > 0) {
+      mcmf.add_edge(source, u, diff, 0);
+      surplus += diff;
+    } else if (diff < 0) {
+      mcmf.add_edge(u, sink, -diff, 0);
+    }
+  }
+  const auto result = mcmf.solve(source, sink);
+  RIPS_CHECK(result.flow == surplus);
+  out.task_hops = result.cost;
+
+  // Net flow per link (cancel opposite directions; min-cost flow with
+  // strictly positive link cost never routes both ways, but cancel anyway).
+  std::map<std::pair<NodeId, NodeId>, i64> net;
+  for (const LinkEdge& e : links) {
+    const i64 f = mcmf.flow_on(e.handle);
+    if (f == 0) continue;
+    const auto key = std::minmax(e.from, e.to);
+    net[{key.first, key.second}] += e.from < e.to ? f : -f;
+  }
+
+  // Drain the flows in synchronous relay rounds (availability-limited).
+  std::vector<i64> hold(out.new_load);
+  i32 round = 0;
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    ++round;
+    RIPS_CHECK_MSG(round <= 2 * topo_.diameter() + 2,
+                   "optimal-flow relay failed to settle");
+    std::vector<i64> reserved(static_cast<size_t>(n), 0);
+    std::vector<Transfer> batch;
+    for (auto& [key, f] : net) {
+      if (f == 0) continue;
+      const NodeId sender = f > 0 ? key.first : key.second;
+      const NodeId receiver = f > 0 ? key.second : key.first;
+      const i64 want = std::abs(f);
+      // Surplus gating (see Mwa): relays wait for inflow rather than dip
+      // below quota.
+      const i64 avail =
+          std::max<i64>(0, hold[static_cast<size_t>(sender)] -
+                               reserved[static_cast<size_t>(sender)] -
+                               quota[static_cast<size_t>(sender)]);
+      const i64 amount = std::min(want, avail);
+      if (amount > 0) {
+        reserved[static_cast<size_t>(sender)] += amount;
+        batch.push_back({sender, receiver, amount, round});
+        f -= f > 0 ? amount : -amount;
+      }
+      if (f != 0) pending = true;
+    }
+    for (const Transfer& tr : batch) {
+      hold[static_cast<size_t>(tr.from)] -= tr.count;
+      hold[static_cast<size_t>(tr.to)] += tr.count;
+      out.transfers.push_back(tr);
+    }
+  }
+
+  // Information collection (gather + scatter) plus the relay rounds.
+  out.info_steps += 2 * topo_.diameter();
+  out.transfer_steps += round - 1;
+  out.comm_steps = out.info_steps + out.transfer_steps;
+  out.new_load = hold;
+  for (NodeId v = 0; v < n; ++v) {
+    RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
+               quota[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace rips::sched

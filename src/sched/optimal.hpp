@@ -1,0 +1,29 @@
+// Optimal scheduler — realizes the minimum-cost task redistribution by
+// solving the min-cost max-flow reduction of Section 3 (Lawler [18]).
+//
+// The paper uses this only as the yardstick for Figure 4 because its
+// O(n^2 v) cost is "not realistic for runtime scheduling"; we additionally
+// expose it as a full ParallelScheduler so the RIPS engine can run with it
+// in ablation benches (what would perfect migration buy?).
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::sched {
+
+class OptimalFlow final : public ParallelScheduler {
+ public:
+  /// Works on any connected topology; keeps a reference, so the topology
+  /// must outlive the scheduler.
+  explicit OptimalFlow(const topo::Topology& topo) : topo_(topo) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return topo_; }
+  std::string name() const override { return "optimal-flow"; }
+
+ private:
+  const topo::Topology& topo_;
+};
+
+}  // namespace rips::sched

@@ -1,0 +1,93 @@
+#include "sched/ring_scan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+ScheduleResult RingScan::schedule(const std::vector<i64>& load) {
+  const i32 n = ring_.size();
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+  ScheduleResult out;
+  out.new_load = load;
+
+  i64 total = 0;
+  for (i64 w : load) total += w;
+  const std::vector<i64> quota = quota_for(total, n);
+
+  if (n == 1) return out;
+
+  // Prefix imbalances: P_b = sum_{k<b} (w_k - q_k) for b = 0..n-1 (P_0 = 0).
+  // Rightward flow across boundary b (into node b) is F_b = P_b - c.
+  std::vector<i64> prefix(static_cast<size_t>(n), 0);
+  for (i32 b = 1; b < n; ++b) {
+    prefix[static_cast<size_t>(b)] =
+        prefix[static_cast<size_t>(b - 1)] +
+        load[static_cast<size_t>(b - 1)] - quota[static_cast<size_t>(b - 1)];
+  }
+  std::vector<i64> sorted = prefix;
+  std::nth_element(sorted.begin(), sorted.begin() + (n - 1) / 2, sorted.end());
+  const i64 c = sorted[static_cast<size_t>((n - 1) / 2)];
+
+  std::vector<i64> flow(static_cast<size_t>(n));
+  for (i32 b = 0; b < n; ++b) {
+    flow[static_cast<size_t>(b)] = prefix[static_cast<size_t>(b)] - c;
+  }
+
+  // Information collection: scan around the ring plus broadcast of the
+  // average and the circulation constant.
+  out.info_steps += 2 * (n - 1);
+
+  // Synchronous relay rounds: boundary b joins node b-1 (mod n) and node b;
+  // positive flow moves rightward (increasing id) into node b.
+  std::vector<i64> hold(out.new_load);
+  i32 round = 0;
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    ++round;
+    RIPS_CHECK_MSG(round <= n + 1, "ring relay failed to settle");
+    std::vector<i64> reserved(static_cast<size_t>(n), 0);
+    std::vector<Transfer> batch;
+    for (i32 b = 0; b < n; ++b) {
+      i64& f = flow[static_cast<size_t>(b)];
+      if (f == 0) continue;
+      const NodeId right = b;
+      const NodeId left = (b + n - 1) % n;
+      const NodeId sender = f > 0 ? left : right;
+      const NodeId receiver = f > 0 ? right : left;
+      const i64 want = std::abs(f);
+      // Surplus gating (see Mwa): relays wait for inflow rather than dip
+      // below quota.
+      const i64 avail =
+          std::max<i64>(0, hold[static_cast<size_t>(sender)] -
+                               reserved[static_cast<size_t>(sender)] -
+                               quota[static_cast<size_t>(sender)]);
+      const i64 amount = std::min(want, avail);
+      if (amount > 0) {
+        reserved[static_cast<size_t>(sender)] += amount;
+        batch.push_back({sender, receiver, amount, round});
+        f -= f > 0 ? amount : -amount;
+      }
+      if (f != 0) pending = true;
+    }
+    for (const Transfer& tr : batch) {
+      hold[static_cast<size_t>(tr.from)] -= tr.count;
+      hold[static_cast<size_t>(tr.to)] += tr.count;
+      out.transfers.push_back(tr);
+      out.task_hops += tr.count;
+    }
+  }
+  out.transfer_steps += round - 1;
+  out.comm_steps = out.info_steps + out.transfer_steps;
+  out.new_load = hold;
+  for (i32 v = 0; v < n; ++v) {
+    RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
+               quota[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace rips::sched

@@ -1,0 +1,28 @@
+// Ring Scan scheduler — exact parallel scheduling on a bidirectional ring.
+//
+// On a cycle, the net flow across boundary b (between nodes b-1 and b) is
+// F_b = P_b - c, where P_b is the prefix imbalance sum and c a free
+// circulation constant; choosing c as the (lower) median of the P_b values
+// minimizes the total link cost sum |F_b|, making this scheduler
+// cost-optimal on rings. Complements MWA (mesh) and TWA (tree) to cover
+// the paper's "applies to different topologies" claim.
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::sched {
+
+class RingScan final : public ParallelScheduler {
+ public:
+  explicit RingScan(topo::Ring ring) : ring_(ring) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return ring_; }
+  std::string name() const override { return "ring-scan"; }
+
+ private:
+  topo::Ring ring_;
+};
+
+}  // namespace rips::sched

@@ -1,0 +1,61 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+std::vector<i64> quota_for(i64 total, i32 num_nodes) {
+  RIPS_CHECK(num_nodes > 0);
+  RIPS_CHECK(total >= 0);
+  const i64 wavg = total / num_nodes;
+  const i64 remainder = total % num_nodes;
+  std::vector<i64> quota(static_cast<size_t>(num_nodes), wavg);
+  for (i64 i = 0; i < remainder; ++i) quota[static_cast<size_t>(i)] += 1;
+  return quota;
+}
+
+i64 min_nonlocal_tasks(const std::vector<i64>& load,
+                       const std::vector<i64>& quota) {
+  RIPS_CHECK(load.size() == quota.size());
+  i64 m = 0;
+  for (size_t i = 0; i < load.size(); ++i) {
+    if (load[i] < quota[i]) m += quota[i] - load[i];
+  }
+  return m;
+}
+
+ReplayResult replay_transfers(const std::vector<i64>& load,
+                              const std::vector<Transfer>& transfers) {
+  const size_t n = load.size();
+  // Per node: count of still-resident original tasks and of foreign tasks.
+  std::vector<i64> local(load);
+  std::vector<i64> foreign(n, 0);
+
+  ReplayResult out;
+  for (const Transfer& t : transfers) {
+    RIPS_CHECK(t.from >= 0 && static_cast<size_t>(t.from) < n);
+    RIPS_CHECK(t.to >= 0 && static_cast<size_t>(t.to) < n);
+    RIPS_CHECK(t.count >= 0);
+    const auto from = static_cast<size_t>(t.from);
+    const auto to = static_cast<size_t>(t.to);
+    const i64 held = local[from] + foreign[from];
+    RIPS_CHECK_MSG(t.count <= held, "transfer exceeds sender's holdings");
+    // Forward foreign tasks first; they are non-local already.
+    const i64 from_foreign = std::min(t.count, foreign[from]);
+    const i64 from_local = t.count - from_foreign;
+    foreign[from] -= from_foreign;
+    local[from] -= from_local;
+    foreign[to] += t.count;
+    out.task_hops += t.count;
+  }
+  out.final_load.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.final_load[i] = local[i] + foreign[i];
+    out.nonlocal_tasks += foreign[i];
+  }
+  return out;
+}
+
+}  // namespace rips::sched

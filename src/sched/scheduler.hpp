@@ -1,0 +1,80 @@
+// Parallel scheduling algorithms (the system-phase half of RIPS).
+//
+// A ParallelScheduler takes the per-node task counts at the start of a
+// system phase and produces (a) the balanced per-node counts and (b) an
+// ordered plan of link-local transfers that realizes them, together with
+// the lock-step communication-step count the parallel algorithm would take
+// on the real machine. The RIPS engine replays the plan on its actual task
+// queues; benches use the counters directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/types.hpp"
+
+namespace rips::sched {
+
+/// One bulk task movement across a single link, in execution order.
+/// `step` is the lock-step round in which the transfer happens; transfers
+/// with equal step are concurrent on the machine.
+struct Transfer {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  i64 count = 0;
+  i32 step = 0;
+};
+
+/// Outcome of one system-phase scheduling round.
+struct ScheduleResult {
+  std::vector<i64> new_load;        ///< per-node counts after balancing
+  std::vector<Transfer> transfers;  ///< ordered link-local moves
+  i64 comm_steps = 0;     ///< total lock-step rounds (info + transfer)
+  i64 info_steps = 0;     ///< rounds carrying scalar load information only
+  i64 transfer_steps = 0; ///< rounds moving task payloads
+  i64 task_hops = 0;      ///< sum over links of tasks crossing them (Σ e_k)
+};
+
+class ParallelScheduler {
+ public:
+  virtual ~ParallelScheduler() = default;
+
+  /// Balances `load` (size = topology().size()). Total is conserved; the
+  /// result loads differ pairwise by at most one for all schedulers in
+  /// this library except DEM (which is approximate by design).
+  virtual ScheduleResult schedule(const std::vector<i64>& load) = 0;
+
+  virtual const topo::Topology& topology() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The paper's quota rule: wavg = floor(T/N), R = T mod N; the first R
+/// nodes (row-major id order) get wavg + 1, the rest wavg.
+std::vector<i64> quota_for(i64 total, i32 num_nodes);
+
+/// Lower bound on non-local tasks to reach `quota` from `load`
+/// (Lemma 1: sum over underloaded nodes of quota - load).
+i64 min_nonlocal_tasks(const std::vector<i64>& load,
+                       const std::vector<i64>& quota);
+
+/// Replays a transfer plan against per-node multisets of task origins and
+/// reports what actually moved. When forwarding, foreign (already moved)
+/// tasks are sent before local ones, which is the locality-maximizing
+/// policy the RIPS engine also uses.
+struct ReplayResult {
+  std::vector<i64> final_load;
+  i64 nonlocal_tasks = 0;  ///< tasks ending on a node other than the origin
+  i64 task_hops = 0;       ///< total (task, link) traversals
+};
+ReplayResult replay_transfers(const std::vector<i64>& load,
+                              const std::vector<Transfer>& transfers);
+
+/// Factory: kind in {mwa, twa, dem, dem-mesh, hwa, torus, ring,
+/// optimal}; n must match what the
+/// kind supports (see each class).
+std::unique_ptr<ParallelScheduler> make_scheduler(const std::string& kind,
+                                                  i32 n);
+
+}  // namespace rips::sched

@@ -1,0 +1,198 @@
+#include "sched/torus_walk.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+namespace {
+
+/// Median-offset ring flows: given per-position imbalances (value - quota)
+/// around a ring, returns the net rightward flow across each boundary b
+/// (between position b-1 mod n and position b) minimizing total |flow|.
+std::vector<i64> ring_flows(const std::vector<i64>& imbalance) {
+  const size_t n = imbalance.size();
+  std::vector<i64> prefix(n, 0);
+  for (size_t b = 1; b < n; ++b) {
+    prefix[b] = prefix[b - 1] + imbalance[b - 1];
+  }
+  std::vector<i64> sorted = prefix;
+  std::nth_element(sorted.begin(), sorted.begin() + (n - 1) / 2, sorted.end());
+  const i64 median = sorted[(n - 1) / 2];
+  std::vector<i64> flows(n);
+  for (size_t b = 0; b < n; ++b) flows[b] = prefix[b] - median;
+  return flows;
+}
+
+/// eta/gamma split of `amount` across the columns of a sending row; sends
+/// only above-quota surplus. Returns per-column amounts (sum == amount).
+std::vector<i64> row_split(const std::vector<i64>& w,
+                           const std::vector<i64>& quota, i32 row, i32 cols,
+                           i64 amount) {
+  std::vector<i64> send(static_cast<size_t>(cols), 0);
+  i64 eta = amount;
+  i64 gamma = 0;
+  for (i32 j = 0; j < cols; ++j) {
+    const auto v = static_cast<size_t>(row * cols + j);
+    const i64 delta = w[v] - quota[v];
+    const i64 s = std::clamp(delta - gamma, i64{0}, eta);
+    send[static_cast<size_t>(j)] = s;
+    gamma -= delta - s;
+    eta -= s;
+  }
+  // The caller guarantees the row's surplus covers `amount`; if the
+  // row-local deficits absorb too much, fall back to taking the remainder
+  // from the columns that still hold anything above zero.
+  if (eta > 0) {
+    for (i32 j = 0; j < cols && eta > 0; ++j) {
+      const auto v = static_cast<size_t>(row * cols + j);
+      const i64 spare = w[v] - send[static_cast<size_t>(j)];
+      const i64 extra = std::min(eta, spare);
+      send[static_cast<size_t>(j)] += extra;
+      eta -= extra;
+    }
+  }
+  RIPS_CHECK(eta == 0);
+  return send;
+}
+
+}  // namespace
+
+ScheduleResult TorusWalk::schedule(const std::vector<i64>& load) {
+  const i32 n1 = torus_.rows();
+  const i32 n2 = torus_.cols();
+  const i32 n = n1 * n2;
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+
+  ScheduleResult out;
+  out.new_load = load;
+  i64 total = 0;
+  for (i64 w : load) total += w;
+  const std::vector<i64> quota = quota_for(total, n);
+
+  // Information collection: ring scans in both dimensions plus the
+  // broadcast of the average / circulation constants.
+  out.info_steps += 2 * (n1 + n2);
+
+  // --- Vertical phase: settle each row at its row quota. Flows between
+  // adjacent rows (a ring of rows) execute in synchronous rounds; a row
+  // only ever sends its surplus above the row quota.
+  if (n1 > 1) {
+    std::vector<i64> row_total(static_cast<size_t>(n1), 0);
+    std::vector<i64> row_quota(static_cast<size_t>(n1), 0);
+    for (i32 i = 0; i < n1; ++i) {
+      for (i32 j = 0; j < n2; ++j) {
+        row_total[static_cast<size_t>(i)] +=
+            out.new_load[static_cast<size_t>(i * n2 + j)];
+        row_quota[static_cast<size_t>(i)] +=
+            quota[static_cast<size_t>(i * n2 + j)];
+      }
+    }
+    std::vector<i64> imbalance(static_cast<size_t>(n1));
+    for (i32 i = 0; i < n1; ++i) {
+      imbalance[static_cast<size_t>(i)] =
+          row_total[static_cast<size_t>(i)] - row_quota[static_cast<size_t>(i)];
+    }
+    std::vector<i64> flows = ring_flows(imbalance);
+
+    i32 round = 0;
+    bool pending = true;
+    while (pending) {
+      pending = false;
+      ++round;
+      RIPS_CHECK_MSG(round <= n1 + 1, "torus vertical relay failed to settle");
+      for (i32 b = 0; b < n1; ++b) {
+        i64& f = flows[static_cast<size_t>(b)];
+        if (f == 0) continue;
+        const i32 to_row = b;
+        const i32 from_row = (b + n1 - 1) % n1;
+        const i32 sender = f > 0 ? from_row : to_row;
+        const i32 receiver = f > 0 ? to_row : from_row;
+        const i64 surplus = std::max<i64>(
+            0, row_total[static_cast<size_t>(sender)] -
+                   row_quota[static_cast<size_t>(sender)]);
+        const i64 amount = std::min(std::abs(f), surplus);
+        if (amount > 0) {
+          const auto split =
+              row_split(out.new_load, quota, sender, n2, amount);
+          for (i32 j = 0; j < n2; ++j) {
+            const i64 s = split[static_cast<size_t>(j)];
+            if (s == 0) continue;
+            const NodeId from = torus_.at(sender, j);
+            const NodeId to = torus_.at(receiver, j);
+            out.new_load[static_cast<size_t>(from)] -= s;
+            out.new_load[static_cast<size_t>(to)] += s;
+            out.transfers.push_back({from, to, s, round});
+            out.task_hops += s;
+          }
+          row_total[static_cast<size_t>(sender)] -= amount;
+          row_total[static_cast<size_t>(receiver)] += amount;
+          f -= f > 0 ? amount : -amount;
+        }
+        if (f != 0) pending = true;
+      }
+    }
+    out.transfer_steps += round - 1;
+  }
+
+  // --- Horizontal phase: each row is an independent ring.
+  i32 horizontal_rounds = 0;
+  for (i32 i = 0; i < n1; ++i) {
+    if (n2 == 1) break;
+    std::vector<i64> imbalance(static_cast<size_t>(n2));
+    for (i32 j = 0; j < n2; ++j) {
+      const auto v = static_cast<size_t>(i * n2 + j);
+      imbalance[static_cast<size_t>(j)] = out.new_load[v] - quota[v];
+    }
+    std::vector<i64> flows = ring_flows(imbalance);
+    i32 round = 0;
+    bool pending = true;
+    while (pending) {
+      pending = false;
+      ++round;
+      RIPS_CHECK_MSG(round <= n2 + 1,
+                     "torus horizontal relay failed to settle");
+      std::vector<i64> reserved(static_cast<size_t>(n2), 0);
+      std::vector<Transfer> batch;
+      for (i32 b = 0; b < n2; ++b) {
+        i64& f = flows[static_cast<size_t>(b)];
+        if (f == 0) continue;
+        const i32 right = b;
+        const i32 left = (b + n2 - 1) % n2;
+        const i32 sender = f > 0 ? left : right;
+        const i32 receiver = f > 0 ? right : left;
+        const auto sv = static_cast<size_t>(i * n2 + sender);
+        const i64 avail = std::max<i64>(
+            0, out.new_load[sv] - reserved[static_cast<size_t>(sender)] -
+                   quota[sv]);
+        const i64 amount = std::min(std::abs(f), avail);
+        if (amount > 0) {
+          reserved[static_cast<size_t>(sender)] += amount;
+          batch.push_back(
+              {torus_.at(i, sender), torus_.at(i, receiver), amount, round});
+          f -= f > 0 ? amount : -amount;
+        }
+        if (f != 0) pending = true;
+      }
+      for (const Transfer& tr : batch) {
+        out.new_load[static_cast<size_t>(tr.from)] -= tr.count;
+        out.new_load[static_cast<size_t>(tr.to)] += tr.count;
+        out.transfers.push_back(tr);
+        out.task_hops += tr.count;
+      }
+    }
+    horizontal_rounds = std::max(horizontal_rounds, round - 1);
+  }
+  out.transfer_steps += horizontal_rounds;
+
+  out.comm_steps = out.info_steps + out.transfer_steps;
+  for (NodeId v = 0; v < n; ++v) {
+    RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
+               quota[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace rips::sched

@@ -1,0 +1,34 @@
+// Torus Walking Algorithm — MWA generalized to wraparound meshes.
+//
+// On a torus both balancing dimensions are rings, so the net flows across
+// row boundaries (and later, within each row, across column boundaries)
+// have a free circulation constant; choosing it as the weighted median
+// minimizes the transferred volume in that dimension (the same trick as
+// RingScan). Vertical flows are executed in synchronous relay rounds with
+// surplus gating; the per-column split of each row-to-row transfer uses
+// the eta/gamma discipline of MWA step 4.
+//
+// Versus MWA on the equivalent mesh: identical exactness guarantees
+// (final load == canonical quota) with shorter routes — the wraparound
+// links roughly halve the task-hops on skewed loads, which
+// bench/ablation_schedulers quantifies.
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "topo/torus.hpp"
+
+namespace rips::sched {
+
+class TorusWalk final : public ParallelScheduler {
+ public:
+  explicit TorusWalk(topo::Torus torus) : torus_(torus) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return torus_; }
+  std::string name() const override { return "torus-walk"; }
+
+ private:
+  topo::Torus torus_;
+};
+
+}  // namespace rips::sched

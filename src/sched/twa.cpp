@@ -1,0 +1,94 @@
+#include "sched/twa.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rips::sched {
+
+ScheduleResult Twa::schedule(const std::vector<i64>& load) {
+  const i32 n = tree_.size();
+  RIPS_CHECK(static_cast<i32>(load.size()) == n);
+
+  ScheduleResult out;
+  out.new_load = load;
+
+  // Upward sweep: subtree sums (children have larger heap indices, so a
+  // reverse id scan respects the dependency order).
+  std::vector<i64> subtree(load.begin(), load.end());
+  for (NodeId v = n - 1; v >= 1; --v) {
+    subtree[static_cast<size_t>(topo::BinaryTree::parent(v))] +=
+        subtree[static_cast<size_t>(v)];
+  }
+  const i64 total = subtree[0];
+  const std::vector<i64> quota = quota_for(total, n);
+
+  // Subtree quotas.
+  std::vector<i64> subtree_quota(quota.begin(), quota.end());
+  for (NodeId v = n - 1; v >= 1; --v) {
+    subtree_quota[static_cast<size_t>(topo::BinaryTree::parent(v))] +=
+        subtree_quota[static_cast<size_t>(v)];
+  }
+
+  // Net flow on the edge (parent(v), v): positive means v must send up.
+  std::vector<i64> up_flow(static_cast<size_t>(n), 0);
+  for (NodeId v = 1; v < n; ++v) {
+    up_flow[static_cast<size_t>(v)] = subtree[static_cast<size_t>(v)] -
+                                      subtree_quota[static_cast<size_t>(v)];
+  }
+
+  const i32 height = n == 1 ? 0 : topo::BinaryTree::depth(n - 1);
+  out.info_steps += 2 * height;  // up sweep + broadcast of wavg/R
+
+  // Synchronous relay rounds: every node forwards as much of its pending
+  // edge flow as its current holdings allow.
+  std::vector<i64> hold(out.new_load);
+  i32 round = 0;
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    ++round;
+    RIPS_CHECK_MSG(round <= 2 * height + 2, "TWA relay failed to settle");
+    std::vector<i64> reserved(static_cast<size_t>(n), 0);
+    std::vector<Transfer> batch;
+    for (NodeId v = 1; v < n; ++v) {
+      i64& f = up_flow[static_cast<size_t>(v)];
+      if (f == 0) continue;
+      const NodeId parent = topo::BinaryTree::parent(v);
+      const NodeId sender = f > 0 ? v : parent;
+      const NodeId receiver = f > 0 ? parent : v;
+      const i64 want = std::abs(f);
+      // Surplus gating (see Mwa): relays wait for inflow rather than dip
+      // below quota, preserving locality optimality.
+      const i64 avail =
+          std::max<i64>(0, hold[static_cast<size_t>(sender)] -
+                               reserved[static_cast<size_t>(sender)] -
+                               quota[static_cast<size_t>(sender)]);
+      const i64 amount = std::min(want, avail);
+      if (amount > 0) {
+        reserved[static_cast<size_t>(sender)] += amount;
+        batch.push_back({sender, receiver, amount, 2 * height + round});
+        f -= f > 0 ? amount : -amount;
+      }
+      if (f != 0) pending = true;
+    }
+    for (const Transfer& tr : batch) {
+      hold[static_cast<size_t>(tr.from)] -= tr.count;
+      hold[static_cast<size_t>(tr.to)] += tr.count;
+      out.transfers.push_back(tr);
+      out.task_hops += tr.count;
+    }
+    if (round == 1 && batch.empty() && !pending) break;
+  }
+  out.transfer_steps += round - 1;
+  out.comm_steps = out.info_steps + out.transfer_steps;
+
+  out.new_load = hold;
+  for (NodeId v = 0; v < n; ++v) {
+    RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
+               quota[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace rips::sched

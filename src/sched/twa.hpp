@@ -1,0 +1,33 @@
+// Tree Walking Algorithm — the O(log n) parallel scheduler for tree
+// topologies referenced by the paper (Shu & Wu, ICPP'95 [25]).
+//
+// Two sweeps over a complete binary tree:
+//   up:   each node reports its subtree load sum               (height steps)
+//   root: computes wavg and R, broadcasts them                 (height steps)
+//   down: the net flow on every tree edge is determined purely by
+//         subtree load vs subtree quota; transfers are executed in
+//         synchronous relay rounds                             (<= 2*height)
+//
+// Like MWA it is exact (Theorem 1 style: final load == quota) and
+// locality-optimal on its topology, because flow on an edge moves only
+// genuine surplus.
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::sched {
+
+class Twa final : public ParallelScheduler {
+ public:
+  explicit Twa(topo::BinaryTree tree) : tree_(tree) {}
+
+  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const topo::Topology& topology() const override { return tree_; }
+  std::string name() const override { return "twa"; }
+
+ private:
+  topo::BinaryTree tree_;
+};
+
+}  // namespace rips::sched

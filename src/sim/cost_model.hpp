@@ -1,0 +1,56 @@
+// Machine cost model for the simulated message-passing multicomputer.
+//
+// LogP-flavoured: CPUs pay fixed per-message send/receive overheads plus a
+// per-task marshalling cost; the network adds latency per hop that does
+// not occupy either CPU. Lock-step collective phases (the system phases of
+// RIPS) are charged per communication step, matching the paper's Section 4
+// accounting ("each communication step to migrate tasks takes about 1 ms").
+//
+// Defaults approximate the Intel Paragon the paper ran on; every bench can
+// override them. Absolute times scale with these constants, the *shapes*
+// of the results (strategy ranking, crossovers) are insensitive to them —
+// see EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+
+#include "util/types.hpp"
+
+namespace rips::sim {
+
+struct CostModel {
+  /// Calibration of application work units (search nodes / atom pairs) to
+  /// simulated nanoseconds. Set per application by the benches.
+  double ns_per_work = 165.0;
+
+  SimTime send_overhead_ns = 60'000;   ///< CPU cost to launch a message
+  SimTime recv_overhead_ns = 60'000;   ///< CPU cost to accept a message
+  SimTime per_hop_ns = 30'000;         ///< network latency per link hop
+  SimTime per_task_pack_ns = 10'000;   ///< marshal one task descriptor
+  SimTime step_ns = 1'000'000;         ///< lock-step step moving task payloads
+  SimTime info_step_ns = 100'000;      ///< lock-step step carrying scalars only
+  SimTime spawn_ns = 5'000;            ///< create/enqueue one task locally
+
+  /// CPU time for `work` application work units.
+  SimTime work_time(u64 work) const {
+    return std::max<SimTime>(
+        1, static_cast<SimTime>(static_cast<double>(work) * ns_per_work));
+  }
+
+  /// CPU time the sender spends emitting a message carrying `tasks` tasks.
+  SimTime send_time(i64 tasks) const {
+    return send_overhead_ns + tasks * per_task_pack_ns;
+  }
+
+  /// CPU time the receiver spends absorbing it.
+  SimTime recv_time(i64 tasks) const {
+    return recv_overhead_ns + tasks * per_task_pack_ns;
+  }
+
+  /// Wire time for a message crossing `hops` links (pipelined per hop).
+  SimTime network_time(i32 hops) const {
+    return static_cast<SimTime>(hops) * per_hop_ns;
+  }
+};
+
+}  // namespace rips::sim

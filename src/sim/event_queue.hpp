@@ -1,0 +1,49 @@
+// Deterministic discrete-event queue: events at equal times fire in the
+// order they were scheduled (a monotone sequence number breaks ties), so a
+// simulation run is a pure function of its inputs.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rips::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    SimTime time;
+    u64 seq;
+    Payload payload;
+  };
+
+  void push(SimTime time, Payload payload) {
+    heap_.push(Event{time, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event (undefined when empty).
+  SimTime next_time() const { return heap_.top().time; }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  u64 next_seq_ = 0;
+};
+
+}  // namespace rips::sim

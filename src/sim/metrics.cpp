@@ -1,0 +1,19 @@
+#include "sim/metrics.hpp"
+
+#include <cstdio>
+
+namespace rips::sim {
+
+std::string RunMetrics::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "N=%d tasks=%llu nonlocal=%llu T=%.3fs Th=%.3fs Ti=%.3fs "
+                "mu=%.1f%% phases=%llu",
+                num_nodes, static_cast<unsigned long long>(num_tasks),
+                static_cast<unsigned long long>(nonlocal_tasks), exec_s(),
+                overhead_s(), idle_s(), 100.0 * efficiency(),
+                static_cast<unsigned long long>(system_phases));
+  return buf;
+}
+
+}  // namespace rips::sim

@@ -1,0 +1,61 @@
+// Run metrics shared by the RIPS engine and the dynamic-strategy engine.
+// The fields mirror the paper's Table I columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rips::sim {
+
+struct RunMetrics {
+  i32 num_nodes = 0;
+  u64 num_tasks = 0;        ///< tasks executed
+  u64 nonlocal_tasks = 0;   ///< tasks executed away from their origin node
+  u64 messages = 0;         ///< point-to-point messages (dynamic strategies)
+  u64 system_phases = 0;    ///< RIPS system phases (0 for dynamic strategies)
+  u64 tasks_migrated = 0;   ///< task moves summed over all migrations
+
+  SimTime makespan_ns = 0;          ///< parallel execution time T
+  SimTime total_busy_ns = 0;        ///< sum over nodes of user-work time
+  SimTime total_overhead_ns = 0;    ///< sum over nodes of system overhead
+  SimTime total_idle_ns = 0;        ///< sum over nodes of idle time
+
+  /// Sequential execution time implied by the trace (total work).
+  SimTime sequential_ns = 0;
+
+  // --- Table I derived columns ------------------------------------------
+
+  /// Overhead time Th: per-node average system overhead, seconds.
+  double overhead_s() const {
+    return num_nodes == 0
+               ? 0.0
+               : 1e-9 * static_cast<double>(total_overhead_ns) / num_nodes;
+  }
+  /// Idle time Ti: per-node average idle, seconds.
+  double idle_s() const {
+    return num_nodes == 0
+               ? 0.0
+               : 1e-9 * static_cast<double>(total_idle_ns) / num_nodes;
+  }
+  /// Execution time T, seconds.
+  double exec_s() const { return 1e-9 * static_cast<double>(makespan_ns); }
+
+  /// Efficiency mu = Ts / (Tp * N).
+  double efficiency() const {
+    if (makespan_ns <= 0 || num_nodes == 0) return 0.0;
+    return static_cast<double>(sequential_ns) /
+           (static_cast<double>(makespan_ns) * num_nodes);
+  }
+  /// Speedup Ts / Tp.
+  double speedup() const {
+    if (makespan_ns <= 0) return 0.0;
+    return static_cast<double>(sequential_ns) /
+           static_cast<double>(makespan_ns);
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace rips::sim

@@ -1,0 +1,104 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace rips::sim {
+
+double Timeline::utilization(NodeId node, SimTime t0, SimTime t1) const {
+  RIPS_CHECK(t1 > t0);
+  SimTime busy = 0;
+  for (const TimelineEvent& e : events_) {
+    if (e.kind != TimelineEvent::Kind::kTask || e.node != node) continue;
+    const SimTime lo = std::max(e.start_ns, t0);
+    const SimTime hi = std::min(e.end_ns, t1);
+    if (hi > lo) busy += hi - lo;
+  }
+  return static_cast<double>(busy) / static_cast<double>(t1 - t0);
+}
+
+std::string Timeline::render(i32 num_nodes, i32 width) const {
+  RIPS_CHECK(num_nodes > 0 && width > 0);
+  SimTime horizon = 1;
+  for (const TimelineEvent& e : events_) {
+    horizon = std::max(horizon, e.end_ns);
+  }
+  const double bucket = static_cast<double>(horizon) / width;
+
+  static constexpr char kGlyphs[] = " .:-=#%@";
+  constexpr i32 kLevels = 7;
+
+  // Accumulate busy nanoseconds per (node, bucket).
+  std::vector<double> busy(static_cast<size_t>(num_nodes) *
+                               static_cast<size_t>(width),
+                           0.0);
+  std::vector<bool> global(static_cast<size_t>(width), false);
+  for (const TimelineEvent& e : events_) {
+    if (e.kind != TimelineEvent::Kind::kTask) {
+      const auto b0 = static_cast<i32>(static_cast<double>(e.start_ns) / bucket);
+      const auto b1 = static_cast<i32>(static_cast<double>(e.end_ns) / bucket);
+      for (i32 b = b0; b <= std::min(b1, width - 1); ++b) {
+        global[static_cast<size_t>(b)] = true;
+      }
+      continue;
+    }
+    if (e.node < 0 || e.node >= num_nodes) continue;
+    const auto first = static_cast<i32>(static_cast<double>(e.start_ns) / bucket);
+    const auto last = std::min(
+        width - 1, static_cast<i32>(static_cast<double>(e.end_ns) / bucket));
+    for (i32 b = std::max(0, first); b <= last; ++b) {
+      const double lo = std::max(static_cast<double>(e.start_ns), b * bucket);
+      const double hi =
+          std::min(static_cast<double>(e.end_ns), (b + 1) * bucket);
+      if (hi > lo) {
+        busy[static_cast<size_t>(e.node) * width + static_cast<size_t>(b)] +=
+            hi - lo;
+      }
+    }
+  }
+
+  std::string out;
+  for (i32 node = 0; node < num_nodes; ++node) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%3d ", node);
+    out += label;
+    for (i32 b = 0; b < width; ++b) {
+      const double fraction =
+          busy[static_cast<size_t>(node) * width + static_cast<size_t>(b)] /
+          bucket;
+      const auto level = std::clamp<i32>(
+          static_cast<i32>(fraction * kLevels + 0.5), 0, kLevels);
+      out += kGlyphs[level];
+    }
+    out += '\n';
+  }
+  out += "    ";
+  for (i32 b = 0; b < width; ++b) {
+    out += global[static_cast<size_t>(b)] ? '|' : ' ';
+  }
+  out += "  (| = system phase / barrier)\n";
+  return out;
+}
+
+bool Timeline::write_csv(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  bool ok = std::fputs("kind,node,start_ns,end_ns,task\n", file) >= 0;
+  for (const TimelineEvent& e : events_) {
+    const char* kind = e.kind == TimelineEvent::Kind::kTask ? "task"
+                       : e.kind == TimelineEvent::Kind::kSystemPhase
+                           ? "system_phase"
+                           : "barrier";
+    ok = ok && std::fprintf(file, "%s,%d,%lld,%lld,%lld\n", kind, e.node,
+                            static_cast<long long>(e.start_ns),
+                            static_cast<long long>(e.end_ns),
+                            e.task == kInvalidTask
+                                ? -1LL
+                                : static_cast<long long>(e.task)) > 0;
+  }
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace rips::sim

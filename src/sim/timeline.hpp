@@ -1,0 +1,51 @@
+// Execution timeline recording — optional instrumentation both engines can
+// fill so examples and tests can inspect *when* every task ran and render
+// utilization charts (the per-phase structure of RIPS is very visible this
+// way: solid user phases separated by synchronized system-phase bands).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rips::sim {
+
+struct TimelineEvent {
+  enum class Kind : u8 {
+    kTask,         ///< one task execution on `node`
+    kSystemPhase,  ///< global system phase (node == kInvalidNode)
+    kBarrier,      ///< global synchronization (node == kInvalidNode)
+  };
+  Kind kind = Kind::kTask;
+  NodeId node = kInvalidNode;
+  SimTime start_ns = 0;
+  SimTime end_ns = 0;
+  TaskId task = kInvalidTask;
+};
+
+class Timeline {
+ public:
+  void clear() { events_.clear(); }
+  void record(TimelineEvent event) { events_.push_back(event); }
+
+  const std::vector<TimelineEvent>& events() const { return events_; }
+
+  /// Per-node busy fraction inside [t0, t1) (task events only).
+  double utilization(NodeId node, SimTime t0, SimTime t1) const;
+
+  /// ASCII utilization chart: one row per node, `width` time buckets,
+  /// glyphs " .:-=#%@" by busy fraction; global events marked with '|'
+  /// in a footer row.
+  std::string render(i32 num_nodes, i32 width = 72) const;
+
+  /// CSV export (kind,node,start_ns,end_ns,task), one event per line with
+  /// a header row — for plotting outside the library. Returns false on
+  /// I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace rips::sim

@@ -1,0 +1,55 @@
+#include "topo/mesh_kd.hpp"
+
+#include <cstdlib>
+
+namespace rips::topo {
+
+MeshKd::MeshKd(std::vector<i32> dims) : dims_(std::move(dims)) {
+  RIPS_CHECK_MSG(!dims_.empty(), "mesh rank must be at least 1");
+  stride_.resize(dims_.size());
+  // Row-major: the last axis is contiguous.
+  i32 stride = 1;
+  for (size_t axis = dims_.size(); axis-- > 0;) {
+    RIPS_CHECK_MSG(dims_[axis] >= 1, "mesh dimensions must be positive");
+    stride_[axis] = stride;
+    stride *= dims_[axis];
+  }
+  size_ = stride;
+}
+
+std::string MeshKd::name() const {
+  std::string s = "meshkd-";
+  for (size_t axis = 0; axis < dims_.size(); ++axis) {
+    if (axis > 0) s += 'x';
+    s += std::to_string(dims_[axis]);
+  }
+  return s;
+}
+
+void MeshKd::append_neighbors(NodeId node, std::vector<NodeId>& out) const {
+  RIPS_DCHECK(node >= 0 && node < size_);
+  for (i32 axis = 0; axis < rank(); ++axis) {
+    const i32 c = coord(node, axis);
+    if (c > 0) out.push_back(node - stride(axis));
+    if (c + 1 < dims_[static_cast<size_t>(axis)]) {
+      out.push_back(node + stride(axis));
+    }
+  }
+}
+
+i32 MeshKd::distance(NodeId a, NodeId b) const {
+  RIPS_DCHECK(a >= 0 && a < size_ && b >= 0 && b < size_);
+  i32 d = 0;
+  for (i32 axis = 0; axis < rank(); ++axis) {
+    d += std::abs(coord(a, axis) - coord(b, axis));
+  }
+  return d;
+}
+
+i32 MeshKd::diameter() const {
+  i32 d = 0;
+  for (const i32 dim : dims_) d += dim - 1;
+  return d;
+}
+
+}  // namespace rips::topo

@@ -1,0 +1,39 @@
+// K-dimensional mesh — generalizes the paper's 2-D mesh to arbitrary rank
+// (1-D arrays, 2-D Paragon-style meshes, 3-D machines like the later
+// ASCI systems). Node ids are row-major over the dimension vector.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace rips::topo {
+
+class MeshKd final : public Topology {
+ public:
+  explicit MeshKd(std::vector<i32> dims);
+
+  i32 size() const override { return size_; }
+  std::string name() const override;
+  void append_neighbors(NodeId node, std::vector<NodeId>& out) const override;
+  i32 distance(NodeId a, NodeId b) const override;
+  i32 diameter() const override;
+
+  i32 rank() const { return static_cast<i32>(dims_.size()); }
+  const std::vector<i32>& dims() const { return dims_; }
+
+  /// Coordinate of `node` along `axis`.
+  i32 coord(NodeId node, i32 axis) const {
+    return (node / stride_[static_cast<size_t>(axis)]) %
+           dims_[static_cast<size_t>(axis)];
+  }
+  /// Id stride between adjacent coordinates along `axis`.
+  i32 stride(i32 axis) const { return stride_[static_cast<size_t>(axis)]; }
+
+ private:
+  std::vector<i32> dims_;
+  std::vector<i32> stride_;
+  i32 size_ = 1;
+};
+
+}  // namespace rips::topo

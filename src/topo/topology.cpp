@@ -1,0 +1,187 @@
+#include "topo/topology.hpp"
+
+#include "topo/torus.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+namespace rips::topo {
+
+i64 Topology::directed_edge_count() const {
+  i64 total = 0;
+  std::vector<NodeId> nbr;
+  for (NodeId n = 0; n < size(); ++n) {
+    nbr.clear();
+    append_neighbors(n, nbr);
+    total += static_cast<i64>(nbr.size());
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- Mesh
+
+Mesh::Mesh(i32 rows, i32 cols) : rows_(rows), cols_(cols) {
+  RIPS_CHECK_MSG(rows >= 1 && cols >= 1, "mesh dimensions must be positive");
+}
+
+std::string Mesh::name() const {
+  return "mesh-" + std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+void Mesh::append_neighbors(NodeId node, std::vector<NodeId>& out) const {
+  RIPS_DCHECK(node >= 0 && node < size());
+  const i32 i = row_of(node);
+  const i32 j = col_of(node);
+  if (i > 0) out.push_back(at(i - 1, j));
+  if (i + 1 < rows_) out.push_back(at(i + 1, j));
+  if (j > 0) out.push_back(at(i, j - 1));
+  if (j + 1 < cols_) out.push_back(at(i, j + 1));
+}
+
+i32 Mesh::distance(NodeId a, NodeId b) const {
+  RIPS_DCHECK(a >= 0 && a < size() && b >= 0 && b < size());
+  return std::abs(row_of(a) - row_of(b)) + std::abs(col_of(a) - col_of(b));
+}
+
+// ----------------------------------------------------------- Hypercube
+
+Hypercube::Hypercube(i32 dim) : dim_(dim) {
+  RIPS_CHECK_MSG(dim >= 0 && dim < 31, "hypercube dimension out of range");
+}
+
+std::string Hypercube::name() const {
+  return "hypercube-" + std::to_string(dim_) + "d";
+}
+
+void Hypercube::append_neighbors(NodeId node, std::vector<NodeId>& out) const {
+  RIPS_DCHECK(node >= 0 && node < size());
+  for (i32 d = 0; d < dim_; ++d) out.push_back(node ^ (1 << d));
+}
+
+i32 Hypercube::distance(NodeId a, NodeId b) const {
+  RIPS_DCHECK(a >= 0 && a < size() && b >= 0 && b < size());
+  return std::popcount(static_cast<u32>(a ^ b));
+}
+
+// ---------------------------------------------------------------- Ring
+
+Ring::Ring(i32 n) : n_(n) { RIPS_CHECK_MSG(n >= 1, "ring size must be positive"); }
+
+std::string Ring::name() const { return "ring-" + std::to_string(n_); }
+
+void Ring::append_neighbors(NodeId node, std::vector<NodeId>& out) const {
+  RIPS_DCHECK(node >= 0 && node < n_);
+  if (n_ == 1) return;
+  const NodeId next = (node + 1) % n_;
+  const NodeId prev = (node + n_ - 1) % n_;
+  out.push_back(prev);
+  if (next != prev) out.push_back(next);
+}
+
+i32 Ring::distance(NodeId a, NodeId b) const {
+  RIPS_DCHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  const i32 d = std::abs(a - b);
+  return std::min(d, n_ - d);
+}
+
+// ---------------------------------------------------------- BinaryTree
+
+BinaryTree::BinaryTree(i32 n) : n_(n) {
+  RIPS_CHECK_MSG(n >= 1, "tree size must be positive");
+}
+
+std::string BinaryTree::name() const { return "tree-" + std::to_string(n_); }
+
+void BinaryTree::append_neighbors(NodeId node, std::vector<NodeId>& out) const {
+  RIPS_DCHECK(node >= 0 && node < n_);
+  if (node != 0) out.push_back(parent(node));
+  if (const NodeId l = left(node); l != kInvalidNode) out.push_back(l);
+  if (const NodeId r = right(node); r != kInvalidNode) out.push_back(r);
+}
+
+i32 BinaryTree::depth(NodeId node) {
+  i32 d = 0;
+  while (node != 0) {
+    node = parent(node);
+    ++d;
+  }
+  return d;
+}
+
+i32 BinaryTree::distance(NodeId a, NodeId b) const {
+  RIPS_DCHECK(a >= 0 && a < n_ && b >= 0 && b < n_);
+  i32 da = depth(a);
+  i32 db = depth(b);
+  i32 hops = 0;
+  while (da > db) {
+    a = parent(a);
+    --da;
+    ++hops;
+  }
+  while (db > da) {
+    b = parent(b);
+    --db;
+    ++hops;
+  }
+  while (a != b) {
+    a = parent(a);
+    b = parent(b);
+    hops += 2;
+  }
+  return hops;
+}
+
+i32 BinaryTree::diameter() const {
+  // Deepest leaf is node n_-1; diameter joins two deepest leaves in
+  // different subtrees of the root.
+  if (n_ == 1) return 0;
+  const i32 deepest = depth(n_ - 1);
+  // Second subtree depth may be one less when the last level is partial.
+  i32 other = deepest;
+  if (n_ >= 3) {
+    // Deepest node in the right subtree of the root.
+    NodeId node = 2;
+    i32 d = 1;
+    while (2 * node + 1 < n_) {
+      node = (2 * node + 2 < n_) ? 2 * node + 2 : 2 * node + 1;
+      ++d;
+    }
+    other = d;
+  } else {
+    other = 0;
+  }
+  return deepest + other;
+}
+
+// ------------------------------------------------------------ helpers
+
+MeshShape paper_mesh_shape(i32 n) {
+  RIPS_CHECK_MSG(n >= 1 && (n & (n - 1)) == 0,
+                 "paper mesh shapes are defined for powers of two");
+  const i32 log = std::countr_zero(static_cast<u32>(n));
+  const i32 rows = 1 << ((log + 1) / 2);
+  const i32 cols = 1 << (log / 2);
+  return {rows, cols};
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& kind, i32 n) {
+  if (kind == "mesh") {
+    const MeshShape s = paper_mesh_shape(n);
+    return std::make_unique<Mesh>(s.rows, s.cols);
+  }
+  if (kind == "hypercube") {
+    RIPS_CHECK_MSG((n & (n - 1)) == 0, "hypercube size must be a power of two");
+    return std::make_unique<Hypercube>(std::countr_zero(static_cast<u32>(n)));
+  }
+  if (kind == "torus") {
+    const MeshShape s = paper_mesh_shape(n);
+    return std::make_unique<Torus>(s.rows, s.cols);
+  }
+  if (kind == "ring") return std::make_unique<Ring>(n);
+  if (kind == "tree") return std::make_unique<BinaryTree>(n);
+  RIPS_CHECK_MSG(false, "unknown topology kind");
+  return nullptr;
+}
+
+}  // namespace rips::topo

@@ -1,0 +1,146 @@
+// Interconnect topologies for the simulated message-passing machine.
+//
+// A Topology defines adjacency and hop distances between the N nodes of the
+// machine. Schedulers (MWA, TWA, DEM, ...) are written against a concrete
+// topology; the simulator and collective engine only need the interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace rips::topo {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of nodes N. Node ids are [0, N).
+  virtual i32 size() const = 0;
+
+  /// Human-readable name, e.g. "mesh-8x4".
+  virtual std::string name() const = 0;
+
+  /// Appends the neighbors of `node` to `out` (does not clear `out`).
+  virtual void append_neighbors(NodeId node, std::vector<NodeId>& out) const = 0;
+
+  /// Hop distance between two nodes (0 if equal).
+  virtual i32 distance(NodeId a, NodeId b) const = 0;
+
+  /// Maximum hop distance between any two nodes.
+  virtual i32 diameter() const = 0;
+
+  /// Convenience: neighbors as a fresh vector.
+  std::vector<NodeId> neighbors(NodeId node) const {
+    std::vector<NodeId> out;
+    append_neighbors(node, out);
+    return out;
+  }
+
+  /// True if a and b are joined by a direct link.
+  bool adjacent(NodeId a, NodeId b) const { return distance(a, b) == 1; }
+
+  /// Number of directed links (sum of neighbor list sizes).
+  i64 directed_edge_count() const;
+};
+
+/// 2-D mesh of n1 rows by n2 columns; node (i, j) has id i * n2 + j.
+/// Links join horizontally and vertically adjacent nodes (no wraparound).
+class Mesh final : public Topology {
+ public:
+  Mesh(i32 rows, i32 cols);
+
+  i32 size() const override { return rows_ * cols_; }
+  std::string name() const override;
+  void append_neighbors(NodeId node, std::vector<NodeId>& out) const override;
+  i32 distance(NodeId a, NodeId b) const override;
+  i32 diameter() const override { return rows_ - 1 + cols_ - 1; }
+
+  i32 rows() const { return rows_; }
+  i32 cols() const { return cols_; }
+  i32 row_of(NodeId node) const { return node / cols_; }
+  i32 col_of(NodeId node) const { return node % cols_; }
+  NodeId at(i32 row, i32 col) const {
+    RIPS_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return row * cols_ + col;
+  }
+
+ private:
+  i32 rows_;
+  i32 cols_;
+};
+
+/// Binary d-cube; node ids differ in one bit iff adjacent.
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(i32 dim);
+
+  i32 size() const override { return 1 << dim_; }
+  std::string name() const override;
+  void append_neighbors(NodeId node, std::vector<NodeId>& out) const override;
+  i32 distance(NodeId a, NodeId b) const override;
+  i32 diameter() const override { return dim_; }
+
+  i32 dim() const { return dim_; }
+
+ private:
+  i32 dim_;
+};
+
+/// Bidirectional ring of N nodes.
+class Ring final : public Topology {
+ public:
+  explicit Ring(i32 n);
+
+  i32 size() const override { return n_; }
+  std::string name() const override;
+  void append_neighbors(NodeId node, std::vector<NodeId>& out) const override;
+  i32 distance(NodeId a, NodeId b) const override;
+  i32 diameter() const override { return n_ / 2; }
+
+ private:
+  i32 n_;
+};
+
+/// Complete binary tree in heap order: children of k are 2k+1 and 2k+2.
+/// Used by the ALL-policy ready-signal protocol and the tree scheduler.
+class BinaryTree final : public Topology {
+ public:
+  explicit BinaryTree(i32 n);
+
+  i32 size() const override { return n_; }
+  std::string name() const override;
+  void append_neighbors(NodeId node, std::vector<NodeId>& out) const override;
+  i32 distance(NodeId a, NodeId b) const override;
+  i32 diameter() const override;
+
+  static NodeId parent(NodeId node) { return node == 0 ? kInvalidNode : (node - 1) / 2; }
+  NodeId left(NodeId node) const {
+    const NodeId c = 2 * node + 1;
+    return c < n_ ? c : kInvalidNode;
+  }
+  NodeId right(NodeId node) const {
+    const NodeId c = 2 * node + 2;
+    return c < n_ ? c : kInvalidNode;
+  }
+  static i32 depth(NodeId node);
+
+ private:
+  i32 n_;
+};
+
+/// The mesh shape used throughout the paper's evaluation: square M x M when
+/// log2(N) is even, else M x M/2 (e.g. 8 -> 4x2, 32 -> 8x4, 128 -> 16x8).
+struct MeshShape {
+  i32 rows;
+  i32 cols;
+};
+MeshShape paper_mesh_shape(i32 n);
+
+/// Factory used by benches/examples: kind in {mesh, hypercube, ring, tree}.
+std::unique_ptr<Topology> make_topology(const std::string& kind, i32 n);
+
+}  // namespace rips::topo

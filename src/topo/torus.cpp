@@ -1,0 +1,42 @@
+#include "topo/torus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rips::topo {
+
+Torus::Torus(i32 rows, i32 cols) : rows_(rows), cols_(cols) {
+  RIPS_CHECK_MSG(rows >= 1 && cols >= 1, "torus dimensions must be positive");
+}
+
+std::string Torus::name() const {
+  return "torus-" + std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+void Torus::append_neighbors(NodeId node, std::vector<NodeId>& out) const {
+  RIPS_DCHECK(node >= 0 && node < size());
+  const i32 i = row_of(node);
+  const i32 j = col_of(node);
+  // Dedupe collapsed dimensions (rows_ or cols_ <= 2 would repeat links) —
+  // but only within this call, since the contract is append-only.
+  const auto start = static_cast<std::ptrdiff_t>(out.size());
+  auto push_unique = [&](NodeId v) {
+    if (v != node &&
+        std::find(out.begin() + start, out.end(), v) == out.end()) {
+      out.push_back(v);
+    }
+  };
+  push_unique(at(i - 1, j));
+  push_unique(at(i + 1, j));
+  push_unique(at(i, j - 1));
+  push_unique(at(i, j + 1));
+}
+
+i32 Torus::distance(NodeId a, NodeId b) const {
+  RIPS_DCHECK(a >= 0 && a < size() && b >= 0 && b < size());
+  const i32 dr = std::abs(row_of(a) - row_of(b));
+  const i32 dc = std::abs(col_of(a) - col_of(b));
+  return std::min(dr, rows_ - dr) + std::min(dc, cols_ - dc);
+}
+
+}  // namespace rips::topo

@@ -1,0 +1,37 @@
+// 2-D torus (wraparound mesh) — the interconnect of the Cray T3D the
+// paper cites for its eureka synchronization. Halves worst-case distances
+// relative to the mesh and lets both balancing dimensions route the short
+// way around.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace rips::topo {
+
+class Torus final : public Topology {
+ public:
+  Torus(i32 rows, i32 cols);
+
+  i32 size() const override { return rows_ * cols_; }
+  std::string name() const override;
+  void append_neighbors(NodeId node, std::vector<NodeId>& out) const override;
+  i32 distance(NodeId a, NodeId b) const override;
+  i32 diameter() const override { return rows_ / 2 + cols_ / 2; }
+
+  i32 rows() const { return rows_; }
+  i32 cols() const { return cols_; }
+  i32 row_of(NodeId node) const { return node / cols_; }
+  i32 col_of(NodeId node) const { return node % cols_; }
+  NodeId at(i32 row, i32 col) const {
+    // Coordinates wrap: at(-1, 0) is the last row.
+    row = ((row % rows_) + rows_) % rows_;
+    col = ((col % cols_) + cols_) % cols_;
+    return row * cols_ + col;
+  }
+
+ private:
+  i32 rows_;
+  i32 cols_;
+};
+
+}  // namespace rips::topo

@@ -1,0 +1,54 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace rips {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos) {
+        named_[tok.substr(2)] = "";
+      } else {
+        named_[tok.substr(2, eq - 2)] = tok.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(tok));
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const { return named_.count(name) > 0; }
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = named_.find(name);
+  return it == named_.end() ? fallback : it->second;
+}
+
+i64 Args::get_int(const std::string& name, i64 fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rips

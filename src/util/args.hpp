@@ -1,0 +1,38 @@
+// Minimal command-line argument parser for examples and benches.
+//
+// Accepts "--key=value" and "--flag" tokens; anything else is positional.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rips {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if --name or --name=... was given.
+  bool has(const std::string& name) const;
+
+  /// Value of --name=value, or fallback if absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  i64 get_int(const std::string& name, i64 fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rips

@@ -1,0 +1,39 @@
+// Contract-check macros. RIPS_CHECK is always on (cheap invariants on hot
+// paths are guarded by RIPS_DCHECK, which compiles out in NDEBUG builds).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rips::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "RIPS_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rips::detail
+
+#define RIPS_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::rips::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                  \
+  } while (0)
+
+#define RIPS_CHECK_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::rips::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define RIPS_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define RIPS_DCHECK(expr) RIPS_CHECK(expr)
+#endif

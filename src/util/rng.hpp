@@ -1,0 +1,119 @@
+// Deterministic, seedable random number generation (xoshiro256**).
+//
+// Every experiment in the repository derives its randomness from an
+// explicit 64-bit seed so runs are bit-reproducible across machines.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace rips {
+
+/// SplitMix64 — used to expand a single seed into a full xoshiro state.
+inline u64 splitmix64(u64& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) {
+    RIPS_DCHECK(bound > 0);
+    // Lemire's unbiased multiply-shift rejection method.
+    u64 x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    u64 lo = static_cast<u64>(m);
+    if (lo < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 next_range(i64 lo, i64 hi) {
+    RIPS_DCHECK(lo <= hi);
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double next_exponential(double mean) {
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (uses two uniforms per call; simple and
+  /// deterministic, which matters more here than speed).
+  double next_gaussian() {
+    double u1 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = next_double();
+    constexpr double kTwoPi = 6.28318530717958647692;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx above).
+  u64 next_poisson(double mean) {
+    RIPS_DCHECK(mean >= 0.0);
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      const double limit = std::exp(-mean);
+      double prod = 1.0;
+      u64 n = 0;
+      do {
+        prod *= next_double();
+        ++n;
+      } while (prod > limit);
+      return n - 1;
+    }
+    const double v = mean + std::sqrt(mean) * next_gaussian();
+    return v <= 0.0 ? 0 : static_cast<u64>(v + 0.5);
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork() { return Rng(next_u64() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace rips

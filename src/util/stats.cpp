@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rips {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stdev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  RIPS_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const auto hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double coefficient_of_variation(const std::vector<double>& sample) {
+  RunningStats s;
+  for (double x : sample) s.add(x);
+  return s.mean() == 0.0 ? 0.0 : s.stdev() / s.mean();
+}
+
+double imbalance_factor(const std::vector<double>& sample) {
+  RunningStats s;
+  for (double x : sample) s.add(x);
+  return s.mean() == 0.0 ? 1.0 : s.max() / s.mean();
+}
+
+}  // namespace rips

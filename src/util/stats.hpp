@@ -1,0 +1,41 @@
+// Small statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rips {
+
+/// Streaming accumulator: count, mean, variance (Welford), min, max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  u64 count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stdev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  u64 count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); p in [0, 100].
+double percentile(std::vector<double> sample, double p);
+
+/// Coefficient of variation (stdev / mean) of a sample; 0 for empty input.
+double coefficient_of_variation(const std::vector<double>& sample);
+
+/// Load-imbalance factor: max / mean of a sample (1.0 = perfectly even).
+double imbalance_factor(const std::vector<double>& sample);
+
+}  // namespace rips

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rips {
+
+void TextTable::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::render() const {
+  // Column widths.
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.cells.size(); ++c) {
+      if (c >= width.size()) width.resize(c + 1, 0);
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (size_t w : width) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < width.size(); ++c) {
+      std::string v = c < cells.size() ? cells[c] : "";
+      s += " " + v + std::string(width[c] - v.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = hline();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += hline();
+  }
+  for (const auto& r : rows_) {
+    out += r.is_separator ? hline() : line(r.cells);
+  }
+  out += hline();
+  return out;
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string cell(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string cell(long long value) { return std::to_string(value); }
+std::string cell(unsigned long long value) { return std::to_string(value); }
+std::string cell(int value) { return std::to_string(value); }
+std::string cell(unsigned value) { return std::to_string(value); }
+
+std::string cell_pct(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace rips

@@ -1,0 +1,49 @@
+// ASCII table printer for benchmark output that mirrors the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rips {
+
+/// Builds a fixed-width text table. Columns are sized to the widest cell.
+/// Numeric formatting is the caller's job (use cell(...) helpers below).
+class TextTable {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> names);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void separator();
+
+  /// Renders to a string (with a trailing newline).
+  std::string render() const;
+
+  /// Renders directly to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string cell(double value, int decimals = 2);
+
+/// Formats an integer.
+std::string cell(long long value);
+std::string cell(unsigned long long value);
+std::string cell(int value);
+std::string cell(unsigned value);
+
+/// Formats a ratio as a percentage with the given decimals ("95%", "4.2%").
+std::string cell_pct(double ratio, int decimals = 0);
+
+}  // namespace rips

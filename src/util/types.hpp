@@ -1,0 +1,30 @@
+// Basic integer aliases and identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rips {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Index of a processing node in the simulated machine, in [0, N).
+using NodeId = i32;
+
+/// Index of a task inside a TaskTrace.
+using TaskId = u32;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+/// Simulated time in nanoseconds. Signed so durations subtract safely.
+using SimTime = i64;
+
+}  // namespace rips

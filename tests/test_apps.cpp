@@ -1,0 +1,358 @@
+// Application tests: N-Queens counts, 15-puzzle/IDA* correctness, the
+// synthetic GROMOS molecule, the synthetic generator and the TaskTrace
+// container invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/gromos.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/puzzle.hpp"
+#include "apps/synthetic.hpp"
+#include "apps/task_trace.hpp"
+
+namespace rips::apps {
+namespace {
+
+// ------------------------------------------------------------ TaskTrace
+
+TEST(TaskTrace, BuildsForestWithSegments) {
+  TaskTrace trace;
+  const TaskId a = trace.add_root(10);
+  const TaskId b = trace.add_child(a, 20);
+  const TaskId c = trace.add_child(a, 30);
+  trace.begin_segment();
+  const TaskId d = trace.add_root(40);
+
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.num_segments(), 2u);
+  EXPECT_EQ(trace.roots(0).size(), 1u);
+  EXPECT_EQ(trace.roots(1).size(), 1u);
+  EXPECT_EQ(trace.num_children(a), 2u);
+  EXPECT_EQ(trace.children_begin(a)[0], b);
+  EXPECT_EQ(trace.children_begin(a)[1], c);
+  EXPECT_EQ(trace.task(d).segment, 1);
+  EXPECT_EQ(trace.total_work(), 100u);
+  EXPECT_EQ(trace.max_task_work(), 40u);
+  EXPECT_EQ(trace.segment_work(0), 60u);
+  EXPECT_EQ(trace.segment_work(1), 40u);
+}
+
+TEST(TaskTrace, CriticalPathFollowsSpawnChains) {
+  TaskTrace trace;
+  const TaskId a = trace.add_root(10);
+  const TaskId b = trace.add_child(a, 5);
+  trace.add_child(b, 100);  // chain a -> b -> c: 115
+  trace.add_root(50);       // independent task
+  EXPECT_EQ(trace.critical_path(0), 115u);
+}
+
+TEST(TaskTrace, OptimalEfficiencyBounds) {
+  TaskTrace trace;
+  for (int i = 0; i < 32; ++i) trace.add_root(100);
+  // 32 equal tasks on 32 nodes: perfectly parallel.
+  EXPECT_DOUBLE_EQ(trace.optimal_efficiency(32), 1.0);
+  // One dominant task limits 2-node efficiency to (101+31*... ) — just
+  // check monotonicity and the [0, 1] range.
+  TaskTrace skew;
+  skew.add_root(1000);
+  for (int i = 0; i < 10; ++i) skew.add_root(1);
+  const double e2 = skew.optimal_efficiency(2);
+  const double e8 = skew.optimal_efficiency(8);
+  EXPECT_GT(e2, 0.0);
+  EXPECT_LE(e2, 1.0);
+  EXPECT_GT(e2, e8);  // the serial task hurts more with more processors
+}
+
+TEST(TaskTrace, SegmentsLimitOptimalEfficiency) {
+  // Two segments of one task each can never use the second processor.
+  TaskTrace trace;
+  trace.add_root(100);
+  trace.begin_segment();
+  trace.add_root(100);
+  EXPECT_DOUBLE_EQ(trace.optimal_efficiency(2), 0.5);
+}
+
+// -------------------------------------------------------------- queens
+
+TEST(NQueens, KnownSolutionCounts) {
+  const std::pair<i32, u64> known[] = {
+      {1, 1}, {2, 0}, {3, 0}, {4, 2}, {5, 10}, {6, 4}, {7, 40}, {8, 92},
+      {9, 352}, {10, 724}, {11, 2680}, {12, 14200}};
+  for (const auto& [n, solutions] : known) {
+    EXPECT_EQ(solve_nqueens(n).solutions, solutions) << n;
+  }
+}
+
+TEST(NQueens, NodeCountMatchesTreeSize) {
+  // The solver visits one node per valid partial placement plus the root.
+  const auto r = solve_nqueens(4);
+  // n=4 tree: root + 4 (d1) + 6 (d2) + 4 (d3)... count by construction:
+  EXPECT_GT(r.nodes, r.solutions);
+}
+
+class NQueensTrace : public ::testing::TestWithParam<std::pair<i32, i32>> {};
+
+TEST_P(NQueensTrace, ConservesWorkAndSolutions) {
+  const auto [n, split] = GetParam();
+  u64 solutions = 0;
+  const TaskTrace trace = build_nqueens_trace(n, split, &solutions);
+  EXPECT_EQ(solutions, solve_nqueens(n).solutions);
+  EXPECT_EQ(trace.num_segments(), 1u);
+  EXPECT_EQ(trace.roots(0).size(), static_cast<size_t>(n));
+  // Leaf work sums to the full enumeration minus the shallow prefix the
+  // internal tasks account for separately; total work must dominate the
+  // sequential node count of the subtrees below the split depth.
+  EXPECT_GT(trace.total_work(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndSplits, NQueensTrace,
+                         ::testing::Values(std::make_pair(6, 1),
+                                           std::make_pair(8, 2),
+                                           std::make_pair(8, 3),
+                                           std::make_pair(10, 3),
+                                           std::make_pair(10, 4),
+                                           std::make_pair(12, 4)));
+
+TEST(NQueensTrace, DeterministicAcrossBuilds) {
+  const TaskTrace a = build_nqueens_trace(9, 3);
+  const TaskTrace b = build_nqueens_trace(9, 3);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.total_work(), b.total_work());
+  for (TaskId t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.task(t).work, b.task(t).work);
+    EXPECT_EQ(a.task(t).num_children, b.task(t).num_children);
+  }
+}
+
+// -------------------------------------------------------------- puzzle
+
+TEST(Board15, SolvedBoardProperties) {
+  Board15 b;
+  EXPECT_TRUE(b.is_solved());
+  EXPECT_EQ(b.manhattan(), 0);
+  EXPECT_EQ(b.blank_pos(), 15);
+  EXPECT_EQ(b.tile_at(0), 1);
+  EXPECT_EQ(b.tile_at(14), 15);
+}
+
+TEST(Board15, MovesAreReversible) {
+  Board15 b;
+  b.scramble(30, 7);
+  const Board15 before = b;
+  ASSERT_TRUE(b.apply(0));  // blank up
+  ASSERT_TRUE(b.apply(1));  // blank down
+  EXPECT_TRUE(b == before);
+}
+
+TEST(Board15, IllegalMovesRejected) {
+  Board15 b;  // blank at 15 (bottom-right)
+  EXPECT_FALSE(b.apply(1));  // can't move blank down
+  EXPECT_FALSE(b.apply(3));  // can't move blank right
+  EXPECT_TRUE(b.apply(0));
+}
+
+TEST(Board15, ManhattanChangesByOnePerMove) {
+  Board15 b;
+  b.scramble(40, 3);
+  for (int i = 0; i < 100; ++i) {
+    const i32 before = b.manhattan();
+    for (i32 dir = 0; dir < 4; ++dir) {
+      if (b.apply(dir)) {
+        EXPECT_EQ(std::abs(b.manhattan() - before), 1);
+        break;
+      }
+    }
+  }
+}
+
+TEST(Board15, FromTilesValidates) {
+  std::array<u8, 16> tiles{};
+  for (i32 i = 0; i < 15; ++i) tiles[static_cast<size_t>(i)] = static_cast<u8>(i + 1);
+  tiles[15] = 0;
+  EXPECT_TRUE(Board15::from_tiles(tiles).is_solved());
+}
+
+TEST(SolveIda, FindsOptimalForShallowScrambles) {
+  // A k-move scramble is solvable in <= k moves; IDA* with an admissible
+  // heuristic returns the optimum, which also has k's parity.
+  for (u64 seed : {1ULL, 2ULL, 3ULL}) {
+    Board15 b;
+    b.scramble(12, seed);
+    const IdaStats st = solve_ida(b);
+    EXPECT_GE(st.solution_length, b.manhattan());
+    EXPECT_LE(st.solution_length, 12);
+    EXPECT_EQ(st.solution_length % 2, 12 % 2);
+  }
+}
+
+TEST(SolveIda, SolvedBoardIsZeroMoves) {
+  const IdaStats st = solve_ida(Board15{});
+  EXPECT_EQ(st.solution_length, 0);
+}
+
+TEST(IdaTrace, SegmentsMatchIterationsAndWorkMatchesSolver) {
+  PuzzleConfig config{"test", 20, 5, 3};
+  IdaStats stats;
+  const TaskTrace trace = build_ida_trace(config, &stats);
+  EXPECT_EQ(trace.num_segments(), static_cast<u32>(stats.iterations));
+  // Every segment has one task per frontier node.
+  const size_t frontier = trace.roots(0).size();
+  for (u32 s = 0; s < trace.num_segments(); ++s) {
+    EXPECT_EQ(trace.roots(s).size(), frontier);
+  }
+  EXPECT_EQ(trace.total_work(), stats.total_nodes);
+  // The frontier decomposition must agree with the sequential search on
+  // the solution length.
+  Board15 b;
+  b.scramble(20, 5);
+  EXPECT_EQ(solve_ida(b).solution_length, stats.solution_length);
+}
+
+TEST(PaperPuzzleConfigs, ThreeIncreasinglyHardConfigs) {
+  const auto configs = paper_puzzle_configs();
+  ASSERT_EQ(configs.size(), 3u);
+  EXPECT_EQ(configs[0].name, "config-1");
+  EXPECT_LT(configs[0].scramble_steps, configs[2].scramble_steps);
+}
+
+// -------------------------------------------------------------- gromos
+
+TEST(Molecule, ExactAtomAndGroupCounts) {
+  GromosConfig config;  // paper SOD numbers
+  Molecule mol(config);
+  EXPECT_EQ(mol.num_atoms(), 6968);
+  EXPECT_EQ(mol.num_groups(), 4986);
+  // Groups partition the atom range contiguously.
+  i32 covered = 0;
+  for (i32 g = 0; g < mol.num_groups(); ++g) {
+    EXPECT_EQ(mol.group_begin(g), covered);
+    const i32 size = mol.group_end(g) - mol.group_begin(g);
+    EXPECT_TRUE(size == 1 || size == 2);
+    covered += size;
+  }
+  EXPECT_EQ(covered, 6968);
+}
+
+TEST(Molecule, PairCountMatchesBruteForceOnSmallMolecule) {
+  GromosConfig config;
+  config.num_atoms = 300;
+  config.num_groups = 210;
+  config.seed = 77;
+  Molecule mol(config);
+  const double cutoff = 8.0;
+  const auto counts = mol.pair_counts(cutoff);
+  u64 brute = 0;
+  for (i32 i = 0; i < mol.num_atoms(); ++i) {
+    for (i32 j = i + 1; j < mol.num_atoms(); ++j) {
+      const auto& a = mol.atom(i);
+      const auto& b = mol.atom(j);
+      const double dx = a.x - b.x;
+      const double dy = a.y - b.y;
+      const double dz = a.z - b.z;
+      if (dx * dx + dy * dy + dz * dz <= cutoff * cutoff) ++brute;
+    }
+  }
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), u64{0}), brute);
+}
+
+TEST(Molecule, LargerCutoffMeansMoreWork) {
+  GromosConfig config;
+  config.num_atoms = 1000;
+  config.num_groups = 715;
+  Molecule mol(config);
+  u64 previous = 0;
+  for (double cutoff : {4.0, 8.0, 12.0, 16.0}) {
+    const auto counts = mol.pair_counts(cutoff);
+    const u64 total = std::accumulate(counts.begin(), counts.end(), u64{0});
+    EXPECT_GT(total, previous);
+    previous = total;
+  }
+}
+
+TEST(Molecule, WorkVariesAcrossGroups) {
+  GromosConfig config;
+  Molecule mol(config);
+  const auto counts = mol.pair_counts(8.0);
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  // The dense-core / loose-shell structure must create real grain-size
+  // variation (the property the paper's load balancing addresses).
+  EXPECT_GT(*hi, 4 * (*lo + 1));
+}
+
+TEST(GromosTrace, SegmentsAreMdSteps) {
+  GromosConfig config;
+  config.num_atoms = 697;
+  config.num_groups = 499;
+  config.num_steps = 3;
+  const TaskTrace trace = build_gromos_trace(config);
+  EXPECT_EQ(trace.num_segments(), 3u);
+  for (u32 s = 0; s < 3; ++s) {
+    EXPECT_EQ(trace.roots(s).size(), 499u);
+  }
+  // Jiggle changes the work profile between steps.
+  EXPECT_NE(trace.segment_work(0), trace.segment_work(1));
+}
+
+TEST(GromosTrace, DeterministicForSameSeed) {
+  GromosConfig config;
+  config.num_atoms = 400;
+  config.num_groups = 290;
+  const TaskTrace a = build_gromos_trace(config);
+  const TaskTrace b = build_gromos_trace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (TaskId t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.task(t).work, b.task(t).work);
+  }
+}
+
+// ----------------------------------------------------------- synthetic
+
+TEST(Synthetic, RespectsConfigShape) {
+  SyntheticConfig config;
+  config.num_roots = 10;
+  config.num_segments = 3;
+  config.spawn_prob = 0.0;
+  const TaskTrace trace = build_synthetic_trace(config, 1);
+  EXPECT_EQ(trace.size(), 30u);
+  EXPECT_EQ(trace.num_segments(), 3u);
+}
+
+TEST(Synthetic, SpawningGrowsTheTrace) {
+  SyntheticConfig config;
+  config.num_roots = 20;
+  config.spawn_prob = 0.8;
+  config.max_depth = 5;
+  const TaskTrace trace = build_synthetic_trace(config, 2);
+  EXPECT_GT(trace.size(), 20u);
+}
+
+TEST(Synthetic, WorkModelsProduceExpectedRanges) {
+  for (i32 model : {0, 1, 2, 3}) {
+    SyntheticConfig config;
+    config.num_roots = 500;
+    config.spawn_prob = 0.0;
+    config.work_model = model;
+    config.mean_work = 100;
+    const TaskTrace trace = build_synthetic_trace(config, 3);
+    for (TaskId t = 0; t < trace.size(); ++t) {
+      EXPECT_GE(trace.task(t).work, 1u);
+    }
+    if (model == 0) {
+      EXPECT_EQ(trace.max_task_work(), 100u);
+    }
+  }
+}
+
+TEST(Synthetic, SeedControlsEverything) {
+  SyntheticConfig config;
+  const TaskTrace a = build_synthetic_trace(config, 42);
+  const TaskTrace b = build_synthetic_trace(config, 42);
+  const TaskTrace c = build_synthetic_trace(config, 43);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.total_work(), b.total_work());
+  EXPECT_NE(a.total_work(), c.total_work());
+}
+
+}  // namespace
+}  // namespace rips::apps

@@ -1,0 +1,286 @@
+// Dynamic-strategy engine tests: conservation, determinism, accounting
+// identities and the qualitative behaviour of each baseline.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/nqueens.hpp"
+#include "apps/synthetic.hpp"
+#include "balance/engine.hpp"
+#include "balance/gradient.hpp"
+#include "balance/random_alloc.hpp"
+#include "balance/rid.hpp"
+#include "balance/sender_initiated.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::balance {
+namespace {
+
+apps::TaskTrace small_trace() {
+  apps::SyntheticConfig config;
+  config.num_roots = 64;
+  config.spawn_prob = 0.5;
+  config.max_depth = 3;
+  config.mean_work = 5000;
+  return apps::build_synthetic_trace(config, 11);
+}
+
+sim::CostModel test_cost() {
+  sim::CostModel cost;
+  cost.ns_per_work = 1000.0;
+  return cost;
+}
+
+std::vector<std::unique_ptr<Strategy>> all_strategies() {
+  std::vector<std::unique_ptr<Strategy>> out;
+  out.push_back(std::make_unique<RandomAlloc>(7));
+  out.push_back(std::make_unique<Gradient>());
+  out.push_back(std::make_unique<Rid>());
+  out.push_back(std::make_unique<SenderInitiated>());
+  return out;
+}
+
+TEST(DynamicEngine, EveryTaskExecutesExactlyOnce) {
+  const auto trace = small_trace();
+  topo::Mesh mesh(4, 4);
+  for (auto& strategy : all_strategies()) {
+    DynamicEngine engine(mesh, test_cost(), *strategy);
+    const auto metrics = engine.run(trace);
+    EXPECT_EQ(metrics.num_tasks, trace.size()) << strategy->name();
+  }
+}
+
+TEST(DynamicEngine, AccountingIdentityHolds) {
+  const auto trace = small_trace();
+  topo::Mesh mesh(4, 4);
+  for (auto& strategy : all_strategies()) {
+    DynamicEngine engine(mesh, test_cost(), *strategy);
+    const auto metrics = engine.run(trace);
+    // busy + overhead + idle == makespan * N, exactly.
+    EXPECT_EQ(metrics.total_busy_ns + metrics.total_overhead_ns +
+                  metrics.total_idle_ns,
+              metrics.makespan_ns * metrics.num_nodes)
+        << strategy->name();
+    // Busy time equals the sequential work (each task runs exactly once).
+    EXPECT_EQ(metrics.total_busy_ns, metrics.sequential_ns)
+        << strategy->name();
+    EXPECT_LE(metrics.efficiency(), 1.0) << strategy->name();
+    EXPECT_GT(metrics.efficiency(), 0.0) << strategy->name();
+  }
+}
+
+TEST(DynamicEngine, DeterministicAcrossRuns) {
+  const auto trace = small_trace();
+  topo::Mesh mesh(4, 4);
+  for (auto& strategy : all_strategies()) {
+    DynamicEngine e1(mesh, test_cost(), *strategy);
+    const auto m1 = e1.run(trace);
+    DynamicEngine e2(mesh, test_cost(), *strategy);
+    const auto m2 = e2.run(trace);
+    EXPECT_EQ(m1.makespan_ns, m2.makespan_ns) << strategy->name();
+    EXPECT_EQ(m1.nonlocal_tasks, m2.nonlocal_tasks) << strategy->name();
+    EXPECT_EQ(m1.messages, m2.messages) << strategy->name();
+  }
+}
+
+TEST(DynamicEngine, SingleNodeRunsEverythingLocally) {
+  const auto trace = small_trace();
+  topo::Mesh mesh(1, 1);
+  RandomAlloc random(3);
+  DynamicEngine engine(mesh, test_cost(), random);
+  const auto metrics = engine.run(trace);
+  EXPECT_EQ(metrics.nonlocal_tasks, 0u);
+  EXPECT_EQ(metrics.num_tasks, trace.size());
+}
+
+TEST(DynamicEngine, SegmentBarriersAreRespected) {
+  // With segments, a later segment's tasks cannot start before every task
+  // of the previous segment finished; with one task per segment the
+  // makespan is at least the serial sum of the works.
+  apps::TaskTrace trace;
+  trace.add_root(1000);
+  trace.begin_segment();
+  trace.add_root(1000);
+  trace.begin_segment();
+  trace.add_root(1000);
+  topo::Mesh mesh(2, 2);
+  RandomAlloc random(5);
+  DynamicEngine engine(mesh, test_cost(), random);
+  const auto metrics = engine.run(trace);
+  EXPECT_GE(metrics.makespan_ns, 3 * test_cost().work_time(1000));
+}
+
+TEST(RandomAlloc, NonLocalFractionNearNMinus1OverN) {
+  apps::SyntheticConfig config;
+  config.num_roots = 4000;
+  config.spawn_prob = 0.0;
+  config.mean_work = 1000;
+  const auto trace = apps::build_synthetic_trace(config, 21);
+  topo::Mesh mesh(4, 4);
+  RandomAlloc random(99);
+  DynamicEngine engine(mesh, test_cost(), random);
+  const auto metrics = engine.run(trace);
+  const double fraction = static_cast<double>(metrics.nonlocal_tasks) /
+                          static_cast<double>(metrics.num_tasks);
+  EXPECT_NEAR(fraction, 15.0 / 16.0, 0.03);
+}
+
+TEST(RandomAlloc, BalancesLargeTaskCounts) {
+  apps::SyntheticConfig config;
+  config.num_roots = 8000;
+  config.spawn_prob = 0.0;
+  config.work_model = 0;
+  config.mean_work = 5000;
+  const auto trace = apps::build_synthetic_trace(config, 31);
+  topo::Mesh mesh(4, 4);
+  RandomAlloc random(1);
+  DynamicEngine engine(mesh, test_cost(), random);
+  const auto metrics = engine.run(trace);
+  EXPECT_GT(metrics.efficiency(), 0.8);
+}
+
+TEST(Gradient, SpreadsWorkBeyondTheSourceNode) {
+  const auto trace = apps::build_nqueens_trace(10, 3);
+  topo::Mesh mesh(4, 2);
+  Gradient gradient;
+  DynamicEngine engine(mesh, test_cost(), gradient);
+  const auto metrics = engine.run(trace);
+  EXPECT_EQ(metrics.num_tasks, trace.size());
+  EXPECT_GT(metrics.nonlocal_tasks, 0u);
+  // Every node must end up doing some work.
+  const auto totals = engine.node_totals();
+  for (const auto& t : totals) EXPECT_GT(t.busy_ns, 0);
+}
+
+TEST(Rid, PullsWorkAcrossTheWholeMesh) {
+  const auto trace = apps::build_nqueens_trace(11, 3);
+  topo::Mesh mesh(4, 2);
+  Rid rid;
+  DynamicEngine engine(mesh, test_cost(), rid);
+  const auto metrics = engine.run(trace);
+  EXPECT_EQ(metrics.num_tasks, trace.size());
+  const auto totals = engine.node_totals();
+  for (const auto& t : totals) EXPECT_GT(t.busy_ns, 0);
+  // RID moves far fewer tasks than random would (locality).
+  EXPECT_LT(metrics.nonlocal_tasks, trace.size() / 2);
+}
+
+TEST(Rid, TunableUpdateFactorChangesTraffic) {
+  const auto trace = small_trace();
+  topo::Mesh mesh(4, 4);
+  Rid::Params eager_updates;
+  eager_updates.u = 0.9;  // broadcast on ~10% change: chatty
+  Rid::Params lazy_updates;
+  lazy_updates.u = 0.1;  // broadcast on ~90% change: quiet
+  Rid chatty(eager_updates);
+  Rid quiet(lazy_updates);
+  DynamicEngine e1(mesh, test_cost(), chatty);
+  const auto m1 = e1.run(trace);
+  DynamicEngine e2(mesh, test_cost(), quiet);
+  const auto m2 = e2.run(trace);
+  EXPECT_GT(m1.messages, m2.messages);
+}
+
+TEST(SenderInitiated, PushesWorkOutOfTheSource) {
+  const auto trace = apps::build_nqueens_trace(10, 3);
+  topo::Mesh mesh(2, 2);
+  SenderInitiated sid;
+  DynamicEngine engine(mesh, test_cost(), sid);
+  const auto metrics = engine.run(trace);
+  EXPECT_EQ(metrics.num_tasks, trace.size());
+  const auto totals = engine.node_totals();
+  for (const auto& t : totals) EXPECT_GT(t.busy_ns, 0);
+}
+
+TEST(Gradient, QuiescentWhenAlreadyBalanced) {
+  // Tasks spread evenly and no spawning: the gradient model should settle
+  // with little migration (everyone is lightly loaded or uniformly busy).
+  apps::SyntheticConfig config;
+  config.num_roots = 16;
+  config.spawn_prob = 0.0;
+  config.work_model = 0;
+  config.mean_work = 50000;
+  const auto trace = apps::build_synthetic_trace(config, 61);
+  topo::Mesh mesh(4, 4);
+  Gradient gradient;
+  DynamicEngine engine(mesh, test_cost(), gradient);
+  const auto metrics = engine.run(trace);
+  EXPECT_EQ(metrics.num_tasks, trace.size());
+  // 16 tasks from node 0 over 16 nodes: at most every task migrates a few
+  // hops; there must be no migration storm.
+  EXPECT_LT(metrics.tasks_migrated, 200u);
+}
+
+TEST(Rid, NoMessagesWhenSingleNodeHoldsNoSurplus) {
+  // A lone task on node 0 and idle neighbors with nothing to learn about:
+  // after the initial probes, RID must go quiet (no livelock).
+  apps::TaskTrace trace;
+  trace.add_root(1000);
+  topo::Mesh mesh(4, 4);
+  Rid rid;
+  DynamicEngine engine(mesh, test_cost(), rid);
+  const auto metrics = engine.run(trace);
+  EXPECT_EQ(metrics.num_tasks, 1u);
+  EXPECT_LT(metrics.messages, 200u);
+}
+
+TEST(SidVersusRid, SenderInitiatedSpreadsAPointSourceFaster) {
+  // A heavily loaded source pushes immediately under SID, while RID waits
+  // for receivers to learn about the overload — SID should move work out
+  // of node 0 with fewer messages per migrated task on this extreme case.
+  apps::SyntheticConfig config;
+  config.num_roots = 2000;
+  config.spawn_prob = 0.0;
+  config.work_model = 0;
+  config.mean_work = 2000;
+  const auto trace = apps::build_synthetic_trace(config, 77);
+  topo::Mesh mesh(2, 2);
+  SenderInitiated sid;
+  DynamicEngine sid_engine(mesh, test_cost(), sid);
+  const auto sid_metrics = sid_engine.run(trace);
+  Rid rid;
+  DynamicEngine rid_engine(mesh, test_cost(), rid);
+  const auto rid_metrics = rid_engine.run(trace);
+  EXPECT_EQ(sid_metrics.num_tasks, rid_metrics.num_tasks);
+  EXPECT_GT(sid_metrics.efficiency(), 0.5);
+  EXPECT_GT(rid_metrics.efficiency(), 0.5);
+}
+
+TEST(DynamicEngine, TopologyAffectsMigrationDistanceCosts) {
+  // The same strategy on a ring pays longer routes than on a hypercube;
+  // with identical work the ring run can only be slower or equal.
+  const auto trace = apps::build_nqueens_trace(11, 3);
+  topo::Ring ring(16);
+  topo::Hypercube cube(4);
+  Rid rid1;
+  DynamicEngine ring_engine(ring, test_cost(), rid1);
+  const auto ring_metrics = ring_engine.run(trace);
+  Rid rid2;
+  DynamicEngine cube_engine(cube, test_cost(), rid2);
+  const auto cube_metrics = cube_engine.run(trace);
+  EXPECT_EQ(ring_metrics.num_tasks, cube_metrics.num_tasks);
+  EXPECT_GE(ring_metrics.makespan_ns, cube_metrics.makespan_ns);
+}
+
+TEST(DynamicEngine, EmptyTraceTerminatesImmediately) {
+  apps::TaskTrace trace;
+  topo::Mesh mesh(2, 2);
+  RandomAlloc random(1);
+  DynamicEngine engine(mesh, test_cost(), random);
+  const auto metrics = engine.run(trace);
+  EXPECT_EQ(metrics.num_tasks, 0u);
+  EXPECT_EQ(metrics.makespan_ns, 0);
+}
+
+TEST(DynamicEngine, MessagesCostOverhead) {
+  const auto trace = small_trace();
+  topo::Mesh mesh(4, 4);
+  RandomAlloc random(7);
+  DynamicEngine engine(mesh, test_cost(), random);
+  const auto metrics = engine.run(trace);
+  EXPECT_GT(metrics.messages, 0u);
+  EXPECT_GT(metrics.total_overhead_ns, 0);
+}
+
+}  // namespace
+}  // namespace rips::balance

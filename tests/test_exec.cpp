@@ -1,0 +1,139 @@
+// Real-thread TaskRunner tests. These run actual std::threads, so they
+// assert counts and completion, never timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/nqueens.hpp"
+#include "exec/task_runner.hpp"
+
+namespace rips::exec {
+namespace {
+
+TEST(TaskRunner, RunsEverySpawnedTask) {
+  TaskRunner runner(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    runner.spawn([&count](TaskRunner&) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  runner.wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(TaskRunner, TasksCanSpawnTasks) {
+  TaskRunner runner(3);
+  std::atomic<int> count{0};
+  // A 3-level spawn tree: 1 + 10 + 100 tasks.
+  runner.spawn([&count](TaskRunner& r) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < 10; ++i) {
+      r.spawn([&count](TaskRunner& r2) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        for (int j = 0; j < 10; ++j) {
+          r2.spawn([&count](TaskRunner&) {
+            count.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+  });
+  runner.wait();
+  EXPECT_EQ(count.load(), 111);
+}
+
+TEST(TaskRunner, WaitIsRepeatableAcrossWaves) {
+  TaskRunner runner(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 50; ++i) {
+      runner.spawn([&count](TaskRunner&) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    runner.wait();
+    EXPECT_EQ(count.load(), 50 * (wave + 1));
+  }
+}
+
+TEST(TaskRunner, SingleThreadStillCompletes) {
+  TaskRunner runner(1);
+  std::atomic<int> count{0};
+  runner.spawn([&count](TaskRunner& r) {
+    for (int i = 0; i < 20; ++i) {
+      r.spawn([&count](TaskRunner&) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  runner.wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(TaskRunner, WaitOnIdleRunnerReturnsImmediately) {
+  TaskRunner runner(2);
+  runner.wait();  // nothing spawned
+  SUCCEED();
+}
+
+TEST(TaskRunner, RealNQueensMatchesSequentialSolver) {
+  // The acid test: an actual irregular computation, validated exactly.
+  const i32 n = 10;
+  TaskRunner runner(4);
+  std::atomic<u64> solutions{0};
+
+  struct Expand {
+    static void run(TaskRunner& r, std::atomic<u64>& solutions, i32 n,
+                    i32 depth, u32 cols, u32 diag_l, u32 diag_r) {
+      if (depth == 2) {
+        solutions.fetch_add(
+            apps::solve_nqueens(n, depth, cols, diag_l, diag_r).solutions,
+            std::memory_order_relaxed);
+        return;
+      }
+      const u32 full = (1u << n) - 1;
+      u32 free = full & ~(cols | diag_l | diag_r);
+      while (free != 0) {
+        const u32 bit = free & (0 - free);
+        free ^= bit;
+        const u32 c = cols | bit;
+        const u32 l = (diag_l | bit) << 1;
+        const u32 rr = (diag_r | bit) >> 1;
+        const i32 d = depth + 1;
+        r.spawn([&solutions, n, d, c, l, rr](TaskRunner& r2) {
+          run(r2, solutions, n, d, c, l, rr);
+        });
+      }
+    }
+  };
+  runner.spawn([&solutions, n](TaskRunner& r) {
+    Expand::run(r, solutions, n, 0, 0, 0, 0);
+  });
+  runner.wait();
+  EXPECT_EQ(solutions.load(), apps::solve_nqueens(n).solutions);
+}
+
+TEST(TaskRunner, StealsHappenUnderImbalance) {
+  // One external spawn expands into hundreds of tasks on one worker's
+  // queue; with several workers, some of them must be stolen.
+  TaskRunner runner(4);
+  std::atomic<int> count{0};
+  runner.spawn([&count](TaskRunner& r) {
+    for (int i = 0; i < 500; ++i) {
+      r.spawn([&count](TaskRunner&) {
+        // A little real work so the spawner cannot finish everything
+        // before anyone wakes up.
+        volatile int sink = 0;
+        for (int k = 0; k < 2000; ++k) sink += k;
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  runner.wait();
+  EXPECT_EQ(count.load(), 500);
+  EXPECT_GT(runner.steals(), 0u);
+}
+
+}  // namespace
+}  // namespace rips::exec

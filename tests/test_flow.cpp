@@ -1,0 +1,205 @@
+// Min-cost max-flow tests: textbook instances, randomized cross-checks
+// against a slow Bellman-Ford-based reference, and the load-balancing
+// reduction of Section 3.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "flow/mincost_flow.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rips::flow {
+namespace {
+
+constexpr i64 kBig = std::numeric_limits<i64>::max() / 8;
+
+/// Slow reference: successive shortest augmenting paths found with
+/// Bellman-Ford on the residual graph (handles the negative residual arcs
+/// without potentials). O(V * E * flow) — fine for tiny graphs.
+class SlowMcmf {
+ public:
+  explicit SlowMcmf(i32 n) : n_(n) {}
+
+  void add_edge(i32 from, i32 to, i64 cap, i64 cost) {
+    arcs_.push_back({from, to, cap, cost});
+    arcs_.push_back({to, from, 0, -cost});
+  }
+
+  std::pair<i64, i64> solve(i32 s, i32 t) {
+    i64 flow = 0;
+    i64 cost = 0;
+    while (true) {
+      std::vector<i64> dist(static_cast<size_t>(n_), kBig);
+      std::vector<i32> prev(static_cast<size_t>(n_), -1);
+      dist[static_cast<size_t>(s)] = 0;
+      for (i32 round = 0; round < n_; ++round) {
+        for (size_t a = 0; a < arcs_.size(); ++a) {
+          const Arc& arc = arcs_[a];
+          if (arc.cap <= 0 || dist[static_cast<size_t>(arc.from)] >= kBig) {
+            continue;
+          }
+          const i64 nd = dist[static_cast<size_t>(arc.from)] + arc.cost;
+          if (nd < dist[static_cast<size_t>(arc.to)]) {
+            dist[static_cast<size_t>(arc.to)] = nd;
+            prev[static_cast<size_t>(arc.to)] = static_cast<i32>(a);
+          }
+        }
+      }
+      if (dist[static_cast<size_t>(t)] >= kBig) break;
+      i64 push = kBig;
+      for (i32 v = t; v != s;) {
+        const Arc& arc = arcs_[static_cast<size_t>(prev[static_cast<size_t>(v)])];
+        push = std::min(push, arc.cap);
+        v = arc.from;
+      }
+      for (i32 v = t; v != s;) {
+        const i32 a = prev[static_cast<size_t>(v)];
+        arcs_[static_cast<size_t>(a)].cap -= push;
+        arcs_[static_cast<size_t>(a ^ 1)].cap += push;
+        cost += push * arcs_[static_cast<size_t>(a)].cost;
+        v = arcs_[static_cast<size_t>(a)].from;
+      }
+      flow += push;
+    }
+    return {flow, cost};
+  }
+
+ private:
+  struct Arc {
+    i32 from;
+    i32 to;
+    i64 cap;
+    i64 cost;
+  };
+  i32 n_;
+  std::vector<Arc> arcs_;
+};
+
+TEST(MinCostMaxFlow, SingleEdge) {
+  MinCostMaxFlow m(2);
+  m.add_edge(0, 1, 5, 3);
+  const auto r = m.solve(0, 1);
+  EXPECT_EQ(r.flow, 5);
+  EXPECT_EQ(r.cost, 15);
+}
+
+TEST(MinCostMaxFlow, PrefersCheaperParallelPath) {
+  MinCostMaxFlow m(4);
+  // Two s->t paths: cost 2 via node 1, cost 5 via node 2.
+  m.add_edge(0, 1, 3, 1);
+  m.add_edge(1, 3, 3, 1);
+  m.add_edge(0, 2, 3, 2);
+  m.add_edge(2, 3, 3, 3);
+  const auto r = m.solve(0, 3);
+  EXPECT_EQ(r.flow, 6);
+  EXPECT_EQ(r.cost, 3 * 2 + 3 * 5);
+}
+
+TEST(MinCostMaxFlow, RespectsBottleneck) {
+  MinCostMaxFlow m(3);
+  m.add_edge(0, 1, 10, 0);
+  m.add_edge(1, 2, 4, 1);
+  const auto r = m.solve(0, 2);
+  EXPECT_EQ(r.flow, 4);
+  EXPECT_EQ(r.cost, 4);
+}
+
+TEST(MinCostMaxFlow, FlowOnReportsPerEdgeFlow) {
+  MinCostMaxFlow m(3);
+  const i32 cheap = m.add_edge(0, 1, 2, 1);
+  const i32 dear = m.add_edge(0, 1, 10, 5);
+  const i32 out = m.add_edge(1, 2, 5, 0);
+  const auto r = m.solve(0, 2);
+  EXPECT_EQ(r.flow, 5);
+  EXPECT_EQ(m.flow_on(cheap), 2);
+  EXPECT_EQ(m.flow_on(dear), 3);
+  EXPECT_EQ(m.flow_on(out), 5);
+}
+
+TEST(MinCostMaxFlow, DisconnectedSinkGivesZeroFlow) {
+  MinCostMaxFlow m(4);
+  m.add_edge(0, 1, 5, 1);
+  const auto r = m.solve(0, 3);
+  EXPECT_EQ(r.flow, 0);
+  EXPECT_EQ(r.cost, 0);
+}
+
+TEST(MinCostMaxFlow, MatchesSlowReferenceOnRandomGraphs) {
+  Rng rng(0xF10F);
+  for (int trial = 0; trial < 60; ++trial) {
+    const i32 n = 2 + static_cast<i32>(rng.next_below(6));
+    MinCostMaxFlow fast(n);
+    SlowMcmf slow(n);
+    const i32 edges = 1 + static_cast<i32>(rng.next_below(12));
+    for (i32 e = 0; e < edges; ++e) {
+      const i32 from = static_cast<i32>(rng.next_below(static_cast<u64>(n)));
+      i32 to = static_cast<i32>(rng.next_below(static_cast<u64>(n)));
+      if (to == from) to = (to + 1) % n;
+      const i64 cap = static_cast<i64>(rng.next_below(10));
+      const i64 cost = static_cast<i64>(rng.next_below(5));
+      fast.add_edge(from, to, cap, cost);
+      slow.add_edge(from, to, cap, cost);
+    }
+    const auto rf = fast.solve(0, n - 1);
+    const auto [slow_flow, slow_cost] = slow.solve(0, n - 1);
+    EXPECT_EQ(rf.flow, slow_flow) << "trial " << trial;
+    EXPECT_EQ(rf.cost, slow_cost) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------- optimal_balance_cost
+
+TEST(OptimalBalanceCost, AlreadyBalancedCostsNothing) {
+  topo::Ring ring(4);
+  const std::vector<i64> load{3, 3, 3, 3};
+  const auto r = optimal_balance_cost(ring, load, load);
+  EXPECT_EQ(r.total_cost, 0);
+  EXPECT_EQ(r.total_moved, 0);
+}
+
+TEST(OptimalBalanceCost, LineOfThreeHandComputed) {
+  // Loads (6,0,0) -> quota (2,2,2) on a path: 2 tasks to node 1 (1 hop
+  // each) and 2 tasks to node 2 (2 hops each) = 6 task-hops.
+  topo::Mesh line(1, 3);
+  const auto r =
+      optimal_balance_cost(line, {6, 0, 0}, {2, 2, 2});
+  EXPECT_EQ(r.total_cost, 6);
+  EXPECT_EQ(r.total_moved, 4);
+}
+
+TEST(OptimalBalanceCost, RingUsesShorterArc) {
+  // On a 4-ring, surplus at node 0 reaches node 3 in one hop (wraparound).
+  topo::Ring ring(4);
+  const auto r = optimal_balance_cost(ring, {8, 0, 0, 0}, {2, 2, 2, 2});
+  // 2 tasks x 1 hop to node 1, 2 x 1 to node 3, 2 x 2 to node 2.
+  EXPECT_EQ(r.total_cost, 8);
+  EXPECT_EQ(r.total_moved, 6);
+}
+
+TEST(OptimalBalanceCost, MovedEqualsSurplusSum) {
+  topo::Mesh mesh(4, 4);
+  Rng rng(5);
+  std::vector<i64> load(16);
+  i64 total = 0;
+  for (auto& w : load) {
+    w = static_cast<i64>(rng.next_below(20));
+    total += w;
+  }
+  // Pad node 0 so the total divides evenly.
+  load[0] += (16 - total % 16) % 16;
+  i64 sum = 0;
+  for (i64 w : load) sum += w;
+  std::vector<i64> quota(16, sum / 16);
+  i64 expected_moved = 0;
+  for (i64 w : load) {
+    if (w > sum / 16) expected_moved += w - sum / 16;
+  }
+  const auto r = optimal_balance_cost(mesh, load, quota);
+  EXPECT_EQ(r.total_moved, expected_moved);
+  EXPECT_GE(r.total_cost, expected_moved);  // each moved task >= 1 hop
+}
+
+}  // namespace
+}  // namespace rips::flow

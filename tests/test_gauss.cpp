@@ -1,0 +1,102 @@
+// Blocked Gaussian elimination trace tests.
+#include <gtest/gtest.h>
+
+#include "apps/gauss.hpp"
+
+namespace rips::apps {
+namespace {
+
+TEST(Gauss, StepAndTaskCounts) {
+  GaussConfig config;
+  config.matrix_n = 1024;
+  config.block = 256;
+  EXPECT_EQ(gauss_num_steps(config), 4);
+  const TaskTrace trace = build_gauss_trace(config);
+  EXPECT_EQ(trace.num_segments(), 4u);
+  // Step k: 1 pivot + 2(B-k-1) panels + (B-k-1)^2 updates.
+  EXPECT_EQ(trace.roots(0).size(), 1u + 6u + 9u);
+  EXPECT_EQ(trace.roots(1).size(), 1u + 4u + 4u);
+  EXPECT_EQ(trace.roots(2).size(), 1u + 2u + 1u);
+  EXPECT_EQ(trace.roots(3).size(), 1u);
+}
+
+TEST(Gauss, WorkMatchesOperationCounts) {
+  GaussConfig config;
+  config.matrix_n = 512;
+  config.block = 128;
+  const TaskTrace trace = build_gauss_trace(config);
+  const u64 b3 = 128ULL * 128 * 128;
+  // Segment 0: pivot b^3/3 + 6 panels b^3/2 + 9 updates b^3.
+  EXPECT_EQ(trace.segment_work(0), b3 / 3 + 6 * (b3 / 2) + 9 * b3);
+  // Final segment: just the last pivot.
+  EXPECT_EQ(trace.segment_work(3), b3 / 3);
+  // Work is counted in multiply-adds: total ~ n^3/3 for LU; sanity:
+  // within 25% of the closed form.
+  const double n3 = 512.0 * 512.0 * 512.0;
+  const double expect = n3 / 3.0;
+  EXPECT_NEAR(static_cast<double>(trace.total_work()), expect, 0.25 * expect);
+}
+
+TEST(Gauss, NoSpawning) {
+  GaussConfig config;
+  config.matrix_n = 512;
+  config.block = 128;
+  const TaskTrace trace = build_gauss_trace(config);
+  for (TaskId t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(trace.num_children(t), 0u);
+  }
+}
+
+TEST(Gauss, ParallelismShrinksWithStep) {
+  GaussConfig config;
+  config.matrix_n = 2048;
+  config.block = 128;
+  const TaskTrace trace = build_gauss_trace(config);
+  for (u32 s = 1; s < trace.num_segments(); ++s) {
+    EXPECT_LT(trace.roots(s).size(), trace.roots(s - 1).size());
+  }
+  // Optimal efficiency on many nodes is limited by the serial tail.
+  EXPECT_LT(trace.optimal_efficiency(256), 0.9);
+  EXPECT_GT(trace.optimal_efficiency(4), 0.9);
+}
+
+TEST(Fft, StageAndTaskStructure) {
+  FftConfig config;
+  config.size = 1 << 10;
+  config.tasks_per_stage = 16;
+  EXPECT_EQ(fft_num_stages(config), 10);
+  const TaskTrace trace = build_fft_trace(config);
+  EXPECT_EQ(trace.num_segments(), 10u);
+  EXPECT_EQ(trace.size(), 160u);
+  // Perfectly uniform grain: size/2 butterflies over 16 tasks per stage.
+  EXPECT_EQ(trace.max_task_work(), 32u);
+  for (TaskId t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(trace.task(t).work, 32u);
+  }
+  EXPECT_EQ(trace.total_work(), 10u * 512u);
+}
+
+TEST(Fft, PerfectlyParallelWhenTasksDivideNodes) {
+  FftConfig config;
+  config.size = 1 << 12;
+  config.tasks_per_stage = 64;
+  const TaskTrace trace = build_fft_trace(config);
+  EXPECT_DOUBLE_EQ(trace.optimal_efficiency(64), 1.0);
+  EXPECT_DOUBLE_EQ(trace.optimal_efficiency(32), 1.0);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  FftConfig config;
+  config.size = 1000;
+  EXPECT_DEATH(build_fft_trace(config), "power of two");
+}
+
+TEST(Gauss, RejectsNonDividingBlock) {
+  GaussConfig config;
+  config.matrix_n = 1000;
+  config.block = 256;
+  EXPECT_DEATH(build_gauss_trace(config), "block size");
+}
+
+}  // namespace
+}  // namespace rips::apps

@@ -1,0 +1,158 @@
+// Cross-module integration tests: RIPS versus the dynamic baselines on
+// shared traces, scheduler quality orderings, and Figure-4 style
+// normalized-cost sanity at small scale.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/nqueens.hpp"
+#include "apps/paper_workloads.hpp"
+#include "apps/synthetic.hpp"
+#include "balance/engine.hpp"
+#include "balance/gradient.hpp"
+#include "balance/random_alloc.hpp"
+#include "balance/rid.hpp"
+#include "flow/mincost_flow.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "sched/scheduler.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rips {
+namespace {
+
+sim::CostModel cost_2us() {
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+  return cost;
+}
+
+TEST(Integration, RipsBeatsRandomOnLocality) {
+  const auto trace = apps::build_nqueens_trace(11, 3);
+  topo::Mesh mesh(4, 2);
+  sched::Mwa mwa(mesh);
+  core::RipsEngine rips_engine(mwa, cost_2us(), core::RipsConfig{});
+  const auto rips = rips_engine.run(trace);
+
+  balance::RandomAlloc random(17);
+  balance::DynamicEngine random_engine(mesh, cost_2us(), random);
+  const auto rand = random_engine.run(trace);
+
+  EXPECT_LT(rips.nonlocal_tasks, rand.nonlocal_tasks / 2);
+}
+
+TEST(Integration, MeasuredEfficiencyNeverExceedsOptimalBound) {
+  const auto trace = apps::build_nqueens_trace(12, 4);
+  topo::Mesh mesh(4, 4);
+  const double bound = trace.optimal_efficiency(16);
+  sched::Mwa mwa(mesh);
+  core::RipsEngine rips_engine(mwa, cost_2us(), core::RipsConfig{});
+  EXPECT_LE(rips_engine.run(trace).efficiency(), bound + 1e-9);
+
+  balance::Rid rid;
+  balance::DynamicEngine rid_engine(mesh, cost_2us(), rid);
+  EXPECT_LE(rid_engine.run(trace).efficiency(), bound + 1e-9);
+}
+
+TEST(Integration, AllStrategiesAgreeOnTaskCount) {
+  const auto trace = apps::build_nqueens_trace(10, 3);
+  topo::Mesh mesh(4, 2);
+  sched::Mwa mwa(mesh);
+  core::RipsEngine rips_engine(mwa, cost_2us(), core::RipsConfig{});
+  EXPECT_EQ(rips_engine.run(trace).num_tasks, trace.size());
+  for (int kind = 0; kind < 3; ++kind) {
+    std::unique_ptr<balance::Strategy> strategy;
+    if (kind == 0) strategy = std::make_unique<balance::RandomAlloc>(3);
+    if (kind == 1) strategy = std::make_unique<balance::Gradient>();
+    if (kind == 2) strategy = std::make_unique<balance::Rid>();
+    balance::DynamicEngine engine(mesh, cost_2us(), *strategy);
+    EXPECT_EQ(engine.run(trace).num_tasks, trace.size());
+  }
+}
+
+TEST(Integration, Figure4NormalizedCostIsSmallOnSmallMeshes) {
+  // Figure 4(a): on 8-32 processors MWA is within ~10% of optimal.
+  Rng rng(2024);
+  for (const i32 n : {8, 16, 32}) {
+    const auto shape = topo::paper_mesh_shape(n);
+    topo::Mesh mesh(shape.rows, shape.cols);
+    sched::Mwa mwa(mesh);
+    double ratio_sum = 0.0;
+    int cases = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+      std::vector<i64> load(static_cast<size_t>(n));
+      for (auto& w : load) w = static_cast<i64>(rng.next_below(21));
+      const auto result = mwa.schedule(load);
+      i64 total = std::accumulate(load.begin(), load.end(), i64{0});
+      const auto opt = flow::optimal_balance_cost(
+          mesh, load, sched::quota_for(total, n));
+      if (opt.total_cost == 0) continue;
+      ratio_sum += static_cast<double>(result.task_hops - opt.total_cost) /
+                   static_cast<double>(opt.total_cost);
+      ++cases;
+    }
+    ASSERT_GT(cases, 0);
+    EXPECT_LE(ratio_sum / cases, 0.12) << n << " processors";
+  }
+}
+
+TEST(Integration, MwaCheaperThanDemOnMesh) {
+  // Section 5's claim: DEM on a mesh pays redundant multi-hop exchanges;
+  // MWA moves strictly less task-volume across links on skewed loads.
+  Rng rng(7);
+  const auto mwa = sched::make_scheduler("mwa", 16);
+  const auto dem = sched::make_scheduler("dem-mesh", 16);
+  i64 mwa_total = 0;
+  i64 dem_total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<i64> load(16);
+    for (auto& w : load) w = static_cast<i64>(rng.next_below(30));
+    mwa_total += mwa->schedule(load).task_hops;
+    dem_total += dem->schedule(load).task_hops;
+  }
+  EXPECT_LT(mwa_total, dem_total);
+}
+
+TEST(Integration, PaperWorkloadsQuickSetBuilds) {
+  const auto workloads = apps::build_paper_workloads(/*quick=*/true);
+  ASSERT_EQ(workloads.size(), 4u);
+  for (const auto& w : workloads) {
+    EXPECT_GT(w.trace.size(), 0u);
+    EXPECT_GT(w.trace.total_work(), 0u);
+    EXPECT_GT(w.cost.ns_per_work, 0.0);
+    EXPECT_GT(w.tasks_reported, 0u);
+  }
+}
+
+TEST(Integration, QuickWorkloadRunsUnderEveryStrategy) {
+  const auto workloads = apps::build_paper_workloads(/*quick=*/true);
+  const auto& queens = workloads.front();
+  topo::Mesh mesh(4, 2);
+  sched::Mwa mwa(mesh);
+  core::RipsEngine rips_engine(mwa, queens.cost, core::RipsConfig{});
+  const auto rips = rips_engine.run(queens.trace);
+  balance::Rid rid;
+  balance::DynamicEngine rid_engine(mesh, queens.cost, rid);
+  const auto rid_m = rid_engine.run(queens.trace);
+  EXPECT_EQ(rips.num_tasks, rid_m.num_tasks);
+  EXPECT_EQ(rips.sequential_ns, rid_m.sequential_ns);
+}
+
+TEST(Integration, EfficiencyImprovesWithProblemSize) {
+  // The paper's observation: small problems are overhead-dominated; the
+  // efficiency of RIPS rises with problem size on a fixed machine.
+  topo::Mesh mesh(4, 4);
+  double previous = 0.0;
+  for (const i32 n : {9, 11, 13}) {
+    const auto trace = apps::build_nqueens_trace(n, 3);
+    sched::Mwa mwa(mesh);
+    core::RipsEngine engine(mwa, cost_2us(), core::RipsConfig{});
+    const double eff = engine.run(trace).efficiency();
+    EXPECT_GT(eff, previous);
+    previous = eff;
+  }
+}
+
+}  // namespace
+}  // namespace rips

@@ -1,0 +1,144 @@
+// K-dimensional mesh walking tests: MeshKd topology invariants, KdWalk
+// exactness/locality, and the reduction to MWA on 2-D meshes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sched/kd_walk.hpp"
+#include "sched/mwa.hpp"
+#include "sched/scheduler.hpp"
+#include "topo/mesh_kd.hpp"
+#include "util/rng.hpp"
+
+namespace rips::sched {
+namespace {
+
+std::vector<i64> random_load(i32 n, i64 mean, Rng& rng) {
+  std::vector<i64> load(static_cast<size_t>(n));
+  for (auto& w : load) w = static_cast<i64>(rng.next_below(2 * mean + 1));
+  return load;
+}
+
+i64 sum_of(const std::vector<i64>& v) {
+  return std::accumulate(v.begin(), v.end(), i64{0});
+}
+
+// --------------------------------------------------------------- topo
+
+TEST(MeshKd, CoordinatesAndStrides) {
+  topo::MeshKd mesh({2, 3, 4});
+  EXPECT_EQ(mesh.size(), 24);
+  EXPECT_EQ(mesh.rank(), 3);
+  EXPECT_EQ(mesh.stride(2), 1);
+  EXPECT_EQ(mesh.stride(1), 4);
+  EXPECT_EQ(mesh.stride(0), 12);
+  const NodeId v = 1 * 12 + 2 * 4 + 3;
+  EXPECT_EQ(mesh.coord(v, 0), 1);
+  EXPECT_EQ(mesh.coord(v, 1), 2);
+  EXPECT_EQ(mesh.coord(v, 2), 3);
+  EXPECT_EQ(mesh.diameter(), 1 + 2 + 3);
+}
+
+TEST(MeshKd, MatchesMesh2dStructure) {
+  topo::MeshKd kd({4, 6});
+  topo::Mesh mesh(4, 6);
+  ASSERT_EQ(kd.size(), mesh.size());
+  for (NodeId u = 0; u < kd.size(); ++u) {
+    auto a = kd.neighbors(u);
+    auto b = mesh.neighbors(u);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << u;
+    for (NodeId v = 0; v < kd.size(); ++v) {
+      EXPECT_EQ(kd.distance(u, v), mesh.distance(u, v));
+    }
+  }
+}
+
+TEST(MeshKd, NeighborsAreAxisAdjacent) {
+  topo::MeshKd mesh({3, 3, 3});
+  for (NodeId u = 0; u < mesh.size(); ++u) {
+    for (NodeId v : mesh.neighbors(u)) {
+      EXPECT_EQ(mesh.distance(u, v), 1);
+    }
+  }
+  // Interior node of a 3x3x3 mesh has 6 neighbors.
+  const NodeId center = 1 * 9 + 1 * 3 + 1;
+  EXPECT_EQ(mesh.neighbors(center).size(), 6u);
+}
+
+// ------------------------------------------------------------- KdWalk
+
+struct KdCase {
+  std::vector<i32> dims;
+  i64 mean;
+};
+
+class KdWalkProperties : public ::testing::TestWithParam<KdCase> {};
+
+TEST_P(KdWalkProperties, ExactBalanceLocalityAndStepBound) {
+  const KdCase param = GetParam();
+  topo::MeshKd mesh(param.dims);
+  KdWalk walk(topo::MeshKd(param.dims));
+  Rng rng(1300 + static_cast<u64>(mesh.size() + param.mean));
+  i64 dim_sum = 0;
+  for (const i32 d : param.dims) dim_sum += d;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto load = random_load(mesh.size(), param.mean, rng);
+    load[0] += (mesh.size() - sum_of(load) % mesh.size()) % mesh.size();
+    const auto quota = quota_for(sum_of(load), mesh.size());
+    const auto result = walk.schedule(load);
+    EXPECT_EQ(result.new_load, quota);
+    EXPECT_LE(result.comm_steps, 3 * dim_sum);
+    const auto replay = replay_transfers(load, result.transfers);
+    EXPECT_EQ(replay.final_load, quota);
+    EXPECT_EQ(replay.nonlocal_tasks, min_nonlocal_tasks(load, quota));
+    for (const Transfer& tr : result.transfers) {
+      EXPECT_EQ(mesh.distance(tr.from, tr.to), 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KdWalkProperties,
+    ::testing::Values(KdCase{{1}, 5}, KdCase{{8}, 5}, KdCase{{4, 4}, 7},
+                      KdCase{{8, 4}, 3}, KdCase{{2, 2, 2}, 6},
+                      KdCase{{4, 4, 4}, 10}, KdCase{{2, 3, 4}, 8},
+                      KdCase{{2, 2, 2, 2}, 5}, KdCase{{3, 1, 5}, 9},
+                      KdCase{{4, 4, 2, 2}, 6}, KdCase{{8, 8, 4}, 12},
+                      KdCase{{1, 1, 1}, 3}));
+
+TEST(KdWalk, ReducesToMwaOn2dMeshes) {
+  // Same quota rule, same axis order => identical final distributions.
+  Mwa mwa(topo::Mesh(8, 4));
+  KdWalk kd(topo::MeshKd({8, 4}));
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto load = random_load(32, 12, rng);
+    EXPECT_EQ(kd.schedule(load).new_load, mwa.schedule(load).new_load);
+  }
+}
+
+TEST(KdWalk, ThreeDRoutesAreShorterThanTwoD) {
+  // 64 nodes as 4x4x4 vs 8x8: the 3-D mesh has smaller diameter, so
+  // spreading a corner hot spot costs fewer task-hops.
+  KdWalk cube(topo::MeshKd({4, 4, 4}));
+  Mwa flat(topo::Mesh(8, 8));
+  std::vector<i64> load(64, 0);
+  load[0] = 640;
+  const auto cube_result = cube.schedule(load);
+  const auto flat_result = flat.schedule(load);
+  EXPECT_EQ(cube_result.new_load, flat_result.new_load);
+  EXPECT_LT(cube_result.task_hops, flat_result.task_hops);
+}
+
+TEST(KdWalk, FactoryShapesCubically) {
+  const auto sched = make_scheduler("kd", 64);
+  EXPECT_EQ(sched->topology().name(), "meshkd-4x4x4");
+  Rng rng(5);
+  const auto load = random_load(64, 6, rng);
+  EXPECT_EQ(sched->schedule(load).new_load, quota_for(sum_of(load), 64));
+}
+
+}  // namespace
+}  // namespace rips::sched

@@ -1,0 +1,122 @@
+// Multi-job merging: structure preservation, ownership mapping and
+// per-job completion extraction.
+#include <gtest/gtest.h>
+
+#include "apps/multi_job.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/synthetic.hpp"
+#include "balance/engine.hpp"
+#include "balance/random_alloc.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::apps {
+namespace {
+
+TEST(MergeJobs, PreservesTotalsAndOwnership) {
+  const TaskTrace a = build_nqueens_trace(8, 2);
+  SyntheticConfig config;
+  config.num_roots = 50;
+  config.spawn_prob = 0.5;
+  const TaskTrace b = build_synthetic_trace(config, 9);
+
+  const MergedJobs merged = merge_jobs({{"a", &a}, {"b", &b}});
+  EXPECT_EQ(merged.trace.size(), a.size() + b.size());
+  EXPECT_EQ(merged.trace.total_work(), a.total_work() + b.total_work());
+  ASSERT_EQ(merged.jobs.size(), 2u);
+  EXPECT_EQ(merged.jobs[0].num_tasks, a.size());
+  EXPECT_EQ(merged.jobs[1].num_tasks, b.size());
+  // Every task has an owner; owners partition the trace.
+  u64 owned[2] = {0, 0};
+  for (u32 o : merged.owner) {
+    ASSERT_LT(o, 2u);
+    owned[o] += 1;
+  }
+  EXPECT_EQ(owned[0], a.size());
+  EXPECT_EQ(owned[1], b.size());
+}
+
+TEST(MergeJobs, RootsInterleaveRoundRobin) {
+  TaskTrace a;
+  for (int i = 0; i < 3; ++i) a.add_root(1);
+  TaskTrace b;
+  for (int i = 0; i < 2; ++i) b.add_root(2);
+  const MergedJobs merged = merge_jobs({{"a", &a}, {"b", &b}});
+  const auto& roots = merged.trace.roots(0);
+  ASSERT_EQ(roots.size(), 5u);
+  EXPECT_EQ(merged.owner[roots[0]], 0u);
+  EXPECT_EQ(merged.owner[roots[1]], 1u);
+  EXPECT_EQ(merged.owner[roots[2]], 0u);
+  EXPECT_EQ(merged.owner[roots[3]], 1u);
+  EXPECT_EQ(merged.owner[roots[4]], 0u);
+}
+
+TEST(MergeJobs, SpawnStructureSurvives) {
+  TaskTrace a;
+  const TaskId root = a.add_root(10);
+  a.add_child(root, 20);
+  a.add_child(root, 30);
+  const MergedJobs merged = merge_jobs({{"solo", &a}});
+  const TaskId merged_root = merged.trace.roots(0)[0];
+  ASSERT_EQ(merged.trace.num_children(merged_root), 2u);
+  EXPECT_EQ(merged.trace.task(merged.trace.children_begin(merged_root)[0]).work,
+            20u);
+}
+
+TEST(MergeJobs, MergedTraceRunsOnBothEngines) {
+  const TaskTrace a = build_nqueens_trace(9, 3);
+  SyntheticConfig config;
+  config.num_roots = 100;
+  const TaskTrace b = build_synthetic_trace(config, 4);
+  const MergedJobs merged = merge_jobs({{"a", &a}, {"b", &b}});
+
+  topo::Mesh mesh(2, 2);
+  sim::CostModel cost;
+  sched::Mwa mwa(mesh);
+  core::RipsEngine rips_engine(mwa, cost, core::RipsConfig{});
+  sim::Timeline timeline;
+  rips_engine.set_timeline(&timeline);
+  const auto metrics = rips_engine.run(merged.trace);
+  EXPECT_EQ(metrics.num_tasks, merged.trace.size());
+
+  const auto completion = job_completion_times(merged, timeline);
+  ASSERT_EQ(completion.size(), 2u);
+  EXPECT_GT(completion[0], 0);
+  EXPECT_GT(completion[1], 0);
+  EXPECT_LE(completion[0], metrics.makespan_ns);
+  EXPECT_LE(completion[1], metrics.makespan_ns);
+  // The machine-level makespan is the slowest job's completion plus the
+  // trailing termination-detection phase.
+  EXPECT_GE(metrics.makespan_ns, std::max(completion[0], completion[1]));
+}
+
+TEST(MergeJobs, FairerThanSerialExecution) {
+  // Two equal jobs merged: both finish near the shared makespan rather
+  // than one waiting for the other (the point of space-sharing).
+  SyntheticConfig config;
+  config.num_roots = 500;
+  config.spawn_prob = 0.0;
+  config.work_model = 0;
+  config.mean_work = 1000;
+  const TaskTrace a = build_synthetic_trace(config, 1);
+  const TaskTrace b = build_synthetic_trace(config, 2);
+  const MergedJobs merged = merge_jobs({{"a", &a}, {"b", &b}});
+
+  topo::Mesh mesh(4, 2);
+  sim::CostModel cost;
+  balance::RandomAlloc random(3);
+  balance::DynamicEngine engine(mesh, cost, random);
+  sim::Timeline timeline;
+  engine.set_timeline(&timeline);
+  const auto metrics = engine.run(merged.trace);
+  const auto completion = job_completion_times(merged, timeline);
+  const double ratio = static_cast<double>(completion[0]) /
+                       static_cast<double>(completion[1]);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+  EXPECT_EQ(metrics.num_tasks, merged.trace.size());
+}
+
+}  // namespace
+}  // namespace rips::apps

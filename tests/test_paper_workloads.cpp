@@ -1,0 +1,69 @@
+// Regression anchors for the paper workload presets — most importantly
+// the exact Table-I task counts the depth-4 N-Queens decomposition
+// reproduces (7579 / 11166 / 15941) and the GROMOS process count (4986).
+#include <gtest/gtest.h>
+
+#include "apps/paper_workloads.hpp"
+
+namespace rips::apps {
+namespace {
+
+TEST(PaperWorkloads, QueensTaskCountsMatchTableOne) {
+  // The paper's "# of tasks" column, reproduced exactly by the natural
+  // depth-4 prefix decomposition (all valid placements of <= 4 queens).
+  EXPECT_EQ(build_queens_workload(13).trace.size(), 7579u);
+  EXPECT_EQ(build_queens_workload(14).trace.size(), 11166u);
+  EXPECT_EQ(build_queens_workload(15).trace.size(), 15941u);
+}
+
+TEST(PaperWorkloads, QueensCalibrationLandsNearPaperSeconds) {
+  // Ts(13-queens) implied by Table I is ~8.9 s; ours must stay in that
+  // regime or every Table-I shape comparison drifts.
+  const Workload w = build_queens_workload(13);
+  const double ts =
+      1e-9 * static_cast<double>(w.trace.total_work()) * w.cost.ns_per_work;
+  EXPECT_GT(ts, 5.0);
+  EXPECT_LT(ts, 15.0);
+}
+
+TEST(PaperWorkloads, GromosMatchesSodDecomposition) {
+  const Workload w = build_gromos_workload(8.0);
+  EXPECT_EQ(w.tasks_reported, 4986u);  // processes per MD step
+  EXPECT_EQ(w.trace.roots(0).size(), 4986u);
+  EXPECT_EQ(w.paper_optimal_efficiency, 0.989);
+}
+
+TEST(PaperWorkloads, GromosWorkScalesWithCutoff) {
+  const u64 w8 = build_gromos_workload(8.0).trace.total_work();
+  const u64 w16 = build_gromos_workload(16.0).trace.total_work();
+  // Pair counts scale roughly with cutoff^3 => ~6x from 8 A to 16 A,
+  // mirroring the paper's T ratios (1.91 s -> 12.1 s, ~6.3x).
+  const double ratio = static_cast<double>(w16) / static_cast<double>(w8);
+  EXPECT_GT(ratio, 4.5);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(PaperWorkloads, IdaConfigsOrderedByDifficulty) {
+  const Workload c1 = build_ida_workload(1);
+  const Workload c3 = build_ida_workload(3);
+  EXPECT_LT(c1.trace.total_work(), c3.trace.total_work());
+  EXPECT_LT(c1.trace.num_segments(), 2u + c3.trace.num_segments());
+  EXPECT_GT(c3.trace.num_segments(), 5u);  // many iterations = many barriers
+  EXPECT_EQ(c1.paper_optimal_efficiency, 0.917);
+  EXPECT_EQ(c3.paper_optimal_efficiency, 0.853);
+}
+
+TEST(PaperWorkloads, FullSetHasNineRows) {
+  const auto workloads = build_paper_workloads(false);
+  ASSERT_EQ(workloads.size(), 9u);
+  EXPECT_EQ(workloads[0].name, "13-Queens");
+  EXPECT_EQ(workloads[3].name, "config #1");
+  EXPECT_EQ(workloads[8].name, "16 A");
+  for (const auto& w : workloads) {
+    EXPECT_GT(w.trace.optimal_efficiency(32), 0.9)
+        << w.name << ": paper workloads are all highly parallel at N=32";
+  }
+}
+
+}  // namespace
+}  // namespace rips::apps

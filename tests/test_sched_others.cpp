@@ -1,0 +1,222 @@
+// Tests for the non-MWA schedulers: TWA (tree), RingScan, DEM (hypercube
+// and mesh) and the flow-based optimal scheduler.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "flow/mincost_flow.hpp"
+#include "sched/dem.hpp"
+#include "sched/optimal.hpp"
+#include "sched/ring_scan.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/twa.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rips::sched {
+namespace {
+
+std::vector<i64> random_load(i32 n, i64 mean, Rng& rng) {
+  std::vector<i64> load(static_cast<size_t>(n));
+  for (auto& w : load) w = static_cast<i64>(rng.next_below(2 * mean + 1));
+  return load;
+}
+
+i64 sum_of(const std::vector<i64>& v) {
+  return std::accumulate(v.begin(), v.end(), i64{0});
+}
+
+// ----------------------------------------------------------------- TWA
+
+class TwaProperties : public ::testing::TestWithParam<i32> {};
+
+TEST_P(TwaProperties, ExactBalanceAndLocality) {
+  const i32 n = GetParam();
+  Twa twa(topo::BinaryTree{n});
+  Rng rng(500 + static_cast<u64>(n));
+  for (int trial = 0; trial < 40; ++trial) {
+    auto load = random_load(n, 8, rng);
+    load[0] += (n - sum_of(load) % n) % n;  // exact regime
+    const auto quota = quota_for(sum_of(load), n);
+    const auto result = twa.schedule(load);
+    EXPECT_EQ(result.new_load, quota);
+    const auto replay = replay_transfers(load, result.transfers);
+    EXPECT_EQ(replay.final_load, quota);
+    // Tree flows move only genuine surplus => locality-optimal.
+    EXPECT_EQ(replay.nonlocal_tasks, min_nonlocal_tasks(load, quota));
+  }
+}
+
+TEST_P(TwaProperties, TransfersFollowTreeEdges) {
+  const i32 n = GetParam();
+  topo::BinaryTree tree{n};
+  Twa twa(tree);
+  Rng rng(600 + static_cast<u64>(n));
+  const auto result = twa.schedule(random_load(n, 20, rng));
+  for (const Transfer& tr : result.transfers) {
+    EXPECT_TRUE(topo::BinaryTree::parent(tr.from) == tr.to ||
+                topo::BinaryTree::parent(tr.to) == tr.from);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwaProperties,
+                         ::testing::Values(1, 2, 3, 7, 8, 15, 31, 32, 100,
+                                           63, 127, 200));
+
+TEST(Twa, LogarithmicStepCount) {
+  // 2 * height info steps plus at most ~diameter relay rounds.
+  Twa twa(topo::BinaryTree{255});
+  Rng rng(1);
+  const auto result = twa.schedule(random_load(255, 10, rng));
+  EXPECT_LE(result.comm_steps, 4 * 7 + 2);
+}
+
+// ------------------------------------------------------------ RingScan
+
+class RingScanProperties : public ::testing::TestWithParam<i32> {};
+
+TEST_P(RingScanProperties, ExactBalanceAndOptimalCost) {
+  const i32 n = GetParam();
+  topo::Ring ring{n};
+  RingScan scan(ring);
+  Rng rng(700 + static_cast<u64>(n));
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto load = random_load(n, 6, rng);
+    const auto quota = quota_for(sum_of(load), n);
+    const auto result = scan.schedule(load);
+    EXPECT_EQ(result.new_load, quota);
+    // The median circulation constant minimizes the total link cost:
+    // compare against the min-cost flow optimum on the same ring.
+    if (n >= 2) {
+      const auto opt = flow::optimal_balance_cost(ring, load, quota);
+      EXPECT_EQ(result.task_hops, opt.total_cost)
+          << "ring-" << n << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingScanProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 32, 64,
+                                           100));
+
+// ----------------------------------------------------------------- DEM
+
+class DemProperties : public ::testing::TestWithParam<i32> {};
+
+TEST_P(DemProperties, ConservesAndRoughlyBalances) {
+  const i32 dim = GetParam();
+  const i32 n = 1 << dim;
+  DemHypercube dem(topo::Hypercube{dim});
+  Rng rng(800 + static_cast<u64>(dim));
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto load = random_load(n, 16, rng);
+    const auto result = dem.schedule(load);
+    EXPECT_EQ(sum_of(result.new_load), sum_of(load));
+    // Cybenko's bound: integer dimension exchange leaves at most `dim`
+    // imbalance between any two nodes.
+    const auto [lo, hi] =
+        std::minmax_element(result.new_load.begin(), result.new_load.end());
+    EXPECT_LE(*hi - *lo, dim);
+    // Exactly d info + d transfer steps.
+    EXPECT_EQ(result.comm_steps, 2 * dim);
+    const auto replay = replay_transfers(load, result.transfers);
+    EXPECT_EQ(replay.final_load, result.new_load);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DemProperties, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(DemHypercube, PerfectlyBalancesPowerOfTwoTotals) {
+  DemHypercube dem(topo::Hypercube{3});
+  std::vector<i64> load{80, 0, 0, 0, 0, 0, 0, 0};
+  const auto result = dem.schedule(load);
+  for (i64 w : result.new_load) EXPECT_EQ(w, 10);
+}
+
+TEST(DemMesh, BalancesTheCornerHotSpot) {
+  topo::Mesh mesh(4, 4);
+  DemMesh dem(mesh);
+  std::vector<i64> load(16, 0);
+  load[0] = 160;
+  const auto result = dem.schedule(load);
+  EXPECT_EQ(sum_of(result.new_load), 160);
+  const auto [lo, hi] =
+      std::minmax_element(result.new_load.begin(), result.new_load.end());
+  EXPECT_LE(*hi - *lo, 4);
+  // A single corner hot spot is DEM's best case: halving along each
+  // dimension is exactly the optimal spreading pattern, so the cost can
+  // only match — never beat — the flow optimum.
+  const auto opt =
+      flow::optimal_balance_cost(mesh, load, quota_for(160, 16));
+  EXPECT_GE(result.task_hops, opt.total_cost);
+}
+
+TEST(DemMesh, PaysRedundantCostOnRandomLoads) {
+  // Section 5's claim ("redundant communications ... implemented much less
+  // efficiently on a simpler topology"): over random skewed loads DEM on a
+  // mesh moves strictly more task-volume than the optimum, and than MWA.
+  topo::Mesh mesh(4, 4);
+  DemMesh dem(mesh);
+  Rng rng(0xDE);
+  i64 dem_total = 0;
+  i64 opt_total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto load = random_load(16, 12, rng);
+    const auto result = dem.schedule(load);
+    dem_total += result.task_hops;
+    opt_total += flow::optimal_balance_cost(mesh, load,
+                                            quota_for(sum_of(load), 16))
+                     .total_cost;
+  }
+  EXPECT_GT(dem_total, opt_total);
+}
+
+// -------------------------------------------------------- OptimalFlow
+
+TEST(OptimalFlow, MatchesFlowCostOnAllTopologies) {
+  Rng rng(0xB0B);
+  for (const char* kind : {"mesh", "hypercube", "ring", "tree"}) {
+    const auto topo = topo::make_topology(kind, 16);
+    OptimalFlow optimal(*topo);
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto load = random_load(16, 9, rng);
+      const auto quota = quota_for(sum_of(load), 16);
+      const auto result = optimal.schedule(load);
+      EXPECT_EQ(result.new_load, quota);
+      const auto direct = flow::optimal_balance_cost(*topo, load, quota);
+      EXPECT_EQ(result.task_hops, direct.total_cost) << kind;
+      const auto replay = replay_transfers(load, result.transfers);
+      EXPECT_EQ(replay.final_load, quota);
+      EXPECT_EQ(replay.task_hops, result.task_hops);
+    }
+  }
+}
+
+// ------------------------------------------------------------- factory
+
+TEST(SchedulerFactory, ProducesWorkingSchedulers) {
+  for (const char* kind : {"mwa", "twa", "dem", "dem-mesh", "ring",
+                           "optimal"}) {
+    const auto sched = make_scheduler(kind, 16);
+    ASSERT_NE(sched, nullptr) << kind;
+    Rng rng(3);
+    const auto load = random_load(16, 5, rng);
+    const auto result = sched->schedule(load);
+    EXPECT_EQ(sum_of(result.new_load), sum_of(load)) << kind;
+  }
+}
+
+TEST(SchedulerFactory, SchedulersAgreeOnExactQuota) {
+  // All exact schedulers (everything but DEM) produce the same final
+  // distribution for the same input.
+  Rng rng(4);
+  const auto load = random_load(16, 11, rng);
+  const auto quota = quota_for(sum_of(load), 16);
+  for (const char* kind : {"mwa", "twa", "ring", "optimal"}) {
+    EXPECT_EQ(make_scheduler(kind, 16)->schedule(load).new_load, quota)
+        << kind;
+  }
+}
+
+}  // namespace
+}  // namespace rips::sched

@@ -1,0 +1,116 @@
+// Shared-memory central-queue engine tests.
+#include <gtest/gtest.h>
+
+#include "apps/nqueens.hpp"
+#include "apps/synthetic.hpp"
+#include "rips/shm_engine.hpp"
+
+namespace rips::core {
+namespace {
+
+sim::CostModel test_cost() {
+  sim::CostModel cost;
+  cost.ns_per_work = 1000.0;
+  return cost;
+}
+
+TEST(SharedMemoryEngine, ExecutesEveryTaskOnce) {
+  const auto trace = apps::build_nqueens_trace(10, 3);
+  ShmConfig config;
+  config.num_procs = 8;
+  SharedMemoryEngine engine(test_cost(), config);
+  const auto m = engine.run(trace);
+  EXPECT_EQ(m.num_tasks, trace.size());
+  EXPECT_EQ(m.total_busy_ns, m.sequential_ns);
+}
+
+TEST(SharedMemoryEngine, AccountingIdentity) {
+  const auto trace = apps::build_nqueens_trace(10, 3);
+  ShmConfig config;
+  config.num_procs = 16;
+  SharedMemoryEngine engine(test_cost(), config);
+  const auto m = engine.run(trace);
+  EXPECT_EQ(m.total_busy_ns + m.total_overhead_ns + m.total_idle_ns,
+            m.makespan_ns * m.num_nodes);
+  EXPECT_GE(m.total_idle_ns, 0);
+  EXPECT_GT(engine.lock_busy_ns(), 0);
+}
+
+TEST(SharedMemoryEngine, SingleProcessorIsSequentialPlusQueueOps) {
+  const auto trace = apps::build_nqueens_trace(9, 2);
+  ShmConfig config;
+  config.num_procs = 1;
+  SharedMemoryEngine engine(test_cost(), config);
+  const auto m = engine.run(trace);
+  EXPECT_GE(m.makespan_ns, m.sequential_ns);
+  // One dequeue per task plus one enqueue per spawned task; nothing else.
+  const auto ops =
+      static_cast<SimTime>(2 * trace.size()) * config.lock_op_ns;
+  EXPECT_LE(m.makespan_ns, m.sequential_ns + ops +
+                               static_cast<SimTime>(2 * trace.size()) *
+                                   (config.dequeue_ns + config.enqueue_ns));
+}
+
+TEST(SharedMemoryEngine, LockSerializationCapsFineGrainThroughput) {
+  apps::SyntheticConfig fine;
+  fine.num_roots = 5000;
+  fine.spawn_prob = 0.0;
+  fine.work_model = 0;
+  fine.mean_work = 10;  // 10 us of work vs 2+0.5 us of queue cost
+  const auto trace = apps::build_synthetic_trace(fine, 3);
+  ShmConfig config;
+  config.num_procs = 64;
+  SharedMemoryEngine engine(test_cost(), config);
+  const auto m = engine.run(trace);
+  // The lock alone needs tasks * lock_op time; the makespan can't beat it.
+  EXPECT_GE(m.makespan_ns, static_cast<SimTime>(trace.size()) *
+                               config.lock_op_ns);
+  EXPECT_LT(m.efficiency(), 0.5);
+}
+
+TEST(SharedMemoryEngine, MoreProcessorsNeverIncreaseMakespanOnCoarseGrain) {
+  const auto trace = apps::build_nqueens_trace(11, 3);
+  SimTime previous = std::numeric_limits<SimTime>::max();
+  for (const i32 procs : {2, 4, 8, 16}) {
+    ShmConfig config;
+    config.num_procs = procs;
+    SharedMemoryEngine engine(test_cost(), config);
+    const auto m = engine.run(trace);
+    EXPECT_LE(m.makespan_ns, previous) << procs;
+    previous = m.makespan_ns;
+  }
+}
+
+TEST(SharedMemoryEngine, RespectsSegmentBarriers) {
+  apps::TaskTrace trace;
+  trace.add_root(1000);
+  trace.begin_segment();
+  trace.add_root(1000);
+  ShmConfig config;
+  config.num_procs = 4;
+  SharedMemoryEngine engine(test_cost(), config);
+  const auto m = engine.run(trace);
+  EXPECT_EQ(m.num_tasks, 2u);
+  EXPECT_GE(m.makespan_ns, 2 * test_cost().work_time(1000));
+}
+
+TEST(SharedMemoryEngine, EmptyTrace) {
+  apps::TaskTrace trace;
+  ShmConfig config;
+  SharedMemoryEngine engine(test_cost(), config);
+  const auto m = engine.run(trace);
+  EXPECT_EQ(m.num_tasks, 0u);
+  EXPECT_EQ(m.makespan_ns, 0);
+}
+
+TEST(SharedMemoryEngine, Deterministic) {
+  const auto trace = apps::build_nqueens_trace(10, 3);
+  ShmConfig config;
+  config.num_procs = 8;
+  SharedMemoryEngine e1(test_cost(), config);
+  SharedMemoryEngine e2(test_cost(), config);
+  EXPECT_EQ(e1.run(trace).makespan_ns, e2.run(trace).makespan_ns);
+}
+
+}  // namespace
+}  // namespace rips::core

@@ -1,0 +1,179 @@
+// Topology tests: adjacency symmetry, metric properties, diameters, and the
+// paper's mesh shapes — partly as parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "topo/topology.hpp"
+
+namespace rips::topo {
+namespace {
+
+/// BFS hop distance used as ground truth against Topology::distance.
+i32 bfs_distance(const Topology& topo, NodeId from, NodeId to) {
+  std::vector<i32> dist(static_cast<size_t>(topo.size()), -1);
+  std::deque<NodeId> queue{from};
+  dist[static_cast<size_t>(from)] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (u == to) return dist[static_cast<size_t>(u)];
+    for (NodeId v : topo.neighbors(u)) {
+      if (dist[static_cast<size_t>(v)] < 0) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return -1;
+}
+
+// Shared property checks for any topology.
+void check_topology_properties(const Topology& topo) {
+  const i32 n = topo.size();
+  ASSERT_GE(n, 1);
+
+  i32 max_dist = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    // Neighbor lists contain no self loops or duplicates and are symmetric.
+    const auto nbrs = topo.neighbors(u);
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      EXPECT_NE(nbrs[a], u);
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        EXPECT_NE(nbrs[a], nbrs[b]);
+      }
+      const auto back = topo.neighbors(nbrs[a]);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+      EXPECT_EQ(topo.distance(u, nbrs[a]), 1);
+    }
+    // Distance agrees with BFS over the adjacency structure.
+    for (NodeId v = 0; v < n; ++v) {
+      const i32 d = topo.distance(u, v);
+      EXPECT_EQ(d, bfs_distance(topo, u, v)) << topo.name();
+      EXPECT_EQ(d, topo.distance(v, u));
+      EXPECT_EQ(d == 0, u == v);
+      max_dist = std::max(max_dist, d);
+    }
+  }
+  EXPECT_EQ(max_dist, topo.diameter()) << topo.name();
+}
+
+class TopologyProperties
+    : public ::testing::TestWithParam<std::pair<const char*, i32>> {};
+
+TEST_P(TopologyProperties, MetricAndAdjacencyInvariants) {
+  const auto [kind, n] = GetParam();
+  const auto topo = make_topology(kind, n);
+  EXPECT_EQ(topo->size(), n);
+  check_topology_properties(*topo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSizes, TopologyProperties,
+    ::testing::Values(std::make_pair("mesh", 1), std::make_pair("mesh", 2),
+                      std::make_pair("mesh", 8), std::make_pair("mesh", 16),
+                      std::make_pair("mesh", 32),
+                      std::make_pair("hypercube", 1),
+                      std::make_pair("hypercube", 8),
+                      std::make_pair("hypercube", 16),
+                      std::make_pair("ring", 1), std::make_pair("ring", 2),
+                      std::make_pair("ring", 7), std::make_pair("ring", 12),
+                      std::make_pair("tree", 1), std::make_pair("tree", 2),
+                      std::make_pair("tree", 15), std::make_pair("tree", 20)));
+
+TEST(Mesh, CoordinateRoundTrip) {
+  Mesh mesh(5, 7);
+  for (i32 i = 0; i < 5; ++i) {
+    for (i32 j = 0; j < 7; ++j) {
+      const NodeId v = mesh.at(i, j);
+      EXPECT_EQ(mesh.row_of(v), i);
+      EXPECT_EQ(mesh.col_of(v), j);
+    }
+  }
+}
+
+TEST(Mesh, ManhattanDistance) {
+  Mesh mesh(4, 4);
+  EXPECT_EQ(mesh.distance(mesh.at(0, 0), mesh.at(3, 3)), 6);
+  EXPECT_EQ(mesh.distance(mesh.at(1, 2), mesh.at(1, 2)), 0);
+  EXPECT_EQ(mesh.diameter(), 6);
+}
+
+TEST(Mesh, InteriorNodeHasFourNeighbors) {
+  Mesh mesh(3, 3);
+  EXPECT_EQ(mesh.neighbors(mesh.at(1, 1)).size(), 4u);
+  EXPECT_EQ(mesh.neighbors(mesh.at(0, 0)).size(), 2u);
+  EXPECT_EQ(mesh.neighbors(mesh.at(0, 1)).size(), 3u);
+}
+
+TEST(Hypercube, DistanceIsHamming) {
+  Hypercube cube(4);
+  EXPECT_EQ(cube.size(), 16);
+  EXPECT_EQ(cube.distance(0b0000, 0b1111), 4);
+  EXPECT_EQ(cube.distance(0b1010, 0b1000), 1);
+  EXPECT_EQ(cube.diameter(), 4);
+  EXPECT_EQ(cube.neighbors(0).size(), 4u);
+}
+
+TEST(Ring, WrapAroundDistance) {
+  Ring ring(10);
+  EXPECT_EQ(ring.distance(0, 9), 1);
+  EXPECT_EQ(ring.distance(0, 5), 5);
+  EXPECT_EQ(ring.diameter(), 5);
+}
+
+TEST(Ring, TwoNodeRingHasSingleNeighbor) {
+  Ring ring(2);
+  EXPECT_EQ(ring.neighbors(0).size(), 1u);
+  EXPECT_EQ(ring.neighbors(0)[0], 1);
+}
+
+TEST(BinaryTree, ParentChildStructure) {
+  BinaryTree tree(7);
+  EXPECT_EQ(BinaryTree::parent(0), kInvalidNode);
+  EXPECT_EQ(BinaryTree::parent(1), 0);
+  EXPECT_EQ(BinaryTree::parent(2), 0);
+  EXPECT_EQ(tree.left(0), 1);
+  EXPECT_EQ(tree.right(0), 2);
+  EXPECT_EQ(tree.left(3), kInvalidNode);
+  EXPECT_EQ(BinaryTree::depth(0), 0);
+  EXPECT_EQ(BinaryTree::depth(6), 2);
+}
+
+TEST(BinaryTree, DistanceThroughCommonAncestor) {
+  BinaryTree tree(15);
+  EXPECT_EQ(tree.distance(7, 8), 2);   // siblings under node 3
+  EXPECT_EQ(tree.distance(7, 14), 6);  // leftmost to rightmost leaf
+  EXPECT_EQ(tree.distance(3, 0), 2);
+}
+
+TEST(PaperMeshShape, MatchesEvaluationSection) {
+  // 8 -> 4x2, 16 -> 4x4, 32 -> 8x4, 64 -> 8x8, 128 -> 16x8, 256 -> 16x16.
+  const std::pair<i32, std::pair<i32, i32>> expected[] = {
+      {8, {4, 2}},  {16, {4, 4}},   {32, {8, 4}},
+      {64, {8, 8}}, {128, {16, 8}}, {256, {16, 16}}};
+  for (const auto& [n, shape] : expected) {
+    const MeshShape s = paper_mesh_shape(n);
+    EXPECT_EQ(s.rows, shape.first) << n;
+    EXPECT_EQ(s.cols, shape.second) << n;
+    EXPECT_EQ(s.rows * s.cols, n);
+  }
+}
+
+TEST(Factory, ProducesRequestedKinds) {
+  EXPECT_EQ(make_topology("mesh", 32)->name(), "mesh-8x4");
+  EXPECT_EQ(make_topology("hypercube", 16)->name(), "hypercube-4d");
+  EXPECT_EQ(make_topology("ring", 9)->name(), "ring-9");
+  EXPECT_EQ(make_topology("tree", 9)->name(), "tree-9");
+}
+
+TEST(Topology, DirectedEdgeCounts) {
+  EXPECT_EQ(Mesh(2, 2).directed_edge_count(), 8);
+  EXPECT_EQ(Hypercube(3).directed_edge_count(), 24);
+  EXPECT_EQ(Ring(5).directed_edge_count(), 10);
+  EXPECT_EQ(BinaryTree(3).directed_edge_count(), 4);
+}
+
+}  // namespace
+}  // namespace rips::topo

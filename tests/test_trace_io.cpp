@@ -1,0 +1,144 @@
+// TaskTrace serialization round-trip and corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "apps/gromos.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/synthetic.hpp"
+#include "apps/trace_io.hpp"
+
+namespace rips::apps {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void expect_traces_equal(const TaskTrace& a, const TaskTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  EXPECT_EQ(a.total_work(), b.total_work());
+  EXPECT_EQ(a.max_task_work(), b.max_task_work());
+  for (TaskId t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.task(t).work, b.task(t).work) << t;
+    EXPECT_EQ(a.task(t).segment, b.task(t).segment) << t;
+    ASSERT_EQ(a.num_children(t), b.num_children(t)) << t;
+    for (u32 c = 0; c < a.num_children(t); ++c) {
+      EXPECT_EQ(a.children_begin(t)[c], b.children_begin(t)[c]);
+    }
+  }
+  for (u32 s = 0; s < a.num_segments(); ++s) {
+    EXPECT_EQ(a.roots(s), b.roots(s));
+  }
+}
+
+TEST(TraceIo, RoundTripsSpawningTrace) {
+  const TaskTrace original = build_nqueens_trace(9, 3);
+  const std::string path = temp_path("queens9.trace");
+  ASSERT_TRUE(save_trace(original, path));
+  const auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  expect_traces_equal(original, *loaded);
+}
+
+TEST(TraceIo, RoundTripsMultiSegmentTrace) {
+  GromosConfig config;
+  config.num_atoms = 300;
+  config.num_groups = 215;
+  config.num_steps = 3;
+  const TaskTrace original = build_gromos_trace(config);
+  const std::string path = temp_path("gromos.trace");
+  ASSERT_TRUE(save_trace(original, path));
+  const auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  expect_traces_equal(original, *loaded);
+}
+
+TEST(TraceIo, RoundTripsEmptyTrace) {
+  const TaskTrace original;
+  const std::string path = temp_path("empty.trace");
+  ASSERT_TRUE(save_trace(original, path));
+  const auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  expect_traces_equal(original, *loaded);
+}
+
+TEST(TraceIo, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_trace(temp_path("does-not-exist.trace")).has_value());
+}
+
+TEST(TraceIo, RejectsCorruptedPayload) {
+  const TaskTrace original = build_nqueens_trace(8, 2);
+  const std::string path = temp_path("corrupt.trace");
+  ASSERT_TRUE(save_trace(original, path));
+  // Flip a byte in the middle of the file.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(40);
+  char byte;
+  f.seekg(40);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.seekp(40);
+  f.write(&byte, 1);
+  f.close();
+  EXPECT_FALSE(load_trace(path).has_value());
+}
+
+TEST(TraceIo, RejectsTruncatedFile) {
+  const TaskTrace original = build_nqueens_trace(8, 2);
+  const std::string path = temp_path("trunc.trace");
+  ASSERT_TRUE(save_trace(original, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() / 2));
+  out.close();
+  EXPECT_FALSE(load_trace(path).has_value());
+}
+
+TEST(TraceIo, RejectsWrongMagic) {
+  const std::string path = temp_path("magic.trace");
+  std::ofstream out(path, std::ios::binary);
+  const char junk[64] = "definitely not a trace file";
+  out.write(junk, sizeof junk);
+  out.close();
+  EXPECT_FALSE(load_trace(path).has_value());
+}
+
+TEST(TraceIo, CachedTraceUsesEnvironmentDirectory) {
+  const std::string dir = ::testing::TempDir();
+  // The temp dir can persist across test runs; start from a clean slate.
+  std::remove((dir + "/cache-test.trace").c_str());
+  ::setenv("RIPS_TRACE_CACHE", dir.c_str(), 1);
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    return build_nqueens_trace(8, 2);
+  };
+  const TaskTrace first = cached_trace("cache-test", build);
+  const TaskTrace second = cached_trace("cache-test", build);
+  ::unsetenv("RIPS_TRACE_CACHE");
+  EXPECT_EQ(builds, 1);  // second call served from disk
+  expect_traces_equal(first, second);
+}
+
+TEST(TraceIo, CachedTraceWithoutEnvJustBuilds) {
+  ::unsetenv("RIPS_TRACE_CACHE");
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    return build_nqueens_trace(8, 2);
+  };
+  (void)cached_trace("never-cached", build);
+  (void)cached_trace("never-cached", build);
+  EXPECT_EQ(builds, 2);
+}
+
+}  // namespace
+}  // namespace rips::apps

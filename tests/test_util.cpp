@@ -1,0 +1,216 @@
+// Unit tests for the util layer: RNG, statistics, table printer, CLI args.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rips {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (u64 bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds) {
+  Rng rng(13);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const i64 v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo = hit_lo || v == -3;
+    hit_hi = hit_hi || v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximately) {
+  Rng rng(19);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.next_exponential(50.0));
+  EXPECT_NEAR(s.mean(), 50.0, 1.5);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(23);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stdev(), 1.0, 0.02);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(29);
+  for (double mean : {0.5, 4.0, 100.0}) {
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i) {
+      s.add(static_cast<double>(rng.next_poisson(mean)));
+    }
+    EXPECT_NEAR(s.mean(), mean, mean * 0.05 + 0.05);
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.next_poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// -------------------------------------------------------------- stats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 73.0), 42.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(ImbalanceFactor, EvenLoadIsOne) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(ImbalanceFactor, KnownSkew) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({0.0, 0.0, 6.0}), 3.0);
+}
+
+TEST(CoefficientOfVariation, ConstantIsZero) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({5.0, 5.0, 5.0}), 0.0);
+}
+
+// -------------------------------------------------------------- table
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.header({"a", "bb"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t;
+  t.header({"x", "y", "z"});
+  t.row({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TextTableCells, Formatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(42), "42");
+  EXPECT_EQ(cell_pct(0.953), "95%");
+  EXPECT_EQ(cell_pct(0.0423, 1), "4.2%");
+}
+
+// --------------------------------------------------------------- args
+
+TEST(Args, ParsesNamedAndPositional) {
+  const char* argv[] = {"prog", "--nodes=32", "--quick", "pos1", "--x=1.5"};
+  Args args(5, argv);
+  EXPECT_EQ(args.get_int("nodes", 0), 32);
+  EXPECT_TRUE(args.get_bool("quick", false));
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 1.5);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("n", -7), -7);
+}
+
+TEST(Args, ExplicitFalseValues) {
+  const char* argv[] = {"prog", "--flag=0", "--other=false"};
+  Args args(3, argv);
+  EXPECT_FALSE(args.get_bool("flag", true));
+  EXPECT_FALSE(args.get_bool("other", true));
+}
+
+}  // namespace
+}  // namespace rips
