@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shm.dir/ablation_shm.cpp.o"
+  "CMakeFiles/ablation_shm.dir/ablation_shm.cpp.o.d"
+  "ablation_shm"
+  "ablation_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/rips_bench_common.dir/harness.cpp.o.d"
+  "librips_bench_common.a"
+  "librips_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_optimal_eff.dir/table2_optimal_eff.cpp.o"
+  "CMakeFiles/table2_optimal_eff.dir/table2_optimal_eff.cpp.o.d"
+  "table2_optimal_eff"
+  "table2_optimal_eff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_optimal_eff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

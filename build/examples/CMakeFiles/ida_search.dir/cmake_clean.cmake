@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ida_search.dir/ida_search.cpp.o"
+  "CMakeFiles/ida_search.dir/ida_search.cpp.o.d"
+  "ida_search"
+  "ida_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ida_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_gromos.dir/md_gromos.cpp.o"
+  "CMakeFiles/md_gromos.dir/md_gromos.cpp.o.d"
+  "md_gromos"
+  "md_gromos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_gromos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

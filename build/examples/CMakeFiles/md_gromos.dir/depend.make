@@ -1,0 +1,2 @@
+# Empty dependencies file for md_gromos.
+# This may be replaced when dependencies are built.

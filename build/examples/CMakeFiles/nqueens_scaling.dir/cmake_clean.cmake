@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nqueens_scaling.dir/nqueens_scaling.cpp.o"
+  "CMakeFiles/nqueens_scaling.dir/nqueens_scaling.cpp.o.d"
+  "nqueens_scaling"
+  "nqueens_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nqueens_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

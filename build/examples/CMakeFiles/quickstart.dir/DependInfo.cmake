@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rips/CMakeFiles/rips_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/balance/CMakeFiles/rips_balance.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/rips_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rips_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/rips_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/rips_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rips_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rips_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

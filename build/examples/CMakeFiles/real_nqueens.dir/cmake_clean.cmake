@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_nqueens.dir/real_nqueens.cpp.o"
+  "CMakeFiles/real_nqueens.dir/real_nqueens.cpp.o.d"
+  "real_nqueens"
+  "real_nqueens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_nqueens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

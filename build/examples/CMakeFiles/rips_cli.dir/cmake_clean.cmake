@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_cli.dir/rips_cli.cpp.o"
+  "CMakeFiles/rips_cli.dir/rips_cli.cpp.o.d"
+  "rips_cli"
+  "rips_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

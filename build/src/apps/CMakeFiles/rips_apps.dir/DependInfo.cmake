@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gauss.cpp" "src/apps/CMakeFiles/rips_apps.dir/gauss.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/gauss.cpp.o.d"
+  "/root/repo/src/apps/gromos.cpp" "src/apps/CMakeFiles/rips_apps.dir/gromos.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/gromos.cpp.o.d"
+  "/root/repo/src/apps/multi_job.cpp" "src/apps/CMakeFiles/rips_apps.dir/multi_job.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/multi_job.cpp.o.d"
+  "/root/repo/src/apps/nqueens.cpp" "src/apps/CMakeFiles/rips_apps.dir/nqueens.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/nqueens.cpp.o.d"
+  "/root/repo/src/apps/paper_workloads.cpp" "src/apps/CMakeFiles/rips_apps.dir/paper_workloads.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/paper_workloads.cpp.o.d"
+  "/root/repo/src/apps/puzzle.cpp" "src/apps/CMakeFiles/rips_apps.dir/puzzle.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/puzzle.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/apps/CMakeFiles/rips_apps.dir/synthetic.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/synthetic.cpp.o.d"
+  "/root/repo/src/apps/task_trace.cpp" "src/apps/CMakeFiles/rips_apps.dir/task_trace.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/task_trace.cpp.o.d"
+  "/root/repo/src/apps/trace_io.cpp" "src/apps/CMakeFiles/rips_apps.dir/trace_io.cpp.o" "gcc" "src/apps/CMakeFiles/rips_apps.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rips_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rips_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_apps.dir/gauss.cpp.o"
+  "CMakeFiles/rips_apps.dir/gauss.cpp.o.d"
+  "CMakeFiles/rips_apps.dir/gromos.cpp.o"
+  "CMakeFiles/rips_apps.dir/gromos.cpp.o.d"
+  "CMakeFiles/rips_apps.dir/multi_job.cpp.o"
+  "CMakeFiles/rips_apps.dir/multi_job.cpp.o.d"
+  "CMakeFiles/rips_apps.dir/nqueens.cpp.o"
+  "CMakeFiles/rips_apps.dir/nqueens.cpp.o.d"
+  "CMakeFiles/rips_apps.dir/paper_workloads.cpp.o"
+  "CMakeFiles/rips_apps.dir/paper_workloads.cpp.o.d"
+  "CMakeFiles/rips_apps.dir/puzzle.cpp.o"
+  "CMakeFiles/rips_apps.dir/puzzle.cpp.o.d"
+  "CMakeFiles/rips_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/rips_apps.dir/synthetic.cpp.o.d"
+  "CMakeFiles/rips_apps.dir/task_trace.cpp.o"
+  "CMakeFiles/rips_apps.dir/task_trace.cpp.o.d"
+  "CMakeFiles/rips_apps.dir/trace_io.cpp.o"
+  "CMakeFiles/rips_apps.dir/trace_io.cpp.o.d"
+  "librips_apps.a"
+  "librips_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

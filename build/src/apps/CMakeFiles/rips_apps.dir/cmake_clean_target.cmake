@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librips_apps.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_balance.dir/engine.cpp.o"
+  "CMakeFiles/rips_balance.dir/engine.cpp.o.d"
+  "CMakeFiles/rips_balance.dir/gradient.cpp.o"
+  "CMakeFiles/rips_balance.dir/gradient.cpp.o.d"
+  "CMakeFiles/rips_balance.dir/rid.cpp.o"
+  "CMakeFiles/rips_balance.dir/rid.cpp.o.d"
+  "CMakeFiles/rips_balance.dir/sender_initiated.cpp.o"
+  "CMakeFiles/rips_balance.dir/sender_initiated.cpp.o.d"
+  "librips_balance.a"
+  "librips_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

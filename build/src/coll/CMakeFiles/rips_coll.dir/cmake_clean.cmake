@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_coll.dir/collectives.cpp.o"
+  "CMakeFiles/rips_coll.dir/collectives.cpp.o.d"
+  "librips_coll.a"
+  "librips_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

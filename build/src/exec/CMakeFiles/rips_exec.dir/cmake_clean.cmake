@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_exec.dir/task_runner.cpp.o"
+  "CMakeFiles/rips_exec.dir/task_runner.cpp.o.d"
+  "librips_exec.a"
+  "librips_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

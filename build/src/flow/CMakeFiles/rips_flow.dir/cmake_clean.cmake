@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_flow.dir/mincost_flow.cpp.o"
+  "CMakeFiles/rips_flow.dir/mincost_flow.cpp.o.d"
+  "librips_flow.a"
+  "librips_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_core.dir/rips_engine.cpp.o"
+  "CMakeFiles/rips_core.dir/rips_engine.cpp.o.d"
+  "CMakeFiles/rips_core.dir/shm_engine.cpp.o"
+  "CMakeFiles/rips_core.dir/shm_engine.cpp.o.d"
+  "librips_core.a"
+  "librips_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

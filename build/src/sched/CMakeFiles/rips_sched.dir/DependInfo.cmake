@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dem.cpp" "src/sched/CMakeFiles/rips_sched.dir/dem.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/dem.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/rips_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/hwa.cpp" "src/sched/CMakeFiles/rips_sched.dir/hwa.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/hwa.cpp.o.d"
+  "/root/repo/src/sched/kd_walk.cpp" "src/sched/CMakeFiles/rips_sched.dir/kd_walk.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/kd_walk.cpp.o.d"
+  "/root/repo/src/sched/mwa.cpp" "src/sched/CMakeFiles/rips_sched.dir/mwa.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/mwa.cpp.o.d"
+  "/root/repo/src/sched/optimal.cpp" "src/sched/CMakeFiles/rips_sched.dir/optimal.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/optimal.cpp.o.d"
+  "/root/repo/src/sched/ring_scan.cpp" "src/sched/CMakeFiles/rips_sched.dir/ring_scan.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/ring_scan.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/rips_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/torus_walk.cpp" "src/sched/CMakeFiles/rips_sched.dir/torus_walk.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/torus_walk.cpp.o.d"
+  "/root/repo/src/sched/twa.cpp" "src/sched/CMakeFiles/rips_sched.dir/twa.cpp.o" "gcc" "src/sched/CMakeFiles/rips_sched.dir/twa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rips_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rips_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/rips_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_sched.dir/dem.cpp.o"
+  "CMakeFiles/rips_sched.dir/dem.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/factory.cpp.o"
+  "CMakeFiles/rips_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/hwa.cpp.o"
+  "CMakeFiles/rips_sched.dir/hwa.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/kd_walk.cpp.o"
+  "CMakeFiles/rips_sched.dir/kd_walk.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/mwa.cpp.o"
+  "CMakeFiles/rips_sched.dir/mwa.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/optimal.cpp.o"
+  "CMakeFiles/rips_sched.dir/optimal.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/ring_scan.cpp.o"
+  "CMakeFiles/rips_sched.dir/ring_scan.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/rips_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/torus_walk.cpp.o"
+  "CMakeFiles/rips_sched.dir/torus_walk.cpp.o.d"
+  "CMakeFiles/rips_sched.dir/twa.cpp.o"
+  "CMakeFiles/rips_sched.dir/twa.cpp.o.d"
+  "librips_sched.a"
+  "librips_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_sim.dir/metrics.cpp.o"
+  "CMakeFiles/rips_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/rips_sim.dir/timeline.cpp.o"
+  "CMakeFiles/rips_sim.dir/timeline.cpp.o.d"
+  "librips_sim.a"
+  "librips_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_topo.dir/mesh_kd.cpp.o"
+  "CMakeFiles/rips_topo.dir/mesh_kd.cpp.o.d"
+  "CMakeFiles/rips_topo.dir/topology.cpp.o"
+  "CMakeFiles/rips_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/rips_topo.dir/torus.cpp.o"
+  "CMakeFiles/rips_topo.dir/torus.cpp.o.d"
+  "librips_topo.a"
+  "librips_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rips_util.dir/args.cpp.o"
+  "CMakeFiles/rips_util.dir/args.cpp.o.d"
+  "CMakeFiles/rips_util.dir/stats.cpp.o"
+  "CMakeFiles/rips_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rips_util.dir/table.cpp.o"
+  "CMakeFiles/rips_util.dir/table.cpp.o.d"
+  "librips_util.a"
+  "librips_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rips_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

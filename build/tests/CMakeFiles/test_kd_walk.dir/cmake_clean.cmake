@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kd_walk.dir/test_kd_walk.cpp.o"
+  "CMakeFiles/test_kd_walk.dir/test_kd_walk.cpp.o.d"
+  "test_kd_walk"
+  "test_kd_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kd_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_workloads.dir/test_paper_workloads.cpp.o"
+  "CMakeFiles/test_paper_workloads.dir/test_paper_workloads.cpp.o.d"
+  "test_paper_workloads"
+  "test_paper_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rips.dir/test_rips.cpp.o"
+  "CMakeFiles/test_rips.dir/test_rips.cpp.o.d"
+  "test_rips"
+  "test_rips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rips_properties.dir/test_rips_properties.cpp.o"
+  "CMakeFiles/test_rips_properties.dir/test_rips_properties.cpp.o.d"
+  "test_rips_properties"
+  "test_rips_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rips_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

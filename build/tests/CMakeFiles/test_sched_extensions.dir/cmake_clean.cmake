@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_extensions.dir/test_sched_extensions.cpp.o"
+  "CMakeFiles/test_sched_extensions.dir/test_sched_extensions.cpp.o.d"
+  "test_sched_extensions"
+  "test_sched_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

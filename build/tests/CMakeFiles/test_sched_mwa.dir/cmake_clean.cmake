@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_mwa.dir/test_sched_mwa.cpp.o"
+  "CMakeFiles/test_sched_mwa.dir/test_sched_mwa.cpp.o.d"
+  "test_sched_mwa"
+  "test_sched_mwa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_mwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

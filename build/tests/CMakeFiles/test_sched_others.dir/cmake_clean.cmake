@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_others.dir/test_sched_others.cpp.o"
+  "CMakeFiles/test_sched_others.dir/test_sched_others.cpp.o.d"
+  "test_sched_others"
+  "test_sched_others.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_others.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

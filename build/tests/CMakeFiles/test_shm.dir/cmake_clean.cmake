@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm.dir/test_shm.cpp.o"
+  "CMakeFiles/test_shm.dir/test_shm.cpp.o.d"
+  "test_shm"
+  "test_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
