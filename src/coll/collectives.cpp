@@ -112,6 +112,139 @@ std::vector<i64> Collectives::broadcast(NodeId root, i64 value,
   return std::vector<i64>(static_cast<size_t>(n), value);
 }
 
+i32 Collectives::tree_phase_faulty(NodeId root, bool upward,
+                                   const MessageFault& fault, i32 max_retries,
+                                   Ledger& ledger, FaultStats& stats) const {
+  RIPS_CHECK(root >= 0 && root < topo_.size());
+  RIPS_CHECK(max_retries >= 0);
+  const i32 n = topo_.size();
+
+  // Deterministic BFS spanning tree rooted at `root`.
+  std::vector<NodeId> parent(static_cast<size_t>(n), kInvalidNode);
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+  std::deque<NodeId> queue;
+  visited[static_cast<size_t>(root)] = 1;
+  queue.push_back(root);
+  std::vector<NodeId> nbr;
+  i32 depth = 0;
+  std::vector<i32> level(static_cast<size_t>(n), 0);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    depth = std::max(depth, level[static_cast<size_t>(u)]);
+    nbr.clear();
+    topo_.append_neighbors(u, nbr);
+    for (NodeId v : nbr) {
+      if (visited[static_cast<size_t>(v)]) continue;
+      visited[static_cast<size_t>(v)] = 1;
+      parent[static_cast<size_t>(v)] = u;
+      level[static_cast<size_t>(v)] = level[static_cast<size_t>(u)] + 1;
+      queue.push_back(v);
+    }
+  }
+
+  // Edges retransmit concurrently, so the phase is stretched by the worst
+  // single edge, not by the sum; `crit` tracks that critical-path extra.
+  i64 crit = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = parent[static_cast<size_t>(v)];
+    if (p == kInvalidNode) continue;  // root
+    const NodeId from = upward ? v : p;
+    const NodeId to = upward ? p : v;
+    bool delivered = false;
+    i64 attempt = 0;
+    for (; attempt <= max_retries; ++attempt) {
+      ledger.messages += 1;
+      if (!fault(from, to, attempt)) {
+        delivered = true;
+        break;
+      }
+      stats.dropped += 1;
+    }
+    if (delivered) {
+      stats.retries += attempt;
+      crit = std::max(crit, attempt);
+    } else {
+      stats.retries += max_retries;
+      crit = std::max<i64>(crit, max_retries + 1);
+      // Heartbeat semantics: the unresponsive peer (the non-root endpoint
+      // of the edge) is declared suspect and the phase completes without
+      // its contribution.
+      stats.suspected.push_back(v);
+    }
+  }
+  stats.timeouts += crit;
+  const i32 steps = depth + static_cast<i32>(crit);
+  ledger.comm_steps += steps;
+  return steps;
+}
+
+i32 Collectives::ready_signal_steps_faulty(const MessageFault& fault,
+                                           i32 max_retries, Ledger& ledger,
+                                           FaultStats& stats) const {
+  const i32 up = tree_phase_faulty(0, /*upward=*/true, fault, max_retries,
+                                   ledger, stats);
+  const i32 down = tree_phase_faulty(0, /*upward=*/false, fault, max_retries,
+                                     ledger, stats);
+  return up + down;
+}
+
+i32 Collectives::or_barrier_steps_faulty(NodeId initiator,
+                                         const MessageFault& fault,
+                                         i32 max_retries, Ledger& ledger,
+                                         FaultStats& stats) const {
+  const i32 down = tree_phase_faulty(initiator, /*upward=*/false, fault,
+                                     max_retries, ledger, stats);
+  const i32 up = tree_phase_faulty(initiator, /*upward=*/true, fault,
+                                   max_retries, ledger, stats);
+  return down + up;
+}
+
+i64 Collectives::all_reduce_faulty(const std::vector<i64>& values,
+                                   const std::function<i64(i64, i64)>& combine,
+                                   const MessageFault& fault, i32 max_retries,
+                                   Ledger& ledger, FaultStats& stats) const {
+  const i32 n = topo_.size();
+  RIPS_CHECK(static_cast<i32>(values.size()) == n);
+  RIPS_CHECK(max_retries >= 0);
+  std::vector<i64> current = values;
+  std::vector<NodeId> nbr;
+  const i64 cap =
+      static_cast<i64>(topo_.diameter() + 1) * (max_retries + 2);
+  i64 round = 0;
+  auto converged = [&current, n] {
+    for (NodeId u = 1; u < n; ++u) {
+      if (current[static_cast<size_t>(u)] != current[0]) return false;
+    }
+    return true;
+  };
+  while (!converged()) {
+    if (round >= cap) {
+      stats.completed = false;  // retry budget exhausted: give up
+      break;
+    }
+    std::vector<i64> next = current;
+    for (NodeId u = 0; u < n; ++u) {
+      nbr.clear();
+      topo_.append_neighbors(u, nbr);
+      for (NodeId v : nbr) {
+        ledger.messages += 1;
+        if (fault(v, u, round)) {
+          stats.dropped += 1;
+          continue;
+        }
+        next[static_cast<size_t>(u)] = combine(next[static_cast<size_t>(u)],
+                                               current[static_cast<size_t>(v)]);
+      }
+    }
+    current = std::move(next);
+    ++round;
+    ledger.comm_steps += 1;
+  }
+  stats.retries += std::max<i64>(0, round - topo_.diameter());
+  return current[0];
+}
+
 std::vector<i64> mesh_row_scan(const topo::Mesh& mesh,
                                const std::vector<i64>& values,
                                Ledger& ledger) {

@@ -32,6 +32,33 @@ struct Ledger {
   }
 };
 
+/// Decides whether attempt `attempt` of the (from -> to) message of the
+/// current collective is lost. A node that is fail-stop dead is modeled as
+/// an endpoint whose messages always drop; transient loss is a seeded
+/// per-attempt decision (sim::FaultInjector::drop_message).
+using MessageFault = std::function<bool(NodeId from, NodeId to, i64 attempt)>;
+
+/// Outcome counters of one faulty collective execution.
+struct FaultStats {
+  i64 dropped = 0;       ///< messages lost on the wire
+  i64 retries = 0;       ///< retransmissions issued (sum over edges)
+  i64 timeouts = 0;      ///< timeout windows on the critical path
+  bool completed = true; ///< false when the retry budget ran out entirely
+  /// Nodes whose signal never arrived within the retry budget — the
+  /// heartbeat piggyback: a silent node is suspected dead after
+  /// max_retries + 1 missed windows, instead of stalling the protocol.
+  std::vector<NodeId> suspected;
+
+  void merge(const FaultStats& other) {
+    dropped += other.dropped;
+    retries += other.retries;
+    timeouts += other.timeouts;
+    completed = completed && other.completed;
+    suspected.insert(suspected.end(), other.suspected.begin(),
+                     other.suspected.end());
+  }
+};
+
 class Collectives {
  public:
   explicit Collectives(const topo::Topology& topo);
@@ -70,7 +97,40 @@ class Collectives {
   /// (all equal) and charges measured steps.
   std::vector<i64> broadcast(NodeId root, i64 value, Ledger& ledger) const;
 
+  // --- timeout + bounded-retry variants (fault-tolerant RIPS) ------------
+  //
+  // Each lost message is retransmitted after a timeout, at most
+  // `max_retries` times; a peer silent past the whole budget is recorded in
+  // FaultStats::suspected and the protocol completes without it. With a
+  // fault function that never drops, every *_faulty cost equals its
+  // fault-free counterpart and the stats stay zero.
+
+  /// ALL-policy ready-signal tree (signals climb the BFS spanning tree of
+  /// node 0, init returns) under message faults. Returns total steps.
+  i32 ready_signal_steps_faulty(const MessageFault& fault, i32 max_retries,
+                                Ledger& ledger, FaultStats& stats) const;
+
+  /// ANY-policy or-barrier (reduce to `initiator`, broadcast back) under
+  /// message faults. Returns total steps.
+  i32 or_barrier_steps_faulty(NodeId initiator, const MessageFault& fault,
+                              i32 max_retries, Ledger& ledger,
+                              FaultStats& stats) const;
+
+  /// All-reduce by flooding with per-round message loss. Converges when
+  /// every node holds the combined value; gives up (stats.completed =
+  /// false) after (diameter + 1) * (max_retries + 2) rounds.
+  i64 all_reduce_faulty(const std::vector<i64>& values,
+                        const std::function<i64(i64, i64)>& combine,
+                        const MessageFault& fault, i32 max_retries,
+                        Ledger& ledger, FaultStats& stats) const;
+
  private:
+  /// One tree phase (leaves-to-root when `upward`, root-to-leaves
+  /// otherwise) over the BFS spanning tree of `root`, with per-edge
+  /// retransmissions. Returns the step count of the phase.
+  i32 tree_phase_faulty(NodeId root, bool upward, const MessageFault& fault,
+                        i32 max_retries, Ledger& ledger,
+                        FaultStats& stats) const;
   const topo::Topology& topo_;
   mutable std::vector<i32> ecc_cache_;  // -1 = unknown
 };

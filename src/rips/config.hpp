@@ -47,6 +47,17 @@ struct RipsConfig {
   /// bench/ablation_weighted quantifies what that estimation would buy.
   bool weighted = false;
 
+  // --- fault tolerance ---------------------------------------------------
+
+  /// Heartbeat / acknowledgement timeout: survivors declare a silent node
+  /// dead after this long without its expected signal. Also the cost of
+  /// each retransmission window in the collective retry protocol.
+  SimTime fault_timeout_ns = 2'000'000;
+
+  /// Retransmissions per collective message before the peer is suspected
+  /// dead (bounded retry; see docs/FAULTS.md).
+  i32 fault_max_retries = 3;
+
   std::string name() const {
     std::string s = global == GlobalPolicy::kAll ? "ALL" : "ANY";
     s += local == LocalPolicy::kEager ? "-Eager" : "-Lazy";

@@ -13,7 +13,45 @@ constexpr SimTime kNever = std::numeric_limits<SimTime>::max() / 4;
 
 RipsEngine::RipsEngine(sched::ParallelScheduler& scheduler,
                        const sim::CostModel& cost, RipsConfig config)
-    : scheduler_(scheduler), cost_(cost), config_(config) {}
+    : scheduler_(scheduler),
+      cost_(cost),
+      config_(config),
+      factory_(sched::any_size_mesh_factory()) {}
+
+NodeId RipsEngine::nearest_live(NodeId phys) const {
+  RIPS_CHECK(!live_.empty());
+  NodeId best = live_.front();
+  i32 best_d = std::numeric_limits<i32>::max();
+  for (NodeId cand : live_) {
+    const i32 d = base_topology().distance(phys, cand);
+    if (d < best_d) {
+      best_d = d;
+      best = cand;  // live_ is sorted, so ties pick the smallest id
+    }
+  }
+  return best;
+}
+
+i32 RipsEngine::machine_distance(NodeId phys_a, NodeId phys_b) const {
+  if (live_view_ != nullptr) {
+    return live_view_->distance(live_view_->rank_of(phys_a),
+                                live_view_->rank_of(phys_b));
+  }
+  return base_topology().distance(phys_a, phys_b);
+}
+
+i32 RipsEngine::machine_diameter() const {
+  return live_view_ != nullptr ? live_view_->diameter()
+                               : base_topology().diameter();
+}
+
+coll::Collectives& RipsEngine::detection_collectives() {
+  if (live_view_ != nullptr) return *live_coll_;
+  if (base_coll_ == nullptr) {
+    base_coll_ = std::make_unique<coll::Collectives>(base_topology());
+  }
+  return *base_coll_;
+}
 
 void RipsEngine::release_segment_roots(u32 segment) {
   const auto& roots = trace_->roots(segment);
@@ -26,13 +64,19 @@ void RipsEngine::release_segment_roots(u32 segment) {
     }
   } else {
     // Data affinity: a segment root lives where the corresponding root of
-    // the previous segment executed.
+    // the previous segment executed. A dead home falls back to its nearest
+    // survivor (the descriptor is replicated; only the placement hint dies
+    // with the node).
     const auto& prev = trace_->roots(segment - 1);
     for (size_t i = 0; i < roots.size(); ++i) {
-      NodeId home = 0;
+      NodeId home = live_.front();
       if (!prev.empty()) {
         home = exec_node_[static_cast<size_t>(prev[i % prev.size()])];
-        if (home == kInvalidNode) home = 0;
+        if (home == kInvalidNode) {
+          home = live_.front();
+        } else if (!alive_[static_cast<size_t>(home)]) {
+          home = nearest_live(home);
+        }
       }
       origin_[static_cast<size_t>(roots[i])] = home;
       nodes_[static_cast<size_t>(home)].rts.push_back(roots[i]);
@@ -42,35 +86,100 @@ void RipsEngine::release_segment_roots(u32 segment) {
   released_segments_ = segment + 1;
 }
 
+SimTime RipsEngine::recover(SimTime t) {
+  SimTime max_death = 0;
+  for (const PendingDeath& d : dead_pending_) {
+    alive_[static_cast<size_t>(d.node)] = 0;
+    dead_at_[static_cast<size_t>(d.node)] = d.at;
+    max_death = std::max(max_death, d.at);
+    metrics_.crashes += 1;
+    metrics_.tasks_reexecuted += d.lost_execs;
+    metrics_.lost_work_ns += d.lost_work_ns;
+    nodes_[static_cast<size_t>(d.node)].rte.clear();
+    nodes_[static_cast<size_t>(d.node)].rts.clear();
+  }
+
+  // Rebuild the degraded machine first: adopters are chosen among the
+  // survivors only, and the scheduler must match the new node count.
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [&](NodeId p) {
+                               return alive_[static_cast<size_t>(p)] == 0;
+                             }),
+              live_.end());
+  RIPS_CHECK_MSG(!live_.empty(), "every node crashed; nothing can recover");
+  live_view_ = std::make_unique<topo::LiveView>(base_topology(), live_);
+  live_coll_ = std::make_unique<coll::Collectives>(*live_view_);
+  degraded_sched_ = factory_(static_cast<i32>(live_.size()));
+  RIPS_CHECK_MSG(degraded_sched_ != nullptr &&
+                     degraded_sched_->topology().size() ==
+                         static_cast<i32>(live_.size()),
+                 "scheduler factory produced the wrong machine size");
+
+  // Re-inject every dead node's checkpoint — its RTE assignment at the last
+  // recovery line — onto the survivor nearest to it in the base network
+  // (that node holds the replicated descriptors at minimal distance).
+  for (const PendingDeath& d : dead_pending_) {
+    auto& ckpt = checkpoint_[static_cast<size_t>(d.node)];
+    if (!ckpt.empty()) {
+      const NodeId adopter = nearest_live(d.node);
+      auto& dst = nodes_[static_cast<size_t>(adopter)];
+      dst.rts.insert(dst.rts.end(), ckpt.begin(), ckpt.end());
+      dst.ovh_ns += cost_.recv_time(static_cast<i64>(ckpt.size()));
+      metrics_.tasks_reinjected += ckpt.size();
+    }
+    ckpt.clear();
+  }
+  dead_pending_.clear();
+
+  // Membership agreement: survivors all-reduce the suspect set over the
+  // degraded network before rescheduling.
+  const SimTime extra = 2 *
+                        static_cast<SimTime>(live_view_->diameter()) *
+                        cost_.info_step_ns;
+  metrics_.recovery_phases += 1;
+  metrics_.recovery_time_ns += extra;
+  if (timeline_ != nullptr) {
+    timeline_->record({sim::TimelineEvent::Kind::kRecovery, kInvalidNode, t,
+                       t + extra, kInvalidTask});
+  }
+  return extra;
+}
+
 SimTime RipsEngine::system_phase(SimTime t) {
-  const i32 n = scheduler_.topology().size();
+  SimTime recovery_extra = 0;
+  if (!dead_pending_.empty()) recovery_extra = recover(t);
+  const i32 n = static_cast<i32>(live_.size());
 
   // Collect: leftover RTE tasks are moved back to RTS and rescheduled
   // together with the newly generated ones (Section 2).
-  for (auto& node : nodes_) {
+  for (NodeId phys : live_) {
+    auto& node = nodes_[static_cast<size_t>(phys)];
     node.rts.insert(node.rts.end(), node.rte.begin(), node.rte.end());
     node.rte.clear();
   }
   u64 total = 0;
-  for (const auto& node : nodes_) total += node.rts.size();
+  for (NodeId phys : live_) total += nodes_[static_cast<size_t>(phys)].rts.size();
 
   if (total == 0 && released_segments_ < trace_->num_segments()) {
     // Segment barrier: this same system phase schedules the next segment.
     release_segment_roots(released_segments_);
     total = 0;
-    for (const auto& node : nodes_) total += node.rts.size();
+    for (NodeId phys : live_) {
+      total += nodes_[static_cast<size_t>(phys)].rts.size();
+    }
   }
 
   // Counts (the paper's choice) or work totals (weighted mode: what
-  // perfect grain estimation would let the scheduler balance).
+  // perfect grain estimation would let the scheduler balance). Loads are
+  // indexed by logical rank; rank r is physical node live_[r].
   std::vector<i64> load(static_cast<size_t>(n), 0);
-  for (i32 j = 0; j < n; ++j) {
-    for (TaskId task : nodes_[static_cast<size_t>(j)].rts) {
-      load[static_cast<size_t>(j)] +=
+  for (i32 r = 0; r < n; ++r) {
+    for (TaskId task : nodes_[static_cast<size_t>(live_[r])].rts) {
+      load[static_cast<size_t>(r)] +=
           config_.weighted ? static_cast<i64>(trace_->task(task).work) : 1;
     }
   }
-  const sched::ScheduleResult plan = scheduler_.schedule(load);
+  const sched::ScheduleResult plan = active_scheduler().schedule(load);
 
   // Replay the transfer plan on the actual task ids. Nodes forward tasks
   // that are already non-local before giving up their own (locality).
@@ -79,21 +188,23 @@ SimTime RipsEngine::system_phase(SimTime t) {
     std::vector<TaskId> foreign;
   };
   std::vector<Pool> pools(static_cast<size_t>(n));
-  for (i32 j = 0; j < n; ++j) {
-    for (TaskId task : nodes_[static_cast<size_t>(j)].rts) {
-      if (origin_[static_cast<size_t>(task)] == j) {
-        pools[static_cast<size_t>(j)].local.push_back(task);
+  for (i32 r = 0; r < n; ++r) {
+    const NodeId phys = live_[static_cast<size_t>(r)];
+    for (TaskId task : nodes_[static_cast<size_t>(phys)].rts) {
+      if (origin_[static_cast<size_t>(task)] == phys) {
+        pools[static_cast<size_t>(r)].local.push_back(task);
       } else {
-        pools[static_cast<size_t>(j)].foreign.push_back(task);
+        pools[static_cast<size_t>(r)].foreign.push_back(task);
       }
     }
-    nodes_[static_cast<size_t>(j)].rts.clear();
+    nodes_[static_cast<size_t>(phys)].rts.clear();
   }
   std::vector<SimTime> migration(static_cast<size_t>(n), 0);
   u64 moved = 0;
   for (const sched::Transfer& tr : plan.transfers) {
     Pool& src = pools[static_cast<size_t>(tr.from)];
     Pool& dst = pools[static_cast<size_t>(tr.to)];
+    const NodeId to_phys = live_[static_cast<size_t>(tr.to)];
     if (!config_.weighted) {
       RIPS_CHECK_MSG(
           static_cast<i64>(src.local.size() + src.foreign.size()) >= tr.count,
@@ -122,7 +233,7 @@ SimTime RipsEngine::system_phase(SimTime t) {
       } else {
         src.local.pop_back();
       }
-      if (origin_[static_cast<size_t>(task)] == tr.to) {
+      if (origin_[static_cast<size_t>(task)] == to_phys) {
         dst.local.push_back(task);
       } else {
         dst.foreign.push_back(task);
@@ -137,10 +248,10 @@ SimTime RipsEngine::system_phase(SimTime t) {
   metrics_.tasks_migrated += moved;
 
   // Scheduled tasks enter the RTE queues (own tasks first, then received).
-  for (i32 j = 0; j < n; ++j) {
-    auto& rte = nodes_[static_cast<size_t>(j)].rte;
-    for (TaskId task : pools[static_cast<size_t>(j)].local) rte.push_back(task);
-    for (TaskId task : pools[static_cast<size_t>(j)].foreign) rte.push_back(task);
+  for (i32 r = 0; r < n; ++r) {
+    auto& rte = nodes_[static_cast<size_t>(live_[r])].rte;
+    for (TaskId task : pools[static_cast<size_t>(r)].local) rte.push_back(task);
+    for (TaskId task : pools[static_cast<size_t>(r)].foreign) rte.push_back(task);
   }
 
   // Cost: lock-step scheduling rounds (cheap scalar-only information steps
@@ -151,10 +262,20 @@ SimTime RipsEngine::system_phase(SimTime t) {
   for (SimTime m : migration) max_migration = std::max(max_migration, m);
   const SimTime step_time = plan.info_steps * cost_.info_step_ns +
                             plan.transfer_steps * cost_.step_ns;
-  const SimTime duration = step_time + max_migration;
-  for (i32 j = 0; j < n; ++j) {
-    nodes_[static_cast<size_t>(j)].ovh_ns +=
-        step_time + migration[static_cast<size_t>(j)];
+  const SimTime duration = step_time + max_migration + recovery_extra;
+  for (i32 r = 0; r < n; ++r) {
+    nodes_[static_cast<size_t>(live_[r])].ovh_ns +=
+        step_time + migration[static_cast<size_t>(r)];
+  }
+
+  // Recovery line: the post-scheduling RTE assignment is exactly what a
+  // survivor can replay for a node that dies before the next system phase.
+  if (injector_.has_value()) {
+    for (NodeId phys : live_) {
+      auto& ck = checkpoint_[static_cast<size_t>(phys)];
+      const auto& rte = nodes_[static_cast<size_t>(phys)].rte;
+      ck.assign(rte.begin(), rte.end());
+    }
   }
 
   phases_.push_back({total, moved, plan.comm_steps, duration});
@@ -167,8 +288,11 @@ SimTime RipsEngine::system_phase(SimTime t) {
 }
 
 SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
-                                        SimTime stop_t, bool apply) {
+                                        SimTime stop_t, PhaseMode mode,
+                                        u64* lost_execs,
+                                        SimTime* lost_work_ns) {
   NodeRt& n = nodes_[static_cast<size_t>(node)];
+  const bool apply = mode == PhaseMode::kCommit;
   std::deque<TaskId> scratch;
   std::deque<TaskId>* queue;
   if (apply) {
@@ -189,7 +313,8 @@ SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
       task = queue->front();
       queue->pop_front();
     }
-    const SimTime work = cost_.work_time(trace_->task(task).work);
+    SimTime work = cost_.work_time(trace_->task(task).work);
+    if (injector_.has_value()) work = injector_->scaled_work(node, now, work);
     now += work;
     if (apply) {
       n.busy_ns += work;
@@ -200,6 +325,11 @@ SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
         timeline_->record({sim::TimelineEvent::Kind::kTask, node, now - work,
                            now, task});
       }
+    } else if (mode == PhaseMode::kDoomed) {
+      // The node finishes this task but dies before the next recovery
+      // line: the execution is lost and will be redone by a survivor.
+      if (lost_execs != nullptr) *lost_execs += 1;
+      if (lost_work_ns != nullptr) *lost_work_ns += work;
     }
     const u32 kids = trace_->num_children(task);
     const TaskId* child = trace_->children_begin(task);
@@ -219,10 +349,219 @@ SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
   return now;
 }
 
+SimTime RipsEngine::user_phase(SimTime t) {
+  const i32 n = static_cast<i32>(live_.size());
+  const u64 executed_before = executed_total_;
+  const SimTime user_start = t;
+  const u64 op_base = coll_op_counter_;
+  coll_op_counter_ += 2;  // one id for notify delays, one for detection
+
+  // Measuring pass: when would each node drain its RTE, undisturbed?
+  std::vector<SimTime> drain(nodes_.size(), kNever);
+  for (NodeId phys : live_) {
+    drain[static_cast<size_t>(phys)] =
+        simulate_user_phase(phys, t, kNever, PhaseMode::kMeasure);
+  }
+
+  // Effective crash times: a crash timed before this phase (inside the
+  // system phase) fires at the phase start; crashes are honored at
+  // user-phase granularity.
+  std::vector<SimTime> crash_eff(nodes_.size(), kNever);
+  bool crash_candidates = false;
+  if (injector_.has_value()) {
+    for (NodeId phys : live_) {
+      if (crash_time_[static_cast<size_t>(phys)] != kNever) {
+        crash_eff[static_cast<size_t>(phys)] =
+            std::max(t, crash_time_[static_cast<size_t>(phys)]);
+        crash_candidates = true;
+      }
+    }
+  }
+
+  // Global condition time over the nodes that stay alive; crash admission
+  // below removes the doomed and recomputes until a fixpoint.
+  std::vector<char> doomed(nodes_.size(), 0);
+  i32 doomed_count = 0;
+  SimTime t_cond = t;
+  NodeId initiator = live_.front();
+  const auto recompute_cond = [&]() {
+    if (config_.global == GlobalPolicy::kAny) {
+      // Any processor whose RTE drains initiates — including processors
+      // that received no work at all (with fewer tasks than processors the
+      // idle ones trigger an immediate incremental rebalance; every busy
+      // processor still completes its current task, so each phase makes
+      // progress).
+      t_cond = kNever;
+      initiator = live_.front();
+      for (NodeId phys : live_) {
+        if (doomed[static_cast<size_t>(phys)]) continue;
+        if (drain[static_cast<size_t>(phys)] < t_cond) {
+          t_cond = drain[static_cast<size_t>(phys)];
+          initiator = phys;
+        }
+      }
+      RIPS_CHECK(t_cond != kNever);
+    } else {
+      t_cond = t;
+      for (NodeId phys : live_) {
+        if (doomed[static_cast<size_t>(phys)]) continue;
+        t_cond = std::max(t_cond, drain[static_cast<size_t>(phys)]);
+      }
+    }
+  };
+  recompute_cond();
+  if (crash_candidates) {
+    // A candidate is admitted (dies inside this phase) when its crash time
+    // precedes the condition computed over the remaining survivors. The
+    // machine always keeps one survivor: a last-node crash never fires.
+    while (n - doomed_count > 1) {
+      NodeId pick = kInvalidNode;
+      for (NodeId phys : live_) {
+        const auto p = static_cast<size_t>(phys);
+        if (doomed[p] || crash_eff[p] > t_cond) continue;
+        if (pick == kInvalidNode ||
+            crash_eff[p] < crash_eff[static_cast<size_t>(pick)]) {
+          pick = phys;
+        }
+      }
+      if (pick == kInvalidNode) break;
+      doomed[static_cast<size_t>(pick)] = 1;
+      ++doomed_count;
+      recompute_cond();
+    }
+  }
+
+  // Detection: signal protocol or naive periodic reduction.
+  SimTime t_detect = t_cond;
+  SimTime periodic_penalty = 0;
+  if (config_.detect == DetectMode::kPeriodic) {
+    const SimTime interval = config_.periodic_interval_ns;
+    RIPS_CHECK(interval > 0);
+    const SimTime elapsed = t_cond - t;
+    const SimTime checks = std::max<SimTime>(
+        1, (elapsed + interval - 1) / interval);
+    t_detect = t + checks * interval;
+    // Every reduction interrupts every node briefly: the CPU cost is
+    // overhead AND it stretches the phase by the same amount (the
+    // computation pauses while the global reduction runs).
+    periodic_penalty =
+        checks * (cost_.send_overhead_ns + cost_.recv_overhead_ns);
+    for (NodeId phys : live_) {
+      nodes_[static_cast<size_t>(phys)].ovh_ns += periodic_penalty;
+    }
+  }
+
+  // Commit pass with per-node stop times. Doomed nodes run until their
+  // crash instead: everything they executed this phase dies with them.
+  SimTime phase_end = t;
+  SimTime max_death = 0;
+  const auto commit_doomed = [&](NodeId phys) {
+    const SimTime death = crash_eff[static_cast<size_t>(phys)];
+    u64 lost = 0;
+    SimTime lost_work = 0;
+    simulate_user_phase(phys, t, death, PhaseMode::kDoomed, &lost, &lost_work);
+    dead_pending_.push_back({phys, death, lost, lost_work});
+    max_death = std::max(max_death, death);
+    if (timeline_ != nullptr) {
+      timeline_->record({sim::TimelineEvent::Kind::kFailure, phys, death,
+                         death, kInvalidTask});
+    }
+  };
+  if (config_.global == GlobalPolicy::kAny) {
+    for (NodeId phys : live_) {
+      if (doomed[static_cast<size_t>(phys)]) {
+        commit_doomed(phys);
+        continue;
+      }
+      SimTime delay = cost_.send_overhead_ns + cost_.recv_overhead_ns +
+                      cost_.network_time(machine_distance(initiator, phys));
+      if (injector_.has_value()) {
+        delay += injector_->message_delay(op_base, initiator, phys);
+      }
+      const SimTime stop = t_detect + (phys == initiator ? 0 : delay);
+      const SimTime quiesce =
+          simulate_user_phase(phys, t, stop, PhaseMode::kCommit);
+      nodes_[static_cast<size_t>(phys)].ovh_ns +=
+          cost_.send_overhead_ns + cost_.recv_overhead_ns;
+      phase_end = std::max(phase_end, std::max(quiesce, stop));
+    }
+    phase_end += cost_.step_ns;  // quiescence confirmation
+  } else {
+    for (NodeId phys : live_) {
+      if (doomed[static_cast<size_t>(phys)]) {
+        commit_doomed(phys);
+        continue;
+      }
+      const SimTime quiesce =
+          simulate_user_phase(phys, t, kNever, PhaseMode::kCommit);
+      nodes_[static_cast<size_t>(phys)].ovh_ns +=
+          cost_.send_overhead_ns + cost_.recv_overhead_ns;
+      phase_end = std::max(phase_end, quiesce);
+    }
+    // Ready signals climb the spanning tree, init returns.
+    phase_end = std::max(phase_end, t_detect) +
+                2 * cost_.network_time(machine_diameter());
+  }
+  phase_end += periodic_penalty;
+
+  // Faulty detection collective: the ready/init signals carry the
+  // heartbeat. Each lost message costs one timeout window plus one resend
+  // step on the critical path; dead peers are suspected after the retry
+  // budget instead of hanging the protocol.
+  const bool message_faults =
+      injector_.has_value() && injector_->has_message_faults();
+  if ((doomed_count > 0 || message_faults) && n > 1) {
+    coll::Collectives& coll = detection_collectives();
+    coll::Ledger ledger;
+    coll::FaultStats stats;
+    const u64 coll_op = op_base + 1;
+    const coll::MessageFault fault_fn = [&](NodeId from, NodeId to,
+                                            i64 attempt) {
+      const NodeId pf = live_view_ != nullptr ? live_view_->physical(from)
+                                              : from;
+      const NodeId pt = live_view_ != nullptr ? live_view_->physical(to) : to;
+      if (doomed[static_cast<size_t>(pf)] || doomed[static_cast<size_t>(pt)]) {
+        return true;  // a crashed endpoint never sends or acknowledges
+      }
+      if (!message_faults) return false;
+      return injector_->drop_message(coll_op, pf, pt, attempt);
+    };
+    i32 base_steps = 0;
+    i32 faulty_steps = 0;
+    if (config_.global == GlobalPolicy::kAny) {
+      const NodeId init_rank = live_view_ != nullptr
+                                   ? live_view_->rank_of(initiator)
+                                   : initiator;
+      base_steps = coll.or_barrier_steps(init_rank);
+      faulty_steps = coll.or_barrier_steps_faulty(
+          init_rank, fault_fn, config_.fault_max_retries, ledger, stats);
+    } else {
+      base_steps = coll.ready_signal_steps();
+      faulty_steps = coll.ready_signal_steps_faulty(
+          fault_fn, config_.fault_max_retries, ledger, stats);
+    }
+    const SimTime extra =
+        static_cast<SimTime>(faulty_steps - base_steps) * cost_.info_step_ns +
+        static_cast<SimTime>(stats.timeouts) * config_.fault_timeout_ns;
+    phase_end += extra;
+    metrics_.dropped_messages += static_cast<u64>(stats.dropped);
+    metrics_.message_retries += static_cast<u64>(stats.retries);
+    if (doomed_count > 0) metrics_.recovery_time_ns += extra;
+  }
+  if (doomed_count > 0) {
+    // Survivors cannot close the phase before the heartbeat timeout of the
+    // last death has expired.
+    phase_end = std::max(phase_end, max_death + config_.fault_timeout_ns);
+  }
+
+  user_phases_.push_back(
+      {user_start, t_cond, phase_end, executed_total_ - executed_before});
+  return phase_end;
+}
+
 sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
   trace_ = &trace;
   const i32 n = scheduler_.topology().size();
-  const auto& topo = scheduler_.topology();
   nodes_.assign(static_cast<size_t>(n), NodeRt{});
   origin_.assign(trace.size(), kInvalidNode);
   exec_node_.assign(trace.size(), kInvalidNode);
@@ -237,6 +576,28 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
         cost_.work_time(trace.task(static_cast<TaskId>(i)).work);
   }
 
+  // Fault state is rebuilt from the plan every run: re-running with the
+  // same plan is bit-identical.
+  alive_.assign(static_cast<size_t>(n), 1);
+  live_.resize(static_cast<size_t>(n));
+  for (i32 j = 0; j < n; ++j) live_[static_cast<size_t>(j)] = j;
+  crash_time_.assign(static_cast<size_t>(n), kNever);
+  dead_at_.assign(static_cast<size_t>(n), kNever);
+  checkpoint_.assign(static_cast<size_t>(n), {});
+  dead_pending_.clear();
+  live_view_.reset();
+  degraded_sched_.reset();
+  live_coll_.reset();
+  coll_op_counter_ = 0;
+  injector_.reset();
+  if (fault_plan_ != nullptr && !fault_plan_->empty()) {
+    injector_.emplace(*fault_plan_, n);
+    for (const sim::CrashFault& c : injector_->crashes()) {
+      auto& slot = crash_time_[static_cast<size_t>(c.node)];
+      slot = std::min(slot, c.time_ns);
+    }
+  }
+
   if (timeline_ != nullptr) timeline_->clear();
   release_segment_roots(0);
   SimTime t = 0;
@@ -245,102 +606,29 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
     t = system_phase(t);
     if (executed_total_ == trace.size()) {
       bool empty = true;
-      for (const auto& node : nodes_) {
+      for (NodeId phys : live_) {
+        const auto& node = nodes_[static_cast<size_t>(phys)];
         empty = empty && node.rte.empty() && node.rts.empty();
       }
       RIPS_CHECK(empty);
       break;  // the final (empty) system phase detected termination
     }
-
-    // --- User phase.
-    const u64 executed_before = executed_total_;
-    const SimTime user_start = t;
-    // Measuring pass: when would each node drain its RTE, undisturbed?
-    std::vector<SimTime> drain(static_cast<size_t>(n));
-    for (i32 j = 0; j < n; ++j) {
-      drain[static_cast<size_t>(j)] =
-          simulate_user_phase(j, t, kNever, /*apply=*/false);
-    }
-
-    // Global condition time.
-    SimTime t_cond;
-    NodeId initiator = 0;
-    if (config_.global == GlobalPolicy::kAny) {
-      // Any processor whose RTE drains initiates — including processors
-      // that received no work at all (with fewer tasks than processors the
-      // idle ones trigger an immediate incremental rebalance; every busy
-      // processor still completes its current task, so each phase makes
-      // progress).
-      t_cond = kNever;
-      for (i32 j = 0; j < n; ++j) {
-        if (drain[static_cast<size_t>(j)] < t_cond) {
-          t_cond = drain[static_cast<size_t>(j)];
-          initiator = j;
-        }
-      }
-      RIPS_CHECK(t_cond != kNever);
-    } else {
-      t_cond = t;
-      for (i32 j = 0; j < n; ++j) {
-        t_cond = std::max(t_cond, drain[static_cast<size_t>(j)]);
-      }
-    }
-
-    // Detection: signal protocol or naive periodic reduction.
-    SimTime t_detect = t_cond;
-    SimTime periodic_penalty = 0;
-    if (config_.detect == DetectMode::kPeriodic) {
-      const SimTime interval = config_.periodic_interval_ns;
-      RIPS_CHECK(interval > 0);
-      const SimTime elapsed = t_cond - t;
-      const SimTime checks = std::max<SimTime>(
-          1, (elapsed + interval - 1) / interval);
-      t_detect = t + checks * interval;
-      // Every reduction interrupts every node briefly: the CPU cost is
-      // overhead AND it stretches the phase by the same amount (the
-      // computation pauses while the global reduction runs).
-      periodic_penalty =
-          checks * (cost_.send_overhead_ns + cost_.recv_overhead_ns);
-      for (auto& node : nodes_) node.ovh_ns += periodic_penalty;
-    }
-
-    // Commit pass with per-node stop times.
-    SimTime phase_end = t;
-    if (config_.global == GlobalPolicy::kAny) {
-      for (i32 j = 0; j < n; ++j) {
-        const SimTime delay =
-            cost_.send_overhead_ns + cost_.recv_overhead_ns +
-            cost_.network_time(topo.distance(initiator, j));
-        const SimTime stop = t_detect + (j == initiator ? 0 : delay);
-        const SimTime quiesce = simulate_user_phase(j, t, stop, /*apply=*/true);
-        nodes_[static_cast<size_t>(j)].ovh_ns +=
-            cost_.send_overhead_ns + cost_.recv_overhead_ns;
-        phase_end = std::max(phase_end, std::max(quiesce, stop));
-      }
-      phase_end += cost_.step_ns;  // quiescence confirmation
-    } else {
-      for (i32 j = 0; j < n; ++j) {
-        const SimTime quiesce =
-            simulate_user_phase(j, t, kNever, /*apply=*/true);
-        nodes_[static_cast<size_t>(j)].ovh_ns +=
-            cost_.send_overhead_ns + cost_.recv_overhead_ns;
-        phase_end = std::max(phase_end, quiesce);
-      }
-      // Ready signals climb the spanning tree, init returns.
-      phase_end = std::max(phase_end, t_detect) +
-                  2 * cost_.network_time(topo.diameter());
-    }
-    phase_end += periodic_penalty;
-    user_phases_.push_back(
-        {user_start, t_cond, phase_end, executed_total_ - executed_before});
-    t = phase_end;
+    t = user_phase(t);
   }
 
   metrics_.makespan_ns = t;
-  for (const auto& node : nodes_) {
+  for (i32 j = 0; j < n; ++j) {
+    const auto& node = nodes_[static_cast<size_t>(j)];
     metrics_.total_busy_ns += node.busy_ns;
     metrics_.total_overhead_ns += node.ovh_ns;
-    metrics_.total_idle_ns += t - node.busy_ns - node.ovh_ns;
+    if (alive_[static_cast<size_t>(j)]) {
+      metrics_.total_idle_ns += t - node.busy_ns - node.ovh_ns;
+    } else {
+      // A dead node stops accumulating idle time at its death.
+      const SimTime horizon = std::min(dead_at_[static_cast<size_t>(j)], t);
+      const SimTime used = node.busy_ns + node.ovh_ns;
+      metrics_.total_idle_ns += horizon > used ? horizon - used : 0;
+    }
   }
   for (size_t i = 0; i < trace.size(); ++i) {
     if (exec_node_[i] != origin_[i]) metrics_.nonlocal_tasks += 1;

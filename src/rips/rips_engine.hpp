@@ -20,17 +20,37 @@
 // a system phase that finds no work: the next segment's roots materialize
 // on the nodes that executed the corresponding tasks of the previous
 // segment (data affinity) and are scheduled in that same phase.
+//
+// FAULT TOLERANCE (docs/FAULTS.md). With a sim::FaultPlan attached the
+// engine survives fail-stop crashes, slowdown windows and lost collective
+// messages. System phases double as recovery lines: each one snapshots the
+// per-node RTE assignment (origin-replicated task descriptors =
+// phase-granularity checkpointing); when survivors detect a dead node —
+// heartbeat piggybacked on the ready/init signals, one timeout instead of
+// a hung barrier — the next system phase rebuilds the live-node set, a
+// survivor adopts and re-injects the dead node's checkpointed tasks, and
+// scheduling continues over the degraded machine through a topo::LiveView
+// rank remap plus a scheduler rebuilt for the survivor count. Work the
+// dead node did since the last recovery line is lost and re-executed
+// (counted in RunMetrics::tasks_reexecuted); every task still executes at
+// least once. Fault-free runs are bit-identical to the engine without a
+// plan attached.
 #pragma once
 
 #include <deque>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "apps/task_trace.hpp"
+#include "coll/collectives.hpp"
 #include "rips/config.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/timeline.hpp"
+#include "topo/live_view.hpp"
 #include "util/types.hpp"
 
 namespace rips::core {
@@ -47,6 +67,22 @@ class RipsEngine {
   /// phase of subsequent runs is recorded (the timeline is cleared at the
   /// start of each run). Pass nullptr to detach.
   void set_timeline(sim::Timeline* timeline) { timeline_ = timeline; }
+
+  /// Optional fault injection: subsequent runs replay the plan's crashes,
+  /// slowdowns and message faults. Pass nullptr to detach. The plan is
+  /// read-only; re-running with the same plan reproduces identical
+  /// metrics.
+  void set_fault_plan(const sim::FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Scheduler builder used to rebuild the scheduler over the survivors
+  /// after a crash (the constructor-provided scheduler only fits the full
+  /// machine). Defaults to sched::any_size_mesh_factory().
+  void set_scheduler_factory(sched::SchedulerFactory factory) {
+    factory_ = std::move(factory);
+  }
+
+  /// Physical ids of the nodes still alive after the last run.
+  const std::vector<NodeId>& live_nodes() const { return live_; }
 
   /// Per-system-phase breakdown of the last run (Section 4's 15-Queens
   /// narrative: phases, non-local tasks per phase, migration time).
@@ -78,16 +114,41 @@ class RipsEngine {
     SimTime ovh_ns = 0;
   };
 
-  /// Simulates one node's user phase. In measuring mode (apply == false)
-  /// it runs on scratch state and only returns the drain time; in apply
-  /// mode it commits execution, spawns and queue updates. `stop_t` is the
-  /// time the node learns of the phase transfer (it finishes the task in
-  /// flight, then stops).
+  /// How simulate_user_phase treats the node's state.
+  enum class PhaseMode {
+    kMeasure,  ///< scratch state, returns the drain time only
+    kCommit,   ///< commits execution, spawns and queue updates
+    kDoomed,   ///< scratch state of a node that crashes at `stop_t`:
+               ///< executions are tallied as lost, nothing is committed
+  };
+
+  /// Simulates one node's user phase. `stop_t` is the time the node learns
+  /// of the phase transfer — or dies (kDoomed): it finishes the task in
+  /// flight, then stops. In kDoomed mode `lost_execs` / `lost_work_ns`
+  /// receive the executions whose results die with the node.
   SimTime simulate_user_phase(NodeId node, SimTime start_t, SimTime stop_t,
-                              bool apply);
+                              PhaseMode mode, u64* lost_execs = nullptr,
+                              SimTime* lost_work_ns = nullptr);
 
   void release_segment_roots(u32 segment);
   SimTime system_phase(SimTime t);
+  SimTime user_phase(SimTime t);
+
+  /// Recovery line: marks pending deaths permanent, rebuilds the live
+  /// view / scheduler / collectives, re-injects checkpointed tasks of the
+  /// dead onto their nearest survivors. Returns the extra system-phase
+  /// time spent on membership agreement.
+  SimTime recover(SimTime t);
+
+  sched::ParallelScheduler& active_scheduler() {
+    return degraded_sched_ ? *degraded_sched_ : scheduler_;
+  }
+  const topo::Topology& base_topology() const { return scheduler_.topology(); }
+  /// Hop distance between two live physical nodes on the current machine.
+  i32 machine_distance(NodeId phys_a, NodeId phys_b) const;
+  i32 machine_diameter() const;
+  coll::Collectives& detection_collectives();
+  NodeId nearest_live(NodeId phys) const;
 
   sched::ParallelScheduler& scheduler_;
   sim::CostModel cost_;
@@ -103,6 +164,29 @@ class RipsEngine {
   std::vector<UserPhaseStats> user_phases_;
   sim::Timeline* timeline_ = nullptr;
   sim::RunMetrics metrics_;
+
+  // --- fault tolerance ---------------------------------------------------
+  struct PendingDeath {
+    NodeId node = kInvalidNode;
+    SimTime at = 0;
+    u64 lost_execs = 0;
+    SimTime lost_work_ns = 0;
+  };
+
+  const sim::FaultPlan* fault_plan_ = nullptr;
+  std::optional<sim::FaultInjector> injector_;  // rebuilt per run
+  sched::SchedulerFactory factory_;
+  std::vector<char> alive_;               // per physical node
+  std::vector<NodeId> live_;              // rank -> physical, sorted
+  std::vector<SimTime> crash_time_;       // per physical node, kNever if none
+  std::vector<SimTime> dead_at_;          // per physical node, kNever alive
+  std::vector<std::vector<TaskId>> checkpoint_;  // RTE at last system phase
+  std::vector<PendingDeath> dead_pending_;
+  std::unique_ptr<topo::LiveView> live_view_;    // null while all alive
+  std::unique_ptr<sched::ParallelScheduler> degraded_sched_;
+  std::unique_ptr<coll::Collectives> live_coll_;
+  std::unique_ptr<coll::Collectives> base_coll_;
+  u64 coll_op_counter_ = 0;
 };
 
 }  // namespace rips::core

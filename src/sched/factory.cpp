@@ -1,4 +1,6 @@
 #include <bit>
+#include <stdexcept>
+#include <string>
 
 #include "sched/dem.hpp"
 #include "sched/hwa.hpp"
@@ -9,7 +11,6 @@
 #include "sched/scheduler.hpp"
 #include "sched/torus_walk.hpp"
 #include "sched/twa.hpp"
-#include "util/check.hpp"
 
 namespace rips::sched {
 
@@ -32,11 +33,22 @@ class OwningOptimal final : public ParallelScheduler {
   OptimalFlow inner_;
 };
 
+bool is_pow2(i32 n) { return n > 0 && (n & (n - 1)) == 0; }
+
+[[noreturn]] void reject(const std::string& kind, i32 n, const char* why) {
+  throw std::invalid_argument("make_scheduler(\"" + kind + "\", " +
+                              std::to_string(n) + "): " + why);
+}
+
 }  // namespace
 
 std::unique_ptr<ParallelScheduler> make_scheduler(const std::string& kind,
                                                   i32 n) {
+  if (n <= 0) reject(kind, n, "scheduler size must be positive");
   if (kind == "mwa") {
+    if (!is_pow2(n)) {
+      reject(kind, n, "the paper mesh shape needs a power-of-two size");
+    }
     const auto shape = topo::paper_mesh_shape(n);
     return std::make_unique<Mwa>(topo::Mesh(shape.rows, shape.cols));
   }
@@ -44,28 +56,34 @@ std::unique_ptr<ParallelScheduler> make_scheduler(const std::string& kind,
     return std::make_unique<Twa>(topo::BinaryTree(n));
   }
   if (kind == "dem") {
-    RIPS_CHECK_MSG((n & (n - 1)) == 0, "DEM needs a power-of-two size");
+    if (!is_pow2(n)) reject(kind, n, "DEM needs a power-of-two size");
     return std::make_unique<DemHypercube>(
         topo::Hypercube(std::countr_zero(static_cast<u32>(n))));
   }
   if (kind == "dem-mesh") {
+    if (!is_pow2(n)) {
+      reject(kind, n, "the paper mesh shape needs a power-of-two size");
+    }
     const auto shape = topo::paper_mesh_shape(n);
     return std::make_unique<DemMesh>(topo::Mesh(shape.rows, shape.cols));
   }
   if (kind == "hwa") {
-    RIPS_CHECK_MSG((n & (n - 1)) == 0, "HWA needs a power-of-two size");
+    if (!is_pow2(n)) reject(kind, n, "HWA needs a power-of-two size");
     return std::make_unique<Hwa>(
         topo::Hypercube(std::countr_zero(static_cast<u32>(n))));
   }
   if (kind == "kd") {
     // As-cubic-as-possible 3-D shape for a power-of-two n.
-    RIPS_CHECK_MSG((n & (n - 1)) == 0, "kd-walk factory needs a power of two");
+    if (!is_pow2(n)) reject(kind, n, "kd-walk needs a power-of-two size");
     const i32 log = std::countr_zero(static_cast<u32>(n));
     std::vector<i32> dims{1 << ((log + 2) / 3), 1 << ((log + 1) / 3),
                           1 << (log / 3)};
     return std::make_unique<KdWalk>(topo::MeshKd(std::move(dims)));
   }
   if (kind == "torus") {
+    if (!is_pow2(n)) {
+      reject(kind, n, "the paper mesh shape needs a power-of-two size");
+    }
     const auto shape = topo::paper_mesh_shape(n);
     return std::make_unique<TorusWalk>(topo::Torus(shape.rows, shape.cols));
   }
@@ -73,10 +91,23 @@ std::unique_ptr<ParallelScheduler> make_scheduler(const std::string& kind,
     return std::make_unique<RingScan>(topo::Ring(n));
   }
   if (kind == "optimal") {
+    if (!is_pow2(n)) {
+      reject(kind, n, "the paper mesh shape needs a power-of-two size");
+    }
     return std::make_unique<OwningOptimal>(topo::make_topology("mesh", n));
   }
-  RIPS_CHECK_MSG(false, "unknown scheduler kind");
-  return nullptr;
+  reject(kind, n, "unknown scheduler kind");
+}
+
+SchedulerFactory any_size_mesh_factory() {
+  return [](i32 n) -> std::unique_ptr<ParallelScheduler> {
+    if (n <= 0) {
+      throw std::invalid_argument("mesh factory: size must be positive, got " +
+                                  std::to_string(n));
+    }
+    const topo::MeshShape shape = topo::near_square_shape(n);
+    return std::make_unique<Mwa>(topo::Mesh(shape.rows, shape.cols));
+  };
 }
 
 }  // namespace rips::sched

@@ -8,6 +8,7 @@
 // queues; benches use the counters directly.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,9 +73,20 @@ ReplayResult replay_transfers(const std::vector<i64>& load,
                               const std::vector<Transfer>& transfers);
 
 /// Factory: kind in {mwa, twa, dem, dem-mesh, hwa, torus, ring,
-/// optimal}; n must match what the
-/// kind supports (see each class).
+/// optimal}; n must match what the kind supports (see each class).
+/// Throws std::invalid_argument (naming the offending value) on an unknown
+/// kind, n <= 0, or an n the kind cannot shape (e.g. a non-power-of-two
+/// mesh for mwa).
 std::unique_ptr<ParallelScheduler> make_scheduler(const std::string& kind,
                                                   i32 n);
+
+/// Builds a scheduler for an n-node machine. The fault-tolerant RIPS
+/// engine uses one of these to rebuild its scheduler over the survivors
+/// after a crash, where n is rarely a power of two.
+using SchedulerFactory = std::function<std::unique_ptr<ParallelScheduler>(i32)>;
+
+/// Default degraded-machine factory: MWA over the near-square mesh of n
+/// (any n >= 1).
+SchedulerFactory any_size_mesh_factory();
 
 }  // namespace rips::sched

@@ -13,7 +13,19 @@ std::string RunMetrics::summary() const {
                 static_cast<unsigned long long>(nonlocal_tasks), exec_s(),
                 overhead_s(), idle_s(), 100.0 * efficiency(),
                 static_cast<unsigned long long>(system_phases));
-  return buf;
+  std::string out = buf;
+  if (crashes > 0 || dropped_messages > 0) {
+    std::snprintf(buf, sizeof buf,
+                  " crashes=%llu recoveries=%llu reexec=%llu drops=%llu "
+                  "lost=%.3fs",
+                  static_cast<unsigned long long>(crashes),
+                  static_cast<unsigned long long>(recovery_phases),
+                  static_cast<unsigned long long>(tasks_reexecuted),
+                  static_cast<unsigned long long>(dropped_messages),
+                  1e-9 * static_cast<double>(lost_work_ns));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace rips::sim

@@ -25,6 +25,21 @@ struct RunMetrics {
   /// Sequential execution time implied by the trace (total work).
   SimTime sequential_ns = 0;
 
+  // --- fault tolerance (all zero on a fault-free run) -------------------
+
+  u64 crashes = 0;            ///< fail-stop nodes lost during the run
+  u64 recovery_phases = 0;    ///< system phases that doubled as recovery lines
+  u64 tasks_reinjected = 0;   ///< checkpointed tasks re-adopted by survivors
+  u64 tasks_reexecuted = 0;   ///< executions redone because the result died
+  u64 dropped_messages = 0;   ///< collective messages lost on the wire
+  u64 message_retries = 0;    ///< retransmissions issued by collectives
+  SimTime lost_work_ns = 0;       ///< work executed on nodes that then died
+  SimTime recovery_time_ns = 0;   ///< detection + membership-rebuild time
+
+  /// Field-by-field equality — fault determinism tests assert that the
+  /// same fault seed reproduces bit-identical metrics.
+  bool operator==(const RunMetrics&) const = default;
+
   // --- Table I derived columns ------------------------------------------
 
   /// Overhead time Th: per-node average system overhead, seconds.

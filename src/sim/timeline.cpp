@@ -35,12 +35,15 @@ std::string Timeline::render(i32 num_nodes, i32 width) const {
                                static_cast<size_t>(width),
                            0.0);
   std::vector<bool> global(static_cast<size_t>(width), false);
+  std::vector<bool> failure(static_cast<size_t>(width), false);
   for (const TimelineEvent& e : events_) {
     if (e.kind != TimelineEvent::Kind::kTask) {
       const auto b0 = static_cast<i32>(static_cast<double>(e.start_ns) / bucket);
       const auto b1 = static_cast<i32>(static_cast<double>(e.end_ns) / bucket);
+      auto& marks =
+          e.kind == TimelineEvent::Kind::kFailure ? failure : global;
       for (i32 b = b0; b <= std::min(b1, width - 1); ++b) {
-        global[static_cast<size_t>(b)] = true;
+        marks[static_cast<size_t>(b)] = true;
       }
       continue;
     }
@@ -76,9 +79,11 @@ std::string Timeline::render(i32 num_nodes, i32 width) const {
   }
   out += "    ";
   for (i32 b = 0; b < width; ++b) {
-    out += global[static_cast<size_t>(b)] ? '|' : ' ';
+    out += failure[static_cast<size_t>(b)]         ? 'X'
+           : global[static_cast<size_t>(b)] ? '|'
+                                            : ' ';
   }
-  out += "  (| = system phase / barrier)\n";
+  out += "  (| = system phase / barrier, X = node failure)\n";
   return out;
 }
 
@@ -87,10 +92,24 @@ bool Timeline::write_csv(const std::string& path) const {
   if (file == nullptr) return false;
   bool ok = std::fputs("kind,node,start_ns,end_ns,task\n", file) >= 0;
   for (const TimelineEvent& e : events_) {
-    const char* kind = e.kind == TimelineEvent::Kind::kTask ? "task"
-                       : e.kind == TimelineEvent::Kind::kSystemPhase
-                           ? "system_phase"
-                           : "barrier";
+    const char* kind = "barrier";
+    switch (e.kind) {
+      case TimelineEvent::Kind::kTask:
+        kind = "task";
+        break;
+      case TimelineEvent::Kind::kSystemPhase:
+        kind = "system_phase";
+        break;
+      case TimelineEvent::Kind::kBarrier:
+        kind = "barrier";
+        break;
+      case TimelineEvent::Kind::kFailure:
+        kind = "failure";
+        break;
+      case TimelineEvent::Kind::kRecovery:
+        kind = "recovery";
+        break;
+    }
     ok = ok && std::fprintf(file, "%s,%d,%lld,%lld,%lld\n", kind, e.node,
                             static_cast<long long>(e.start_ns),
                             static_cast<long long>(e.end_ns),

@@ -16,6 +16,8 @@ struct TimelineEvent {
     kTask,         ///< one task execution on `node`
     kSystemPhase,  ///< global system phase (node == kInvalidNode)
     kBarrier,      ///< global synchronization (node == kInvalidNode)
+    kFailure,      ///< fail-stop crash of `node` at start_ns (== end_ns)
+    kRecovery,     ///< recovery line: membership rebuild + re-injection
   };
   Kind kind = Kind::kTask;
   NodeId node = kInvalidNode;

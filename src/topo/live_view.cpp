@@ -1,0 +1,106 @@
+#include "topo/live_view.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace rips::topo {
+
+LiveView::LiveView(const Topology& base, std::vector<NodeId> live)
+    : live_(std::move(live)), base_name_(base.name()) {
+  std::sort(live_.begin(), live_.end());
+  live_.erase(std::unique(live_.begin(), live_.end()), live_.end());
+  RIPS_CHECK_MSG(!live_.empty(), "LiveView needs at least one survivor");
+  const i32 n = base.size();
+  for (NodeId v : live_) RIPS_CHECK(v >= 0 && v < n);
+
+  rank_of_.assign(static_cast<size_t>(n), kInvalidNode);
+  for (size_t r = 0; r < live_.size(); ++r) {
+    rank_of_[static_cast<size_t>(live_[r])] = static_cast<i32>(r);
+  }
+
+  // Relay adjacency: from every live node, walk the base graph through
+  // dead nodes only; the first live node reached along any such path is a
+  // LiveView neighbor.
+  adj_.assign(live_.size(), {});
+  std::vector<char> seen(static_cast<size_t>(n));
+  std::vector<NodeId> nbr;
+  for (size_t r = 0; r < live_.size(); ++r) {
+    std::fill(seen.begin(), seen.end(), 0);
+    std::deque<NodeId> frontier;
+    seen[static_cast<size_t>(live_[r])] = 1;
+    frontier.push_back(live_[r]);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      nbr.clear();
+      base.append_neighbors(u, nbr);
+      for (NodeId v : nbr) {
+        if (seen[static_cast<size_t>(v)]) continue;
+        seen[static_cast<size_t>(v)] = 1;
+        const i32 vr = rank_of_[static_cast<size_t>(v)];
+        if (vr == kInvalidNode) {
+          frontier.push_back(v);  // dead relay: keep walking
+        } else if (vr != static_cast<i32>(r)) {
+          adj_[r].push_back(vr);
+        }
+      }
+    }
+    std::sort(adj_[r].begin(), adj_[r].end());
+  }
+
+  dist_.assign(live_.size() * live_.size(), -1);
+  dist_done_.assign(live_.size(), 0);
+}
+
+std::string LiveView::name() const {
+  return base_name_ + "-live" + std::to_string(live_.size());
+}
+
+void LiveView::append_neighbors(NodeId rank, std::vector<NodeId>& out) const {
+  RIPS_CHECK(rank >= 0 && rank < size());
+  const auto& a = adj_[static_cast<size_t>(rank)];
+  out.insert(out.end(), a.begin(), a.end());
+}
+
+void LiveView::bfs_from(i32 rank) const {
+  if (dist_done_[static_cast<size_t>(rank)]) return;
+  const size_t n = live_.size();
+  i32* row = dist_.data() + static_cast<size_t>(rank) * n;
+  std::deque<i32> queue;
+  row[rank] = 0;
+  queue.push_back(rank);
+  while (!queue.empty()) {
+    const i32 u = queue.front();
+    queue.pop_front();
+    for (NodeId v : adj_[static_cast<size_t>(u)]) {
+      if (row[v] < 0) {
+        row[v] = row[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    RIPS_CHECK_MSG(row[v] >= 0, "LiveView must stay connected");
+  }
+  dist_done_[static_cast<size_t>(rank)] = 1;
+}
+
+i32 LiveView::distance(NodeId a, NodeId b) const {
+  RIPS_CHECK(a >= 0 && a < size() && b >= 0 && b < size());
+  bfs_from(a);
+  return dist_[static_cast<size_t>(a) * live_.size() + static_cast<size_t>(b)];
+}
+
+i32 LiveView::diameter() const {
+  i32 best = 0;
+  for (i32 r = 0; r < size(); ++r) {
+    bfs_from(r);
+    for (i32 v = 0; v < size(); ++v) {
+      best = std::max(best, dist_[static_cast<size_t>(r) * live_.size() +
+                                  static_cast<size_t>(v)]);
+    }
+  }
+  return best;
+}
+
+}  // namespace rips::topo

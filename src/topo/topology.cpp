@@ -165,6 +165,13 @@ MeshShape paper_mesh_shape(i32 n) {
   return {rows, cols};
 }
 
+MeshShape near_square_shape(i32 n) {
+  RIPS_CHECK_MSG(n >= 1, "mesh size must be positive");
+  i32 cols = static_cast<i32>(std::sqrt(static_cast<double>(n)));
+  while (cols > 1 && n % cols != 0) --cols;
+  return {n / cols, cols};
+}
+
 std::unique_ptr<Topology> make_topology(const std::string& kind, i32 n) {
   if (kind == "mesh") {
     const MeshShape s = paper_mesh_shape(n);

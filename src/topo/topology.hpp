@@ -140,6 +140,11 @@ struct MeshShape {
 };
 MeshShape paper_mesh_shape(i32 n);
 
+/// As-square-as-possible mesh for an arbitrary n >= 1 (rows >= cols, both
+/// dividing n) — used to rebuild a mesh scheduler over the survivors of a
+/// degraded machine, whose count is rarely a power of two.
+MeshShape near_square_shape(i32 n);
+
 /// Factory used by benches/examples: kind in {mesh, hypercube, ring, tree}.
 std::unique_ptr<Topology> make_topology(const std::string& kind, i32 n);
 

@@ -1,8 +1,19 @@
 #include "util/args.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace rips {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("--" + name + "=" + value + ": expected " +
+                              expected);
+}
+
+}  // namespace
 
 Args::Args(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -32,23 +43,32 @@ std::string Args::get(const std::string& name,
 i64 Args::get_int(const std::string& name, i64 fallback) const {
   const auto it = named_.find(name);
   if (it == named_.end() || it->second.empty()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  char* end = nullptr;
+  const i64 value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    bad_value(name, it->second, "an integer");
+  }
+  return value;
 }
 
 double Args::get_double(const std::string& name, double fallback) const {
   const auto it = named_.find(name);
   if (it == named_.end() || it->second.empty()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    bad_value(name, it->second, "a number");
+  }
+  return value;
 }
 
 bool Args::get_bool(const std::string& name, bool fallback) const {
   const auto it = named_.find(name);
   if (it == named_.end()) return fallback;
-  if (it->second.empty() || it->second == "1" || it->second == "true" ||
-      it->second == "yes") {
-    return true;
-  }
-  return false;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  bad_value(name, v, "a boolean (1/0/true/false/yes/no)");
 }
 
 }  // namespace rips

@@ -19,6 +19,11 @@ class Args {
   bool has(const std::string& name) const;
 
   /// Value of --name=value, or fallback if absent.
+  ///
+  /// The typed getters return the fallback when the flag is absent or has
+  /// no value ("--flag"), and throw std::invalid_argument naming the flag
+  /// and the offending text when a value is present but malformed
+  /// ("--nodes=abc", "--quick=maybe").
   std::string get(const std::string& name, const std::string& fallback) const;
   i64 get_int(const std::string& name, i64 fallback) const;
   double get_double(const std::string& name, double fallback) const;

@@ -1,0 +1,103 @@
+// Error-path hardening: bad scheduler requests and malformed command-line
+// values must throw std::invalid_argument naming the offending value, not
+// abort the process.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sched/scheduler.hpp"
+#include "util/args.hpp"
+
+namespace rips {
+namespace {
+
+TEST(MakeScheduler, RejectsUnknownKindWithTheValue) {
+  try {
+    sched::make_scheduler("bogus", 16);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("16"), std::string::npos) << what;
+  }
+}
+
+TEST(MakeScheduler, RejectsNonPositiveSizes) {
+  EXPECT_THROW(sched::make_scheduler("mwa", 0), std::invalid_argument);
+  EXPECT_THROW(sched::make_scheduler("ring", -4), std::invalid_argument);
+  EXPECT_THROW(sched::make_scheduler("twa", 0), std::invalid_argument);
+}
+
+TEST(MakeScheduler, RejectsNonPowerOfTwoWhereRequired) {
+  for (const char* kind : {"mwa", "dem", "dem-mesh", "hwa", "kd", "torus",
+                           "optimal"}) {
+    EXPECT_THROW(sched::make_scheduler(kind, 12), std::invalid_argument)
+        << kind;
+  }
+  // Kinds that accept any size keep accepting them.
+  EXPECT_NE(sched::make_scheduler("twa", 12), nullptr);
+  EXPECT_NE(sched::make_scheduler("ring", 5), nullptr);
+}
+
+TEST(MakeScheduler, StillBuildsEveryValidKind) {
+  for (const char* kind : {"mwa", "twa", "dem", "dem-mesh", "hwa", "kd",
+                           "torus", "ring", "optimal"}) {
+    auto s = sched::make_scheduler(kind, 16);
+    ASSERT_NE(s, nullptr) << kind;
+    EXPECT_EQ(s->topology().size(), 16) << kind;
+  }
+}
+
+TEST(MakeScheduler, AnySizeMeshFactoryCoversOddSizes) {
+  const auto factory = sched::any_size_mesh_factory();
+  for (i32 n : {1, 2, 3, 5, 6, 7, 12, 15, 31}) {
+    auto s = factory(n);
+    ASSERT_NE(s, nullptr) << n;
+    EXPECT_EQ(s->topology().size(), n) << n;
+  }
+  EXPECT_THROW(factory(0), std::invalid_argument);
+  EXPECT_THROW(factory(-3), std::invalid_argument);
+}
+
+Args make_args(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, MalformedIntThrowsWithFlagAndValue) {
+  const Args args = make_args({"--nodes=abc"});
+  try {
+    args.get_int("nodes", 4);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nodes"), std::string::npos) << what;
+    EXPECT_NE(what.find("abc"), std::string::npos) << what;
+  }
+  EXPECT_THROW(make_args({"--nodes=12x"}).get_int("nodes", 4),
+               std::invalid_argument);
+}
+
+TEST(Args, MalformedDoubleAndBoolThrow) {
+  EXPECT_THROW(make_args({"--mtbf=1.2.3"}).get_double("mtbf", 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_args({"--quick=maybe"}).get_bool("quick", false),
+               std::invalid_argument);
+}
+
+TEST(Args, ValidAndAbsentValuesStillWork) {
+  const Args args = make_args({"--nodes=32", "--mtbf=2.5", "--quick"});
+  EXPECT_EQ(args.get_int("nodes", 4), 32);
+  EXPECT_DOUBLE_EQ(args.get_double("mtbf", 1.0), 2.5);
+  EXPECT_TRUE(args.get_bool("quick", false));   // bare flag means true
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 0.5), 0.5);
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_EQ(make_args({"--nodes"}).get_int("nodes", 9), 9);  // no value
+  EXPECT_FALSE(make_args({"--quick=no"}).get_bool("quick", true));
+}
+
+}  // namespace
+}  // namespace rips

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "apps/nqueens.hpp"
 #include "exec/task_runner.hpp"
@@ -116,19 +117,19 @@ TEST(TaskRunner, RealNQueensMatchesSequentialSolver) {
 
 TEST(TaskRunner, StealsHappenUnderImbalance) {
   // One external spawn expands into hundreds of tasks on one worker's
-  // queue; with several workers, some of them must be stolen.
+  // queue; with several workers, some of them must be stolen. The producer
+  // keeps its worker pinned until a steal has been observed, so the test
+  // cannot race against the thieves waking up late: with 500 queued tasks
+  // and three idle workers, a steal is guaranteed to happen eventually.
   TaskRunner runner(4);
   std::atomic<int> count{0};
   runner.spawn([&count](TaskRunner& r) {
     for (int i = 0; i < 500; ++i) {
       r.spawn([&count](TaskRunner&) {
-        // A little real work so the spawner cannot finish everything
-        // before anyone wakes up.
-        volatile int sink = 0;
-        for (int k = 0; k < 2000; ++k) sink += k;
         count.fetch_add(1, std::memory_order_relaxed);
       });
     }
+    while (r.steals() == 0) std::this_thread::yield();
   });
   runner.wait();
   EXPECT_EQ(count.load(), 500);
