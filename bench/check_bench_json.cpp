@@ -1,0 +1,138 @@
+// check_bench_json — CI validator for the rips-bench-v1 document that
+// `harness --json` emits (docs/OBSERVABILITY.md). Written in C++ on top of
+// obs/json so CI needs no interpreter: exit 0 when the file is
+// schema-valid, exit 1 with one message per problem otherwise.
+//
+//   ./check_bench_json BENCH_core.json
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using rips::obs::json::Value;
+
+int errors = 0;
+
+void fail(const std::string& msg) {
+  std::fprintf(stderr, "check_bench_json: %s\n", msg.c_str());
+  ++errors;
+}
+
+const Value* require(const Value& obj, const std::string& key,
+                     Value::Type type, const std::string& where) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) {
+    fail(where + ": missing \"" + key + "\"");
+    return nullptr;
+  }
+  if (v->type != type) {
+    fail(where + ": \"" + key + "\" has the wrong type");
+    return nullptr;
+  }
+  return v;
+}
+
+void check_run(const Value& run, const std::string& where) {
+  require(run, "workload", Value::Type::kString, where);
+  require(run, "group", Value::Type::kString, where);
+  require(run, "scheduler", Value::Type::kString, where);
+  require(run, "policy", Value::Type::kString, where);
+  require(run, "monitors_ok", Value::Type::kBool, where);
+  for (const char* key : {"nodes", "tasks", "makespan_ns", "sequential_ns",
+                          "nonlocal_tasks", "system_phases"}) {
+    if (const Value* v = require(run, key, Value::Type::kNumber, where)) {
+      if (v->number < 0) fail(where + ": \"" + std::string(key) + "\" < 0");
+    }
+  }
+  if (const Value* v = require(run, "nodes", Value::Type::kNumber, where)) {
+    if (v->as_i64() <= 0) fail(where + ": nodes must be positive");
+  }
+  if (const Value* v = require(run, "makespan_ns", Value::Type::kNumber,
+                               where)) {
+    if (v->as_i64() <= 0) fail(where + ": makespan_ns must be positive");
+  }
+  if (const Value* v = require(run, "efficiency", Value::Type::kNumber,
+                               where)) {
+    if (v->number <= 0.0 || v->number > 1.5) {
+      fail(where + ": efficiency out of range (0, 1.5]");
+    }
+  }
+  for (const char* key : {"speedup", "overhead_s", "idle_s"}) {
+    if (const Value* v = require(run, key, Value::Type::kNumber, where)) {
+      if (v->number < 0) fail(where + ": \"" + std::string(key) + "\" < 0");
+    }
+  }
+  if (const Value* m = require(run, "metrics", Value::Type::kObject, where)) {
+    const Value* counters =
+        require(*m, "counters", Value::Type::kObject, where + ".metrics");
+    if (counters != nullptr) {
+      const Value* executed = counters->find("tasks.executed");
+      if (executed == nullptr || !executed->is_number() ||
+          executed->as_i64() <= 0) {
+        fail(where + ": metrics.counters[\"tasks.executed\"] must be > 0");
+      }
+    }
+    require(*m, "histograms", Value::Type::kObject, where + ".metrics");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: check_bench_json <bench.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    fail(std::string("cannot open ") + argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::string error;
+  const auto doc = rips::obs::json::parse(text, &error);
+  if (!doc.has_value()) {
+    fail("parse error: " + error);
+    return 1;
+  }
+  if (!doc->is_object()) {
+    fail("top level must be an object");
+    return 1;
+  }
+  if (const Value* schema =
+          require(*doc, "schema", Value::Type::kString, "document")) {
+    if (schema->string != "rips-bench-v1") {
+      fail("unknown schema \"" + schema->string + "\"");
+    }
+  }
+  require(*doc, "suite", Value::Type::kString, "document");
+  require(*doc, "quick", Value::Type::kBool, "document");
+  require(*doc, "nodes", Value::Type::kNumber, "document");
+  const Value* runs = require(*doc, "runs", Value::Type::kArray, "document");
+  if (runs != nullptr) {
+    if (runs->array.empty()) fail("runs must not be empty");
+    for (size_t i = 0; i < runs->array.size(); ++i) {
+      const std::string where = "runs[" + std::to_string(i) + "]";
+      if (!runs->array[i].is_object()) {
+        fail(where + " must be an object");
+        continue;
+      }
+      check_run(runs->array[i], where);
+    }
+  }
+
+  if (errors == 0) {
+    std::printf("%s: OK (%zu runs)\n", argv[1],
+                runs != nullptr ? runs->array.size() : 0);
+    return 0;
+  }
+  std::fprintf(stderr, "%d problem(s) found\n", errors);
+  return 1;
+}

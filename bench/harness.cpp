@@ -27,7 +27,8 @@ std::string kind_name(Kind kind) {
 }
 
 StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
-                         double rid_u, core::RipsConfig config) {
+                         double rid_u, core::RipsConfig config,
+                         const obs::Obs& o) {
   const topo::MeshShape shape = topo::paper_mesh_shape(nodes);
   topo::Mesh mesh(shape.rows, shape.cols);
 
@@ -36,37 +37,41 @@ StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
   if (kind == Kind::kRips) {
     sched::Mwa mwa(mesh);
     core::RipsEngine engine(mwa, workload.cost, config);
+    engine.set_obs(o);
     out.metrics = engine.run(workload.trace);
     out.phases = engine.phases();
+    out.registry = engine.metrics_registry();
     return out;
   }
 
   // Dynamic strategies share the event-driven engine.
+  const auto run_dynamic = [&](balance::Strategy& strategy) {
+    balance::DynamicEngine engine(mesh, workload.cost, strategy);
+    engine.set_obs(o);
+    out.metrics = engine.run(workload.trace);
+    out.registry = engine.metrics_registry();
+  };
   switch (kind) {
     case Kind::kRandom: {
       balance::RandomAlloc strategy(/*seed=*/0xC0FFEE);
-      balance::DynamicEngine engine(mesh, workload.cost, strategy);
-      out.metrics = engine.run(workload.trace);
+      run_dynamic(strategy);
       break;
     }
     case Kind::kGradient: {
       balance::Gradient strategy;
-      balance::DynamicEngine engine(mesh, workload.cost, strategy);
-      out.metrics = engine.run(workload.trace);
+      run_dynamic(strategy);
       break;
     }
     case Kind::kRid: {
       balance::Rid::Params params;
       params.u = rid_u;
       balance::Rid strategy(params);
-      balance::DynamicEngine engine(mesh, workload.cost, strategy);
-      out.metrics = engine.run(workload.trace);
+      run_dynamic(strategy);
       break;
     }
     case Kind::kSid: {
       balance::SenderInitiated strategy;
-      balance::DynamicEngine engine(mesh, workload.cost, strategy);
-      out.metrics = engine.run(workload.trace);
+      run_dynamic(strategy);
       break;
     }
     case Kind::kRips:

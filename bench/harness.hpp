@@ -8,6 +8,8 @@
 
 #include "apps/paper_workloads.hpp"
 #include "balance/rid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "rips/config.hpp"
 #include "rips/rips_engine.hpp"
 #include "sim/metrics.hpp"
@@ -19,6 +21,9 @@ struct StrategyRun {
   std::string strategy;
   sim::RunMetrics metrics;
   std::vector<core::RipsEngine::PhaseStats> phases;  // RIPS only
+  /// Copy of the engine's metrics registry (counters / histograms /
+  /// per-phase snapshots) — what `harness --json` serializes.
+  obs::MetricsRegistry registry;
 };
 
 /// Strategy selector for run_strategy().
@@ -29,10 +34,12 @@ std::string kind_name(Kind kind);
 /// Runs `workload` on `nodes` processors (paper mesh shape) under the
 /// given strategy. `rid_u` overrides RID's load-update factor (the paper
 /// retunes it to 0.7 for IDA* on 64/128 nodes); `config` selects the RIPS
-/// policies (default ANY-Lazy).
+/// policies (default ANY-Lazy). `o` attaches optional observability sinks
+/// (trace spans from all engines; the invariant monitor is RIPS-only).
 StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
                          double rid_u = 0.4,
-                         core::RipsConfig config = core::RipsConfig{});
+                         core::RipsConfig config = core::RipsConfig{},
+                         const obs::Obs& o = obs::Obs{});
 
 /// The paper's four Table-I strategies in row order.
 std::vector<Kind> table1_kinds();

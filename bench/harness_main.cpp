@@ -1,0 +1,218 @@
+// harness — machine-readable bench driver (docs/OBSERVABILITY.md).
+//
+// Runs paper workloads under the selected strategies and emits a stable
+// JSON document ("rips-bench-v1") that CI diffing, notebooks, and the
+// bench/check_bench_json validator can consume, instead of scraping the
+// ASCII tables the fig*/table* benches print.
+//
+// Examples:
+//   ./harness --json                      # core suite -> BENCH_core.json
+//   ./harness --json=out.json --strategy=all --nodes=64
+//   ./harness --app=Queens --trace-out=run.trace.json
+//
+// The Perfetto trace (--trace-out) holds the LAST run executed (each run
+// clears the session), so narrow the selection when tracing.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "obs/json.hpp"
+#include "obs/monitors.hpp"
+#include "obs/trace.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace rips;
+
+core::RipsConfig parse_policy(const std::string& policy) {
+  core::RipsConfig config;
+  if (policy == "any-lazy") {
+    config.global = core::GlobalPolicy::kAny;
+    config.local = core::LocalPolicy::kLazy;
+  } else if (policy == "any-eager") {
+    config.global = core::GlobalPolicy::kAny;
+    config.local = core::LocalPolicy::kEager;
+  } else if (policy == "all-lazy") {
+    config.global = core::GlobalPolicy::kAll;
+    config.local = core::LocalPolicy::kLazy;
+  } else if (policy == "all-eager") {
+    config.global = core::GlobalPolicy::kAll;
+    config.local = core::LocalPolicy::kEager;
+  } else {
+    RIPS_CHECK_MSG(false, "--policy must be {any,all}-{lazy,eager}");
+  }
+  return config;
+}
+
+std::vector<bench::Kind> parse_strategies(const std::string& s) {
+  if (s == "all") return bench::table1_kinds();
+  if (s == "rips") return {bench::Kind::kRips};
+  if (s == "random") return {bench::Kind::kRandom};
+  if (s == "gradient") return {bench::Kind::kGradient};
+  if (s == "rid") return {bench::Kind::kRid};
+  if (s == "sid") return {bench::Kind::kSid};
+  RIPS_CHECK_MSG(false, "--strategy must be rips|random|gradient|rid|sid|all");
+  return {};
+}
+
+struct RunRecord {
+  std::string workload;
+  std::string group;
+  std::string scheduler;
+  std::string policy;
+  i32 nodes = 0;
+  bool monitors_ok = true;
+  sim::RunMetrics metrics;
+  std::string registry_json;
+};
+
+std::string to_json(const std::vector<RunRecord>& runs, const std::string& suite,
+                    bool quick, i32 nodes) {
+  using obs::json::quoted;
+  std::string out = "{";
+  out += "\"schema\":\"rips-bench-v1\",";
+  out += "\"suite\":" + quoted(suite) + ",";
+  out += "\"quick\":" + std::string(quick ? "true" : "false") + ",";
+  out += "\"nodes\":" + std::to_string(nodes) + ",";
+  out += "\"runs\":[";
+  char buf[64];
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    const sim::RunMetrics& m = r.metrics;
+    if (i > 0) out += ",";
+    out += "{";
+    out += "\"workload\":" + quoted(r.workload) + ",";
+    out += "\"group\":" + quoted(r.group) + ",";
+    out += "\"scheduler\":" + quoted(r.scheduler) + ",";
+    out += "\"policy\":" + quoted(r.policy) + ",";
+    out += "\"nodes\":" + std::to_string(r.nodes) + ",";
+    out += "\"tasks\":" + std::to_string(m.num_tasks) + ",";
+    out += "\"makespan_ns\":" + std::to_string(m.makespan_ns) + ",";
+    out += "\"sequential_ns\":" + std::to_string(m.sequential_ns) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.efficiency());
+    out += "\"efficiency\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.3f", m.speedup());
+    out += "\"speedup\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.overhead_s());
+    out += "\"overhead_s\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.idle_s());
+    out += "\"idle_s\":" + std::string(buf) + ",";
+    out += "\"nonlocal_tasks\":" + std::to_string(m.nonlocal_tasks) + ",";
+    out += "\"system_phases\":" + std::to_string(m.system_phases) + ",";
+    out += "\"monitors_ok\":" + std::string(r.monitors_ok ? "true" : "false") +
+           ",";
+    out += "\"metrics\":" + r.registry_json;
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: harness [--suite=core|full] [--app=<name substring>]\n"
+        "  [--nodes=32] [--strategy=rips|random|gradient|rid|sid|all]\n"
+        "  [--policy={any,all}-{lazy,eager}] [--quick=1] [--rid-u=0.4]\n"
+        "  [--monitors=1] [--json[=BENCH_core.json]] [--trace-out=path]\n"
+        "emits the rips-bench-v1 JSON document (see docs/OBSERVABILITY.md);\n"
+        "validate with bench/check_bench_json.\n");
+    return 0;
+  }
+
+  const bool quick = args.get_bool("quick", true);
+  const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+  const std::string suite = args.get("suite", "core");
+  const std::string app_filter = args.get("app", "");
+  const std::string policy_name = args.get("policy", "any-lazy");
+  const core::RipsConfig config = parse_policy(policy_name);
+  const double rid_u = args.get_double("rid-u", 0.4);
+  const bool monitors = args.get_bool("monitors", true);
+  const std::vector<bench::Kind> kinds =
+      parse_strategies(args.get("strategy", "rips"));
+
+  const std::vector<apps::Workload> all = apps::build_paper_workloads(quick);
+  std::vector<const apps::Workload*> selected;
+  std::vector<std::string> seen_groups;
+  for (const apps::Workload& w : all) {
+    if (!app_filter.empty()) {
+      if (w.name.find(app_filter) == std::string::npos &&
+          w.group.find(app_filter) == std::string::npos) {
+        continue;
+      }
+    } else if (suite == "core") {
+      // First workload of each application group: the smoke set CI runs.
+      if (std::find(seen_groups.begin(), seen_groups.end(), w.group) !=
+          seen_groups.end()) {
+        continue;
+      }
+      seen_groups.push_back(w.group);
+    } else {
+      RIPS_CHECK_MSG(suite == "full", "--suite must be core|full");
+    }
+    selected.push_back(&w);
+  }
+  RIPS_CHECK_MSG(!selected.empty(), "no workload matches the selection");
+
+  obs::TraceSession trace(nodes);
+  obs::InvariantMonitor monitor;
+  const bool want_trace = args.has("trace-out");
+
+  std::vector<RunRecord> runs;
+  bool all_monitors_ok = true;
+  for (const apps::Workload* w : selected) {
+    for (const bench::Kind kind : kinds) {
+      obs::Obs o;
+      if (want_trace) o.trace = &trace;
+      if (monitors && kind == bench::Kind::kRips) o.monitor = &monitor;
+      const bench::StrategyRun run =
+          bench::run_strategy(*w, nodes, kind, rid_u, config, o);
+      RunRecord rec;
+      rec.workload = w->name;
+      rec.group = w->group;
+      rec.scheduler = run.strategy;
+      rec.policy = kind == bench::Kind::kRips ? policy_name : "none";
+      rec.nodes = nodes;
+      rec.monitors_ok = o.monitor == nullptr || monitor.ok();
+      rec.metrics = run.metrics;
+      rec.registry_json = run.registry.to_json();
+      runs.push_back(std::move(rec));
+      std::printf("%-18s %-9s eff=%.3f makespan=%.3fs phases=%llu %s\n",
+                  w->name.c_str(), run.strategy.c_str(),
+                  run.metrics.efficiency(), run.metrics.exec_s(),
+                  static_cast<unsigned long long>(run.metrics.system_phases),
+                  runs.back().monitors_ok ? "" : "MONITOR-VIOLATION");
+      if (o.monitor != nullptr && !monitor.ok()) {
+        all_monitors_ok = false;
+        std::fputs(monitor.report().c_str(), stderr);
+      }
+    }
+  }
+
+  if (args.has("json")) {
+    // Bare `--json` (no value) selects the default artifact name.
+    std::string path = args.get("json", "BENCH_core.json");
+    if (path.empty()) path = "BENCH_core.json";
+    std::ofstream out(path, std::ios::binary);
+    out << to_json(runs, app_filter.empty() ? suite : "custom", quick, nodes)
+        << "\n";
+    out.flush();
+    RIPS_CHECK_MSG(out.good(), "failed to write the bench JSON");
+    std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+  }
+  if (want_trace) {
+    const std::string path = args.get("trace-out", "harness.trace.json");
+    RIPS_CHECK_MSG(trace.write_json(path), "failed to write the trace");
+    std::printf("wrote %s (%zu events, %llu dropped)\n", path.c_str(),
+                trace.size(), static_cast<unsigned long long>(trace.dropped()));
+  }
+  return all_monitors_ok ? 0 : 1;
+}

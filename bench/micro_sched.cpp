@@ -8,6 +8,8 @@
 #include <numeric>
 
 #include "flow/mincost_flow.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -92,6 +94,30 @@ void BM_MinCostFlowSolve(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_MinCostFlowSolve)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+// Cost of an instrumentation site when tracing is off vs on. The engines
+// call obs::span() on every task / phase; the disabled case must be a
+// null-check and nothing else, so attaching no trace session keeps the
+// simulation at its uninstrumented speed.
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::TraceSession* session = nullptr;
+  SimTime t = 0;
+  for (auto _ : state) {
+    obs::span(session, 0, "task", "task", t, t + 100, "id", 1);
+    benchmark::DoNotOptimize(t += 100);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::TraceSession session(1, 1 << 10);  // small ring: steady-state overwrite
+  SimTime t = 0;
+  for (auto _ : state) {
+    obs::span(&session, 0, "task", "task", t, t + 100, "id", 1);
+    benchmark::DoNotOptimize(t += 100);
+  }
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 

@@ -10,6 +10,9 @@
 //   ./rips_cli --app=synthetic --roots=5000 --strategy=rips --policy=all-eager
 //   ./rips_cli --app=gauss --matrix=4096 --block=256 --weighted=1
 //   ./rips_cli --app=queens --timeline=1      (ASCII utilization chart)
+//   ./rips_cli --app=queens --trace-out=run.trace.json --monitors=1
+//   ./rips_cli --app=queens --fault-seed=7 --crash-mtbf-ms=20
+//       --trace-out=faulty.trace.json          (crash/recovery spans)
 #include <cstdio>
 #include <string>
 
@@ -23,8 +26,11 @@
 #include "balance/random_alloc.hpp"
 #include "balance/rid.hpp"
 #include "balance/sender_initiated.hpp"
+#include "obs/monitors.hpp"
+#include "obs/trace.hpp"
 #include "rips/rips_engine.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
 #include "topo/topology.hpp"
 #include "util/args.hpp"
@@ -118,6 +124,13 @@ int main(int argc, char** argv) {
         "  [--sched=mwa|torus|hwa|twa|ring|optimal|dem]\n"
         "  [--policy={any,all}-{lazy,eager}] [--weighted=1] [--lifo=1]\n"
         "  [--periodic-us=N] [--timeline=1] [--timeline-width=100]\n"
+        "  observability (docs/OBSERVABILITY.md):\n"
+        "  [--trace-out=run.trace.json]   Perfetto trace (ui.perfetto.dev)\n"
+        "  [--metrics-out=metrics.json]   counters/histograms/snapshots\n"
+        "  [--monitors=1]                 Theorem-1/2 + conservation checks\n"
+        "  fault injection (RIPS strategy only):\n"
+        "  [--fault-seed=N] [--crash-mtbf-ms=N] [--drop-prob=P]\n"
+        "  [--fault-horizon-ms=N]\n"
         "  app params: --n --split (queens), --config (ida),\n"
         "  --cutoff --steps (gromos), --matrix --block (gauss),\n"
         "  --roots --spawn --depth --work-model --mean-work --segments\n"
@@ -138,15 +151,44 @@ int main(int argc, char** argv) {
   const bool want_timeline = args.get_bool("timeline", false);
   sim::RunMetrics metrics;
 
+  // Observability sinks (docs/OBSERVABILITY.md). All optional; attaching
+  // them never changes the metrics.
+  obs::TraceSession trace_session(nodes);
+  obs::InvariantMonitor monitor;
+  obs::Obs o;
+  if (args.has("trace-out")) o.trace = &trace_session;
+  if (args.get_bool("monitors", false)) o.monitor = &monitor;
+
   if (strategy == "rips") {
     auto sched = sched::make_scheduler(args.get("sched", "mwa"), nodes);
     core::RipsEngine engine(*sched, cost, parse_policy(args));
     if (want_timeline) engine.set_timeline(&timeline);
+    engine.set_obs(o);
+
+    // Deterministic fault injection: expand the seed + knobs into a plan.
+    sim::FaultPlan faults;
+    if (args.has("fault-seed")) {
+      sim::FaultSpec spec;
+      spec.horizon_ns = args.get_int("fault-horizon-ms", 1000) * 1'000'000;
+      spec.crash_mtbf_ns = args.get_double("crash-mtbf-ms", 0.0) * 1e6;
+      spec.drop_prob = args.get_double("drop-prob", 0.0);
+      faults = sim::FaultPlan::generate(
+          static_cast<u64>(args.get_int("fault-seed", 1)), nodes, spec);
+      engine.set_fault_plan(&faults);
+      std::printf("faults: %s\n", faults.summary().c_str());
+    }
+
     metrics = engine.run(trace);
     std::printf("RIPS %s on %s, scheduler %s\n",
                 parse_policy(args).name().c_str(),
                 sched->topology().name().c_str(), sched->name().c_str());
     std::printf("%s\n", metrics.summary().c_str());
+    if (args.has("metrics-out")) {
+      const std::string path = args.get("metrics-out", "metrics.json");
+      RIPS_CHECK_MSG(engine.metrics_registry().write_json(path),
+                     "failed to write the metrics JSON");
+      std::printf("wrote %s\n", path.c_str());
+    }
   } else {
     const auto topo = topo::make_topology(args.get("topo", "mesh"), nodes);
     std::unique_ptr<balance::Strategy> impl;
@@ -167,9 +209,16 @@ int main(int argc, char** argv) {
     }
     balance::DynamicEngine engine(*topo, cost, *impl);
     if (want_timeline) engine.set_timeline(&timeline);
+    engine.set_obs(o);
     metrics = engine.run(trace);
     std::printf("%s on %s\n", impl->name().c_str(), topo->name().c_str());
     std::printf("%s\n", metrics.summary().c_str());
+    if (args.has("metrics-out")) {
+      const std::string path = args.get("metrics-out", "metrics.json");
+      RIPS_CHECK_MSG(engine.metrics_registry().write_json(path),
+                     "failed to write the metrics JSON");
+      std::printf("wrote %s\n", path.c_str());
+    }
   }
 
   std::printf("Th=%.3fs Ti=%.3fs speedup=%.1f optimal-bound=%.1f%%\n",
@@ -178,6 +227,19 @@ int main(int argc, char** argv) {
   if (want_timeline) {
     const i32 width = static_cast<i32>(args.get_int("timeline-width", 100));
     std::fputs(timeline.render(nodes, width).c_str(), stdout);
+  }
+  if (o.trace != nullptr) {
+    const std::string path = args.get("trace-out", "run.trace.json");
+    RIPS_CHECK_MSG(trace_session.write_json(path),
+                   "failed to write the trace JSON");
+    std::printf("wrote %s (%zu events, %llu dropped) — open in "
+                "ui.perfetto.dev\n",
+                path.c_str(), trace_session.size(),
+                static_cast<unsigned long long>(trace_session.dropped()));
+  }
+  if (o.monitor != nullptr) {
+    std::fputs(monitor.report().c_str(), stdout);
+    if (!monitor.ok()) return 1;
   }
   return 0;
 }

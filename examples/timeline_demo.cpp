@@ -6,17 +6,26 @@
 // separated by short synchronized system phases, with the early phases
 // spreading the work outward from node 0.
 //
+// With --trace-out the same RIPS run is also exported as a Perfetto trace
+// (docs/OBSERVABILITY.md) — the ASCII chart and ui.perfetto.dev show the
+// same phases, one at terminal resolution and one zoomable to the task.
+//
 //   ./timeline_demo [--queens=12] [--nodes=8] [--width=100]
+//                   [--trace-out=timeline.trace.json]
 #include <cstdio>
+#include <string>
 
 #include "apps/nqueens.hpp"
 #include "balance/engine.hpp"
 #include "balance/random_alloc.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "rips/rips_engine.hpp"
 #include "sched/mwa.hpp"
 #include "sim/timeline.hpp"
 #include "topo/topology.hpp"
 #include "util/args.hpp"
+#include "util/check.hpp"
 
 int main(int argc, char** argv) {
   using namespace rips;
@@ -39,12 +48,23 @@ int main(int argc, char** argv) {
     core::RipsEngine engine(mwa, cost, core::RipsConfig{});
     sim::Timeline timeline;
     engine.set_timeline(&timeline);
+    obs::TraceSession trace_session(nodes);
+    if (args.has("trace-out")) {
+      engine.set_obs(obs::Obs{&trace_session, nullptr});
+    }
     const auto m = engine.run(trace);
     std::printf("RIPS (ANY-Lazy + MWA): T=%.3fs, efficiency %.0f%%, %llu "
                 "system phases\n",
                 m.exec_s(), 100.0 * m.efficiency(),
                 static_cast<unsigned long long>(m.system_phases));
     std::fputs(timeline.render(nodes, width).c_str(), stdout);
+    if (args.has("trace-out")) {
+      const std::string path = args.get("trace-out", "timeline.trace.json");
+      RIPS_CHECK_MSG(trace_session.write_json(path),
+                     "failed to write the trace JSON");
+      std::printf("wrote %s — open in ui.perfetto.dev for the zoomable "
+                  "version of the chart above\n", path.c_str());
+    }
   }
   std::printf("\n");
   {

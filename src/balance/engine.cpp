@@ -6,9 +6,27 @@
 
 namespace rips::balance {
 
+namespace {
+std::vector<i64> pow2_bounds(i64 max_bound) {
+  std::vector<i64> b{0};
+  for (i64 v = 1; v <= max_bound; v *= 2) b.push_back(v);
+  return b;
+}
+}  // namespace
+
 DynamicEngine::DynamicEngine(const topo::Topology& topo,
                              const sim::CostModel& cost, Strategy& strategy)
-    : topo_(topo), cost_(cost), strategy_(strategy) {}
+    : topo_(topo),
+      cost_(cost),
+      strategy_(strategy),
+      c_tasks_executed_(&registry_.counter("tasks.executed")),
+      c_tasks_nonlocal_(&registry_.counter("tasks.nonlocal")),
+      c_tasks_migrated_(&registry_.counter("tasks.migrated")),
+      c_msg_sent_(&registry_.counter("msg.sent")),
+      h_msg_latency_ns_(
+          &registry_.histogram("msg.latency_ns", pow2_bounds(1LL << 30))),
+      h_queue_depth_(
+          &registry_.histogram("queue.depth", pow2_bounds(1 << 20))) {}
 
 i64 DynamicEngine::load_of(NodeId node) const {
   const NodeRt& n = nodes_[static_cast<size_t>(node)];
@@ -63,12 +81,15 @@ void DynamicEngine::send_message(NodeId from, NodeId to, i32 kind, i64 a,
     sender.queue.pop_front();
   }
   charge_overhead(from, cost_.send_time(static_cast<i64>(msg.tasks.size())));
-  metrics_.messages += 1;
-  metrics_.tasks_migrated += static_cast<u64>(msg.tasks.size());
-  RIPS_CHECK_MSG(metrics_.messages < 200'000'000ULL,
+  c_msg_sent_->add();
+  c_tasks_migrated_->add(static_cast<u64>(msg.tasks.size()));
+  RIPS_CHECK_MSG(c_msg_sent_->value() < 200'000'000ULL,
                  "runaway strategy: message budget exceeded");
-  const SimTime arrival =
-      sender.free_at + cost_.network_time(topo_.distance(from, to));
+  const SimTime latency = cost_.network_time(topo_.distance(from, to));
+  h_msg_latency_ns_->observe(latency);
+  obs::instant(obs_.trace, from, "msg", "send", sender.free_at, "tasks",
+               static_cast<i64>(msg.tasks.size()));
+  const SimTime arrival = sender.free_at + latency;
   Pending p;
   p.kind = Pending::kDeliver;
   p.node = to;
@@ -84,10 +105,11 @@ void DynamicEngine::send_spawned_task(NodeId from, NodeId to, TaskId task) {
   msg.from = from;
   msg.tasks.push_back(task);
   charge_overhead(from, cost_.send_time(1));
-  metrics_.messages += 1;
-  metrics_.tasks_migrated += 1;
-  const SimTime arrival = nodes_[static_cast<size_t>(from)].free_at +
-                          cost_.network_time(topo_.distance(from, to));
+  c_msg_sent_->add();
+  c_tasks_migrated_->add(1);
+  const SimTime latency = cost_.network_time(topo_.distance(from, to));
+  h_msg_latency_ns_->observe(latency);
+  const SimTime arrival = nodes_[static_cast<size_t>(from)].free_at + latency;
   Pending p;
   p.kind = Pending::kDeliver;
   p.node = to;
@@ -121,8 +143,10 @@ void DynamicEngine::finish_task(NodeId node, TaskId task) {
     timeline_->record({sim::TimelineEvent::Kind::kTask, node, n.task_start_ns,
                        n.free_at, task});
   }
+  obs::span(obs_.trace, node, "task", "task", n.task_start_ns, n.free_at, "id",
+            static_cast<i64>(task));
   exec_node_[static_cast<size_t>(task)] = node;
-  metrics_.num_tasks += 1;
+  c_tasks_executed_->add();
   completed_in_segment_ += 1;
 
   // Spawn children at this node; the strategy places each one.
@@ -154,6 +178,7 @@ void DynamicEngine::deliver(NodeId node, Message msg, SimTime arrival) {
   for (TaskId t : msg.tasks) {
     nodes_[static_cast<size_t>(node)].queue.push_back(t);
   }
+  h_queue_depth_->observe(load_of(node));
   if (!msg.tasks.empty()) {
     maybe_start(node);
     strategy_.on_load_change(*this, node);
@@ -178,6 +203,8 @@ void DynamicEngine::release_segment(u32 segment, SimTime at) {
     timeline_->record({sim::TimelineEvent::Kind::kBarrier, kInvalidNode,
                        latest, release_t, kInvalidTask});
   }
+  obs::span(obs_.trace, kInvalidNode, "phase", "segment_barrier", latest,
+            release_t, "segment", static_cast<i64>(segment));
   for (auto& n : nodes_) {
     n.ovh_ns += cost_.send_overhead_ns + cost_.recv_overhead_ns;
     n.free_at = std::max(n.free_at, release_t);
@@ -216,6 +243,8 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
   exec_node_.assign(trace.size(), kInvalidNode);
   metrics_ = sim::RunMetrics{};
   metrics_.num_nodes = n;
+  registry_.reset();
+  if (obs_.trace != nullptr) obs_.trace->clear();
   events_ = sim::EventQueue<Pending>{};
   if (timeline_ != nullptr) timeline_->clear();
   now_ = 0;
@@ -254,12 +283,14 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
     }
   }
 
-  RIPS_CHECK_MSG(metrics_.num_tasks == trace.size(),
+  RIPS_CHECK_MSG(c_tasks_executed_->value() == trace.size(),
                  "engine finished with unexecuted tasks");
 
+  u64 nonlocal = 0;
   for (size_t i = 0; i < trace.size(); ++i) {
-    if (exec_node_[i] != origin_[i]) metrics_.nonlocal_tasks += 1;
+    if (exec_node_[i] != origin_[i]) nonlocal += 1;
   }
+  c_tasks_nonlocal_->add(nonlocal);
   SimTime makespan = 0;
   for (const NodeRt& node : nodes_) makespan = std::max(makespan, node.free_at);
   metrics_.makespan_ns = makespan;
@@ -268,6 +299,7 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
     metrics_.total_overhead_ns += node.ovh_ns;
     metrics_.total_idle_ns += makespan - node.busy_ns - node.ovh_ns;
   }
+  metrics_.load_counters(registry_);
   running_ = false;
   return metrics_;
 }

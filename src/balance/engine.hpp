@@ -22,6 +22,8 @@
 
 #include "apps/task_trace.hpp"
 #include "balance/strategy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -42,6 +44,18 @@ class DynamicEngine {
   /// Optional instrumentation: when set, every task execution and segment
   /// barrier of subsequent runs is recorded (cleared at run start).
   void set_timeline(sim::Timeline* timeline) { timeline_ = timeline; }
+
+  /// Structured observability (docs/OBSERVABILITY.md): optional Perfetto
+  /// trace sink (task spans, segment barriers, message-send instants).
+  /// Passive — metrics are bit-identical with or without it. The monitor
+  /// half of obs::Obs is ignored: the paper's theorems are about the RIPS
+  /// system phase, which this engine does not have.
+  void set_obs(const obs::Obs& o) { obs_ = o; }
+
+  /// Counters / histograms of the last run (tasks.executed, msg.sent,
+  /// msg.latency_ns, queue.depth, ...). Always maintained; reset at run
+  /// start; source of RunMetrics' counter columns.
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
 
   /// Per-node (busy, overhead) of the last run, for diagnostics/tests.
   struct NodeTotals {
@@ -121,6 +135,16 @@ class DynamicEngine {
   sim::Timeline* timeline_ = nullptr;
   SimTime now_ = 0;
   bool running_ = false;
+
+  // Observability (cached instrument pointers — one add per increment).
+  obs::Obs obs_;
+  obs::MetricsRegistry registry_;
+  obs::Counter* c_tasks_executed_;
+  obs::Counter* c_tasks_nonlocal_;
+  obs::Counter* c_tasks_migrated_;
+  obs::Counter* c_msg_sent_;
+  obs::Histogram* h_msg_latency_ns_;
+  obs::Histogram* h_queue_depth_;
 };
 
 }  // namespace rips::balance

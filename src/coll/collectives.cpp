@@ -164,6 +164,7 @@ i32 Collectives::tree_phase_faulty(NodeId root, bool upward,
     if (delivered) {
       stats.retries += attempt;
       crit = std::max(crit, attempt);
+      if (attempt > 0) stats.retry_log.push_back({from, to, attempt, true});
     } else {
       stats.retries += max_retries;
       crit = std::max<i64>(crit, max_retries + 1);
@@ -171,6 +172,7 @@ i32 Collectives::tree_phase_faulty(NodeId root, bool upward,
       // of the edge) is declared suspect and the phase completes without
       // its contribution.
       stats.suspected.push_back(v);
+      stats.retry_log.push_back({from, to, max_retries, false});
     }
   }
   stats.timeouts += crit;

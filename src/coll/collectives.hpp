@@ -38,6 +38,16 @@ struct Ledger {
 /// per-attempt decision (sim::FaultInjector::drop_message).
 using MessageFault = std::function<bool(NodeId from, NodeId to, i64 attempt)>;
 
+/// One retransmission burst on one tree edge of a faulty collective — the
+/// raw material for collective-retry trace spans (obs::TraceSession): which
+/// link struggled, and for how many windows.
+struct RetryEvent {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  i64 attempts = 0;        ///< retransmissions before delivery (or give-up)
+  bool delivered = false;  ///< false = the peer was suspected dead
+};
+
 /// Outcome counters of one faulty collective execution.
 struct FaultStats {
   i64 dropped = 0;       ///< messages lost on the wire
@@ -48,6 +58,9 @@ struct FaultStats {
   /// heartbeat piggyback: a silent node is suspected dead after
   /// max_retries + 1 missed windows, instead of stalling the protocol.
   std::vector<NodeId> suspected;
+  /// Per-edge retransmission bursts (tree collectives only; the flooding
+  /// all-reduce drops too many messages per round to log each).
+  std::vector<RetryEvent> retry_log;
 
   void merge(const FaultStats& other) {
     dropped += other.dropped;
@@ -56,6 +69,8 @@ struct FaultStats {
     completed = completed && other.completed;
     suspected.insert(suspected.end(), other.suspected.begin(),
                      other.suspected.end());
+    retry_log.insert(retry_log.end(), other.retry_log.begin(),
+                     other.retry_log.end());
   }
 };
 

@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace rips::obs {
+
+Histogram::Histogram(std::vector<i64> bounds) : bounds_(std::move(bounds)) {
+  RIPS_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  RIPS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(i64 x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += 1;
+  sum_ += x;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), u64{0});
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<i64> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+  snapshots_.clear();
+  snapshots_dropped_ = 0;
+}
+
+void MetricsRegistry::snapshot(const std::string& label) {
+  if (snapshots_.size() >= max_snapshots_) {
+    snapshots_dropped_ += 1;
+    return;
+  }
+  Snapshot snap;
+  snap.label = label;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c.value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g.value());
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quoted(name) + ": " + std::to_string(c.value());
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quoted(name) + ": " + std::to_string(g.value());
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json::quoted(name) + ": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.bounds()[i]);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < h.bucket_counts().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.bucket_counts()[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count()) +
+           ", \"sum\": " + std::to_string(h.sum()) +
+           ", \"min\": " + std::to_string(h.min()) +
+           ", \"max\": " + std::to_string(h.max()) + "}";
+    first = false;
+  }
+  out += "\n  },\n  \"snapshots\": [";
+  first = true;
+  for (const Snapshot& snap : snapshots_) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"label\": " + json::quoted(snap.label) + ", \"counters\": {";
+    bool f2 = true;
+    for (const auto& [name, v] : snap.counters) {
+      if (!f2) out += ", ";
+      out += json::quoted(name) + ": " + std::to_string(v);
+      f2 = false;
+    }
+    out += "}, \"gauges\": {";
+    f2 = true;
+    for (const auto& [name, v] : snap.gauges) {
+      if (!f2) out += ", ";
+      out += json::quoted(name) + ": " + std::to_string(v);
+      f2 = false;
+    }
+    out += "}}";
+    first = false;
+  }
+  out += "\n  ],\n  \"snapshots_dropped\": " +
+         std::to_string(snapshots_dropped_) + "\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << to_json();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rips::obs

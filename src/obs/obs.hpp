@@ -1,0 +1,40 @@
+// The observability handle engines carry: a bundle of optional sinks. All
+// pointers default to null, and every instrumentation site goes through
+// the inline helpers below, so a disabled sink compiles down to a single
+// test-and-branch (the null sink *is* the fast path — see
+// bench/micro_sched.cpp's BM_ObsSpan* pair for the measured cost).
+//
+// Recording never alters simulation state, so metrics of a run with
+// tracing disabled are bit-identical to a fully instrumented run — a
+// property tests/test_obs.cpp locks down.
+#pragma once
+
+#include "obs/monitors.hpp"
+#include "obs/trace.hpp"
+#include "util/types.hpp"
+
+namespace rips::obs {
+
+struct Obs {
+  TraceSession* trace = nullptr;
+  InvariantMonitor* monitor = nullptr;
+
+  bool tracing() const { return trace != nullptr; }
+  bool monitoring() const { return monitor != nullptr; }
+};
+
+/// Null-safe span record.
+inline void span(TraceSession* trace, NodeId node, const char* category,
+                 const char* name, SimTime t0, SimTime t1,
+                 const char* arg_name = nullptr, i64 arg = 0) {
+  if (trace != nullptr) trace->span(node, category, name, t0, t1, arg_name, arg);
+}
+
+/// Null-safe instant record.
+inline void instant(TraceSession* trace, NodeId node, const char* category,
+                    const char* name, SimTime t,
+                    const char* arg_name = nullptr, i64 arg = 0) {
+  if (trace != nullptr) trace->instant(node, category, name, t, arg_name, arg);
+}
+
+}  // namespace rips::obs

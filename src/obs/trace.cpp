@@ -1,0 +1,150 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace rips::obs {
+
+TraceSession::TraceSession(i32 num_nodes, size_t capacity_per_track)
+    : num_nodes_(num_nodes), capacity_(capacity_per_track) {
+  RIPS_CHECK(num_nodes > 0 && capacity_per_track > 0);
+  tracks_.resize(static_cast<size_t>(num_nodes) + 1);
+}
+
+void TraceSession::clear() {
+  for (Ring& ring : tracks_) {
+    ring.buf.clear();
+    ring.next = 0;
+    ring.full = false;
+  }
+  dropped_ = 0;
+}
+
+TraceSession::Ring& TraceSession::track(NodeId node) {
+  if (node == kInvalidNode) return tracks_.back();
+  RIPS_CHECK(node >= 0 && node < num_nodes_);
+  return tracks_[static_cast<size_t>(node)];
+}
+
+void TraceSession::push(Ring& ring, const TraceEvent& event) {
+  if (!ring.full) {
+    ring.buf.push_back(event);
+    if (ring.buf.size() == capacity_) ring.full = true;
+    return;
+  }
+  ring.buf[ring.next] = event;
+  ring.next = (ring.next + 1) % capacity_;
+  dropped_ += 1;
+}
+
+void TraceSession::span(NodeId node, const char* category, const char* name,
+                        SimTime t0, SimTime t1, const char* arg_name,
+                        i64 arg) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.type = TraceEvent::Type::kSpan;
+  e.node = node;
+  e.start_ns = t0;
+  e.dur_ns = t1 > t0 ? t1 - t0 : 0;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  push(track(node), e);
+}
+
+void TraceSession::instant(NodeId node, const char* category, const char* name,
+                           SimTime t, const char* arg_name, i64 arg) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.type = TraceEvent::Type::kInstant;
+  e.node = node;
+  e.start_ns = t;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  push(track(node), e);
+}
+
+size_t TraceSession::size() const {
+  size_t total = 0;
+  for (const Ring& ring : tracks_) total += ring.buf.size();
+  return total;
+}
+
+std::vector<TraceEvent> TraceSession::sorted_events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  for (const Ring& ring : tracks_) {
+    out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+                     return a.node < b.node;
+                   });
+  return out;
+}
+
+std::string TraceSession::to_json() const {
+  // The trace_event format wants microseconds; the simulator runs in
+  // nanoseconds — emit fractional microseconds with ns resolution.
+  const auto us = [](SimTime ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    return std::string(buf);
+  };
+  const auto tid = [&](NodeId node) {
+    return node == kInvalidNode ? num_nodes_ : node;
+  };
+
+  std::string out = "{\"traceEvents\":[\n";
+  out += "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"rips-sim\"}}";
+  for (i32 node = 0; node <= num_nodes_; ++node) {
+    const std::string label =
+        node == num_nodes_ ? "machine" : "node " + std::to_string(node);
+    out += ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(node) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           json::quoted(label) + "}}";
+    // sort_index keeps the machine-wide track above the per-node lanes.
+    out += ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(node) +
+           ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+           std::to_string(node == num_nodes_ ? -1 : node) + "}}";
+  }
+
+  for (const TraceEvent& e : sorted_events()) {
+    out += ",\n{\"name\":" + json::quoted(e.name) +
+           ",\"cat\":" + json::quoted(e.category) + ",\"pid\":0,\"tid\":" +
+           std::to_string(tid(e.node)) + ",\"ts\":" + us(e.start_ns);
+    if (e.type == TraceEvent::Type::kSpan) {
+      out += ",\"ph\":\"X\",\"dur\":" + us(e.dur_ns);
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    if (e.arg_name != nullptr) {
+      out += ",\"args\":{" + json::quoted(e.arg_name) + ":" +
+             std::to_string(e.arg) + "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" +
+         std::to_string(dropped_) + "}}\n";
+  return out;
+}
+
+bool TraceSession::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << to_json();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rips::obs

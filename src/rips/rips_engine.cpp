@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "util/check.hpp"
 
@@ -9,13 +10,45 @@ namespace rips::core {
 
 namespace {
 constexpr SimTime kNever = std::numeric_limits<SimTime>::max() / 4;
+
+// Fixed histogram buckets (powers of two): coarse enough to stay O(16)
+// per observation, fine enough to separate "balanced" from "skewed".
+std::vector<i64> pow2_bounds(i64 max_bound) {
+  std::vector<i64> b{0};
+  for (i64 v = 1; v <= max_bound; v *= 2) b.push_back(v);
+  return b;
 }
+}  // namespace
 
 RipsEngine::RipsEngine(sched::ParallelScheduler& scheduler,
                        const sim::CostModel& cost, RipsConfig config)
     : scheduler_(scheduler),
       cost_(cost),
       config_(config),
+      c_tasks_executed_(&registry_.counter("tasks.executed")),
+      c_tasks_nonlocal_(&registry_.counter("tasks.nonlocal")),
+      c_tasks_migrated_(&registry_.counter("tasks.migrated")),
+      c_msg_sent_(&registry_.counter("msg.sent")),
+      c_phase_system_(&registry_.counter("phase.system")),
+      c_phase_user_(&registry_.counter("phase.user")),
+      c_crashes_(&registry_.counter("fault.crashes")),
+      c_recovery_phases_(&registry_.counter("fault.recovery_phases")),
+      c_reinjected_(&registry_.counter("fault.tasks_reinjected")),
+      c_reexecuted_(&registry_.counter("fault.tasks_reexecuted")),
+      c_dropped_msgs_(&registry_.counter("fault.dropped_messages")),
+      c_msg_retries_(&registry_.counter("fault.message_retries")),
+      c_lost_work_ns_(&registry_.counter("fault.lost_work_ns")),
+      c_recovery_time_ns_(&registry_.counter("fault.recovery_time_ns")),
+      g_rts_total_(&registry_.gauge("phase.rts_total")),
+      g_live_nodes_(&registry_.gauge("machine.live_nodes")),
+      h_phase_imbalance_(
+          &registry_.histogram("phase.load_imbalance", pow2_bounds(1 << 20))),
+      h_phase_moved_(
+          &registry_.histogram("phase.tasks_moved", pow2_bounds(1 << 20))),
+      h_phase_dur_us_(
+          &registry_.histogram("phase.duration_us", pow2_bounds(1 << 24))),
+      h_uphase_tasks_(
+          &registry_.histogram("user_phase.tasks", pow2_bounds(1 << 24))),
       factory_(sched::any_size_mesh_factory()) {}
 
 NodeId RipsEngine::nearest_live(NodeId phys) const {
@@ -92,9 +125,9 @@ SimTime RipsEngine::recover(SimTime t) {
     alive_[static_cast<size_t>(d.node)] = 0;
     dead_at_[static_cast<size_t>(d.node)] = d.at;
     max_death = std::max(max_death, d.at);
-    metrics_.crashes += 1;
-    metrics_.tasks_reexecuted += d.lost_execs;
-    metrics_.lost_work_ns += d.lost_work_ns;
+    c_crashes_->add();
+    c_reexecuted_->add(d.lost_execs);
+    c_lost_work_ns_->add(static_cast<u64>(d.lost_work_ns));
     nodes_[static_cast<size_t>(d.node)].rte.clear();
     nodes_[static_cast<size_t>(d.node)].rts.clear();
   }
@@ -118,6 +151,7 @@ SimTime RipsEngine::recover(SimTime t) {
   // Re-inject every dead node's checkpoint — its RTE assignment at the last
   // recovery line — onto the survivor nearest to it in the base network
   // (that node holds the replicated descriptors at minimal distance).
+  u64 reinjected = 0;
   for (const PendingDeath& d : dead_pending_) {
     auto& ckpt = checkpoint_[static_cast<size_t>(d.node)];
     if (!ckpt.empty()) {
@@ -125,7 +159,8 @@ SimTime RipsEngine::recover(SimTime t) {
       auto& dst = nodes_[static_cast<size_t>(adopter)];
       dst.rts.insert(dst.rts.end(), ckpt.begin(), ckpt.end());
       dst.ovh_ns += cost_.recv_time(static_cast<i64>(ckpt.size()));
-      metrics_.tasks_reinjected += ckpt.size();
+      c_reinjected_->add(ckpt.size());
+      reinjected += ckpt.size();
     }
     ckpt.clear();
   }
@@ -136,12 +171,15 @@ SimTime RipsEngine::recover(SimTime t) {
   const SimTime extra = 2 *
                         static_cast<SimTime>(live_view_->diameter()) *
                         cost_.info_step_ns;
-  metrics_.recovery_phases += 1;
-  metrics_.recovery_time_ns += extra;
+  c_recovery_phases_->add();
+  c_recovery_time_ns_->add(static_cast<u64>(extra));
+  g_live_nodes_->set(static_cast<i64>(live_.size()));
   if (timeline_ != nullptr) {
     timeline_->record({sim::TimelineEvent::Kind::kRecovery, kInvalidNode, t,
                        t + extra, kInvalidTask});
   }
+  obs::span(obs_.trace, kInvalidNode, "fault", "recovery", t, t + extra,
+            "reinjected", static_cast<i64>(reinjected));
   return extra;
 }
 
@@ -180,6 +218,19 @@ SimTime RipsEngine::system_phase(SimTime t) {
     }
   }
   const sched::ScheduleResult plan = active_scheduler().schedule(load);
+
+  // Monitor-only cost: the invariant checks need to know where every task
+  // started the phase, which the replay below destroys.
+  const u64 phase_idx = static_cast<u64>(phases_.size());
+  const bool monitoring = obs_.monitor != nullptr && !config_.weighted;
+  std::vector<std::vector<TaskId>> before;
+  if (monitoring) {
+    before.resize(static_cast<size_t>(n));
+    for (i32 r = 0; r < n; ++r) {
+      const auto& rts = nodes_[static_cast<size_t>(live_[r])].rts;
+      before[static_cast<size_t>(r)].assign(rts.begin(), rts.end());
+    }
+  }
 
   // Replay the transfer plan on the actual task ids. Nodes forward tasks
   // that are already non-local before giving up their own (locality).
@@ -243,9 +294,9 @@ SimTime RipsEngine::system_phase(SimTime t) {
     moved += static_cast<u64>(sent);
     migration[static_cast<size_t>(tr.from)] += cost_.send_time(sent);
     migration[static_cast<size_t>(tr.to)] += cost_.recv_time(sent);
-    metrics_.messages += 1;
+    c_msg_sent_->add();
   }
-  metrics_.tasks_migrated += moved;
+  c_tasks_migrated_->add(moved);
 
   // Scheduled tasks enter the RTE queues (own tasks first, then received).
   for (i32 r = 0; r < n; ++r) {
@@ -279,12 +330,86 @@ SimTime RipsEngine::system_phase(SimTime t) {
   }
 
   phases_.push_back({total, moved, plan.comm_steps, duration});
-  metrics_.system_phases += 1;
+  c_phase_system_->add();
+  g_rts_total_->set(static_cast<i64>(total));
+  h_phase_imbalance_->observe(sched::load_imbalance(load));
+  h_phase_moved_->observe(static_cast<i64>(moved));
+  h_phase_dur_us_->observe(duration / 1000);
+  registry_.snapshot("phase=" + std::to_string(phase_idx));
   if (timeline_ != nullptr) {
     timeline_->record({sim::TimelineEvent::Kind::kSystemPhase, kInvalidNode,
                        t, t + duration, kInvalidTask});
   }
+  if (obs_.trace != nullptr) {
+    obs_.trace->span(kInvalidNode, "phase", "system_phase", t, t + duration,
+                     "scheduled", static_cast<i64>(total));
+    // Children of the system-phase span: the recovery span (if any) was
+    // emitted by recover() at [t, t+recovery_extra]; scheduling and
+    // migration follow it.
+    const SimTime sched_t0 = t + recovery_extra;
+    obs_.trace->span(kInvalidNode, "phase", "schedule", sched_t0,
+                     sched_t0 + step_time, "comm_steps", plan.comm_steps);
+    if (max_migration > 0) {
+      obs_.trace->span(kInvalidNode, "phase", "migrate",
+                       sched_t0 + step_time,
+                       sched_t0 + step_time + max_migration, "moved",
+                       static_cast<i64>(moved));
+    }
+  }
+  if (monitoring) {
+    check_phase_invariants(phase_idx, load, plan, before,
+                           static_cast<i64>(total));
+  }
   return t + duration;
+}
+
+void RipsEngine::check_phase_invariants(
+    u64 phase, const std::vector<i64>& load, const sched::ScheduleResult& plan,
+    const std::vector<std::vector<TaskId>>& before, i64 total) {
+  obs::InvariantMonitor* mon = obs_.monitor;
+  // Theorem 1: post-scheduling loads pairwise within 1, total conserved.
+  mon->check_balance(phase, plan.new_load, total);
+
+  // Map every task to the rank it started the phase on, then find where the
+  // replay put it. A task that vanished, appeared from nowhere, or got
+  // duplicated is a conservation violation; the relocation count feeds the
+  // Theorem-2 comparison against the Lemma-1 lower bound.
+  const i32 n = static_cast<i32>(live_.size());
+  std::unordered_map<TaskId, i32> start_rank;
+  start_rank.reserve(static_cast<size_t>(total));
+  bool conserved = true;
+  for (i32 r = 0; r < n; ++r) {
+    for (TaskId task : before[static_cast<size_t>(r)]) {
+      conserved = start_rank.emplace(task, r).second && conserved;
+    }
+  }
+  i64 relocated = 0;
+  i64 seen = 0;
+  for (i32 r = 0; r < n; ++r) {
+    for (TaskId task : nodes_[static_cast<size_t>(live_[r])].rte) {
+      ++seen;
+      auto it = start_rank.find(task);
+      if (it == start_rank.end() || it->second < 0) {
+        conserved = false;  // unknown task, or the same task twice
+        continue;
+      }
+      if (it->second != r) ++relocated;
+      it->second = -1;  // consumed
+    }
+  }
+  conserved = conserved && seen == total;
+  mon->check_conservation(phase, conserved, kInvalidNode,
+                          "system-phase replay must queue every collected "
+                          "task exactly once");
+
+  // Theorem 2 against the schedule actually produced (Lemma 1 with the
+  // plan's new_load as the target — exact for every scheduler, not only
+  // for ones hitting the paper's quota).
+  i64 minimum = 0;
+  for (size_t r = 0; r < load.size(); ++r) {
+    if (plan.new_load[r] > load[r]) minimum += plan.new_load[r] - load[r];
+  }
+  mon->check_locality(phase, relocated, minimum);
 }
 
 SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
@@ -320,11 +445,13 @@ SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
       n.busy_ns += work;
       exec_node_[static_cast<size_t>(task)] = node;
       executed_total_ += 1;
-      metrics_.num_tasks += 1;
+      c_tasks_executed_->add();
       if (timeline_ != nullptr) {
         timeline_->record({sim::TimelineEvent::Kind::kTask, node, now - work,
                            now, task});
       }
+      obs::span(obs_.trace, node, "task", "task", now - work, now, "id",
+                static_cast<i64>(task));
     } else if (mode == PhaseMode::kDoomed) {
       // The node finishes this task but dies before the next recovery
       // line: the execution is lost and will be redone by a survivor.
@@ -466,6 +593,8 @@ SimTime RipsEngine::user_phase(SimTime t) {
       timeline_->record({sim::TimelineEvent::Kind::kFailure, phys, death,
                          death, kInvalidTask});
     }
+    obs::instant(obs_.trace, phys, "fault", "crash", death, "lost_execs",
+                 static_cast<i64>(lost));
   };
   if (config_.global == GlobalPolicy::kAny) {
     for (NodeId phys : live_) {
@@ -543,10 +672,24 @@ SimTime RipsEngine::user_phase(SimTime t) {
     const SimTime extra =
         static_cast<SimTime>(faulty_steps - base_steps) * cost_.info_step_ns +
         static_cast<SimTime>(stats.timeouts) * config_.fault_timeout_ns;
+    c_dropped_msgs_->add(static_cast<u64>(stats.dropped));
+    c_msg_retries_->add(static_cast<u64>(stats.retries));
+    if (doomed_count > 0) c_recovery_time_ns_->add(static_cast<u64>(extra));
+    if (extra > 0 && obs_.trace != nullptr) {
+      // The detection collective's retransmission burst: one span covering
+      // the critical-path stretch, one instant per retried tree edge
+      // (physical node ids — the retry log speaks in live ranks).
+      obs_.trace->span(kInvalidNode, "coll", "collective_retry", phase_end,
+                       phase_end + extra, "timeouts", stats.timeouts);
+      for (const coll::RetryEvent& re : stats.retry_log) {
+        const NodeId pf = live_view_ != nullptr ? live_view_->physical(re.from)
+                                                : re.from;
+        obs_.trace->instant(pf, "coll",
+                            re.delivered ? "coll_retry" : "coll_suspect",
+                            phase_end, "attempts", re.attempts);
+      }
+    }
     phase_end += extra;
-    metrics_.dropped_messages += static_cast<u64>(stats.dropped);
-    metrics_.message_retries += static_cast<u64>(stats.retries);
-    if (doomed_count > 0) metrics_.recovery_time_ns += extra;
   }
   if (doomed_count > 0) {
     // Survivors cannot close the phase before the heartbeat timeout of the
@@ -554,8 +697,12 @@ SimTime RipsEngine::user_phase(SimTime t) {
     phase_end = std::max(phase_end, max_death + config_.fault_timeout_ns);
   }
 
-  user_phases_.push_back(
-      {user_start, t_cond, phase_end, executed_total_ - executed_before});
+  const u64 executed = executed_total_ - executed_before;
+  user_phases_.push_back({user_start, t_cond, phase_end, executed});
+  c_phase_user_->add();
+  h_uphase_tasks_->observe(static_cast<i64>(executed));
+  obs::span(obs_.trace, kInvalidNode, "phase", "user_phase", user_start,
+            phase_end, "executed", static_cast<i64>(executed));
   return phase_end;
 }
 
@@ -571,6 +718,10 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
   user_phases_.clear();
   metrics_ = sim::RunMetrics{};
   metrics_.num_nodes = n;
+  registry_.reset();
+  g_live_nodes_->set(n);
+  if (obs_.trace != nullptr) obs_.trace->clear();
+  if (obs_.monitor != nullptr) obs_.monitor->clear();
   for (size_t i = 0; i < trace.size(); ++i) {
     metrics_.sequential_ns +=
         cost_.work_time(trace.task(static_cast<TaskId>(i)).work);
@@ -630,11 +781,16 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
       metrics_.total_idle_ns += horizon > used ? horizon - used : 0;
     }
   }
+  u64 nonlocal = 0;
   for (size_t i = 0; i < trace.size(); ++i) {
-    if (exec_node_[i] != origin_[i]) metrics_.nonlocal_tasks += 1;
+    if (exec_node_[i] != origin_[i]) nonlocal += 1;
   }
+  c_tasks_nonlocal_->add(nonlocal);
   RIPS_CHECK_MSG(executed_total_ == trace.size(),
                  "RIPS finished with unexecuted tasks");
+  // The registry is the source of truth for every counter column; the
+  // Table-I view is derived from it once, here.
+  metrics_.load_counters(registry_);
   return metrics_;
 }
 

@@ -44,6 +44,8 @@
 
 #include "apps/task_trace.hpp"
 #include "coll/collectives.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "rips/config.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/cost_model.hpp"
@@ -67,6 +69,21 @@ class RipsEngine {
   /// phase of subsequent runs is recorded (the timeline is cleared at the
   /// start of each run). Pass nullptr to detach.
   void set_timeline(sim::Timeline* timeline) { timeline_ = timeline; }
+
+  /// Structured observability (docs/OBSERVABILITY.md): an optional
+  /// TraceSession (Perfetto span export — system phases, user phases, task
+  /// executions, collective retries, crash/recovery) and an optional
+  /// InvariantMonitor (Theorem-1 balance, Theorem-2 locality, task
+  /// conservation, checked every system phase). Both sinks are passive:
+  /// runs with and without them attached produce bit-identical metrics.
+  /// Pass {} to detach.
+  void set_obs(const obs::Obs& o) { obs_ = o; }
+
+  /// Counters / gauges / histograms of the last run — the engine's source
+  /// of truth for RunMetrics' counter columns, plus per-phase snapshots
+  /// and distributions RunMetrics cannot express (load imbalance, tasks
+  /// moved, phase durations). Always maintained; reset at run start.
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
 
   /// Optional fault injection: subsequent runs replay the plan's crashes,
   /// slowdowns and message faults. Pass nullptr to detach. The plan is
@@ -164,6 +181,41 @@ class RipsEngine {
   std::vector<UserPhaseStats> user_phases_;
   sim::Timeline* timeline_ = nullptr;
   sim::RunMetrics metrics_;
+
+  // --- observability -----------------------------------------------------
+  // The registry is the engine's counter store (RunMetrics is derived from
+  // it at the end of run()); the cached pointers make each increment one
+  // add through a pointer — the same cost as the struct fields they
+  // replaced. obs_ carries the optional external sinks.
+
+  /// Theorem-2 bookkeeping for one system phase (monitor-only cost).
+  void check_phase_invariants(u64 phase, const std::vector<i64>& load,
+                              const sched::ScheduleResult& plan,
+                              const std::vector<std::vector<TaskId>>& before,
+                              i64 total);
+
+  obs::Obs obs_;
+  obs::MetricsRegistry registry_;
+  obs::Counter* c_tasks_executed_;
+  obs::Counter* c_tasks_nonlocal_;
+  obs::Counter* c_tasks_migrated_;
+  obs::Counter* c_msg_sent_;
+  obs::Counter* c_phase_system_;
+  obs::Counter* c_phase_user_;
+  obs::Counter* c_crashes_;
+  obs::Counter* c_recovery_phases_;
+  obs::Counter* c_reinjected_;
+  obs::Counter* c_reexecuted_;
+  obs::Counter* c_dropped_msgs_;
+  obs::Counter* c_msg_retries_;
+  obs::Counter* c_lost_work_ns_;
+  obs::Counter* c_recovery_time_ns_;
+  obs::Gauge* g_rts_total_;
+  obs::Gauge* g_live_nodes_;
+  obs::Histogram* h_phase_imbalance_;
+  obs::Histogram* h_phase_moved_;
+  obs::Histogram* h_phase_dur_us_;
+  obs::Histogram* h_uphase_tasks_;
 
   // --- fault tolerance ---------------------------------------------------
   struct PendingDeath {

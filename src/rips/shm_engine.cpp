@@ -14,6 +14,8 @@ sim::RunMetrics SharedMemoryEngine::run(const apps::TaskTrace& trace) {
 
   sim::RunMetrics metrics;
   metrics.num_nodes = procs;
+  registry_.reset();
+  if (obs_.trace != nullptr) obs_.trace->clear();
   for (size_t i = 0; i < trace.size(); ++i) {
     metrics.sequential_ns +=
         cost_.work_time(trace.task(static_cast<TaskId>(i)).work);
@@ -34,6 +36,8 @@ sim::RunMetrics SharedMemoryEngine::run(const apps::TaskTrace& trace) {
     lock_free_at = acquired + config_.lock_op_ns;
     lock_busy_ns_ += config_.lock_op_ns;
     ovh[static_cast<size_t>(worker)] += config_.lock_op_ns;
+    c_lock_ops_->add();
+    h_lock_wait_ns_->observe(acquired - t);
     return lock_free_at;
   };
 
@@ -86,6 +90,9 @@ sim::RunMetrics SharedMemoryEngine::run(const apps::TaskTrace& trace) {
     const SimTime work = cost_.work_time(trace.task(task).work);
     busy[static_cast<size_t>(worker)] += work;
     now += work;
+    obs::span(obs_.trace, worker, "task", "task", now - work, now, "id",
+              static_cast<i64>(task));
+    c_tasks_executed_->add();
     metrics.num_tasks += 1;
     completed += 1;
     completed_in_segment += 1;

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "apps/task_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
 #include "util/types.hpp"
@@ -42,10 +44,30 @@ class SharedMemoryEngine {
   /// serialization floor of the makespan.
   SimTime lock_busy_ns() const { return lock_busy_ns_; }
 
+  /// Structured observability (docs/OBSERVABILITY.md): optional Perfetto
+  /// trace sink with one track per worker. Passive — metrics are
+  /// bit-identical with or without it.
+  void set_obs(const obs::Obs& o) { obs_ = o; }
+
+  /// Counters / histograms of the last run: tasks.executed, lock.ops,
+  /// and the lock.wait_ns contention histogram (the crossover figure of
+  /// bench/ablation_shm, now measurable per run). Reset at run start.
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+
  private:
   sim::CostModel cost_;
   ShmConfig config_;
   SimTime lock_busy_ns_ = 0;
+
+  obs::Obs obs_;
+  obs::MetricsRegistry registry_;
+  // In-class initializers run after registry_ (declaration order), so the
+  // cached pointers are valid for the engine's whole lifetime.
+  obs::Counter* c_tasks_executed_ = &registry_.counter("tasks.executed");
+  obs::Counter* c_lock_ops_ = &registry_.counter("lock.ops");
+  obs::Histogram* h_lock_wait_ns_ =
+      &registry_.histogram("lock.wait_ns", {0, 1'000, 4'000, 16'000, 64'000,
+                                            256'000, 1'000'000, 4'000'000});
 };
 
 }  // namespace rips::core

@@ -26,6 +26,12 @@ i64 min_nonlocal_tasks(const std::vector<i64>& load,
   return m;
 }
 
+i64 load_imbalance(const std::vector<i64>& load) {
+  if (load.empty()) return 0;
+  const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+  return *hi - *lo;
+}
+
 ReplayResult replay_transfers(const std::vector<i64>& load,
                               const std::vector<Transfer>& transfers) {
   const size_t n = load.size();

@@ -60,6 +60,11 @@ std::vector<i64> quota_for(i64 total, i32 num_nodes);
 i64 min_nonlocal_tasks(const std::vector<i64>& load,
                        const std::vector<i64>& quota);
 
+/// max(load) - min(load): the spread the scheduler must close, and — on
+/// its output — the Theorem-1 quality figure (0 or 1 for every exact
+/// scheduler in this library). 0 for an empty vector.
+i64 load_imbalance(const std::vector<i64>& load);
+
 /// Replays a transfer plan against per-node multisets of task origins and
 /// reports what actually moved. When forwarding, foreign (already moved)
 /// tasks are sent before local ones, which is the locality-maximizing

@@ -2,7 +2,29 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+
 namespace rips::sim {
+
+void RunMetrics::load_counters(const obs::MetricsRegistry& registry) {
+  const auto value = [&](const char* name) -> u64 {
+    const obs::Counter* c = registry.find_counter(name);
+    return c == nullptr ? 0 : c->value();
+  };
+  num_tasks = value("tasks.executed");
+  nonlocal_tasks = value("tasks.nonlocal");
+  tasks_migrated = value("tasks.migrated");
+  messages = value("msg.sent");
+  system_phases = value("phase.system");
+  crashes = value("fault.crashes");
+  recovery_phases = value("fault.recovery_phases");
+  tasks_reinjected = value("fault.tasks_reinjected");
+  tasks_reexecuted = value("fault.tasks_reexecuted");
+  dropped_messages = value("fault.dropped_messages");
+  message_retries = value("fault.message_retries");
+  lost_work_ns = static_cast<SimTime>(value("fault.lost_work_ns"));
+  recovery_time_ns = static_cast<SimTime>(value("fault.recovery_time_ns"));
+}
 
 std::string RunMetrics::summary() const {
   char buf[256];

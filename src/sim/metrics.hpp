@@ -7,6 +7,10 @@
 
 #include "util/types.hpp"
 
+namespace rips::obs {
+class MetricsRegistry;
+}
+
 namespace rips::sim {
 
 struct RunMetrics {
@@ -39,6 +43,13 @@ struct RunMetrics {
   /// Field-by-field equality — fault determinism tests assert that the
   /// same fault seed reproduces bit-identical metrics.
   bool operator==(const RunMetrics&) const = default;
+
+  /// Fills every counter column from an obs::MetricsRegistry — the engines
+  /// count into their registry (the single source of truth) and derive this
+  /// Table-I view at the end of a run. Time totals (makespan, busy, idle,
+  /// sequential) are computed by the engine, not stored in the registry.
+  /// Counter names are documented in docs/OBSERVABILITY.md.
+  void load_counters(const obs::MetricsRegistry& registry);
 
   // --- Table I derived columns ------------------------------------------
 

@@ -8,7 +8,7 @@
 namespace rips::sim {
 
 double Timeline::utilization(NodeId node, SimTime t0, SimTime t1) const {
-  RIPS_CHECK(t1 > t0);
+  if (t1 <= t0) return 0.0;
   SimTime busy = 0;
   for (const TimelineEvent& e : events_) {
     if (e.kind != TimelineEvent::Kind::kTask || e.node != node) continue;
@@ -90,6 +90,8 @@ std::string Timeline::render(i32 num_nodes, i32 width) const {
 bool Timeline::write_csv(const std::string& path) const {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
+  // An empty timeline still gets the header row: downstream plotting sees
+  // the schema and zero data rows instead of a zero-byte mystery file.
   bool ok = std::fputs("kind,node,start_ns,end_ns,task\n", file) >= 0;
   for (const TimelineEvent& e : events_) {
     const char* kind = "barrier";
@@ -117,6 +119,10 @@ bool Timeline::write_csv(const std::string& path) const {
                                 ? -1LL
                                 : static_cast<long long>(e.task)) > 0;
   }
+  // fprintf success alone does not prove the bytes reached the file — the
+  // stdio buffer may fail to drain on a full disk. Flush, then consult the
+  // stream error state before close so partial writes are reported.
+  ok = ok && std::fflush(file) == 0 && std::ferror(file) == 0;
   return std::fclose(file) == 0 && ok;
 }
 

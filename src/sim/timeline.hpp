@@ -33,7 +33,8 @@ class Timeline {
 
   const std::vector<TimelineEvent>& events() const { return events_; }
 
-  /// Per-node busy fraction inside [t0, t1) (task events only).
+  /// Per-node busy fraction inside [t0, t1) (task events only). A window
+  /// of zero or negative width has no busy time by definition: returns 0.
   double utilization(NodeId node, SimTime t0, SimTime t1) const;
 
   /// ASCII utilization chart: one row per node, `width` time buckets,
@@ -42,8 +43,11 @@ class Timeline {
   std::string render(i32 num_nodes, i32 width = 72) const;
 
   /// CSV export (kind,node,start_ns,end_ns,task), one event per line with
-  /// a header row — for plotting outside the library. Returns false on
-  /// I/O failure.
+  /// a header row — for plotting outside the library. An empty timeline
+  /// writes the header row alone, so downstream tooling still sees the
+  /// schema. Returns false when the file cannot be opened OR when any
+  /// write failed (the stream state is checked after the final flush, so a
+  /// full disk mid-export is reported, not swallowed).
   bool write_csv(const std::string& path) const;
 
  private:

@@ -1,0 +1,340 @@
+// Observability layer tests: trace sessions (ordering, ring overflow,
+// Perfetto JSON), the metrics registry (histogram bucket edges, snapshots,
+// JSON round-trip through the obs::json parser), invariant monitors
+// (violations and churn accounting) and the engine integration contract —
+// attaching observers never changes the metrics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/nqueens.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitors.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "sim/fault.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::obs {
+namespace {
+
+// -------------------------------------------------------- TraceSession
+
+TEST(TraceSession, SortedEventsNestEnclosingSpansFirst) {
+  TraceSession trace(2);
+  // Child recorded before parent: sorted_events must still put the
+  // enclosing (longer) span first so Perfetto nests them correctly.
+  trace.span(0, "phase", "child", 100, 150);
+  trace.span(0, "phase", "parent", 100, 400);
+  trace.span(0, "phase", "later", 200, 250);
+  const auto events = trace.sorted_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "parent");
+  EXPECT_STREQ(events[1].name, "child");
+  EXPECT_STREQ(events[2].name, "later");
+}
+
+TEST(TraceSession, RingOverflowKeepsNewestAndCountsDropped) {
+  TraceSession trace(1, /*capacity_per_track=*/4);
+  for (i64 i = 0; i < 10; ++i) {
+    trace.instant(0, "t", "e", i, "i", i);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.sorted_events();
+  ASSERT_EQ(events.size(), 4u);
+  // The oldest retained event is #6 (0..5 were overwritten).
+  EXPECT_EQ(events.front().arg, 6);
+  EXPECT_EQ(events.back().arg, 9);
+
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceSession, MachineTrackIsSeparateFromNodeTracks) {
+  TraceSession trace(2, 4);
+  trace.span(kInvalidNode, "phase", "system", 0, 10);
+  trace.span(0, "task", "task", 0, 5);
+  trace.span(1, "task", "task", 0, 5);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceSession, JsonIsParseableAndCarriesEveryEvent) {
+  TraceSession trace(2);
+  trace.span(0, "task", "task", 1'000, 3'500, "id", 42);
+  trace.instant(1, "fault", "crash", 2'000);
+  trace.span(kInvalidNode, "phase", "system_phase", 0, 5'000);
+
+  std::string error;
+  const auto doc = json::parse(trace.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  size_t spans = 0, instants = 0, metadata = 0;
+  for (const json::Value& e : events->array) {
+    const json::Value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      spans += 1;
+    } else if (ph->string == "i") {
+      instants += 1;
+    } else if (ph->string == "M") {
+      metadata += 1;
+    }
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_GE(metadata, 3u);  // at least one name record per used track
+
+  // The span payload survives the trip: id=42 on the node-0 task span.
+  bool found_arg = false;
+  for (const json::Value& e : events->array) {
+    const json::Value* args = e.find("args");
+    if (args != nullptr && args->find("id") != nullptr) {
+      EXPECT_EQ(args->find("id")->as_i64(), 42);
+      found_arg = true;
+    }
+  }
+  EXPECT_TRUE(found_arg);
+}
+
+// ----------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistry, HistogramBucketBoundariesAreInclusiveUpper) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {0, 10, 100});
+  h.observe(0);    // <= 0           -> bucket 0
+  h.observe(1);    // (0, 10]        -> bucket 1
+  h.observe(10);   // boundary value -> bucket 1 (inclusive upper)
+  h.observe(11);   // (10, 100]      -> bucket 2
+  h.observe(100);  // boundary value -> bucket 2
+  h.observe(101);  // > 100          -> overflow bucket
+  h.observe(-5);   // below first bound -> bucket 0
+
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 2u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 101);
+  EXPECT_EQ(h.sum(), 0 + 1 + 10 + 11 + 100 + 101 - 5);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  Gauge& g = registry.gauge("g");
+  Histogram& h = registry.histogram("h", {1, 2});
+  c.add(5);
+  g.set(-3);
+  h.observe(1);
+  registry.snapshot("phase=0");
+
+  registry.reset();
+  // The same references stay live and read zero — engines cache them
+  // across runs.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(registry.snapshots().empty());
+  EXPECT_EQ(&c, &registry.counter("c"));
+}
+
+TEST(MetricsRegistry, SnapshotCapCountsOverflow) {
+  MetricsRegistry registry;
+  registry.set_max_snapshots(3);
+  registry.counter("c").add(1);
+  for (int i = 0; i < 5; ++i) {
+    registry.snapshot("phase=" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.snapshots().size(), 3u);
+  EXPECT_EQ(registry.snapshots_dropped(), 2u);
+  EXPECT_EQ(registry.snapshots().front().label, "phase=0");
+}
+
+TEST(MetricsRegistry, JsonRoundTripsThroughTheParser) {
+  MetricsRegistry registry;
+  registry.counter("tasks.executed").add(123);
+  registry.gauge("machine.live_nodes").set(32);
+  registry.histogram("phase.duration_us", {10, 100}).observe(55);
+  registry.snapshot("phase=0");
+
+  std::string error;
+  const auto doc = json::parse(registry.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+
+  const json::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("tasks.executed"), nullptr);
+  EXPECT_EQ(counters->find("tasks.executed")->as_i64(), 123);
+
+  const json::Value* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->find("machine.live_nodes")->as_i64(), 32);
+
+  const json::Value* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* h = hists->find("phase.duration_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->as_i64(), 1);
+  EXPECT_EQ(h->find("sum")->as_i64(), 55);
+
+  const json::Value* snaps = doc->find("snapshots");
+  ASSERT_NE(snaps, nullptr);
+  ASSERT_EQ(snaps->array.size(), 1u);
+  EXPECT_EQ(snaps->array[0].find("label")->string, "phase=0");
+}
+
+// ------------------------------------------------------------ json
+
+TEST(Json, ParserRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json::parse("{\"a\":", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(json::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing").has_value());
+}
+
+TEST(Json, EscapeRoundTrips) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const auto doc = json::parse("{\"k\":" + json::quoted(nasty) + "}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("k")->string, nasty);
+}
+
+// ------------------------------------------------------ InvariantMonitor
+
+TEST(InvariantMonitor, CleanChecksPass) {
+  InvariantMonitor mon;
+  mon.check_balance(0, {3, 3, 4, 3}, 13);
+  mon.check_locality(0, 5, 5);
+  mon.check_conservation(0, true, kInvalidNode, "");
+  EXPECT_TRUE(mon.ok());
+  EXPECT_EQ(mon.checks_run(), 3u);
+  EXPECT_EQ(mon.churn_tasks(), 0);
+  EXPECT_NE(mon.report().find("all 3 checks passed"), std::string::npos);
+}
+
+TEST(InvariantMonitor, Theorem1SpreadAndTotalViolations) {
+  InvariantMonitor mon;
+  mon.check_balance(2, {1, 4, 2}, 7);  // spread 3 > 1
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_EQ(mon.violations()[0].monitor, "theorem1");
+  EXPECT_EQ(mon.violations()[0].phase, 2u);
+  EXPECT_EQ(mon.violations()[0].node, 1);  // the overloaded rank
+
+  mon.clear();
+  mon.check_balance(0, {3, 3}, 7);  // balanced but total lost a task
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_NE(mon.violations()[0].detail.find("lost or invented"),
+            std::string::npos);
+}
+
+TEST(InvariantMonitor, Theorem2BelowBoundIsViolationAboveIsChurn) {
+  InvariantMonitor mon;
+  mon.check_locality(1, 3, 5);  // beating a hard lower bound: broken
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_EQ(mon.violations()[0].monitor, "theorem2");
+
+  mon.clear();
+  mon.check_locality(1, 7, 5);  // 2 moves above the bound: churn, not error
+  mon.check_locality(2, 6, 5);
+  EXPECT_TRUE(mon.ok());
+  EXPECT_EQ(mon.churn_tasks(), 3);
+  EXPECT_EQ(mon.churn_phases(), 2u);
+  EXPECT_NE(mon.report().find("transfer churn: 3"), std::string::npos);
+
+  mon.clear();
+  EXPECT_EQ(mon.churn_tasks(), 0);
+  EXPECT_EQ(mon.checks_run(), 0u);
+}
+
+// --------------------------------------------------- engine integration
+
+TEST(ObsIntegration, AttachingObserversNeverChangesTheMetrics) {
+  const apps::TaskTrace trace = apps::build_nqueens_trace(9, 4);
+  topo::Mesh mesh(4, 4);
+  sched::Mwa mwa(mesh);
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+
+  core::RipsEngine bare(mwa, cost, core::RipsConfig{});
+  const sim::RunMetrics without = bare.run(trace);
+
+  core::RipsEngine observed(mwa, cost, core::RipsConfig{});
+  TraceSession session(16);
+  InvariantMonitor monitor;
+  observed.set_obs(Obs{&session, &monitor});
+  const sim::RunMetrics with = observed.run(trace);
+
+  // Bit-identical: observers only record simulation state, never shape it.
+  EXPECT_EQ(without, with);
+  EXPECT_GT(session.size(), 0u);
+  EXPECT_TRUE(monitor.ok()) << monitor.report();
+}
+
+TEST(ObsIntegration, RegistryAgreesWithRunMetrics) {
+  const apps::TaskTrace trace = apps::build_nqueens_trace(9, 4);
+  topo::Mesh mesh(4, 4);
+  sched::Mwa mwa(mesh);
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+  core::RipsEngine engine(mwa, cost, core::RipsConfig{});
+  const sim::RunMetrics m = engine.run(trace);
+
+  const MetricsRegistry& registry = engine.metrics_registry();
+  const Counter* executed = registry.find_counter("tasks.executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_EQ(executed->value(), m.num_tasks);
+  EXPECT_EQ(registry.find_counter("phase.system")->value(), m.system_phases);
+  EXPECT_EQ(registry.find_counter("tasks.nonlocal")->value(),
+            m.nonlocal_tasks);
+  // One labeled snapshot per system phase.
+  EXPECT_EQ(registry.snapshots().size() + registry.snapshots_dropped(),
+            m.system_phases);
+}
+
+TEST(ObsIntegration, FaultRunEmitsRecoverySpansAndConserves) {
+  const apps::TaskTrace trace = apps::build_nqueens_trace(10, 4);
+  topo::Mesh mesh(4, 4);
+  sched::Mwa mwa(mesh);
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+  core::RipsEngine engine(mwa, cost, core::RipsConfig{});
+
+  sim::FaultSpec spec;
+  spec.horizon_ns = 50'000'000;
+  spec.crash_mtbf_ns = 10e6;
+  spec.drop_prob = 0.02;
+  const sim::FaultPlan plan = sim::FaultPlan::generate(7, 16, spec);
+
+  TraceSession session(16);
+  InvariantMonitor monitor;
+  engine.set_obs(Obs{&session, &monitor});
+  engine.set_fault_plan(&plan);
+  const sim::RunMetrics m = engine.run(trace);
+
+  ASSERT_GT(m.crashes, 0u);
+  EXPECT_TRUE(monitor.ok()) << monitor.report();
+
+  std::set<std::string> names;
+  for (const TraceEvent& e : session.sorted_events()) names.insert(e.name);
+  EXPECT_TRUE(names.count("crash"));
+  EXPECT_TRUE(names.count("recovery"));
+  EXPECT_TRUE(names.count("system_phase"));
+  EXPECT_TRUE(names.count("user_phase"));
+}
+
+}  // namespace
+}  // namespace rips::obs

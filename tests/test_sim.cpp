@@ -114,6 +114,49 @@ TEST(Timeline, RenderHasOneRowPerNodePlusFooter) {
   EXPECT_NE(chart.find('|'), std::string::npos);
 }
 
+TEST(Timeline, EmptyTimelineRendersAndHasZeroUtilization) {
+  Timeline tl;
+  EXPECT_DOUBLE_EQ(tl.utilization(0, 0, 100), 0.0);
+  const std::string chart = tl.render(2, 20);
+  EXPECT_FALSE(chart.empty());
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 3);
+}
+
+TEST(Timeline, ZeroWidthWindowHasNoBusyTime) {
+  Timeline tl;
+  tl.record({TimelineEvent::Kind::kTask, 0, 0, 100, 1});
+  EXPECT_DOUBLE_EQ(tl.utilization(0, 50, 50), 0.0);
+  EXPECT_DOUBLE_EQ(tl.utilization(0, 80, 20), 0.0);  // inverted window
+}
+
+TEST(Timeline, EventsStraddlingTheWindowAreClipped) {
+  Timeline tl;
+  // Starts before the window and ends inside: only the overlap counts.
+  tl.record({TimelineEvent::Kind::kTask, 0, 0, 60, 1});
+  // Starts inside and ends after: clipped at the right edge.
+  tl.record({TimelineEvent::Kind::kTask, 0, 80, 200, 2});
+  EXPECT_DOUBLE_EQ(tl.utilization(0, 50, 100), (10.0 + 20.0) / 50.0);
+  // A window fully inside one event is fully busy.
+  EXPECT_DOUBLE_EQ(tl.utilization(0, 10, 40), 1.0);
+}
+
+TEST(Timeline, WriteCsvEmptyTimelineWritesHeaderOnly) {
+  Timeline tl;
+  const std::string path = ::testing::TempDir() + "rips_empty_timeline.csv";
+  ASSERT_TRUE(tl.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "kind,node,start_ns,end_ns,task");
+  EXPECT_FALSE(std::getline(in, line));  // header row and nothing else
+}
+
+TEST(Timeline, WriteCsvReportsUnopenablePath) {
+  Timeline tl;
+  tl.record({TimelineEvent::Kind::kTask, 0, 0, 100, 1});
+  EXPECT_FALSE(tl.write_csv("/nonexistent-dir/timeline.csv"));
+}
+
 TEST(Timeline, RipsEngineRecordsEveryTaskExactlyOnce) {
   const auto trace = apps::build_nqueens_trace(9, 3);
   topo::Mesh mesh(2, 2);
