@@ -1,0 +1,56 @@
+// bench_diff — the CI regression gate over two rips-bench-v1 documents.
+//
+//   ./bench_diff BENCH_core.json BENCH_fresh.json
+//   ./bench_diff old.json new.json --makespan-tol=0.05 --overhead-factor=1.5
+//
+// Exit codes: 0 = no regressions, 1 = regression (or baseline run missing
+// from the current document), 2 = usage / parse error. The simulator is
+// bit-deterministic, so an unchanged tree diffs clean against the
+// committed baseline on any machine.
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/analysis/bench_diff.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rips;
+  using namespace rips::obs::analysis;
+  try {
+    const Args args(argc, argv);
+    if (args.has("help") || args.positional().size() != 2) {
+      std::fprintf(stderr,
+                   "usage: bench_diff <baseline.json> <current.json>\n"
+                   "  [--makespan-tol=0.10]    relative makespan tolerance\n"
+                   "  [--overhead-factor=2.0]  overhead regression factor\n"
+                   "  [--overhead-floor-s=1e-4] absolute overhead floor\n"
+                   "  [--efficiency-tol=0.05]  absolute efficiency drop\n");
+      return args.has("help") ? 0 : 2;
+    }
+    args.check_known({"help", "makespan-tol", "overhead-factor",
+                      "overhead-floor-s", "efficiency-tol"});
+    DiffOptions opts;
+    opts.makespan_rel_tol = args.get_double("makespan-tol", 0.10);
+    opts.overhead_factor = args.get_double("overhead-factor", 2.0);
+    opts.overhead_abs_floor_s = args.get_double("overhead-floor-s", 1e-4);
+    opts.efficiency_abs_tol = args.get_double("efficiency-tol", 0.05);
+
+    std::string error;
+    const auto baseline = load_bench_file(args.positional()[0], &error);
+    if (!baseline.has_value()) {
+      std::fprintf(stderr, "bench_diff: baseline: %s\n", error.c_str());
+      return 2;
+    }
+    const auto current = load_bench_file(args.positional()[1], &error);
+    if (!current.has_value()) {
+      std::fprintf(stderr, "bench_diff: current: %s\n", error.c_str());
+      return 2;
+    }
+    const DiffResult result = diff(*baseline, *current, opts);
+    std::fputs(report(result).c_str(), stdout);
+    return result.ok() ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -14,6 +14,7 @@
 //   ./rips_cli --app=queens --fault-seed=7 --crash-mtbf-ms=20
 //       --trace-out=faulty.trace.json          (crash/recovery spans)
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "apps/gauss.hpp"
@@ -113,10 +114,7 @@ core::RipsConfig parse_policy(const Args& args) {
   return config;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+int run_cli(const Args& args) {
   if (args.has("help")) {
     std::printf(
         "usage: rips_cli [--app=queens|ida|gromos|gauss|synthetic]\n"
@@ -137,6 +135,14 @@ int main(int argc, char** argv) {
         "  --seed (synthetic)\n");
     return 0;
   }
+  args.check_known({
+      "help", "app", "nodes", "strategy", "sched", "policy", "weighted",
+      "lifo", "periodic-us", "timeline", "timeline-width", "trace-out",
+      "metrics-out", "monitors", "fault-seed", "crash-mtbf-ms", "drop-prob",
+      "fault-horizon-ms", "n", "split", "config", "cutoff", "steps", "matrix",
+      "block", "roots", "spawn", "depth", "work-model", "mean-work",
+      "segments", "seed", "ns-per-work", "topo", "rid-u",
+  });
 
   double ns_per_work = 2000.0;
   const apps::TaskTrace trace = build_app(args, ns_per_work);
@@ -242,4 +248,15 @@ int main(int argc, char** argv) {
     if (!monitor.ok()) return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(Args(argc, argv));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "rips_cli: %s\n", e.what());
+    return 2;
+  }
 }

@@ -1,0 +1,175 @@
+// trace_tool — post-mortem analysis of exported traces and bench docs
+// (docs/OBSERVABILITY.md, "Analysis").
+//
+//   ./rips_cli --app=queens --trace-out=run.trace.json
+//   ./trace_tool analyze run.trace.json            phase profile (text)
+//   ./trace_tool analyze run.trace.json --json=profile.json
+//   ./trace_tool critical-path run.trace.json      makespan attribution
+//   ./trace_tool critical-path run.trace.json --json=cp.json
+//   ./trace_tool top run.trace.json --limit=5      where the time went
+//   ./trace_tool diff BENCH_core.json BENCH_fresh.json   bench regression
+//
+// Exit codes: 0 = ok, 1 = regression (diff only), 2 = usage/parse error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/analysis/analysis.hpp"
+#include "obs/analysis/bench_diff.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace rips;
+using namespace rips::obs::analysis;
+
+bool read_file(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+int usage(bool ok) {
+  std::fprintf(
+      stderr,
+      "usage: trace_tool <command> ...\n"
+      "  analyze <trace.json> [--json=FILE]        phase-profile report\n"
+      "  critical-path <trace.json> [--json=FILE]  makespan attribution\n"
+      "  top <trace.json> [--limit=10]             span time aggregation\n"
+      "  diff <baseline.json> <current.json>       bench regression gate\n"
+      "       [--makespan-tol=0.10] [--overhead-factor=2.0]\n"
+      "       [--overhead-floor-s=1e-4] [--efficiency-tol=0.05]\n");
+  return ok ? 0 : 2;
+}
+
+int load_trace(const std::string& path, AnalysisTrace& trace) {
+  std::string text;
+  std::string error;
+  if (!read_file(path, text, error)) {
+    std::fprintf(stderr, "trace_tool: %s\n", error.c_str());
+    return 2;
+  }
+  auto parsed = AnalysisTrace::from_trace_json(text, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "trace_tool: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  trace = std::move(*parsed);
+  if (trace.dropped > 0) {
+    std::fprintf(stderr,
+                 "trace_tool: warning: %llu events were dropped by the ring "
+                 "buffer; reports are partial\n",
+                 static_cast<unsigned long long>(trace.dropped));
+  }
+  return 0;
+}
+
+int run_tool(const Args& args) {
+  if (args.has("help")) return usage(true);
+  if (args.positional().empty()) return usage(false);
+  const std::string& cmd = args.positional()[0];
+
+  if (cmd == "analyze" || cmd == "critical-path") {
+    args.check_known({"help", "json"});
+    if (args.positional().size() != 2) return usage(false);
+    AnalysisTrace trace;
+    if (const int rc = load_trace(args.positional()[1], trace); rc != 0) {
+      return rc;
+    }
+    std::string json_doc;
+    std::string text;
+    if (cmd == "analyze") {
+      const PhaseProfile profile = phase_profile(trace);
+      json_doc = profile.to_json();
+      text = profile.to_text();
+    } else {
+      const CriticalPath cp = critical_path(trace);
+      json_doc = cp.to_json();
+      text = cp.to_text();
+    }
+    std::fputs(text.c_str(), stdout);
+    if (args.has("json")) {
+      const std::string path = args.get("json", "");
+      if (!write_file(path, json_doc)) {
+        std::fprintf(stderr, "trace_tool: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+  }
+
+  if (cmd == "top") {
+    args.check_known({"help", "limit"});
+    if (args.positional().size() != 2) return usage(false);
+    AnalysisTrace trace;
+    if (const int rc = load_trace(args.positional()[1], trace); rc != 0) {
+      return rc;
+    }
+    const auto limit = static_cast<size_t>(args.get_int("limit", 10));
+    std::printf(" %-8s %-18s %8s %12s %12s\n", "cat", "name", "count",
+                "total_ms", "max_ms");
+    for (const SpanAgg& a : top_spans(trace, limit)) {
+      std::printf(" %-8s %-18s %8llu %12.3f %12.3f\n", a.category.c_str(),
+                  a.name.c_str(), static_cast<unsigned long long>(a.count),
+                  static_cast<double>(a.total_ns) / 1e6,
+                  static_cast<double>(a.max_ns) / 1e6);
+    }
+    return 0;
+  }
+
+  if (cmd == "diff") {
+    args.check_known({"help", "makespan-tol", "overhead-factor",
+                      "overhead-floor-s", "efficiency-tol"});
+    if (args.positional().size() != 3) return usage(false);
+    DiffOptions opts;
+    opts.makespan_rel_tol = args.get_double("makespan-tol", 0.10);
+    opts.overhead_factor = args.get_double("overhead-factor", 2.0);
+    opts.overhead_abs_floor_s = args.get_double("overhead-floor-s", 1e-4);
+    opts.efficiency_abs_tol = args.get_double("efficiency-tol", 0.05);
+    std::string error;
+    const auto baseline = load_bench_file(args.positional()[1], &error);
+    if (!baseline.has_value()) {
+      std::fprintf(stderr, "trace_tool: baseline: %s\n", error.c_str());
+      return 2;
+    }
+    const auto current = load_bench_file(args.positional()[2], &error);
+    if (!current.has_value()) {
+      std::fprintf(stderr, "trace_tool: current: %s\n", error.c_str());
+      return 2;
+    }
+    const DiffResult result = diff(*baseline, *current, opts);
+    std::fputs(report(result).c_str(), stdout);
+    return result.ok() ? 0 : 1;
+  }
+
+  std::fprintf(stderr, "trace_tool: unknown command '%s'\n", cmd.c_str());
+  return usage(false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(Args(argc, argv));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "trace_tool: %s\n", e.what());
+    return 2;
+  }
+}

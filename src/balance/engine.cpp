@@ -80,6 +80,7 @@ void DynamicEngine::send_message(NodeId from, NodeId to, i32 kind, i64 a,
     msg.tasks.push_back(sender.queue.front());
     sender.queue.pop_front();
   }
+  msg.corr = msg_corr_++;
   charge_overhead(from, cost_.send_time(static_cast<i64>(msg.tasks.size())));
   c_msg_sent_->add();
   c_tasks_migrated_->add(static_cast<u64>(msg.tasks.size()));
@@ -88,7 +89,7 @@ void DynamicEngine::send_message(NodeId from, NodeId to, i32 kind, i64 a,
   const SimTime latency = cost_.network_time(topo_.distance(from, to));
   h_msg_latency_ns_->observe(latency);
   obs::instant(obs_.trace, from, "msg", "send", sender.free_at, "tasks",
-               static_cast<i64>(msg.tasks.size()));
+               static_cast<i64>(msg.tasks.size()), "corr", msg.corr);
   const SimTime arrival = sender.free_at + latency;
   Pending p;
   p.kind = Pending::kDeliver;
@@ -104,11 +105,15 @@ void DynamicEngine::send_spawned_task(NodeId from, NodeId to, TaskId task) {
   msg.kind = -1;  // pure migration, no strategy meaning
   msg.from = from;
   msg.tasks.push_back(task);
+  msg.corr = msg_corr_++;
   charge_overhead(from, cost_.send_time(1));
   c_msg_sent_->add();
   c_tasks_migrated_->add(1);
   const SimTime latency = cost_.network_time(topo_.distance(from, to));
   h_msg_latency_ns_->observe(latency);
+  obs::instant(obs_.trace, from, "msg", "send",
+               nodes_[static_cast<size_t>(from)].free_at, "tasks", 1, "corr",
+               msg.corr);
   const SimTime arrival = nodes_[static_cast<size_t>(from)].free_at + latency;
   Pending p;
   p.kind = Pending::kDeliver;
@@ -174,6 +179,8 @@ void DynamicEngine::finish_task(NodeId node, TaskId task) {
 
 void DynamicEngine::deliver(NodeId node, Message msg, SimTime arrival) {
   (void)arrival;  // now_ == arrival when this runs
+  obs::instant(obs_.trace, node, "msg", "recv", now_, "tasks",
+               static_cast<i64>(msg.tasks.size()), "corr", msg.corr);
   charge_overhead(node, cost_.recv_time(static_cast<i64>(msg.tasks.size())));
   for (TaskId t : msg.tasks) {
     nodes_[static_cast<size_t>(node)].queue.push_back(t);
@@ -250,6 +257,7 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
   now_ = 0;
   current_segment_ = 0;
   completed_in_segment_ = 0;
+  msg_corr_ = 0;
 
   segment_sizes_.assign(trace.num_segments(), 0);
   for (size_t i = 0; i < trace.size(); ++i) {
@@ -294,6 +302,10 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
   SimTime makespan = 0;
   for (const NodeRt& node : nodes_) makespan = std::max(makespan, node.free_at);
   metrics_.makespan_ns = makespan;
+  // Trailing overhead (message handling after the last task span) would
+  // otherwise be invisible to trace analysis: mark the true run extent.
+  obs::instant(obs_.trace, kInvalidNode, "phase", "run_end", makespan, "makespan",
+               makespan);
   for (const NodeRt& node : nodes_) {
     metrics_.total_busy_ns += node.busy_ns;
     metrics_.total_overhead_ns += node.ovh_ns;

@@ -135,6 +135,7 @@ class DynamicEngine {
   sim::Timeline* timeline_ = nullptr;
   SimTime now_ = 0;
   bool running_ = false;
+  i64 msg_corr_ = 0;  // next send/recv correlation id (reset per run)
 
   // Observability (cached instrument pointers — one add per increment).
   obs::Obs obs_;

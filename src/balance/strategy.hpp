@@ -24,6 +24,11 @@ struct Message {
   i64 b = 0;
   std::vector<TaskId> tasks;
   NodeId from = kInvalidNode;
+  /// Engine-assigned correlation id, unique per run. The matching `send` /
+  /// `recv` trace instants carry it as the "corr" payload so trace analysis
+  /// can reconstruct the message edge (src/obs/analysis). Strategies never
+  /// set or read it.
+  i64 corr = -1;
 };
 
 class Strategy {

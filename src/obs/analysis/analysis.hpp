@@ -1,0 +1,191 @@
+// Post-mortem trace analysis (docs/OBSERVABILITY.md, "Analysis").
+//
+// A TraceSession (or an exported Chrome/Perfetto trace_event JSON file) is
+// re-read into an AnalysisTrace — an owning, sorted event list — and three
+// reports are derived from it:
+//
+//   * critical_path(): the causal chain of intervals that determines the
+//     makespan, with every nanosecond attributed to one of six categories
+//     (compute / idle / schedule / collective / migration / recovery).
+//     RIPS traces are *phased*: the machine-track system_phase/user_phase
+//     spans tile [0, makespan] exactly, so the attribution sums to the
+//     makespan tick-for-tick. Dynamic-engine traces fall back to a
+//     backward event-graph walk that follows task spans on a node and
+//     jumps across matching send/recv correlation ids.
+//
+//   * phase_profile(): the paper's Table-II-style overhead decomposition —
+//     per system phase (schedule / migrate / recovery time, tasks moved)
+//     and per node (busy, idle, message counts).
+//
+//   * top_spans(): a flat where-does-the-time-go aggregation by span name.
+//
+// Everything here is read-only over the trace; nothing feeds back into the
+// simulation.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/types.hpp"
+
+namespace rips::obs::analysis {
+
+/// Owning copy of one trace event (names copied out of the session's
+/// string literals so a trace parsed from JSON has the same shape).
+struct AnalysisEvent {
+  std::string name;
+  std::string category;
+  bool is_span = true;  ///< false = instant
+  NodeId node = kInvalidNode;  ///< kInvalidNode = the machine-wide track
+  SimTime start_ns = 0;
+  SimTime dur_ns = 0;  ///< 0 for instants
+  std::string arg_name;
+  i64 arg = 0;
+  std::string arg2_name;
+  i64 arg2 = 0;
+
+  SimTime end_ns() const { return start_ns + dur_ns; }
+  /// Payload named `key`, or `fallback` if neither slot matches.
+  i64 arg_value(std::string_view key, i64 fallback = 0) const;
+};
+
+/// A trace loaded for analysis: all retained events, sorted by start time
+/// (ties: longest-duration first, then track), plus the machine shape.
+struct AnalysisTrace {
+  i32 num_nodes = 0;
+  u64 dropped = 0;  ///< ring-buffer overwrites — reports are partial if > 0
+  std::vector<AnalysisEvent> events;
+
+  /// Snapshot of a live session (no serialization round-trip).
+  static AnalysisTrace from_session(const TraceSession& session);
+
+  /// Parses a Chrome/Perfetto trace_event JSON document as written by
+  /// TraceSession::to_json(). The machine track is identified by its
+  /// thread_name metadata ("machine"); timestamps are fractional
+  /// microseconds and are converted back to integer nanoseconds exactly.
+  static std::optional<AnalysisTrace> from_trace_json(
+      std::string_view text, std::string* error = nullptr);
+
+  /// Latest event end across all tracks (0 for an empty trace).
+  SimTime makespan() const;
+};
+
+// --- critical path ---------------------------------------------------------
+
+/// Where a tick of makespan went. kIdle covers waiting (phase-transfer
+/// notification, spawn gaps, barrier drain); kCollective is detection /
+/// barrier collectives on the critical path; kMigration is task movement
+/// (system-phase migration or a send→recv network edge).
+enum class Category : u8 {
+  kCompute = 0,
+  kIdle,
+  kSchedule,
+  kCollective,
+  kMigration,
+  kRecovery,
+};
+inline constexpr size_t kNumCategories = 6;
+const char* category_name(Category c);
+
+/// One interval of the critical chain. Steps are sorted by t0 and tile
+/// [0, makespan] with no gaps or overlaps.
+struct CriticalStep {
+  Category category = Category::kIdle;
+  SimTime t0 = 0;
+  SimTime t1 = 0;
+  NodeId node = kInvalidNode;  ///< kInvalidNode = machine-wide interval
+  std::string label;           ///< originating span name ("task", ...)
+
+  SimTime dur() const { return t1 - t0; }
+};
+
+struct CriticalPath {
+  SimTime makespan = 0;
+  bool phased = false;  ///< true: rebuilt from RIPS phase spans (exact)
+  std::vector<CriticalStep> steps;
+  std::array<SimTime, kNumCategories> by_category{};
+
+  /// Sum of by_category — equals makespan by construction.
+  SimTime attributed() const;
+
+  std::string to_json() const;  ///< rips-critical-path-v1
+  std::string to_text() const;
+};
+
+/// Extracts the critical path. Chooses phased reconstruction when the
+/// trace has machine-track system_phase spans, the event-graph walk
+/// otherwise.
+CriticalPath critical_path(const AnalysisTrace& trace);
+
+// --- phase profile ---------------------------------------------------------
+
+/// One system phase (Table II row): total duration and its decomposition.
+struct PhaseRow {
+  u64 index = 0;
+  SimTime start_ns = 0;
+  SimTime duration_ns = 0;
+  SimTime schedule_ns = 0;
+  SimTime migrate_ns = 0;
+  SimTime recovery_ns = 0;
+  i64 scheduled = 0;   ///< tasks visible to the scheduler
+  i64 comm_steps = 0;  ///< scheduler lock-step rounds
+  i64 moved = 0;       ///< tasks that changed node
+  i64 reinjected = 0;  ///< checkpointed tasks re-injected by recovery
+};
+
+struct UserRow {
+  u64 index = 0;
+  SimTime start_ns = 0;
+  SimTime duration_ns = 0;
+  i64 executed = 0;
+};
+
+struct NodeRow {
+  NodeId node = 0;
+  u64 tasks = 0;
+  SimTime busy_ns = 0;
+  SimTime idle_ns = 0;  ///< makespan − busy − global system time (clamped)
+  u64 sends = 0;
+  u64 recvs = 0;
+  bool crashed = false;
+};
+
+struct PhaseProfile {
+  SimTime makespan = 0;
+  i32 num_nodes = 0;
+  std::vector<PhaseRow> system_phases;
+  std::vector<UserRow> user_phases;
+  std::vector<NodeRow> nodes;
+  SimTime system_total_ns = 0;
+  SimTime user_total_ns = 0;
+  SimTime schedule_total_ns = 0;
+  SimTime migrate_total_ns = 0;
+  SimTime recovery_total_ns = 0;
+  SimTime collective_total_ns = 0;  ///< collective_retry machine spans
+  SimTime compute_total_ns = 0;     ///< Σ node busy
+
+  std::string to_json() const;  ///< rips-phase-profile-v1
+  std::string to_text() const;
+};
+
+PhaseProfile phase_profile(const AnalysisTrace& trace);
+
+// --- span aggregation ------------------------------------------------------
+
+struct SpanAgg {
+  std::string category;
+  std::string name;
+  u64 count = 0;
+  SimTime total_ns = 0;
+  SimTime max_ns = 0;
+};
+
+/// Spans aggregated by (category, name), sorted by total time descending;
+/// at most `limit` rows.
+std::vector<SpanAgg> top_spans(const AnalysisTrace& trace, size_t limit = 10);
+
+}  // namespace rips::obs::analysis

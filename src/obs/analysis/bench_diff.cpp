@@ -1,0 +1,190 @@
+#include "obs/analysis/bench_diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace rips::obs::analysis {
+
+std::string BenchRun::key() const {
+  return workload + "|" + group + "|" + scheduler + "|" + policy + "|n" +
+         std::to_string(nodes);
+}
+
+namespace {
+
+double num_field(const json::Value& obj, std::string_view key,
+                 double fallback = 0) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string str_field(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->string : "";
+}
+
+}  // namespace
+
+std::optional<BenchDoc> load_bench_doc(std::string_view text,
+                                       std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<BenchDoc> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::string parse_err;
+  const std::optional<json::Value> doc = json::parse(text, &parse_err);
+  if (!doc.has_value()) return fail("invalid JSON: " + parse_err);
+  if (!doc->is_object()) return fail("bench document is not an object");
+  const json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "rips-bench-v1") {
+    return fail("schema is not rips-bench-v1");
+  }
+  const json::Value* runs = doc->find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return fail("missing runs array");
+  }
+  BenchDoc out;
+  out.suite = str_field(*doc, "suite");
+  const json::Value* quick = doc->find("quick");
+  out.quick = quick != nullptr && quick->boolean;
+  out.nodes = static_cast<i64>(num_field(*doc, "nodes"));
+  for (const json::Value& rv : runs->array) {
+    if (!rv.is_object()) return fail("run entry is not an object");
+    BenchRun r;
+    r.workload = str_field(rv, "workload");
+    r.group = str_field(rv, "group");
+    r.scheduler = str_field(rv, "scheduler");
+    r.policy = str_field(rv, "policy");
+    r.nodes = static_cast<i64>(num_field(rv, "nodes"));
+    r.tasks = static_cast<i64>(num_field(rv, "tasks"));
+    r.makespan_ns = num_field(rv, "makespan_ns");
+    r.sequential_ns = num_field(rv, "sequential_ns");
+    r.efficiency = num_field(rv, "efficiency");
+    r.speedup = num_field(rv, "speedup");
+    r.overhead_s = num_field(rv, "overhead_s");
+    r.idle_s = num_field(rv, "idle_s");
+    r.nonlocal_tasks = static_cast<i64>(num_field(rv, "nonlocal_tasks"));
+    r.system_phases = static_cast<i64>(num_field(rv, "system_phases"));
+    const json::Value* mon = rv.find("monitors_ok");
+    r.monitors_ok = mon == nullptr || !mon->is_bool() || mon->boolean;
+    if (r.workload.empty() || r.makespan_ns <= 0) {
+      return fail("run entry missing workload/makespan_ns");
+    }
+    out.runs.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::optional<BenchDoc> load_bench_file(const std::string& path,
+                                        std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return load_bench_doc(ss.str(), error);
+}
+
+DiffResult diff(const BenchDoc& baseline, const BenchDoc& current,
+                const DiffOptions& opts) {
+  DiffResult out;
+  std::map<std::string, const BenchRun*> cur;
+  for (const BenchRun& r : current.runs) cur.emplace(r.key(), &r);
+  std::map<std::string, const BenchRun*> base;
+  for (const BenchRun& r : baseline.runs) base.emplace(r.key(), &r);
+  for (const auto& [key, r] : cur) {
+    if (base.find(key) == base.end()) out.added.push_back(key);
+  }
+
+  for (const auto& [key, b] : base) {
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      out.missing.push_back(key);
+      continue;
+    }
+    const BenchRun& c = *it->second;
+
+    // Makespan: symmetric relative tolerance.
+    if (b->makespan_ns > 0) {
+      const double rel = c.makespan_ns / b->makespan_ns - 1.0;
+      if (rel > opts.makespan_rel_tol) {
+        char note[64];
+        std::snprintf(note, sizeof note, "+%.1f%% slower", rel * 100.0);
+        out.regressions.push_back(
+            {key, "makespan_ns", b->makespan_ns, c.makespan_ns, note});
+      } else if (rel < -opts.makespan_rel_tol) {
+        char note[64];
+        std::snprintf(note, sizeof note, "%.1f%% faster", -rel * 100.0);
+        out.improvements.push_back(
+            {key, "makespan_ns", b->makespan_ns, c.makespan_ns, note});
+      }
+    }
+
+    // Overhead: multiplicative gate with an absolute floor so tiny
+    // overheads cannot trip the factor test.
+    if (c.overhead_s > b->overhead_s * opts.overhead_factor &&
+        c.overhead_s - b->overhead_s > opts.overhead_abs_floor_s) {
+      char note[64];
+      std::snprintf(note, sizeof note, "%.2fx overhead",
+                    b->overhead_s > 0 ? c.overhead_s / b->overhead_s : 0.0);
+      out.regressions.push_back(
+          {key, "overhead_s", b->overhead_s, c.overhead_s, note});
+    }
+
+    // Efficiency: absolute drop in percentage points.
+    if (b->efficiency - c.efficiency > opts.efficiency_abs_tol) {
+      char note[64];
+      std::snprintf(note, sizeof note, "-%.1fpp efficiency",
+                    (b->efficiency - c.efficiency) * 100.0);
+      out.regressions.push_back(
+          {key, "efficiency", b->efficiency, c.efficiency, note});
+    }
+
+    // Invariant monitors flipping to failed is always a regression.
+    if (b->monitors_ok && !c.monitors_ok) {
+      out.regressions.push_back({key, "monitors_ok", 1, 0, "monitors failed"});
+    }
+  }
+  return out;
+}
+
+std::string report(const DiffResult& result) {
+  std::string out;
+  char buf[256];
+  for (const DiffEntry& e : result.regressions) {
+    std::snprintf(buf, sizeof buf, "REGRESSION  %-12s %-50s %g -> %g (%s)\n",
+                  e.metric.c_str(), e.key.c_str(), e.baseline, e.current,
+                  e.note.c_str());
+    out += buf;
+  }
+  for (const DiffEntry& e : result.improvements) {
+    std::snprintf(buf, sizeof buf, "improvement %-12s %-50s %g -> %g (%s)\n",
+                  e.metric.c_str(), e.key.c_str(), e.baseline, e.current,
+                  e.note.c_str());
+    out += buf;
+  }
+  for (const std::string& key : result.missing) {
+    out += "MISSING     " + key + " (in baseline, not in current)\n";
+  }
+  for (const std::string& key : result.added) {
+    out += "added       " + key + " (not in baseline)\n";
+  }
+  std::snprintf(buf, sizeof buf,
+                "bench-diff: %zu regression(s), %zu missing, %zu "
+                "improvement(s), %zu added — %s\n",
+                result.regressions.size(), result.missing.size(),
+                result.improvements.size(), result.added.size(),
+                result.ok() ? "PASS" : "FAIL");
+  out += buf;
+  return out;
+}
+
+}  // namespace rips::obs::analysis

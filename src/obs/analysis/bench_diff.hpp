@@ -1,0 +1,90 @@
+// Bench regression diffing (docs/OBSERVABILITY.md, "Analysis").
+//
+// Compares two `rips-bench-v1` documents (bench/harness --json output) run
+// by run. The simulator is bit-deterministic, so a committed baseline
+// (BENCH_core.json) diffs exactly against a fresh run on any machine:
+// tolerances exist to absorb intentional tuning, not noise. CI uses
+// bench/bench_diff as a gate — nonzero exit on any regression.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rips::obs::analysis {
+
+/// One run row of a rips-bench-v1 document.
+struct BenchRun {
+  std::string workload;
+  std::string group;
+  std::string scheduler;
+  std::string policy;
+  i64 nodes = 0;
+  i64 tasks = 0;
+  double makespan_ns = 0;
+  double sequential_ns = 0;
+  double efficiency = 0;
+  double speedup = 0;
+  double overhead_s = 0;
+  double idle_s = 0;
+  i64 nonlocal_tasks = 0;
+  i64 system_phases = 0;
+  bool monitors_ok = true;
+
+  /// Identity of the configuration the run measures.
+  std::string key() const;
+};
+
+struct BenchDoc {
+  std::string suite;
+  bool quick = false;
+  i64 nodes = 0;
+  std::vector<BenchRun> runs;
+};
+
+/// Parses a rips-bench-v1 document; nullopt + `error` on schema mismatch.
+std::optional<BenchDoc> load_bench_doc(std::string_view text,
+                                       std::string* error = nullptr);
+
+/// Reads and parses `path`; nullopt + `error` on I/O or schema failure.
+std::optional<BenchDoc> load_bench_file(const std::string& path,
+                                        std::string* error = nullptr);
+
+/// Regression thresholds, all relative to the baseline value. The overhead
+/// gate only fires above an absolute floor so microsecond-scale overheads
+/// cannot trip the factor test.
+struct DiffOptions {
+  double makespan_rel_tol = 0.10;    ///< >10% slower makespan = regression
+  double overhead_factor = 2.0;      ///< >2x overhead = regression
+  double overhead_abs_floor_s = 1e-4;  ///< ignore overhead deltas below this
+  double efficiency_abs_tol = 0.05;  ///< >5pp efficiency drop = regression
+};
+
+struct DiffEntry {
+  std::string key;     ///< run identity (BenchRun::key())
+  std::string metric;  ///< "makespan_ns", "overhead_s", ...
+  double baseline = 0;
+  double current = 0;
+  std::string note;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> regressions;
+  std::vector<DiffEntry> improvements;
+  std::vector<std::string> missing;  ///< baseline runs absent from current
+  std::vector<std::string> added;    ///< current runs absent from baseline
+
+  /// The CI gate: no regressions and nothing missing.
+  bool ok() const { return regressions.empty() && missing.empty(); }
+};
+
+DiffResult diff(const BenchDoc& baseline, const BenchDoc& current,
+                const DiffOptions& opts = {});
+
+/// Human-readable report, one line per finding plus a PASS/FAIL summary.
+std::string report(const DiffResult& result);
+
+}  // namespace rips::obs::analysis

@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -218,6 +219,9 @@ struct Parser {
     char* end = nullptr;
     out.number = std::strtod(num.c_str(), &end);
     if (end == nullptr || *end != '\0') return fail("malformed number");
+    // JSON has no NaN/Infinity; an overflowing literal ("1e999") must not
+    // smuggle one in either — telemetry consumers divide by these values.
+    if (!std::isfinite(out.number)) return fail("non-finite number");
     return true;
   }
 };

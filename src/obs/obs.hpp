@@ -26,15 +26,21 @@ struct Obs {
 /// Null-safe span record.
 inline void span(TraceSession* trace, NodeId node, const char* category,
                  const char* name, SimTime t0, SimTime t1,
-                 const char* arg_name = nullptr, i64 arg = 0) {
-  if (trace != nullptr) trace->span(node, category, name, t0, t1, arg_name, arg);
+                 const char* arg_name = nullptr, i64 arg = 0,
+                 const char* arg2_name = nullptr, i64 arg2 = 0) {
+  if (trace != nullptr) {
+    trace->span(node, category, name, t0, t1, arg_name, arg, arg2_name, arg2);
+  }
 }
 
 /// Null-safe instant record.
 inline void instant(TraceSession* trace, NodeId node, const char* category,
                     const char* name, SimTime t,
-                    const char* arg_name = nullptr, i64 arg = 0) {
-  if (trace != nullptr) trace->instant(node, category, name, t, arg_name, arg);
+                    const char* arg_name = nullptr, i64 arg = 0,
+                    const char* arg2_name = nullptr, i64 arg2 = 0) {
+  if (trace != nullptr) {
+    trace->instant(node, category, name, t, arg_name, arg, arg2_name, arg2);
+  }
 }
 
 }  // namespace rips::obs

@@ -42,8 +42,8 @@ void TraceSession::push(Ring& ring, const TraceEvent& event) {
 }
 
 void TraceSession::span(NodeId node, const char* category, const char* name,
-                        SimTime t0, SimTime t1, const char* arg_name,
-                        i64 arg) {
+                        SimTime t0, SimTime t1, const char* arg_name, i64 arg,
+                        const char* arg2_name, i64 arg2) {
   TraceEvent e;
   e.name = name;
   e.category = category;
@@ -53,11 +53,14 @@ void TraceSession::span(NodeId node, const char* category, const char* name,
   e.dur_ns = t1 > t0 ? t1 - t0 : 0;
   e.arg_name = arg_name;
   e.arg = arg;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
   push(track(node), e);
 }
 
 void TraceSession::instant(NodeId node, const char* category, const char* name,
-                           SimTime t, const char* arg_name, i64 arg) {
+                           SimTime t, const char* arg_name, i64 arg,
+                           const char* arg2_name, i64 arg2) {
   TraceEvent e;
   e.name = name;
   e.category = category;
@@ -66,6 +69,8 @@ void TraceSession::instant(NodeId node, const char* category, const char* name,
   e.start_ns = t;
   e.arg_name = arg_name;
   e.arg = arg;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
   push(track(node), e);
 }
 
@@ -130,7 +135,14 @@ std::string TraceSession::to_json() const {
     }
     if (e.arg_name != nullptr) {
       out += ",\"args\":{" + json::quoted(e.arg_name) + ":" +
-             std::to_string(e.arg) + "}";
+             std::to_string(e.arg);
+      if (e.arg2_name != nullptr) {
+        out += "," + json::quoted(e.arg2_name) + ":" + std::to_string(e.arg2);
+      }
+      out += "}";
+    } else if (e.arg2_name != nullptr) {
+      out += ",\"args\":{" + json::quoted(e.arg2_name) + ":" +
+             std::to_string(e.arg2) + "}";
     }
     out += "}";
   }

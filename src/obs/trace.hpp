@@ -37,6 +37,8 @@ struct TraceEvent {
   SimTime dur_ns = 0;          ///< 0 for instants
   const char* arg_name = nullptr;  ///< optional numeric payload
   i64 arg = 0;
+  const char* arg2_name = nullptr;  ///< optional second payload (e.g. "corr")
+  i64 arg2 = 0;
 };
 
 class TraceSession {
@@ -52,13 +54,17 @@ class TraceSession {
 
   /// Records a completed interval on `node`'s track (kInvalidNode = the
   /// machine-wide track). `name` / `category` / `arg_name` must outlive the
-  /// session — pass string literals.
+  /// session — pass string literals. The optional second payload slot
+  /// carries message-correlation ids ("corr") so trace analysis can
+  /// reconstruct send→recv edges (src/obs/analysis).
   void span(NodeId node, const char* category, const char* name, SimTime t0,
-            SimTime t1, const char* arg_name = nullptr, i64 arg = 0);
+            SimTime t1, const char* arg_name = nullptr, i64 arg = 0,
+            const char* arg2_name = nullptr, i64 arg2 = 0);
 
   /// Records a point event.
   void instant(NodeId node, const char* category, const char* name, SimTime t,
-               const char* arg_name = nullptr, i64 arg = 0);
+               const char* arg_name = nullptr, i64 arg = 0,
+               const char* arg2_name = nullptr, i64 arg2 = 0);
 
   /// Events currently retained (across all tracks).
   size_t size() const;

@@ -252,6 +252,14 @@ SimTime RipsEngine::system_phase(SimTime t) {
   }
   std::vector<SimTime> migration(static_cast<size_t>(n), 0);
   u64 moved = 0;
+  // Per-transfer payloads, kept only while tracing so the send/recv
+  // instants below can carry matching correlation ids.
+  struct TracedTransfer {
+    NodeId from;
+    NodeId to;
+    i64 sent;
+  };
+  std::vector<TracedTransfer> traced;
   for (const sched::Transfer& tr : plan.transfers) {
     Pool& src = pools[static_cast<size_t>(tr.from)];
     Pool& dst = pools[static_cast<size_t>(tr.to)];
@@ -295,6 +303,10 @@ SimTime RipsEngine::system_phase(SimTime t) {
     migration[static_cast<size_t>(tr.from)] += cost_.send_time(sent);
     migration[static_cast<size_t>(tr.to)] += cost_.recv_time(sent);
     c_msg_sent_->add();
+    if (obs_.trace != nullptr && sent > 0) {
+      traced.push_back({live_[static_cast<size_t>(tr.from)],
+                        live_[static_cast<size_t>(tr.to)], sent});
+    }
   }
   c_tasks_migrated_->add(moved);
 
@@ -354,6 +366,18 @@ SimTime RipsEngine::system_phase(SimTime t) {
                        sched_t0 + step_time,
                        sched_t0 + step_time + max_migration, "moved",
                        static_cast<i64>(moved));
+    }
+    // One send/recv instant pair per non-empty transfer, sharing a "corr"
+    // id so trace analysis can rebuild the migration edges. The phase is
+    // synchronous: sends fire when scheduling ends, receives when the
+    // slowest migrator finishes.
+    const SimTime mig_t0 = sched_t0 + step_time;
+    for (const TracedTransfer& tt : traced) {
+      const i64 corr = mig_corr_++;
+      obs_.trace->instant(tt.from, "msg", "send", mig_t0, "tasks", tt.sent,
+                          "corr", corr);
+      obs_.trace->instant(tt.to, "msg", "recv", mig_t0 + max_migration,
+                          "tasks", tt.sent, "corr", corr);
     }
   }
   if (monitoring) {
@@ -740,6 +764,7 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
   degraded_sched_.reset();
   live_coll_.reset();
   coll_op_counter_ = 0;
+  mig_corr_ = 0;
   injector_.reset();
   if (fault_plan_ != nullptr && !fault_plan_->empty()) {
     injector_.emplace(*fault_plan_, n);

@@ -239,6 +239,7 @@ class RipsEngine {
   std::unique_ptr<coll::Collectives> live_coll_;
   std::unique_ptr<coll::Collectives> base_coll_;
   u64 coll_op_counter_ = 0;
+  i64 mig_corr_ = 0;  // next migration send/recv correlation id (per run)
 };
 
 }  // namespace rips::core

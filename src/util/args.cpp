@@ -34,6 +34,21 @@ Args::Args(int argc, const char* const* argv) {
 
 bool Args::has(const std::string& name) const { return named_.count(name) > 0; }
 
+void Args::check_known(std::initializer_list<std::string_view> known) const {
+  for (const auto& [name, value] : named_) {
+    bool found = false;
+    for (const std::string_view k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("unknown flag --" + name + "; see --help");
+    }
+  }
+}
+
 std::string Args::get(const std::string& name,
                       const std::string& fallback) const {
   const auto it = named_.find(name);

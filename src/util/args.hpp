@@ -3,8 +3,10 @@
 // Accepts "--key=value" and "--flag" tokens; anything else is positional.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.hpp"
@@ -30,6 +32,12 @@ class Args {
   bool get_bool(const std::string& name, bool fallback) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Throws std::invalid_argument naming the first flag that is not in
+  /// `known` ("unknown flag --frob; see --help"). CLIs call this after
+  /// declaring their full flag set so a typo fails loudly instead of being
+  /// silently ignored.
+  void check_known(std::initializer_list<std::string_view> known) const;
 
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }

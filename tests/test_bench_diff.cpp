@@ -1,0 +1,220 @@
+// Bench-diff engine tests (src/obs/analysis/bench_diff): rips-bench-v1
+// parsing, the per-metric regression gates, and the acceptance scenario —
+// a synthetic 20% makespan regression (injected with a slowdown FaultPlan)
+// is flagged, while diffing a deterministic run against itself passes.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "apps/nqueens.hpp"
+#include "obs/analysis/bench_diff.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "sim/fault.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::obs::analysis {
+namespace {
+
+BenchRun make_run(double makespan_ns) {
+  BenchRun r;
+  r.workload = "queens13";
+  r.group = "rips";
+  r.scheduler = "mwa";
+  r.policy = "ANY-Lazy";
+  r.nodes = 16;
+  r.tasks = 1000;
+  r.makespan_ns = makespan_ns;
+  r.sequential_ns = 10 * makespan_ns;
+  r.efficiency = 0.8;
+  r.speedup = 12.8;
+  r.overhead_s = 0.010;
+  r.idle_s = 0.005;
+  r.monitors_ok = true;
+  return r;
+}
+
+BenchDoc doc_of(const BenchRun& r) {
+  BenchDoc d;
+  d.suite = "core";
+  d.nodes = 16;
+  d.runs.push_back(r);
+  return d;
+}
+
+// -------------------------------------------------------------- parsing
+
+TEST(BenchDiff, ParsesRipsBenchV1) {
+  const std::string text = R"({
+    "schema":"rips-bench-v1","suite":"core","quick":false,"nodes":16,
+    "runs":[{"workload":"queens13","group":"rips","scheduler":"mwa",
+             "policy":"ANY-Lazy","nodes":16,"tasks":5180,
+             "makespan_ns":123456789,"sequential_ns":999999999,
+             "efficiency":0.81,"speedup":12.9,"overhead_s":0.01,
+             "idle_s":0.002,"nonlocal_tasks":37,"system_phases":9,
+             "monitors_ok":true}]})";
+  std::string error;
+  const auto doc = load_bench_doc(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->runs.size(), 1u);
+  const BenchRun& r = doc->runs[0];
+  EXPECT_EQ(r.workload, "queens13");
+  EXPECT_EQ(r.nodes, 16);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, 123456789.0);
+  EXPECT_TRUE(r.monitors_ok);
+  EXPECT_EQ(r.key(), "queens13|rips|mwa|ANY-Lazy|n16");
+}
+
+TEST(BenchDiff, RejectsWrongSchemaAndBrokenDocs) {
+  std::string error;
+  EXPECT_FALSE(load_bench_doc("{\"schema\":\"other\",\"runs\":[]}", &error)
+                   .has_value());
+  EXPECT_NE(error.find("rips-bench-v1"), std::string::npos);
+  EXPECT_FALSE(load_bench_doc("{\"schema\":\"rips-bench-v1\"}").has_value());
+  EXPECT_FALSE(load_bench_doc("not json").has_value());
+  EXPECT_FALSE(
+      load_bench_doc(
+          "{\"schema\":\"rips-bench-v1\",\"runs\":[{\"workload\":\"w\"}]}")
+          .has_value());
+  EXPECT_FALSE(load_bench_file("/nonexistent/path.json").has_value());
+}
+
+// ---------------------------------------------------------------- gates
+
+TEST(BenchDiff, IdenticalDocsPass) {
+  const BenchDoc d = doc_of(make_run(1e9));
+  const DiffResult r = diff(d, d);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.regressions.empty());
+  EXPECT_TRUE(r.improvements.empty());
+  EXPECT_TRUE(r.missing.empty());
+  EXPECT_NE(report(r).find("PASS"), std::string::npos);
+}
+
+TEST(BenchDiff, FlagsMakespanRegressionAboveTolerance) {
+  const BenchDoc base = doc_of(make_run(1e9));
+  const BenchDoc worse = doc_of(make_run(1.2e9));  // +20% > 10% tolerance
+  const DiffResult r = diff(base, worse);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].metric, "makespan_ns");
+  EXPECT_NE(report(r).find("REGRESSION"), std::string::npos);
+  EXPECT_NE(report(r).find("FAIL"), std::string::npos);
+
+  // +9% stays inside the default tolerance.
+  EXPECT_TRUE(diff(base, doc_of(make_run(1.09e9))).ok());
+  // A 20% speedup is reported as an improvement, not a failure.
+  const DiffResult faster = diff(base, doc_of(make_run(0.8e9)));
+  EXPECT_TRUE(faster.ok());
+  ASSERT_EQ(faster.improvements.size(), 1u);
+}
+
+TEST(BenchDiff, OverheadGateHasAnAbsoluteFloor) {
+  const BenchDoc base = doc_of(make_run(1e9));
+  BenchRun worse = make_run(1e9);
+  worse.overhead_s = 0.030;  // 3x the baseline 0.010 and above the floor
+  EXPECT_FALSE(diff(base, doc_of(worse)).ok());
+
+  // 3x a microscopic overhead is noise, not a regression.
+  BenchRun tiny_base = make_run(1e9);
+  tiny_base.overhead_s = 1e-6;
+  BenchRun tiny_worse = make_run(1e9);
+  tiny_worse.overhead_s = 3e-6;
+  EXPECT_TRUE(diff(doc_of(tiny_base), doc_of(tiny_worse)).ok());
+}
+
+TEST(BenchDiff, FlagsEfficiencyDropMonitorsAndMissingRuns) {
+  const BenchDoc base = doc_of(make_run(1e9));
+
+  BenchRun slow = make_run(1e9);
+  slow.efficiency = 0.70;  // -10pp > 5pp tolerance
+  EXPECT_FALSE(diff(base, doc_of(slow)).ok());
+
+  BenchRun broken = make_run(1e9);
+  broken.monitors_ok = false;
+  const DiffResult mon = diff(base, doc_of(broken));
+  EXPECT_FALSE(mon.ok());
+  EXPECT_EQ(mon.regressions[0].metric, "monitors_ok");
+
+  BenchRun renamed = make_run(1e9);
+  renamed.workload = "queens14";
+  const DiffResult miss = diff(base, doc_of(renamed));
+  EXPECT_FALSE(miss.ok());
+  ASSERT_EQ(miss.missing.size(), 1u);
+  ASSERT_EQ(miss.added.size(), 1u);
+}
+
+TEST(BenchDiff, CustomTolerancesApply) {
+  const BenchDoc base = doc_of(make_run(1e9));
+  DiffOptions strict;
+  strict.makespan_rel_tol = 0.01;
+  EXPECT_FALSE(diff(base, doc_of(make_run(1.05e9)), strict).ok());
+  DiffOptions loose;
+  loose.makespan_rel_tol = 0.50;
+  EXPECT_TRUE(diff(base, doc_of(make_run(1.3e9)), loose).ok());
+}
+
+// ------------------------------------------------- acceptance scenario
+
+/// Runs RIPS on queens with an optional fault plan and rolls the metrics
+/// into a one-run bench document, like bench/harness does.
+BenchDoc measure(const sim::FaultPlan* plan) {
+  const apps::TaskTrace trace = apps::build_nqueens_trace(9, 4);
+  topo::Mesh mesh(4, 4);
+  sched::Mwa mwa(mesh);
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+  core::RipsEngine engine(mwa, cost, core::RipsConfig{});
+  if (plan != nullptr) engine.set_fault_plan(plan);
+  const sim::RunMetrics m = engine.run(trace);
+
+  BenchRun r;
+  r.workload = "queens9";
+  r.group = "rips";
+  r.scheduler = "mwa";
+  r.policy = "ANY-Lazy";
+  r.nodes = 16;
+  r.tasks = static_cast<i64>(m.num_tasks);
+  r.makespan_ns = static_cast<double>(m.makespan_ns);
+  r.sequential_ns = static_cast<double>(m.sequential_ns);
+  r.efficiency = m.efficiency();
+  r.speedup = m.speedup();
+  r.overhead_s = m.overhead_s();
+  r.idle_s = m.idle_s();
+  BenchDoc d;
+  d.suite = "acceptance";
+  d.nodes = 16;
+  d.runs.push_back(r);
+  return d;
+}
+
+TEST(BenchDiff, DetectsSlowdownInjectedRegressionAndPassesOnRerun) {
+  const BenchDoc clean = measure(nullptr);
+
+  // Determinism: an identical re-run diffs clean against itself.
+  const BenchDoc rerun = measure(nullptr);
+  EXPECT_EQ(clean.runs[0].makespan_ns, rerun.runs[0].makespan_ns);
+  EXPECT_TRUE(diff(clean, rerun).ok());
+
+  // Inject a whole-machine 8x slowdown. Compute is a modest fraction of
+  // this small run's makespan (scheduling phases dominate), so the factor
+  // must be large enough to push the makespan well past the 10% gate.
+  sim::FaultPlan plan;
+  for (NodeId v = 0; v < 16; ++v) {
+    plan.slowdowns.push_back({v, 0, std::numeric_limits<SimTime>::max() / 8,
+                              8.0});
+  }
+  const BenchDoc slow = measure(&plan);
+  EXPECT_GT(slow.runs[0].makespan_ns, clean.runs[0].makespan_ns * 1.2);
+  const DiffResult r = diff(clean, slow);
+  EXPECT_FALSE(r.ok());
+  bool makespan_flagged = false;
+  for (const DiffEntry& e : r.regressions) {
+    if (e.metric == "makespan_ns") makespan_flagged = true;
+  }
+  EXPECT_TRUE(makespan_flagged);
+}
+
+}  // namespace
+}  // namespace rips::obs::analysis

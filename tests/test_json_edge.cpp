@@ -1,0 +1,179 @@
+// Edge-case coverage for the obs::json parser/writer (src/obs/json.cpp):
+// escape sequences in both directions, deep nesting, number limits and
+// the JSON-has-no-NaN rule, plus a writer→parser round-trip property test
+// over adversarial strings. The analysis toolchain re-reads every exported
+// document through this parser, so its failure modes are load-bearing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace rips::obs::json {
+namespace {
+
+double parsed_number(const std::string& text) {
+  const auto v = parse(text);
+  EXPECT_TRUE(v.has_value()) << text;
+  EXPECT_TRUE(v->is_number()) << text;
+  return v->number;
+}
+
+// ------------------------------------------------------------- escapes
+
+TEST(JsonEdge, DecodesEveryStandardEscape) {
+  const auto v = parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(JsonEdge, DecodesUnicodeEscapesToUtf8) {
+  const auto uesc = [](const char* hex) {
+    return std::string("\"\\u") + hex + "\"";
+  };
+  EXPECT_EQ(parse(uesc("0041"))->string, "A");
+  EXPECT_EQ(parse(uesc("00e9"))->string, "\xc3\xa9");      // 2-byte UTF-8
+  EXPECT_EQ(parse(uesc("20ac"))->string, "\xe2\x82\xac");  // 3-byte UTF-8
+  EXPECT_EQ(parse(uesc("0000"))->string, std::string(1, '\0'));
+  // Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(parse("\"\xc3\xa9\"")->string, "\xc3\xa9");
+}
+
+TEST(JsonEdge, RejectsBrokenEscapes) {
+  EXPECT_FALSE(parse(R"("\q")").has_value());
+  EXPECT_FALSE(parse(R"("\u12")").has_value());
+  EXPECT_FALSE(parse(R"("\uZZZZ")").has_value());
+  std::string error;
+  EXPECT_FALSE(parse("\"truncated\\", &error).has_value());
+  EXPECT_NE(error.find("escape"), std::string::npos);
+  EXPECT_FALSE(parse("\"unterminated", &error).has_value());
+}
+
+TEST(JsonEdge, EscapeWriterHandlesControlCharsAndQuotes) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("\n\r\t"), "\\n\\r\\t");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(quoted("x"), "\"x\"");
+}
+
+// ------------------------------------------------------------- nesting
+
+TEST(JsonEdge, ParsesNestedArraysAndObjects) {
+  const auto v = parse(R"({"a":[1,[2,[3,{"b":[{"c":null}]}]]],"d":{}})");
+  ASSERT_TRUE(v.has_value());
+  const Value* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 2u);
+  const Value& inner = a->array[1].array[1].array[1];
+  ASSERT_TRUE(inner.is_object());
+  ASSERT_NE(inner.find("b"), nullptr);
+  EXPECT_TRUE(inner.find("b")->array[0].find("c")->is_null());
+  EXPECT_TRUE(v->find("d")->is_object());
+  EXPECT_TRUE(v->find("d")->object.empty());
+}
+
+TEST(JsonEdge, PreservesMemberOrderAndDuplicates) {
+  const auto v = parse(R"({"z":1,"a":2,"z":3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->object.size(), 3u);
+  EXPECT_EQ(v->object[0].first, "z");
+  EXPECT_EQ(v->object[1].first, "a");
+  // find() returns the first member, as documented.
+  EXPECT_DOUBLE_EQ(v->find("z")->number, 1.0);
+}
+
+TEST(JsonEdge, RejectsStructuralGarbage) {
+  for (const char* bad :
+       {"{", "[", "[1,]", "{\"a\":}", "{\"a\" 1}", "{1:2}", "[1 2]", "",
+        "tru", "nul", "{} trailing", "[1],[2]"}) {
+    EXPECT_FALSE(parse(bad).has_value()) << bad;
+  }
+}
+
+// ------------------------------------------------------------- numbers
+
+TEST(JsonEdge, ParsesNumberShapes) {
+  EXPECT_DOUBLE_EQ(parsed_number("0"), 0.0);
+  EXPECT_DOUBLE_EQ(parsed_number("-17"), -17.0);
+  EXPECT_DOUBLE_EQ(parsed_number("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parsed_number("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(parsed_number("-2.5E-2"), -0.025);
+  // 2^53: the largest contiguously-representable integer survives.
+  EXPECT_DOUBLE_EQ(parsed_number("9007199254740992"), 9007199254740992.0);
+}
+
+TEST(JsonEdge, RejectsNaNAndInfinityInEverySpelling) {
+  std::string error;
+  // Literals: JSON has no NaN/Infinity tokens at all.
+  for (const char* bad : {"NaN", "nan", "Infinity", "-Infinity", "inf"}) {
+    EXPECT_FALSE(parse(bad, &error).has_value()) << bad;
+  }
+  // Overflowing literals must not smuggle an infinity in either.
+  EXPECT_FALSE(parse("1e999", &error).has_value());
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+  EXPECT_FALSE(parse("-1e999").has_value());
+  EXPECT_FALSE(parse("[1,2,1e999]").has_value());
+  // Denormal underflow collapses to 0.0 — finite, so accepted.
+  EXPECT_DOUBLE_EQ(parsed_number("1e-999"), 0.0);
+}
+
+TEST(JsonEdge, RejectsMalformedNumbers) {
+  for (const char* bad : {"1.2.3", "1e", "--5", "+-1", "0x10", "1e+-2"}) {
+    EXPECT_FALSE(parse(bad).has_value()) << bad;
+  }
+}
+
+// ----------------------------------------------------------- round trip
+
+TEST(JsonEdge, WriterParserRoundTripProperty) {
+  // Deterministic pseudo-random byte strings over the printable + control
+  // + high-bit range: whatever escape() emits, parse() must decode back to
+  // the original bytes.
+  u64 state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string original;
+    const size_t len = next() % 24;
+    for (size_t i = 0; i < len; ++i) {
+      // Bias toward the troublemakers: quotes, backslashes, control chars.
+      const u64 pick = next() % 8;
+      if (pick == 0) {
+        original += '"';
+      } else if (pick == 1) {
+        original += '\\';
+      } else if (pick == 2) {
+        original += static_cast<char>(next() % 0x20);  // control chars
+      } else {
+        original += static_cast<char>(0x20 + next() % 0x5f);  // printable
+      }
+    }
+    const auto v = parse(rips::obs::json::quoted(original));
+    ASSERT_TRUE(v.has_value()) << "round " << round;
+    ASSERT_TRUE(v->is_string());
+    EXPECT_EQ(v->string, original) << "round " << round;
+  }
+}
+
+TEST(JsonEdge, DocumentRoundTripKeepsStructure) {
+  const std::string doc = "{\"s\":" + quoted("a\"\\\n\tb") +
+                          ",\"n\":-42.5,\"b\":true,\"x\":null,"
+                          "\"arr\":[1,\"two\",[false]]}";
+  const auto v = parse(doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("s")->string, "a\"\\\n\tb");
+  EXPECT_DOUBLE_EQ(v->find("n")->number, -42.5);
+  EXPECT_TRUE(v->find("b")->boolean);
+  EXPECT_TRUE(v->find("x")->is_null());
+  EXPECT_EQ(v->find("arr")->array[2].array[0].boolean, false);
+}
+
+}  // namespace
+}  // namespace rips::obs::json
