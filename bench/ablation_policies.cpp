@@ -3,14 +3,17 @@
 // Runs every combination of local policy (Eager / Lazy) and global policy
 // (ALL / ANY) over the paper workloads, plus the FIFO vs LIFO execution-
 // order variant, to reproduce the claim from [24] that ANY-Lazy is the
-// best of the four combinations.
+// best of the four combinations. Runs dispatch through the parallel sweep
+// executor; the table is identical for any --jobs value.
 //
 //   --quick     shrink workloads (the full sweep is ~5x Table I)
 //   --nodes=32
+//   --jobs=1    sweep parallelism (0 = all hardware threads)
 #include <cstdio>
 
 #include "harness.hpp"
 #include "util/args.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -18,10 +21,12 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+  const i32 jobs = static_cast<i32>(args.get_int("jobs", 1));
 
   std::printf("Ablation: RIPS policy combinations on %d processors%s\n",
               nodes, quick ? " (quick workloads)" : "");
-  const auto workloads = apps::build_paper_workloads(quick);
+  const auto workloads =
+      bench::build_workloads(apps::paper_workload_specs(quick), jobs);
 
   std::vector<core::RipsConfig> configs;
   for (const core::LocalPolicy local :
@@ -37,15 +42,39 @@ int main(int argc, char** argv) {
   core::RipsConfig lifo;
   lifo.lifo_execution = true;
 
+  // workload-major, then the 4 policy combinations and the LIFO variant.
+  std::vector<bench::RunDescriptor> descriptors;
+  for (const auto& workload : workloads) {
+    for (const auto& config : configs) {
+      bench::RunDescriptor d;
+      d.workload = &workload;
+      d.nodes = nodes;
+      d.kind = bench::Kind::kRips;
+      d.config = config;
+      d.cost_hint = static_cast<double>(workload.trace.size());
+      descriptors.push_back(d);
+    }
+    bench::RunDescriptor d;
+    d.workload = &workload;
+    d.nodes = nodes;
+    d.kind = bench::Kind::kRips;
+    d.config = lifo;
+    d.cost_hint = static_cast<double>(workload.trace.size());
+    descriptors.push_back(d);
+  }
+  const auto results = bench::run_sweep(descriptors, jobs);
+
   TextTable table;
   table.header({"workload", "policy", "phases", "# non-local", "Th (s)",
                 "Ti (s)", "T (s)", "mu"});
+  size_t next = 0;
   for (const auto& workload : workloads) {
     double best = 0.0;
     std::string best_name;
     for (const auto& config : configs) {
-      const auto run =
-          bench::run_strategy(workload, nodes, bench::Kind::kRips, 0.4, config);
+      const bench::RunResult& r = results[next++];
+      RIPS_CHECK_MSG(r.ok, "sweep run failed");
+      const auto& run = r.run;
       table.row({workload.group + " " + workload.name, config.name(),
                  cell(static_cast<long long>(run.metrics.system_phases)),
                  cell(static_cast<long long>(run.metrics.nonlocal_tasks)),
@@ -57,8 +86,9 @@ int main(int argc, char** argv) {
         best_name = config.name();
       }
     }
-    const auto lifo_run =
-        bench::run_strategy(workload, nodes, bench::Kind::kRips, 0.4, lifo);
+    const bench::RunResult& lifo_r = results[next++];
+    RIPS_CHECK_MSG(lifo_r.ok, "sweep run failed");
+    const auto& lifo_run = lifo_r.run;
     table.row({workload.group + " " + workload.name, "ANY-Lazy LIFO",
                cell(static_cast<long long>(lifo_run.metrics.system_phases)),
                cell(static_cast<long long>(lifo_run.metrics.nonlocal_tasks)),

@@ -10,15 +10,18 @@
 // by also running RIPS in weighted mode (perfect grain estimates): the
 // gap between the two is the value of the estimation the paper decided it
 // could live without — small for mild grain variance, large for
-// heavy-tailed grains.
+// heavy-tailed grains. Runs dispatch through the parallel sweep executor;
+// the table is identical for any --jobs value.
 //
 //   --quick     shrink workloads
 //   --nodes=32
+//   --jobs=1    sweep parallelism (0 = all hardware threads)
 #include <cstdio>
 
 #include "apps/synthetic.hpp"
 #include "harness.hpp"
 #include "util/args.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -26,12 +29,14 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+  const i32 jobs = static_cast<i32>(args.get_int("jobs", 1));
 
   std::printf(
       "Ablation: count-balanced vs work-balanced RIPS on %d processors\n\n",
       nodes);
 
-  auto workloads = apps::build_paper_workloads(quick);
+  auto workloads =
+      bench::build_workloads(apps::paper_workload_specs(quick), jobs);
   {
     // An adversarial heavy-tailed synthetic: 90%% tiny, 10%% of tasks 10x.
     apps::SyntheticConfig config;
@@ -48,15 +53,31 @@ int main(int argc, char** argv) {
     workloads.push_back(std::move(heavy));
   }
 
-  TextTable table;
-  table.header({"workload", "balanced by", "phases", "tasks moved", "Ti (s)",
-                "T (s)", "mu"});
+  std::vector<bench::RunDescriptor> descriptors;
   for (const auto& workload : workloads) {
     for (const bool weighted : {false, true}) {
       core::RipsConfig config;
       config.weighted = weighted;
-      const auto run = bench::run_strategy(workload, nodes,
-                                           bench::Kind::kRips, 0.4, config);
+      bench::RunDescriptor d;
+      d.workload = &workload;
+      d.nodes = nodes;
+      d.kind = bench::Kind::kRips;
+      d.config = config;
+      d.cost_hint = static_cast<double>(workload.trace.size());
+      descriptors.push_back(d);
+    }
+  }
+  const auto results = bench::run_sweep(descriptors, jobs);
+
+  TextTable table;
+  table.header({"workload", "balanced by", "phases", "tasks moved", "Ti (s)",
+                "T (s)", "mu"});
+  size_t next = 0;
+  for (const auto& workload : workloads) {
+    for (const bool weighted : {false, true}) {
+      const bench::RunResult& r = results[next++];
+      RIPS_CHECK_MSG(r.ok, "sweep run failed");
+      const auto& run = r.run;
       table.row({workload.group + " " + workload.name,
                  weighted ? "work (perfect estimates)" : "count (paper)",
                  cell(static_cast<long long>(run.metrics.system_phases)),

@@ -6,12 +6,17 @@
 // larger than 1 for strategies that beat it. Printed per application group
 // like Figures 5(a) (exhaustive search), 5(b) (IDA*), 5(c) (GROMOS).
 //
+// All runs dispatch through the parallel sweep executor: the table is
+// identical for any --jobs value.
+//
 //   --quick     shrink workloads
 //   --nodes=32
+//   --jobs=1    sweep parallelism (0 = all hardware threads)
 #include <cstdio>
 
 #include "harness.hpp"
 #include "util/args.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -19,10 +24,27 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+  const i32 jobs = static_cast<i32>(args.get_int("jobs", 1));
 
   std::printf("Figure 5: normalized quality factors on %d processors\n",
               nodes);
-  const auto workloads = apps::build_paper_workloads(quick);
+  const auto workloads =
+      bench::build_workloads(apps::paper_workload_specs(quick), jobs);
+
+  const std::vector<bench::Kind> kinds = bench::table1_kinds();
+  std::vector<bench::RunDescriptor> descriptors;
+  for (const auto& workload : workloads) {
+    for (const bench::Kind kind : kinds) {
+      bench::RunDescriptor d;
+      d.workload = &workload;
+      d.nodes = nodes;
+      d.kind = kind;
+      d.cost_hint = static_cast<double>(workload.trace.size()) *
+                    (kind == bench::Kind::kGradient ? 8.0 : 1.0);
+      descriptors.push_back(d);
+    }
+  }
+  const auto results = bench::run_sweep(descriptors, jobs);
 
   std::string group;
   TextTable table;
@@ -33,6 +55,7 @@ int main(int argc, char** argv) {
       table = TextTable{};
     }
   };
+  size_t next = 0;
   for (const auto& workload : workloads) {
     if (workload.group != group) {
       flush_group();
@@ -42,9 +65,10 @@ int main(int argc, char** argv) {
     const double mu_opt = workload.trace.optimal_efficiency(nodes);
     double mu_rand = 0.0;
     std::vector<std::string> row{workload.name};
-    for (const bench::Kind kind : bench::table1_kinds()) {
-      const auto run = bench::run_strategy(workload, nodes, kind);
-      const double mu = run.metrics.efficiency();
+    for (const bench::Kind kind : kinds) {
+      const bench::RunResult& r = results[next++];
+      RIPS_CHECK_MSG(r.ok, "sweep run failed");
+      const double mu = r.run.metrics.efficiency();
       if (kind == bench::Kind::kRandom) mu_rand = mu;
       const double denom = mu_opt - mu;
       // A strategy at (or numerically above) the optimum gets a large

@@ -1,47 +1,25 @@
-// Shared bench harness: runs one paper workload under each scheduling
-// strategy on an N-node mesh and returns Table-I style metrics.
+// Shared bench harness — now a thin alias over the sweep executor
+// (src/exec/sweep/runner.hpp), which owns the single-run building blocks
+// and the parallel descriptor-sweep API. Kept so the fig*/table*/ablation
+// tools keep their historical `bench::` spelling.
 #pragma once
 
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "apps/paper_workloads.hpp"
-#include "balance/rid.hpp"
-#include "obs/metrics.hpp"
-#include "obs/obs.hpp"
-#include "rips/config.hpp"
-#include "rips/rips_engine.hpp"
-#include "sim/metrics.hpp"
-#include "util/types.hpp"
+#include "exec/sweep/runner.hpp"
+#include "exec/sweep/sweep.hpp"
 
 namespace rips::bench {
 
-struct StrategyRun {
-  std::string strategy;
-  sim::RunMetrics metrics;
-  std::vector<core::RipsEngine::PhaseStats> phases;  // RIPS only
-  /// Copy of the engine's metrics registry (counters / histograms /
-  /// per-phase snapshots) — what `harness --json` serializes.
-  obs::MetricsRegistry registry;
-};
+using sweep::Kind;
+using sweep::RunDescriptor;
+using sweep::RunResult;
+using sweep::StrategyRun;
 
-/// Strategy selector for run_strategy().
-enum class Kind { kRandom, kGradient, kRid, kRips, kSid };
-
-std::string kind_name(Kind kind);
-
-/// Runs `workload` on `nodes` processors (paper mesh shape) under the
-/// given strategy. `rid_u` overrides RID's load-update factor (the paper
-/// retunes it to 0.7 for IDA* on 64/128 nodes); `config` selects the RIPS
-/// policies (default ANY-Lazy). `o` attaches optional observability sinks
-/// (trace spans from all engines; the invariant monitor is RIPS-only).
-StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
-                         double rid_u = 0.4,
-                         core::RipsConfig config = core::RipsConfig{},
-                         const obs::Obs& o = obs::Obs{});
-
-/// The paper's four Table-I strategies in row order.
-std::vector<Kind> table1_kinds();
+using sweep::build_workloads;
+using sweep::kind_name;
+using sweep::parallel_for;
+using sweep::resolve_jobs;
+using sweep::run_strategy;
+using sweep::run_sweep;
+using sweep::table1_kinds;
 
 }  // namespace rips::bench

@@ -5,14 +5,22 @@
 // bench/check_bench_json validator can consume, instead of scraping the
 // ASCII tables the fig*/table* benches print.
 //
+// Workload construction and the runs themselves dispatch through the
+// parallel sweep executor (src/exec/sweep): `--jobs=N` spreads them over N
+// OS threads. Results are committed in descriptor order, so stdout and the
+// JSON document are byte-identical for ANY job count (CI diffs --jobs=1
+// against --jobs=$(nproc) to enforce this). The wall-clock line goes to
+// stderr to keep stdout deterministic.
+//
 // Examples:
 //   ./harness --json                      # core suite -> BENCH_core.json
-//   ./harness --json=out.json --strategy=all --nodes=64
+//   ./harness --json=out.json --strategy=all --nodes=64 --jobs=4
 //   ./harness --app=Queens --trace-out=run.trace.json
 //
-// The Perfetto trace (--trace-out) holds the LAST run executed (each run
-// clears the session), so narrow the selection when tracing.
+// The Perfetto trace (--trace-out) holds the LAST run executed, so narrow
+// the selection when tracing.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -20,8 +28,6 @@
 
 #include "harness.hpp"
 #include "obs/json.hpp"
-#include "obs/monitors.hpp"
-#include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
 
@@ -122,14 +128,17 @@ int main(int argc, char** argv) {
         "usage: harness [--suite=core|full] [--app=<name substring>]\n"
         "  [--nodes=32] [--strategy=rips|random|gradient|rid|sid|all]\n"
         "  [--policy={any,all}-{lazy,eager}] [--quick=1] [--rid-u=0.4]\n"
-        "  [--monitors=1] [--json[=BENCH_core.json]] [--trace-out=path]\n"
+        "  [--monitors=1] [--jobs=1] [--json[=BENCH_core.json]]\n"
+        "  [--trace-out=path]\n"
         "emits the rips-bench-v1 JSON document (see docs/OBSERVABILITY.md);\n"
-        "validate with bench/check_bench_json.\n");
+        "validate with bench/check_bench_json. --jobs=N parallelizes the\n"
+        "sweep (0 = all hardware threads); output is identical for any N.\n");
     return 0;
   }
 
   const bool quick = args.get_bool("quick", true);
   const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+  const i32 jobs = static_cast<i32>(args.get_int("jobs", 1));
   const std::string suite = args.get("suite", "core");
   const std::string app_filter = args.get("app", "");
   const std::string policy_name = args.get("policy", "any-lazy");
@@ -139,61 +148,92 @@ int main(int argc, char** argv) {
   const std::vector<bench::Kind> kinds =
       parse_strategies(args.get("strategy", "rips"));
 
-  const std::vector<apps::Workload> all = apps::build_paper_workloads(quick);
-  std::vector<const apps::Workload*> selected;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Select BEFORE building: specs carry the group/name the built workload
+  // will have, so the core suite / --app filter never pays for workloads
+  // it will not run.
+  const std::vector<apps::WorkloadSpec> all_specs =
+      apps::paper_workload_specs(quick);
+  std::vector<apps::WorkloadSpec> selected;
   std::vector<std::string> seen_groups;
-  for (const apps::Workload& w : all) {
+  for (const apps::WorkloadSpec& s : all_specs) {
     if (!app_filter.empty()) {
-      if (w.name.find(app_filter) == std::string::npos &&
-          w.group.find(app_filter) == std::string::npos) {
+      if (s.name.find(app_filter) == std::string::npos &&
+          s.group.find(app_filter) == std::string::npos) {
         continue;
       }
     } else if (suite == "core") {
       // First workload of each application group: the smoke set CI runs.
-      if (std::find(seen_groups.begin(), seen_groups.end(), w.group) !=
+      if (std::find(seen_groups.begin(), seen_groups.end(), s.group) !=
           seen_groups.end()) {
         continue;
       }
-      seen_groups.push_back(w.group);
+      seen_groups.push_back(s.group);
     } else {
       RIPS_CHECK_MSG(suite == "full", "--suite must be core|full");
     }
-    selected.push_back(&w);
+    selected.push_back(s);
   }
   RIPS_CHECK_MSG(!selected.empty(), "no workload matches the selection");
 
-  obs::TraceSession trace(nodes);
-  obs::InvariantMonitor monitor;
+  const std::vector<apps::Workload> workloads =
+      bench::build_workloads(selected, jobs);
+
   const bool want_trace = args.has("trace-out");
+
+  std::vector<bench::RunDescriptor> descriptors;
+  for (const apps::Workload& w : workloads) {
+    for (const bench::Kind kind : kinds) {
+      bench::RunDescriptor d;
+      d.workload = &w;
+      d.nodes = nodes;
+      d.kind = kind;
+      d.rid_u = rid_u;
+      d.config = config;
+      d.monitor = monitors;
+      // Scheduling hint only (results are order-committed): Gradient's
+      // per-event pressure propagation makes it ~8x the other engines on
+      // the same trace, and run time scales with trace length.
+      d.cost_hint = static_cast<double>(w.trace.size()) *
+                    (kind == bench::Kind::kGradient ? 8.0 : 1.0);
+      descriptors.push_back(d);
+    }
+  }
+  // Like the sequential harness, the exported trace holds the LAST run;
+  // per-run sessions are tens of MB, so only that run records one.
+  if (want_trace) descriptors.back().collect_trace = true;
+
+  const std::vector<bench::RunResult> results =
+      bench::run_sweep(descriptors, jobs);
 
   std::vector<RunRecord> runs;
   bool all_monitors_ok = true;
-  for (const apps::Workload* w : selected) {
-    for (const bench::Kind kind : kinds) {
-      obs::Obs o;
-      if (want_trace) o.trace = &trace;
-      if (monitors && kind == bench::Kind::kRips) o.monitor = &monitor;
-      const bench::StrategyRun run =
-          bench::run_strategy(*w, nodes, kind, rid_u, config, o);
-      RunRecord rec;
-      rec.workload = w->name;
-      rec.group = w->group;
-      rec.scheduler = run.strategy;
-      rec.policy = kind == bench::Kind::kRips ? policy_name : "none";
-      rec.nodes = nodes;
-      rec.monitors_ok = o.monitor == nullptr || monitor.ok();
-      rec.metrics = run.metrics;
-      rec.registry_json = run.registry.to_json();
-      runs.push_back(std::move(rec));
-      std::printf("%-18s %-9s eff=%.3f makespan=%.3fs phases=%llu %s\n",
-                  w->name.c_str(), run.strategy.c_str(),
-                  run.metrics.efficiency(), run.metrics.exec_s(),
-                  static_cast<unsigned long long>(run.metrics.system_phases),
-                  runs.back().monitors_ok ? "" : "MONITOR-VIOLATION");
-      if (o.monitor != nullptr && !monitor.ok()) {
-        all_monitors_ok = false;
-        std::fputs(monitor.report().c_str(), stderr);
-      }
+  for (size_t i = 0; i < results.size(); ++i) {
+    const bench::RunDescriptor& d = descriptors[i];
+    const bench::RunResult& r = results[i];
+    if (!r.ok) {
+      std::fprintf(stderr, "sweep run failed: %s\n", r.error.c_str());
+      RIPS_CHECK_MSG(false, "a sweep run threw; see stderr");
+    }
+    RunRecord rec;
+    rec.workload = d.workload->name;
+    rec.group = d.workload->group;
+    rec.scheduler = r.run.strategy;
+    rec.policy = d.kind == bench::Kind::kRips ? policy_name : "none";
+    rec.nodes = nodes;
+    rec.monitors_ok = r.monitors_ok;
+    rec.metrics = r.run.metrics;
+    rec.registry_json = r.run.registry.to_json();
+    runs.push_back(std::move(rec));
+    std::printf("%-18s %-9s eff=%.3f makespan=%.3fs phases=%llu %s\n",
+                d.workload->name.c_str(), r.run.strategy.c_str(),
+                r.run.metrics.efficiency(), r.run.metrics.exec_s(),
+                static_cast<unsigned long long>(r.run.metrics.system_phases),
+                r.monitors_ok ? "" : "MONITOR-VIOLATION");
+    if (!r.monitors_ok) {
+      all_monitors_ok = false;
+      std::fputs(r.monitor_report.c_str(), stderr);
     }
   }
 
@@ -210,9 +250,20 @@ int main(int argc, char** argv) {
   }
   if (want_trace) {
     const std::string path = args.get("trace-out", "harness.trace.json");
+    RIPS_CHECK(results.back().trace != nullptr);
+    const obs::TraceSession& trace = *results.back().trace;
     RIPS_CHECK_MSG(trace.write_json(path), "failed to write the trace");
     std::printf("wrote %s (%zu events, %llu dropped)\n", path.c_str(),
                 trace.size(), static_cast<unsigned long long>(trace.dropped()));
   }
+
+  // Stderr on purpose: stdout must stay byte-identical across job counts,
+  // and wall clock is the one thing --jobs is allowed to change. CI's
+  // nightly speedup assertion parses this line.
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  std::fprintf(stderr, "harness: wall_ms=%lld jobs=%d runs=%zu\n",
+               static_cast<long long>(wall_ms), jobs, runs.size());
   return all_monitors_ok ? 0 : 1;
 }

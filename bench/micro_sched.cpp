@@ -6,11 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <vector>
 
 #include "flow/mincost_flow.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task_queue.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -94,6 +97,96 @@ void BM_MinCostFlowSolve(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_MinCostFlowSolve)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+// The simulator hot path: every simulated message/task completion is one
+// EventQueue push+pop. Steady-state churn over a queue of `range` pending
+// events measures the 4-ary heap's sift cost at realistic depths (the
+// engines keep O(nodes) events in flight).
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto pending = static_cast<size_t>(state.range(0));
+  sim::EventQueue<i64> queue;
+  queue.reserve(pending + 1);
+  Rng rng(7);
+  SimTime now = 0;
+  for (size_t i = 0; i < pending; ++i) {
+    queue.push(static_cast<SimTime>(rng.next_below(1000)), static_cast<i64>(i));
+  }
+  for (auto _ : state) {
+    auto ev = queue.pop();
+    now = ev.time;
+    // Re-schedule a random interval ahead, as the engines do for the next
+    // completion on the node that just finished.
+    queue.push(now + static_cast<SimTime>(rng.next_below(1000)), ev.payload);
+    benchmark::DoNotOptimize(ev.payload);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+// Same churn with a payload that owns memory (a migration batch): pop()
+// must MOVE the vector out of the heap — a copying pop would show up here
+// as an allocation per iteration.
+void BM_EventQueueChurnMovePayload(benchmark::State& state) {
+  const auto pending = static_cast<size_t>(state.range(0));
+  sim::EventQueue<std::vector<TaskId>> queue;
+  queue.reserve(pending + 1);
+  Rng rng(8);
+  for (size_t i = 0; i < pending; ++i) {
+    queue.push(static_cast<SimTime>(rng.next_below(1000)),
+               std::vector<TaskId>(8, static_cast<TaskId>(i)));
+  }
+  for (auto _ : state) {
+    auto ev = queue.pop();
+    benchmark::DoNotOptimize(ev.payload.data());
+    queue.push(ev.time + static_cast<SimTime>(rng.next_below(1000)),
+               std::move(ev.payload));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EventQueueChurnMovePayload)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+// Per-node ready queue: FIFO churn at a steady depth of `range` tasks.
+// Crosses the head-compaction threshold constantly, so the amortized
+// pop_front cost (cursor bump + occasional memmove) is what's measured.
+void BM_TaskQueueFifoChurn(benchmark::State& state) {
+  const auto depth = static_cast<size_t>(state.range(0));
+  sim::TaskQueue queue;
+  queue.reserve(2 * depth);
+  for (size_t i = 0; i < depth; ++i) queue.push_back(static_cast<TaskId>(i));
+  TaskId next = static_cast<TaskId>(depth);
+  for (auto _ : state) {
+    const TaskId task = queue.pop_front();
+    benchmark::DoNotOptimize(task);
+    queue.push_back(next++);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TaskQueueFifoChurn)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+// The RIPS measuring pass clones every RTE ready queue once per user
+// phase; assign() must reuse the scratch queue's storage after the first
+// clone (zero steady-state allocation).
+void BM_TaskQueueAssignClone(benchmark::State& state) {
+  const auto depth = static_cast<size_t>(state.range(0));
+  sim::TaskQueue source;
+  for (size_t i = 0; i < depth; ++i) source.push_back(static_cast<TaskId>(i));
+  sim::TaskQueue scratch;
+  for (auto _ : state) {
+    scratch.assign(source);
+    benchmark::DoNotOptimize(scratch.front());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TaskQueueAssignClone)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
 
 // Cost of an instrumentation site when tracing is off vs on. The engines
 // call obs::span() on every task / phase; the disabled case must be a

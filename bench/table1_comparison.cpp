@@ -10,12 +10,17 @@
 // run (the paper narrates: 8 system phases, ~125 non-local tasks/phase,
 // ~96 ms total migration, Th 510 ms, Ti ~30 ms, efficiency 95%).
 //
+// Workload construction and the 36 runs dispatch through the parallel
+// sweep executor: the tables are identical for any --jobs value.
+//
 //   --quick      shrink the workloads (CI smoke run)
 //   --nodes=32   processor count (paper mesh shape)
+//   --jobs=1     sweep parallelism (0 = all hardware threads)
 #include <cstdio>
 
 #include "harness.hpp"
 #include "util/args.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -23,20 +28,39 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
+  const i32 jobs = static_cast<i32>(args.get_int("jobs", 1));
 
   std::printf("Table I: comparison of scheduling algorithms on %d processors\n",
               nodes);
-  const auto workloads = apps::build_paper_workloads(quick);
+  const auto workloads =
+      bench::build_workloads(apps::paper_workload_specs(quick), jobs);
+
+  const std::vector<bench::Kind> kinds = bench::table1_kinds();
+  std::vector<bench::RunDescriptor> descriptors;
+  for (const auto& workload : workloads) {
+    for (const bench::Kind kind : kinds) {
+      bench::RunDescriptor d;
+      d.workload = &workload;
+      d.nodes = nodes;
+      d.kind = kind;
+      d.cost_hint = static_cast<double>(workload.trace.size()) *
+                    (kind == bench::Kind::kGradient ? 8.0 : 1.0);
+      descriptors.push_back(d);
+    }
+  }
+  const auto results = bench::run_sweep(descriptors, jobs);
 
   TextTable table;
   table.header({"workload", "strategy", "# tasks", "# non-local", "Th (s)",
                 "Ti (s)", "T (s)", "mu"});
   std::vector<bench::StrategyRun> queens15_rips;
+  size_t next = 0;
   for (const auto& workload : workloads) {
     const std::string label = workload.group + " " + workload.name;
-    for (const bench::Kind kind : bench::table1_kinds()) {
-      const bench::StrategyRun run =
-          bench::run_strategy(workload, nodes, kind);
+    for (const bench::Kind kind : kinds) {
+      const bench::RunResult& r = results[next++];
+      RIPS_CHECK_MSG(r.ok, "sweep run failed");
+      const bench::StrategyRun& run = r.run;
       table.row({label, run.strategy,
                  cell(static_cast<long long>(workload.tasks_reported)),
                  cell(static_cast<long long>(run.metrics.nonlocal_tasks)),

@@ -22,6 +22,7 @@
 #include "apps/nqueens.hpp"
 #include "apps/puzzle.hpp"
 #include "apps/synthetic.hpp"
+#include "exec/sweep/runner.hpp"
 #include "balance/engine.hpp"
 #include "balance/gradient.hpp"
 #include "balance/random_alloc.hpp"
@@ -114,11 +115,74 @@ core::RipsConfig parse_policy(const Args& args) {
   return config;
 }
 
+/// --strategy=all or a comma list (e.g. rips,rid): run every named
+/// strategy over the same trace through the sweep executor and print a
+/// comparison table. Output is identical for any --jobs value.
+int run_compare(const Args& args, const apps::TaskTrace& trace,
+                const sim::CostModel& cost, i32 nodes,
+                const std::string& strategy_list) {
+  std::vector<sweep::Kind> kinds;
+  if (strategy_list == "all") {
+    kinds = sweep::table1_kinds();
+    kinds.push_back(sweep::Kind::kSid);
+  } else {
+    std::string rest = strategy_list;
+    while (!rest.empty()) {
+      const size_t comma = rest.find(',');
+      const std::string name = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      if (name == "rips") kinds.push_back(sweep::Kind::kRips);
+      else if (name == "random") kinds.push_back(sweep::Kind::kRandom);
+      else if (name == "gradient") kinds.push_back(sweep::Kind::kGradient);
+      else if (name == "rid") kinds.push_back(sweep::Kind::kRid);
+      else if (name == "sid") kinds.push_back(sweep::Kind::kSid);
+      else
+        RIPS_CHECK_MSG(false,
+                       "--strategy list entries must be "
+                       "rips|random|gradient|rid|sid");
+    }
+  }
+
+  apps::Workload workload;
+  workload.name = args.get("app", "queens");
+  workload.trace = trace;
+  workload.cost = cost;
+
+  std::vector<sweep::RunDescriptor> descriptors;
+  for (const sweep::Kind kind : kinds) {
+    sweep::RunDescriptor d;
+    d.workload = &workload;
+    d.nodes = nodes;
+    d.kind = kind;
+    d.rid_u = args.get_double("rid-u", 0.4);
+    d.config = parse_policy(args);
+    d.cost_hint = static_cast<double>(workload.trace.size()) *
+                  (kind == sweep::Kind::kGradient ? 8.0 : 1.0);
+    descriptors.push_back(d);
+  }
+  const auto results = sweep::run_sweep(
+      descriptors, static_cast<i32>(args.get_int("jobs", 1)));
+
+  std::printf("%-9s %8s %8s %8s %8s %8s\n", "strategy", "mu", "speedup",
+              "Th (s)", "Ti (s)", "T (s)");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const sweep::RunResult& r = results[i];
+    RIPS_CHECK_MSG(r.ok, "sweep run failed");
+    const sim::RunMetrics& m = r.run.metrics;
+    std::printf("%-9s %8.3f %8.1f %8.3f %8.3f %8.3f\n",
+                r.run.strategy.c_str(), m.efficiency(), m.speedup(),
+                m.overhead_s(), m.idle_s(), m.exec_s());
+  }
+  return 0;
+}
+
 int run_cli(const Args& args) {
   if (args.has("help")) {
     std::printf(
         "usage: rips_cli [--app=queens|ida|gromos|gauss|synthetic]\n"
         "  [--nodes=32] [--strategy=rips|random|gradient|rid|sid]\n"
+        "  [--strategy=all | --strategy=a,b,...]  comparison sweep\n"
+        "  [--jobs=1]  sweep threads (comparison mode; 0 = all cores)\n"
         "  [--sched=mwa|torus|hwa|twa|ring|optimal|dem]\n"
         "  [--policy={any,all}-{lazy,eager}] [--weighted=1] [--lifo=1]\n"
         "  [--periodic-us=N] [--timeline=1] [--timeline-width=100]\n"
@@ -141,7 +205,7 @@ int run_cli(const Args& args) {
       "metrics-out", "monitors", "fault-seed", "crash-mtbf-ms", "drop-prob",
       "fault-horizon-ms", "n", "split", "config", "cutoff", "steps", "matrix",
       "block", "roots", "spawn", "depth", "work-model", "mean-work",
-      "segments", "seed", "ns-per-work", "topo", "rid-u",
+      "segments", "seed", "ns-per-work", "topo", "rid-u", "jobs",
   });
 
   double ns_per_work = 2000.0;
@@ -152,6 +216,10 @@ int run_cli(const Args& args) {
   const std::string strategy = args.get("strategy", "rips");
 
   std::printf("app: %s\n", trace.summary().c_str());
+
+  if (strategy == "all" || strategy.find(',') != std::string::npos) {
+    return run_compare(args, trace, cost, nodes, strategy);
+  }
 
   sim::Timeline timeline;
   const bool want_timeline = args.get_bool("timeline", false);

@@ -77,26 +77,54 @@ Workload build_gromos_workload(double cutoff_angstrom) {
                 std::move(trace), kGromosNsPerPair, per_step);
 }
 
-std::vector<Workload> build_paper_workloads(bool quick) {
-  std::vector<Workload> out;
+std::vector<WorkloadSpec> paper_workload_specs(bool quick) {
+  std::vector<WorkloadSpec> out;
+  const auto add = [&out](std::string group, std::string name,
+                          std::function<Workload()> build) {
+    out.push_back({std::move(group), std::move(name), std::move(build)});
+  };
   if (quick) {
-    for (i32 n : {11, 12}) out.push_back(build_queens_workload(n));
-    PuzzleConfig pc = paper_puzzle_configs()[0];
-    pc.frontier_depth = 5;
-    out.push_back(finish("IDA* search", "config #1",
-                         build_ida_trace(pc), kIdaNsPerNode, 0));
-    GromosConfig gc;
-    gc.cutoff_angstrom = 8.0;
-    gc.num_steps = 2;
-    gc.num_atoms = 1742;
-    gc.num_groups = 1246;
-    out.push_back(finish("GROMOS", "8 A", build_gromos_trace(gc),
-                         kGromosNsPerPair, 1246));
+    for (i32 n : {11, 12}) {
+      add("Exhaustive search", std::to_string(n) + "-Queens",
+          [n] { return build_queens_workload(n); });
+    }
+    add("IDA* search", "config #1", [] {
+      PuzzleConfig pc = paper_puzzle_configs()[0];
+      pc.frontier_depth = 5;
+      return finish("IDA* search", "config #1", build_ida_trace(pc),
+                    kIdaNsPerNode, 0);
+    });
+    add("GROMOS", "8 A", [] {
+      GromosConfig gc;
+      gc.cutoff_angstrom = 8.0;
+      gc.num_steps = 2;
+      gc.num_atoms = 1742;
+      gc.num_groups = 1246;
+      return finish("GROMOS", "8 A", build_gromos_trace(gc), kGromosNsPerPair,
+                    1246);
+    });
     return out;
   }
-  for (i32 n : {13, 14, 15}) out.push_back(build_queens_workload(n));
-  for (i32 c : {1, 2, 3}) out.push_back(build_ida_workload(c));
-  for (double r : {8.0, 12.0, 16.0}) out.push_back(build_gromos_workload(r));
+  for (i32 n : {13, 14, 15}) {
+    add("Exhaustive search", std::to_string(n) + "-Queens",
+        [n] { return build_queens_workload(n); });
+  }
+  for (i32 c : {1, 2, 3}) {
+    add("IDA* search", "config #" + std::to_string(c),
+        [c] { return build_ida_workload(c); });
+  }
+  for (double r : {8.0, 12.0, 16.0}) {
+    add("GROMOS", std::to_string(static_cast<i32>(r)) + " A",
+        [r] { return build_gromos_workload(r); });
+  }
+  return out;
+}
+
+std::vector<Workload> build_paper_workloads(bool quick) {
+  std::vector<Workload> out;
+  for (const WorkloadSpec& spec : paper_workload_specs(quick)) {
+    out.push_back(spec.build());
+  }
   return out;
 }
 

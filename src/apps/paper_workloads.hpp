@@ -14,6 +14,7 @@
 // (GROMOS reports processes per MD step, not tasks x steps).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,19 @@ struct Workload {
 Workload build_queens_workload(i32 n);
 Workload build_ida_workload(i32 config_index);  // 1..3
 Workload build_gromos_workload(double cutoff_angstrom);
+
+/// A not-yet-built workload: group/name match what `build()` will return,
+/// so callers can filter a suite BEFORE paying for construction, and
+/// independent builders can run concurrently (each build is a pure
+/// function; trace-cache entries are per-key files).
+struct WorkloadSpec {
+  std::string group;
+  std::string name;
+  std::function<Workload()> build;
+};
+
+/// Specs for all nine workloads (or the quick set), in Table I order.
+std::vector<WorkloadSpec> paper_workload_specs(bool quick = false);
 
 /// All nine, in Table I order. `quick` shrinks every workload (fewer
 /// queens, easier puzzles, fewer MD steps) for smoke runs and CI.

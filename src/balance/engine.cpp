@@ -77,8 +77,7 @@ void DynamicEngine::send_message(NodeId from, NodeId to, i32 kind, i64 a,
     // subtrees — moving one of them moves a whole pocket of future work,
     // which is what lets load spread faster than the task-by-task
     // diffusion decay (the classic work-stealing discipline).
-    msg.tasks.push_back(sender.queue.front());
-    sender.queue.pop_front();
+    msg.tasks.push_back(sender.queue.pop_front());
   }
   msg.corr = msg_corr_++;
   charge_overhead(from, cost_.send_time(static_cast<i64>(msg.tasks.size())));
@@ -127,8 +126,7 @@ void DynamicEngine::maybe_start(NodeId node) {
   if (n.executing || n.queue.empty()) return;
   // Depth-first local execution: run the newest task first so spawned
   // subtrees are consumed as they unfold and the queue stays shallow.
-  const TaskId task = n.queue.back();
-  n.queue.pop_back();
+  const TaskId task = n.queue.pop_back();
   n.executing = true;
   const SimTime work = cost_.work_time(trace_->task(task).work);
   n.task_start_ns = std::max(n.free_at, now_);
@@ -252,7 +250,8 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
   metrics_.num_nodes = n;
   registry_.reset();
   if (obs_.trace != nullptr) obs_.trace->clear();
-  events_ = sim::EventQueue<Pending>{};
+  events_.clear();
+  events_.reserve(static_cast<size_t>(n) * 8);
   if (timeline_ != nullptr) timeline_->clear();
   now_ = 0;
   current_segment_ = 0;

@@ -16,7 +16,6 @@
 // strategy randomness from an explicit seed.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
+#include "sim/task_queue.hpp"
 #include "sim/timeline.hpp"
 #include "topo/topology.hpp"
 #include "util/types.hpp"
@@ -104,7 +104,7 @@ class DynamicEngine {
   };
 
   struct NodeRt {
-    std::deque<TaskId> queue;
+    sim::TaskQueue queue;
     SimTime free_at = 0;
     SimTime busy_ns = 0;
     SimTime ovh_ns = 0;

@@ -1,0 +1,158 @@
+#include "exec/sweep/runner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "balance/engine.hpp"
+#include "balance/gradient.hpp"
+#include "balance/random_alloc.hpp"
+#include "balance/rid.hpp"
+#include "balance/sender_initiated.hpp"
+#include "exec/sweep/sweep.hpp"
+#include "sched/mwa.hpp"
+#include "topo/topology.hpp"
+#include "util/check.hpp"
+
+namespace rips::sweep {
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kRandom:
+      return "Random";
+    case Kind::kGradient:
+      return "Gradient";
+    case Kind::kRid:
+      return "RID";
+    case Kind::kRips:
+      return "RIPS";
+    case Kind::kSid:
+      return "SID";
+  }
+  return "?";
+}
+
+StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
+                         double rid_u, core::RipsConfig config,
+                         const obs::Obs& o, const sim::FaultPlan* fault_plan) {
+  const topo::MeshShape shape = topo::paper_mesh_shape(nodes);
+  topo::Mesh mesh(shape.rows, shape.cols);
+
+  StrategyRun out;
+  out.strategy = kind_name(kind);
+  if (kind == Kind::kRips) {
+    sched::Mwa mwa(mesh);
+    core::RipsEngine engine(mwa, workload.cost, config);
+    engine.set_obs(o);
+    engine.set_fault_plan(fault_plan);
+    out.metrics = engine.run(workload.trace);
+    out.phases = engine.phases();
+    out.registry = engine.metrics_registry();
+    return out;
+  }
+
+  // Dynamic strategies share the event-driven engine.
+  const auto run_dynamic = [&](balance::Strategy& strategy) {
+    balance::DynamicEngine engine(mesh, workload.cost, strategy);
+    engine.set_obs(o);
+    out.metrics = engine.run(workload.trace);
+    out.registry = engine.metrics_registry();
+  };
+  switch (kind) {
+    case Kind::kRandom: {
+      balance::RandomAlloc strategy(/*seed=*/0xC0FFEE);
+      run_dynamic(strategy);
+      break;
+    }
+    case Kind::kGradient: {
+      balance::Gradient strategy;
+      run_dynamic(strategy);
+      break;
+    }
+    case Kind::kRid: {
+      balance::Rid::Params params;
+      params.u = rid_u;
+      balance::Rid strategy(params);
+      run_dynamic(strategy);
+      break;
+    }
+    case Kind::kSid: {
+      balance::SenderInitiated strategy;
+      run_dynamic(strategy);
+      break;
+    }
+    case Kind::kRips:
+      RIPS_CHECK(false);
+  }
+  return out;
+}
+
+std::vector<Kind> table1_kinds() {
+  return {Kind::kRandom, Kind::kGradient, Kind::kRid, Kind::kRips};
+}
+
+namespace {
+
+/// The body of one sweep slot: everything the run touches — session,
+/// monitor, scheduler, engine, registry copy — is local to this call, so
+/// concurrent slots share only the read-only workloads.
+RunResult run_one(const RunDescriptor& d) {
+  RunResult result;
+  std::shared_ptr<obs::TraceSession> trace;
+  obs::InvariantMonitor monitor;
+  obs::Obs o;
+  const bool monitored = d.monitor && d.kind == Kind::kRips;
+  try {
+    if (d.workload == nullptr) {
+      throw std::invalid_argument("sweep descriptor lacks a workload");
+    }
+    if (d.collect_trace) {
+      trace = std::make_shared<obs::TraceSession>(d.nodes);
+      o.trace = trace.get();
+    }
+    if (monitored) o.monitor = &monitor;
+    result.run = run_strategy(*d.workload, d.nodes, d.kind, d.rid_u, d.config,
+                              o, d.fault_plan);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    return result;
+  }
+  result.trace = std::move(trace);
+  if (monitored && !monitor.ok()) {
+    result.monitors_ok = false;
+    result.monitor_report = monitor.report();
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<RunResult> run_sweep(const std::vector<RunDescriptor>& descriptors,
+                                 i32 jobs) {
+  // Longest-first start order (stable on ties => deterministic schedule);
+  // slot i of `results` is always descriptor i, whatever the start order.
+  std::vector<size_t> order(descriptors.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return descriptors[a].cost_hint > descriptors[b].cost_hint;
+  });
+
+  std::vector<RunResult> results(descriptors.size());
+  parallel_for(descriptors.size(), jobs, [&](size_t k) {
+    const size_t i = order[k];
+    results[i] = run_one(descriptors[i]);
+  });
+  return results;
+}
+
+std::vector<apps::Workload> build_workloads(
+    const std::vector<apps::WorkloadSpec>& specs, i32 jobs) {
+  std::vector<apps::Workload> out(specs.size());
+  parallel_for(specs.size(), jobs,
+               [&](size_t i) { out[i] = specs[i].build(); });
+  return out;
+}
+
+}  // namespace rips::sweep

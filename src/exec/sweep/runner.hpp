@@ -1,0 +1,107 @@
+// Parallel sweep executor (docs/PERFORMANCE.md).
+//
+// A sweep is a vector of fully-specified RunDescriptors — workload,
+// machine size, strategy, RIPS policies, optional fault plan and
+// observability sinks. run_sweep() executes them across --jobs OS threads,
+// each run with its own engine, scheduler, RNG and MetricsRegistry, and
+// commits results in DESCRIPTOR ORDER. Because every run is a pure
+// function of its descriptor and nothing is shared between runs, the
+// result vector — and therefore anything serialized from it, such as
+// `harness --json` — is byte-identical for any job count.
+//
+// This header also owns the single-run building blocks the bench tools
+// share (Kind / run_strategy / StrategyRun), formerly bench/harness.hpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/paper_workloads.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitors.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "rips/config.hpp"
+#include "rips/rips_engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/metrics.hpp"
+#include "util/types.hpp"
+
+namespace rips::sweep {
+
+struct StrategyRun {
+  std::string strategy;
+  sim::RunMetrics metrics;
+  std::vector<core::RipsEngine::PhaseStats> phases;  // RIPS only
+  /// Copy of the engine's metrics registry (counters / histograms /
+  /// per-phase snapshots) — what `harness --json` serializes.
+  obs::MetricsRegistry registry;
+};
+
+/// Strategy selector for run_strategy().
+enum class Kind { kRandom, kGradient, kRid, kRips, kSid };
+
+std::string kind_name(Kind kind);
+
+/// Runs `workload` on `nodes` processors (paper mesh shape) under the
+/// given strategy. `rid_u` overrides RID's load-update factor (the paper
+/// retunes it to 0.7 for IDA* on 64/128 nodes); `config` selects the RIPS
+/// policies (default ANY-Lazy). `o` attaches optional observability sinks
+/// (trace spans from all engines; the invariant monitor is RIPS-only).
+/// `fault_plan` attaches fault injection (RIPS-only; ignored otherwise).
+StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
+                         double rid_u = 0.4,
+                         core::RipsConfig config = core::RipsConfig{},
+                         const obs::Obs& o = obs::Obs{},
+                         const sim::FaultPlan* fault_plan = nullptr);
+
+/// The paper's four Table-I strategies in row order.
+std::vector<Kind> table1_kinds();
+
+/// One fully-specified run of a sweep. The workload pointer must stay
+/// valid for the duration of run_sweep (workloads are shared read-only
+/// between concurrent runs).
+struct RunDescriptor {
+  const apps::Workload* workload = nullptr;
+  i32 nodes = 32;
+  Kind kind = Kind::kRips;
+  double rid_u = 0.4;
+  core::RipsConfig config;
+  const sim::FaultPlan* fault_plan = nullptr;  // RIPS only
+  /// Record a per-run Perfetto session (RunResult::trace). Off by default:
+  /// a 32-node session is tens of MB, so sweeps enable it only for the
+  /// runs whose trace they actually export.
+  bool collect_trace = false;
+  /// Attach a per-run InvariantMonitor (RIPS only, like the harness).
+  bool monitor = false;
+  /// Optional relative cost estimate (any unit). The executor starts
+  /// expensive runs first so the longest run does not begin last and
+  /// stretch the sweep's tail; purely a scheduling hint — results are
+  /// committed in descriptor order either way.
+  double cost_hint = 0.0;
+};
+
+struct RunResult {
+  StrategyRun run;
+  bool ok = false;        ///< false => `error` holds the what() of the run
+  std::string error;
+  bool monitors_ok = true;
+  std::string monitor_report;  ///< only populated when monitors_ok is false
+  std::shared_ptr<obs::TraceSession> trace;  ///< when collect_trace was set
+};
+
+/// Executes every descriptor on up to `jobs` threads (<= 0: all hardware
+/// threads) and returns results in descriptor order. A run that throws a
+/// std::exception yields ok == false with the message captured — sibling
+/// runs are unaffected. Output is byte-for-byte independent of `jobs`.
+std::vector<RunResult> run_sweep(const std::vector<RunDescriptor>& descriptors,
+                                 i32 jobs);
+
+/// Builds the selected workload specs in parallel, committing in spec
+/// order (workload construction dominates full-suite wall clock, so the
+/// --jobs speedup comes from here as much as from the runs).
+std::vector<apps::Workload> build_workloads(
+    const std::vector<apps::WorkloadSpec>& specs, i32 jobs);
+
+}  // namespace rips::sweep

@@ -442,26 +442,19 @@ SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
                                         SimTime* lost_work_ns) {
   NodeRt& n = nodes_[static_cast<size_t>(node)];
   const bool apply = mode == PhaseMode::kCommit;
-  std::deque<TaskId> scratch;
-  std::deque<TaskId>* queue;
+  sim::TaskQueue* queue;
   if (apply) {
     queue = &n.rte;
   } else {
-    scratch = n.rte;
-    queue = &scratch;
+    scratch_rte_.assign(n.rte);
+    queue = &scratch_rte_;
   }
   const bool lazy = config_.local == LocalPolicy::kLazy;
 
   SimTime now = start_t;
   while (!queue->empty() && now < stop_t) {
-    TaskId task;
-    if (config_.lifo_execution) {
-      task = queue->back();
-      queue->pop_back();
-    } else {
-      task = queue->front();
-      queue->pop_front();
-    }
+    const TaskId task =
+        config_.lifo_execution ? queue->pop_back() : queue->pop_front();
     SimTime work = cost_.work_time(trace_->task(task).work);
     if (injector_.has_value()) work = injector_->scaled_work(node, now, work);
     now += work;

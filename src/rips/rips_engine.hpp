@@ -37,7 +37,6 @@
 // plan attached.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -51,6 +50,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/fault.hpp"
 #include "sim/metrics.hpp"
+#include "sim/task_queue.hpp"
 #include "sim/timeline.hpp"
 #include "topo/live_view.hpp"
 #include "util/types.hpp"
@@ -125,7 +125,7 @@ class RipsEngine {
 
  private:
   struct NodeRt {
-    std::deque<TaskId> rte;    // ready to execute
+    sim::TaskQueue rte;        // ready to execute
     std::vector<TaskId> rts;   // ready to schedule (eager policy)
     SimTime busy_ns = 0;
     SimTime ovh_ns = 0;
@@ -173,6 +173,7 @@ class RipsEngine {
 
   const apps::TaskTrace* trace_ = nullptr;
   std::vector<NodeRt> nodes_;
+  sim::TaskQueue scratch_rte_;  // measuring-pass clone, reused across calls
   std::vector<NodeId> origin_;
   std::vector<NodeId> exec_node_;
   u64 executed_total_ = 0;

@@ -11,12 +11,13 @@ namespace {
 
 /// The eta/gamma recurrence of Figure 3, shared by the d- and u-vector
 /// computations. `delta[k] = w[k] - q[k]` is the surplus at column k.
-/// Returns per-column send amounts whose sum is exactly `amount`; a column
-/// never sends more than max(0, delta[k]) (so sends are physically backed
-/// by the sender's holdings and only surplus tasks leave their node, which
-/// is what makes the algorithm locality-optimal).
-std::vector<i64> eta_gamma_sends(const std::vector<i64>& delta, i64 amount) {
-  std::vector<i64> send(delta.size(), 0);
+/// Fills `send` with per-column send amounts whose sum is exactly
+/// `amount`; a column never sends more than max(0, delta[k]) (so sends are
+/// physically backed by the sender's holdings and only surplus tasks leave
+/// their node, which is what makes the algorithm locality-optimal).
+void eta_gamma_sends(const std::vector<i64>& delta, i64 amount,
+                     std::vector<i64>& send) {
+  send.assign(delta.size(), 0);
   i64 eta = amount;  // tasks still to send out of this row
   i64 gamma = 0;     // unmet deficit of columns to the left
   for (size_t k = 0; k < delta.size(); ++k) {
@@ -26,7 +27,6 @@ std::vector<i64> eta_gamma_sends(const std::vector<i64>& delta, i64 amount) {
     eta -= d;
   }
   RIPS_CHECK_MSG(eta == 0, "row lacked surplus to satisfy its vertical quota");
-  return send;
 }
 
 }  // namespace
@@ -49,7 +49,8 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
   // Row scans, column scan-with-sum, broadcast of wavg/R, spread of s/t.
   // Serially we just compute the sums; the step cost is the paper's.
   i64 total = 0;
-  std::vector<i64> t(static_cast<size_t>(n1), 0);  // t_i = sum of rows 0..i
+  std::vector<i64>& t = scratch_.t;  // t_i = sum of rows 0..i
+  t.assign(static_cast<size_t>(n1), 0);
   for (i32 i = 0; i < n1; ++i) {
     i64 s = 0;
     for (i32 j = 0; j < n2; ++j) s += w(i, j);
@@ -66,7 +67,8 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
   const i64 wavg = total / n;
   const i64 remainder = total % n;
   // Row-accumulation quota Q_i = quota of the submesh rows 0..i.
-  std::vector<i64> big_q(static_cast<size_t>(n1));
+  std::vector<i64>& big_q = scratch_.big_q;
+  big_q.assign(static_cast<size_t>(n1), 0);
   for (i32 i = 0; i < n1; ++i) {
     const i64 filled = static_cast<i64>(i + 1) * n2;
     big_q[static_cast<size_t>(i)] =
@@ -75,7 +77,8 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
 
   // y_i > 0: rows 0..i are overloaded and send y_i tasks to row i+1.
   // y_i < 0: rows 0..i are underloaded and receive |y_i| from row i+1.
-  std::vector<i64> y(static_cast<size_t>(n1), 0);
+  std::vector<i64>& y = scratch_.y;
+  y.assign(static_cast<size_t>(n1), 0);
   for (i32 i = 0; i < n1; ++i) {
     y[static_cast<size_t>(i)] = t[static_cast<size_t>(i)] - big_q[static_cast<size_t>(i)];
   }
@@ -86,7 +89,8 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
   // matters: receipts from row i-1 must land before row i computes its
   // d vector. The lock-step round of each send is the length of the
   // consecutive chain of sending rows that feeds it.
-  std::vector<i64> delta(static_cast<size_t>(n2));
+  std::vector<i64>& delta = scratch_.delta;
+  delta.assign(static_cast<size_t>(n2), 0);
   i32 step4_down = 0;
   {
     i32 chain = 0;
@@ -94,8 +98,8 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
       if (y[static_cast<size_t>(i)] > 0) {
         chain += 1;
         for (i32 j = 0; j < n2; ++j) delta[static_cast<size_t>(j)] = w(i, j) - q(i, j);
-        const std::vector<i64> d =
-            eta_gamma_sends(delta, y[static_cast<size_t>(i)]);
+        const std::vector<i64>& d = scratch_.send;
+        eta_gamma_sends(delta, y[static_cast<size_t>(i)], scratch_.send);
         for (i32 j = 0; j < n2; ++j) {
           const i64 amount = d[static_cast<size_t>(j)];
           if (amount == 0) continue;
@@ -120,8 +124,8 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
       if (y[static_cast<size_t>(i - 1)] < 0) {
         chain += 1;
         for (i32 j = 0; j < n2; ++j) delta[static_cast<size_t>(j)] = w(i, j) - q(i, j);
-        const std::vector<i64> u =
-            eta_gamma_sends(delta, -y[static_cast<size_t>(i - 1)]);
+        const std::vector<i64>& u = scratch_.send;
+        eta_gamma_sends(delta, -y[static_cast<size_t>(i - 1)], scratch_.send);
         for (i32 j = 0; j < n2; ++j) {
           const i64 amount = u[static_cast<size_t>(j)];
           if (amount == 0) continue;
@@ -159,13 +163,15 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
   // bounds the step count by n2.
   i32 step5_rounds = 0;
   for (i32 i = 0; i < n1; ++i) {
-    std::vector<i64> flow(static_cast<size_t>(n2), 0);  // flow[b], b>=1
+    std::vector<i64>& flow = scratch_.flow;  // flow[b], b>=1
+    flow.assign(static_cast<size_t>(n2), 0);
     i64 prefix = 0;
     for (i32 b = 1; b < n2; ++b) {
       prefix += w(i, b - 1) - q(i, b - 1);
       flow[static_cast<size_t>(b)] = prefix;
     }
-    std::vector<i64> hold(static_cast<size_t>(n2));
+    std::vector<i64>& hold = scratch_.hold;
+    hold.assign(static_cast<size_t>(n2), 0);
     for (i32 j = 0; j < n2; ++j) hold[static_cast<size_t>(j)] = w(i, j);
 
     i32 round = 0;
@@ -175,8 +181,10 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
       ++round;
       RIPS_CHECK_MSG(round <= n2 + 1, "step 5 failed to settle in n2 rounds");
       // Decide all sends against start-of-round holdings.
-      std::vector<i64> reserved(static_cast<size_t>(n2), 0);
-      std::vector<Transfer> batch;
+      std::vector<i64>& reserved = scratch_.reserved;
+      reserved.assign(static_cast<size_t>(n2), 0);
+      std::vector<Transfer>& batch = scratch_.batch;
+      batch.clear();
       for (i32 b = 1; b < n2; ++b) {
         i64& f = flow[static_cast<size_t>(b)];
         if (f == 0) continue;

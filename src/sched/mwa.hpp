@@ -17,6 +17,8 @@
 //   Lemma 2  — for N <= 4 the link cost (sum e_k) is the optimum.
 #pragma once
 
+#include <vector>
+
 #include "sched/scheduler.hpp"
 #include "topo/topology.hpp"
 
@@ -34,6 +36,24 @@ class Mwa final : public ParallelScheduler {
 
  private:
   topo::Mesh mesh_;
+
+  // Reusable scratch arena: RIPS calls schedule() every system phase, and
+  // the row/column working vectors are the same size every time — keeping
+  // them as members turns a dozen allocations per phase into none after
+  // the first call. Purely storage reuse; the computed values are
+  // identical to freshly allocated vectors.
+  struct Scratch {
+    std::vector<i64> t;         // t_i prefix row sums
+    std::vector<i64> big_q;     // Q_i row-accumulation quotas
+    std::vector<i64> y;         // vertical boundary flows
+    std::vector<i64> delta;     // per-column surplus of the working row
+    std::vector<i64> send;      // eta/gamma per-column send amounts
+    std::vector<i64> flow;      // step-5 per-boundary pending flow
+    std::vector<i64> hold;      // step-5 per-column holdings
+    std::vector<i64> reserved;  // step-5 per-round reserved sends
+    std::vector<Transfer> batch;
+  };
+  Scratch scratch_;
 };
 
 }  // namespace rips::sched

@@ -2,7 +2,11 @@
 // derived run metrics and the timeline recorder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "apps/nqueens.hpp"
 #include "balance/engine.hpp"
@@ -12,6 +16,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
+#include "sim/task_queue.hpp"
 #include "sim/timeline.hpp"
 #include "topo/topology.hpp"
 
@@ -66,6 +71,112 @@ TEST(EventQueue, NextTimePeeks) {
   q.push(3, 1);
   EXPECT_EQ(q.next_time(), 3);
   EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, PopMovesMoveOnlyPayloads) {
+  // pop() must move the payload out, not copy it — unique_ptr would not
+  // compile against a copying implementation.
+  EventQueue<std::unique_ptr<int>> q;
+  q.push(20, std::make_unique<int>(2));
+  q.push(10, std::make_unique<int>(1));
+  EXPECT_EQ(*q.pop().payload, 1);
+  EXPECT_EQ(*q.pop().payload, 2);
+}
+
+TEST(EventQueue, QuaternaryHeapKeepsTotalOrderUnderChurn) {
+  // Deterministic pseudo-random interleaving of pushes and pops; the
+  // (time, seq) order must match a reference sort whatever the heap arity.
+  EventQueue<int> q;
+  q.reserve(256);
+  std::vector<std::pair<SimTime, int>> reference;
+  u64 state = 12345;
+  int id = 0;
+  std::vector<int> popped;
+  for (int round = 0; round < 500; ++round) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const SimTime t = static_cast<SimTime>((state >> 33) % 64);
+    q.push(t, id);
+    reference.push_back({t, id});
+    ++id;
+    if (round % 3 == 2) popped.push_back(q.pop().payload);
+  }
+  while (!q.empty()) popped.push_back(q.pop().payload);
+  // Overall pop sequence need not be globally sorted (pops interleave
+  // with pushes), but draining the rest must come out in (time, seq)
+  // order among the remaining events; easiest full check: re-run all
+  // events through a fresh queue and compare with a stable sort.
+  EventQueue<int> q2;
+  for (const auto& [t, v] : reference) q2.push(t, v);
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [t, v] : reference) {
+    const auto e = q2.pop();
+    EXPECT_EQ(e.time, t);
+    EXPECT_EQ(e.payload, v);
+  }
+  EXPECT_EQ(popped.size(), reference.size());
+}
+
+TEST(EventQueue, ClearResetsTieBreakSequence) {
+  EventQueue<int> q;
+  q.push(5, 1);
+  q.clear();
+  q.push(5, 2);
+  q.push(5, 3);
+  EXPECT_EQ(q.pop().payload, 2);  // seq restarted: insertion order holds
+  EXPECT_EQ(q.pop().payload, 3);
+}
+
+// ----------------------------------------------------------- TaskQueue
+
+TEST(TaskQueue, FifoAndLifoEnds) {
+  TaskQueue q;
+  for (TaskId t = 0; t < 10; ++t) q.push_back(t);
+  EXPECT_EQ(q.size(), 10u);
+  EXPECT_EQ(q.front(), 0u);
+  EXPECT_EQ(q.back(), 9u);
+  EXPECT_EQ(q.pop_front(), 0u);
+  EXPECT_EQ(q.pop_back(), 9u);
+  EXPECT_EQ(q.size(), 8u);
+}
+
+TEST(TaskQueue, CompactionPreservesFifoOrder) {
+  // Interleave pushes and pops far past the compaction threshold; the
+  // observable sequence must be exactly a FIFO's.
+  TaskQueue q;
+  TaskId next_in = 0;
+  TaskId next_out = 0;
+  for (int round = 0; round < 2000; ++round) {
+    q.push_back(next_in++);
+    q.push_back(next_in++);
+    ASSERT_EQ(q.pop_front(), next_out++);
+  }
+  while (!q.empty()) ASSERT_EQ(q.pop_front(), next_out++);
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(TaskQueue, IterationSeesExactlyTheQueuedTasks) {
+  TaskQueue q;
+  for (TaskId t = 0; t < 50; ++t) q.push_back(t);
+  for (int i = 0; i < 20; ++i) q.pop_front();
+  std::vector<TaskId> seen(q.begin(), q.end());
+  ASSERT_EQ(seen.size(), 30u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 20 + i);
+}
+
+TEST(TaskQueue, AssignClonesContentReusingStorage) {
+  TaskQueue source;
+  for (TaskId t = 100; t < 110; ++t) source.push_back(t);
+  source.pop_front();  // head offset must not leak into the clone
+
+  TaskQueue scratch;
+  for (int reuse = 0; reuse < 3; ++reuse) {
+    scratch.assign(source);
+    ASSERT_EQ(scratch.size(), source.size());
+    EXPECT_EQ(scratch.pop_front(), 101u);
+    EXPECT_EQ(scratch.pop_back(), 109u);
+  }
+  EXPECT_EQ(source.size(), 9u);  // source untouched
 }
 
 // ----------------------------------------------------------- metrics

@@ -1,0 +1,267 @@
+// Sweep executor (src/exec/sweep): the determinism contract — results are
+// committed in descriptor order and are byte-identical for any job count —
+// plus the fork-join failure semantics (every index runs; the lowest
+// failing index's exception is rethrown; one run's failure never poisons
+// its siblings). Runs multi-threaded on purpose: the CI TSan job executes
+// this binary to certify the executor data-race-free.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "exec/sweep/runner.hpp"
+#include "exec/sweep/sweep.hpp"
+
+namespace rips::sweep {
+namespace {
+
+// --------------------------------------------------------- parallel_for
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  constexpr size_t kCount = 100;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, 8, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  parallel_for(0, 4, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, AdversarialLatencyStillCommitsBySlot) {
+  // Early indices sleep longest, so completion order is roughly the
+  // REVERSE of index order — each result must still land in its own slot.
+  constexpr size_t kCount = 16;
+  std::vector<int> out(kCount, -1);
+  parallel_for(kCount, 8, [&](size_t i) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(200 * (kCount - i)));
+    out[i] = static_cast<int>(i) * 7;
+  });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(out[i], static_cast<int>(i) * 7);
+}
+
+TEST(ParallelFor, ExceptionDoesNotPoisonSiblings) {
+  constexpr size_t kCount = 32;
+  std::vector<std::atomic<int>> hits(kCount);
+  const auto body = [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    if (i == 9 || i == 3 || i == 20) {
+      throw std::runtime_error("boom " + std::to_string(i));
+    }
+  };
+  try {
+    parallel_for(kCount, 8, body);
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    // Deterministic: the LOWEST failing index wins, regardless of which
+    // thread hit its exception first.
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, InlinePathHasTheSameFailureContract) {
+  std::vector<int> ran;
+  try {
+    parallel_for(5, 1, [&](size_t i) {
+      ran.push_back(static_cast<int>(i));
+      if (i >= 2) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 2");
+  }
+  EXPECT_EQ(ran.size(), 5u);  // siblings after the throw still ran
+}
+
+TEST(ParallelFor, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_GE(resolve_jobs(-1), 1);
+}
+
+// ----------------------------------------------------------- run_sweep
+
+apps::Workload small_workload(u64 seed) {
+  apps::SyntheticConfig config;
+  config.num_roots = 200;
+  config.spawn_prob = 0.4;
+  config.max_depth = 3;
+  apps::Workload w;
+  w.group = "Synthetic";
+  w.name = "sweep-test-" + std::to_string(seed);
+  w.trace = apps::build_synthetic_trace(config, seed);
+  w.cost.ns_per_work = 2000.0;
+  return w;
+}
+
+std::vector<RunDescriptor> mixed_descriptors(const apps::Workload& a,
+                                             const apps::Workload& b) {
+  std::vector<RunDescriptor> descriptors;
+  for (const apps::Workload* w : {&a, &b}) {
+    for (const Kind kind :
+         {Kind::kRips, Kind::kRandom, Kind::kGradient, Kind::kRid, Kind::kSid}) {
+      RunDescriptor d;
+      d.workload = w;
+      d.nodes = 16;
+      d.kind = kind;
+      d.monitor = true;
+      descriptors.push_back(d);
+    }
+  }
+  // RIPS policy variant with a different config, to cover config plumbing.
+  RunDescriptor d;
+  d.workload = &a;
+  d.nodes = 16;
+  d.kind = Kind::kRips;
+  d.config.lifo_execution = true;
+  descriptors.push_back(d);
+  return descriptors;
+}
+
+TEST(RunSweep, RegistriesAreIdenticalForAnyJobCount) {
+  const apps::Workload a = small_workload(1);
+  const apps::Workload b = small_workload(2);
+  const auto descriptors = mixed_descriptors(a, b);
+
+  const auto serial = run_sweep(descriptors, 1);
+  const auto wide = run_sweep(descriptors, 8);
+  ASSERT_EQ(serial.size(), descriptors.size());
+  ASSERT_EQ(wide.size(), descriptors.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    ASSERT_TRUE(wide[i].ok) << wide[i].error;
+    EXPECT_EQ(serial[i].run.strategy, wide[i].run.strategy) << i;
+    EXPECT_EQ(serial[i].run.metrics.makespan_ns, wide[i].run.metrics.makespan_ns)
+        << i;
+    // The registry JSON covers every counter, histogram and per-phase
+    // snapshot — byte equality here is the determinism contract.
+    EXPECT_EQ(serial[i].run.registry.to_json(), wide[i].run.registry.to_json())
+        << i;
+    EXPECT_TRUE(serial[i].monitors_ok) << serial[i].monitor_report;
+    EXPECT_TRUE(wide[i].monitors_ok) << wide[i].monitor_report;
+  }
+}
+
+TEST(RunSweep, CostHintsReorderExecutionButNotResults) {
+  const apps::Workload a = small_workload(3);
+  const apps::Workload b = small_workload(4);
+  auto descriptors = mixed_descriptors(a, b);
+  const auto plain = run_sweep(descriptors, 4);
+  // Reversed start order: hints only schedule, never change commitments.
+  for (size_t i = 0; i < descriptors.size(); ++i) {
+    descriptors[i].cost_hint = static_cast<double>(i);
+  }
+  const auto hinted = run_sweep(descriptors, 4);
+  ASSERT_EQ(plain.size(), hinted.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_TRUE(plain[i].ok && hinted[i].ok);
+    EXPECT_EQ(plain[i].run.registry.to_json(), hinted[i].run.registry.to_json())
+        << i;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(RunSweep, PerRunTracesAreIdenticalForAnyJobCount) {
+  const apps::Workload a = small_workload(5);
+  std::vector<RunDescriptor> descriptors;
+  for (const Kind kind : {Kind::kRips, Kind::kRid}) {
+    RunDescriptor d;
+    d.workload = &a;
+    d.nodes = 8;
+    d.kind = kind;
+    d.collect_trace = true;
+    descriptors.push_back(d);
+  }
+  const auto serial = run_sweep(descriptors, 1);
+  const auto wide = run_sweep(descriptors, 8);
+  for (size_t i = 0; i < descriptors.size(); ++i) {
+    ASSERT_TRUE(serial[i].trace != nullptr);
+    ASSERT_TRUE(wide[i].trace != nullptr);
+    const std::string p1 =
+        testing::TempDir() + "sweep_trace_serial_" + std::to_string(i) + ".json";
+    const std::string p2 =
+        testing::TempDir() + "sweep_trace_wide_" + std::to_string(i) + ".json";
+    ASSERT_TRUE(serial[i].trace->write_json(p1));
+    ASSERT_TRUE(wide[i].trace->write_json(p2));
+    EXPECT_EQ(slurp(p1), slurp(p2)) << i;
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+  }
+}
+
+TEST(RunSweep, AFailingRunDoesNotPoisonItsSiblings) {
+  const apps::Workload a = small_workload(6);
+  std::vector<RunDescriptor> descriptors;
+  for (int i = 0; i < 6; ++i) {
+    RunDescriptor d;
+    d.workload = &a;
+    d.nodes = 8;
+    d.kind = Kind::kRips;
+    descriptors.push_back(d);
+  }
+  descriptors[2].workload = nullptr;  // invalid => this run throws
+  const auto results = run_sweep(descriptors, 4);
+  ASSERT_EQ(results.size(), 6u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(results[i].ok);
+      EXPECT_NE(results[i].error.find("lacks a workload"), std::string::npos)
+          << results[i].error;
+    } else {
+      EXPECT_TRUE(results[i].ok) << results[i].error;
+      EXPECT_GT(results[i].run.metrics.num_tasks, 0u);
+    }
+  }
+}
+
+TEST(RunSweep, MatchesDirectRunStrategy) {
+  const apps::Workload a = small_workload(7);
+  RunDescriptor d;
+  d.workload = &a;
+  d.nodes = 16;
+  d.kind = Kind::kRips;
+  const auto results = run_sweep({d}, 2);
+  ASSERT_TRUE(results[0].ok);
+  const StrategyRun direct = run_strategy(a, 16, Kind::kRips);
+  EXPECT_EQ(direct.metrics.makespan_ns, results[0].run.metrics.makespan_ns);
+  EXPECT_EQ(direct.registry.to_json(), results[0].run.registry.to_json());
+}
+
+// ------------------------------------------------------ build_workloads
+
+TEST(BuildWorkloads, ParallelBuildMatchesSerialBuild) {
+  std::vector<apps::WorkloadSpec> specs;
+  for (u64 seed : {10, 11, 12, 13}) {
+    specs.push_back({"Synthetic", "spec-" + std::to_string(seed),
+                     [seed] { return small_workload(seed); }});
+  }
+  const auto serial = build_workloads(specs, 1);
+  const auto wide = build_workloads(specs, 4);
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(wide.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(serial[i].name, wide[i].name);
+    ASSERT_EQ(serial[i].trace.size(), wide[i].trace.size());
+  }
+}
+
+}  // namespace
+}  // namespace rips::sweep
