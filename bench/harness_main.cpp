@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/trace_io.hpp"
 #include "harness.hpp"
 #include "obs/json.hpp"
 #include "util/args.hpp"
@@ -129,13 +130,18 @@ int main(int argc, char** argv) {
         "  [--nodes=32] [--strategy=rips|random|gradient|rid|sid|all]\n"
         "  [--policy={any,all}-{lazy,eager}] [--quick=1] [--rid-u=0.4]\n"
         "  [--monitors=1] [--jobs=1] [--json[=BENCH_core.json]]\n"
-        "  [--trace-out=path]\n"
+        "  [--trace-out=path] [--trace-cache=DIR]\n"
         "emits the rips-bench-v1 JSON document (see docs/OBSERVABILITY.md);\n"
         "validate with bench/check_bench_json. --jobs=N parallelizes the\n"
-        "sweep (0 = all hardware threads); output is identical for any N.\n");
+        "sweep (0 = all hardware threads); output is identical for any N.\n"
+        "--trace-cache=DIR caches the expensive application traces under\n"
+        "DIR across invocations (overrides the RIPS_TRACE_CACHE env var).\n");
     return 0;
   }
 
+  if (args.has("trace-cache")) {
+    apps::set_trace_cache_dir(args.get("trace-cache", ""));
+  }
   const bool quick = args.get_bool("quick", true);
   const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));
   const i32 jobs = static_cast<i32>(args.get_int("jobs", 1));

@@ -188,6 +188,78 @@ BENCHMARK(BM_TaskQueueAssignClone)
     ->Range(16, 4096)
     ->Complexity();
 
+// End-of-phase checkpoint snapshot, CSR layout (what RipsEngine ships):
+// one offsets array + one flat task array, both reused across phases, so
+// the steady-state rebuild is two assigns and a bulk copy — zero
+// allocations once warm, and the flat array is a single cache stream.
+void BM_PhaseCheckpointCsr(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  constexpr size_t kTasksPerNode = 32;
+  std::vector<std::vector<TaskId>> rte(n);
+  for (size_t p = 0; p < n; ++p) {
+    rte[p].assign(kTasksPerNode, static_cast<TaskId>(p));
+  }
+  std::vector<size_t> offsets;
+  std::vector<TaskId> tasks;
+  for (auto _ : state) {
+    offsets.assign(n + 1, 0);
+    tasks.clear();
+    for (size_t p = 0; p < n; ++p) {
+      tasks.insert(tasks.end(), rte[p].begin(), rte[p].end());
+      offsets[p + 1] = tasks.size();
+    }
+    benchmark::DoNotOptimize(tasks.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PhaseCheckpointCsr)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+
+// The layout the CSR replaced: a vector-of-vectors rebuilt every phase.
+// clear() keeps the outer buffer but every per-node copy still manages an
+// inner vector — n little capacity checks and scattered heap blocks
+// instead of one flat stream.
+void BM_PhaseCheckpointNested(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  constexpr size_t kTasksPerNode = 32;
+  std::vector<std::vector<TaskId>> rte(n);
+  for (size_t p = 0; p < n; ++p) {
+    rte[p].assign(kTasksPerNode, static_cast<TaskId>(p));
+  }
+  std::vector<std::vector<TaskId>> snapshot;
+  for (auto _ : state) {
+    snapshot.resize(n);
+    for (size_t p = 0; p < n; ++p) {
+      snapshot[p].assign(rte[p].begin(), rte[p].end());
+    }
+    benchmark::DoNotOptimize(snapshot.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PhaseCheckpointNested)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+
+// Cold scheduler cost: construct + first schedule every iteration. The
+// delta against BM_Mwa (same n, warm arenas) is what the reusable
+// ScheduleResult/scratch members buy each system phase.
+void BM_MwaColdConstruct(benchmark::State& state) {
+  const auto n = static_cast<i32>(state.range(0));
+  const auto load = random_load(n, 50, 9);
+  for (auto _ : state) {
+    auto sched = sched::make_scheduler("mwa", n);
+    benchmark::DoNotOptimize(sched->schedule(load));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MwaColdConstruct)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
 // Cost of an instrumentation site when tracing is off vs on. The engines
 // call obs::span() on every task / phase; the disabled case must be a
 // null-check and nothing else, so attaching no trace session keeps the

@@ -1,0 +1,261 @@
+// scale_sweep — the scaling frontier suite (docs/PERFORMANCE.md, Scaling).
+//
+// Runs the `scale` synthetic preset (apps::scale_config) under RIPS at
+// nodes in {128, 512, 2048, 4096}, both strong scaling (one ~1M-task trace
+// across every machine size) and weak scaling (~256 tasks per node), and
+// emits a rips-bench-v1 JSON document. The committed baseline is
+// BENCH_scale.json; CI's nightly job regenerates it and gates the diff
+// with bench_diff, exactly like BENCH_core/BENCH_full.
+//
+// Two kinds of output, deliberately separated:
+//   stdout + --json   simulated metrics only — deterministic, byte-
+//                     identical for any --jobs, safe to commit and diff;
+//   stderr            host-side throughput (simulated tasks per wall-
+//                     second), the metric perf PRs are judged on. Wall
+//                     clock is the one thing allowed to vary run-to-run.
+//
+// --full-measure re-enables the engine's original O(subtree) measuring
+// pass so the same binary can time the old path against the drain-sum fast
+// path (the results are bit-identical either way; only the wall differs).
+//
+// Examples:
+//   ./scale_sweep --json=BENCH_scale.json          # full suite (nightly)
+//   ./scale_sweep --quick=1                        # CI smoke: 2048 nodes
+//   ./scale_sweep --full-measure=1                 # time the legacy path
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "apps/trace_io.hpp"
+#include "harness.hpp"
+#include "obs/json.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace rips;
+
+struct ScalePoint {
+  std::string group;    // "strong-scaling" / "weak-scaling"
+  i32 nodes = 0;
+  u64 target_tasks = 0;
+  size_t workload = 0;  // index into the built workload vector
+};
+
+struct RunRecord {
+  std::string workload;
+  std::string group;
+  std::string scheduler;
+  std::string policy;
+  i32 nodes = 0;
+  bool monitors_ok = true;
+  sim::RunMetrics metrics;
+  std::string registry_json;
+};
+
+std::string to_json(const std::vector<RunRecord>& runs, bool quick,
+                    i32 max_nodes) {
+  using obs::json::quoted;
+  std::string out = "{";
+  out += "\"schema\":\"rips-bench-v1\",";
+  out += "\"suite\":\"scale\",";
+  out += "\"quick\":" + std::string(quick ? "true" : "false") + ",";
+  out += "\"nodes\":" + std::to_string(max_nodes) + ",";
+  out += "\"runs\":[";
+  char buf[64];
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    const sim::RunMetrics& m = r.metrics;
+    if (i > 0) out += ",";
+    out += "{";
+    out += "\"workload\":" + quoted(r.workload) + ",";
+    out += "\"group\":" + quoted(r.group) + ",";
+    out += "\"scheduler\":" + quoted(r.scheduler) + ",";
+    out += "\"policy\":" + quoted(r.policy) + ",";
+    out += "\"nodes\":" + std::to_string(r.nodes) + ",";
+    out += "\"tasks\":" + std::to_string(m.num_tasks) + ",";
+    out += "\"makespan_ns\":" + std::to_string(m.makespan_ns) + ",";
+    out += "\"sequential_ns\":" + std::to_string(m.sequential_ns) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.efficiency());
+    out += "\"efficiency\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.3f", m.speedup());
+    out += "\"speedup\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.overhead_s());
+    out += "\"overhead_s\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.idle_s());
+    out += "\"idle_s\":" + std::string(buf) + ",";
+    out += "\"nonlocal_tasks\":" + std::to_string(m.nonlocal_tasks) + ",";
+    out += "\"system_phases\":" + std::to_string(m.system_phases) + ",";
+    out += "\"monitors_ok\":" + std::string(r.monitors_ok ? "true" : "false") +
+           ",";
+    out += "\"metrics\":" + r.registry_json;
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: scale_sweep [--quick=0] [--jobs=1]\n"
+        "  [--json[=BENCH_scale.json]] [--full-measure=0]\n"
+        "  [--trace-cache=DIR]\n"
+        "strong + weak scaling of RIPS on the `scale` synthetic preset at\n"
+        "nodes in {128, 512, 2048, 4096} (quick: one 2048-node ~100k-task\n"
+        "strong point for CI smoke). stdout/--json carry simulated metrics\n"
+        "only (byte-identical for any --jobs); host-side throughput goes\n"
+        "to stderr. --full-measure times the legacy O(subtree) measuring\n"
+        "pass instead of the drain-sum fast path (identical results).\n");
+    return 0;
+  }
+  args.check_known({"help", "quick", "jobs", "json", "full-measure",
+                    "trace-cache"});
+  if (args.has("trace-cache")) {
+    apps::set_trace_cache_dir(args.get("trace-cache", ""));
+  }
+  const bool quick = args.get_bool("quick", false);
+  const i32 jobs = static_cast<i32>(args.get_int("jobs", 1));
+  const bool full_measure = args.get_bool("full-measure", false);
+
+  // The suite: strong scaling re-runs one trace at every machine size;
+  // weak scaling grows the trace with the machine (~256 tasks per node,
+  // hitting ~1M tasks at 4096 nodes — the tentpole scale point).
+  const std::vector<i32> node_counts =
+      quick ? std::vector<i32>{2048} : std::vector<i32>{128, 512, 2048, 4096};
+  const u64 strong_target = quick ? 102'400 : 1'048'576;
+  std::vector<ScalePoint> points;
+  for (i32 n : node_counts) {
+    points.push_back({"strong-scaling", n, strong_target, 0});
+  }
+  if (!quick) {
+    for (i32 n : node_counts) {
+      points.push_back({"weak-scaling", n, static_cast<u64>(n) * 256, 0});
+    }
+  }
+
+  // Build each distinct trace size once (shared read-only across runs).
+  std::vector<u64> targets;
+  for (const ScalePoint& p : points) targets.push_back(p.target_tasks);
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  std::vector<apps::WorkloadSpec> specs;
+  for (u64 target : targets) {
+    apps::WorkloadSpec spec;
+    spec.group = "scale";
+    spec.name = "scale-" + std::to_string(target);
+    spec.build = [target]() {
+      apps::Workload w;
+      w.group = "scale";
+      w.name = "scale-" + std::to_string(target);
+      w.trace = apps::cached_trace(
+          "scale-" + std::to_string(target), [target] {
+            return apps::build_synthetic_trace(apps::scale_config(target),
+                                               /*seed=*/1);
+          });
+      w.cost.ns_per_work = 2000.0;
+      w.tasks_reported = w.trace.size();
+      return w;
+    };
+    specs.push_back(std::move(spec));
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<apps::Workload> workloads =
+      bench::build_workloads(specs, jobs);
+  const auto build_end = std::chrono::steady_clock::now();
+  for (ScalePoint& p : points) {
+    for (size_t w = 0; w < targets.size(); ++w) {
+      if (targets[w] == p.target_tasks) p.workload = w;
+    }
+  }
+
+  std::vector<bench::RunDescriptor> descriptors;
+  for (const ScalePoint& p : points) {
+    bench::RunDescriptor d;
+    d.workload = &workloads[p.workload];
+    d.nodes = p.nodes;
+    d.kind = bench::Kind::kRips;
+    // Snapshots off: the scaling suite runs the allocation-free
+    // steady-state configuration it exists to measure.
+    d.tuning.phase_snapshots = false;
+    d.tuning.full_measure = full_measure;
+    d.cost_hint = static_cast<double>(d.workload->trace.size());
+    descriptors.push_back(d);
+  }
+  const std::vector<bench::RunResult> results =
+      bench::run_sweep(descriptors, jobs);
+  const auto sweep_end = std::chrono::steady_clock::now();
+
+  std::vector<RunRecord> runs;
+  u64 total_tasks = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const bench::RunResult& r = results[i];
+    if (!r.ok) {
+      std::fprintf(stderr, "scale run failed: %s\n", r.error.c_str());
+      RIPS_CHECK_MSG(false, "a scale run threw; see stderr");
+    }
+    const ScalePoint& p = points[i];
+    RunRecord rec;
+    rec.workload = workloads[p.workload].name;
+    rec.group = p.group;
+    rec.scheduler = r.run.strategy;
+    rec.policy = "any-lazy";
+    rec.nodes = p.nodes;
+    rec.monitors_ok = r.monitors_ok;
+    rec.metrics = r.run.metrics;
+    rec.registry_json = r.run.registry.to_json();
+    total_tasks += r.run.metrics.num_tasks;
+    std::printf("%-14s %-14s nodes=%-5d tasks=%-8llu eff=%.3f "
+                "makespan=%.3fs phases=%llu\n",
+                rec.group.c_str(), rec.workload.c_str(), p.nodes,
+                static_cast<unsigned long long>(r.run.metrics.num_tasks),
+                r.run.metrics.efficiency(), r.run.metrics.exec_s(),
+                static_cast<unsigned long long>(
+                    r.run.metrics.system_phases));
+    runs.push_back(std::move(rec));
+  }
+
+  if (args.has("json")) {
+    std::string path = args.get("json", "BENCH_scale.json");
+    if (path.empty()) path = "BENCH_scale.json";
+    const i32 max_nodes =
+        *std::max_element(node_counts.begin(), node_counts.end());
+    std::ofstream out(path, std::ios::binary);
+    out << to_json(runs, quick, max_nodes) << "\n";
+    out.flush();
+    RIPS_CHECK_MSG(out.good(), "failed to write the scale JSON");
+    std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+  }
+
+  // Host-side throughput — stderr on purpose: stdout and the JSON must
+  // stay byte-identical across hosts and job counts; wall clock is the one
+  // thing allowed to differ. "Simulated tasks per wall-second" counts every
+  // task execution the sweep simulated against the sweep's wall time
+  // (trace construction excluded — it is cacheable and identical for old
+  // and new engine paths).
+  const auto ms = [](auto a, auto b) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(b - a)
+        .count();
+  };
+  const long long build_ms = ms(wall_start, build_end);
+  const long long sweep_ms = ms(build_end, sweep_end);
+  const double throughput =
+      sweep_ms > 0 ? static_cast<double>(total_tasks) * 1000.0 /
+                         static_cast<double>(sweep_ms)
+                   : 0.0;
+  std::fprintf(stderr,
+               "scale_sweep: build_ms=%lld sweep_ms=%lld tasks=%llu "
+               "throughput=%.0f tasks/s jobs=%d measure=%s\n",
+               build_ms, sweep_ms,
+               static_cast<unsigned long long>(total_tasks), throughput, jobs,
+               full_measure ? "full" : "fast");
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "apps/nqueens.hpp"
 #include "apps/puzzle.hpp"
 #include "apps/synthetic.hpp"
+#include "apps/trace_io.hpp"
 #include "exec/sweep/runner.hpp"
 #include "balance/engine.hpp"
 #include "balance/gradient.hpp"
@@ -86,6 +87,28 @@ apps::TaskTrace build_app(const Args& args, double& ns_per_work) {
   RIPS_CHECK_MSG(false,
                  "--app must be queens|ida|gromos|gauss|synthetic");
   return {};
+}
+
+/// Work-unit calibration per app, duplicated from build_app so a
+/// trace-cache hit (which skips build_app entirely) still calibrates.
+double default_ns_per_work(const std::string& app) {
+  if (app == "ida") return 9600.0;
+  if (app == "gromos") return 13000.0;
+  if (app == "gauss") return 10.0;
+  return 2000.0;  // queens, synthetic
+}
+
+/// Cache key for --trace-cache: the app plus every explicitly-passed
+/// parameter that shapes the trace. Distinct parameterizations get
+/// distinct files; re-running the same command line hits the cache.
+std::string trace_cache_key(const Args& args) {
+  std::string key = "cli-" + args.get("app", "queens");
+  for (const char* p :
+       {"n", "split", "config", "cutoff", "steps", "matrix", "block", "roots",
+        "spawn", "depth", "work-model", "mean-work", "segments", "seed"}) {
+    if (args.has(p)) key += std::string("-") + p + "=" + args.get(p, "");
+  }
+  return key;
 }
 
 core::RipsConfig parse_policy(const Args& args) {
@@ -196,7 +219,9 @@ int run_cli(const Args& args) {
         "  app params: --n --split (queens), --config (ida),\n"
         "  --cutoff --steps (gromos), --matrix --block (gauss),\n"
         "  --roots --spawn --depth --work-model --mean-work --segments\n"
-        "  --seed (synthetic)\n");
+        "  --seed (synthetic)\n"
+        "  [--trace-cache=DIR]  cache built traces under DIR (overrides\n"
+        "  the RIPS_TRACE_CACHE env var)\n");
     return 0;
   }
   args.check_known({
@@ -206,10 +231,15 @@ int run_cli(const Args& args) {
       "fault-horizon-ms", "n", "split", "config", "cutoff", "steps", "matrix",
       "block", "roots", "spawn", "depth", "work-model", "mean-work",
       "segments", "seed", "ns-per-work", "topo", "rid-u", "jobs",
+      "trace-cache",
   });
 
-  double ns_per_work = 2000.0;
-  const apps::TaskTrace trace = build_app(args, ns_per_work);
+  if (args.has("trace-cache")) {
+    apps::set_trace_cache_dir(args.get("trace-cache", ""));
+  }
+  double ns_per_work = default_ns_per_work(args.get("app", "queens"));
+  const apps::TaskTrace trace = apps::cached_trace(
+      trace_cache_key(args), [&] { return build_app(args, ns_per_work); });
   sim::CostModel cost;
   cost.ns_per_work = args.get_double("ns-per-work", ns_per_work);
   const i32 nodes = static_cast<i32>(args.get_int("nodes", 32));

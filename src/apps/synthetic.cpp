@@ -70,4 +70,20 @@ TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed) {
   return trace;
 }
 
+SyntheticConfig scale_config(u64 target_tasks) {
+  RIPS_CHECK(target_tasks >= 1);
+  SyntheticConfig c;
+  c.max_depth = 10;
+  c.spawn_prob = 0.82;
+  c.max_branch = 4;
+  c.mean_work = 600;
+  c.work_model = 2;  // exponential grains: the irregular case
+  c.num_segments = 1;
+  // Mean branching factor is 0.82 * (1+4)/2 = 2.05; a depth-10 subtree
+  // therefore averages ~2500 tasks. Size the forest to hit the target.
+  c.num_roots = static_cast<i32>(
+      std::max<u64>(1, (target_tasks + 1250) / 2500));
+  return c;
+}
+
 }  // namespace rips::apps

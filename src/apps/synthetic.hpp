@@ -22,4 +22,12 @@ struct SyntheticConfig {
 
 TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed);
 
+/// The `scale` preset: an irregular million-task-class workload for the
+/// scaling suite (bench/scale_sweep, the CI scale-smoke test). Returns a
+/// config whose expected trace size is close to `target_tasks` — a forest
+/// of ~2500-task exponential-grain subtrees, so peak generation memory is
+/// the trace itself plus one breadth-first spawn frontier (no per-segment
+/// or per-root vectors). Deterministic for a fixed (target, seed).
+SyntheticConfig scale_config(u64 target_tasks);
+
 }  // namespace rips::apps

@@ -5,7 +5,7 @@
 namespace rips::apps {
 
 void TaskTrace::begin_segment() {
-  roots_.emplace_back();
+  root_offsets_.push_back(roots_flat_.size());
   segment_work_.push_back(0);
 }
 
@@ -14,9 +14,10 @@ TaskId TaskTrace::add_root(u64 work) {
   TraceTask t;
   t.work = work;
   t.first_child = static_cast<u32>(children_.size());
-  t.segment = static_cast<u16>(roots_.size() - 1);
+  t.segment = static_cast<u16>(root_offsets_.size() - 2);
   tasks_.push_back(t);
-  roots_.back().push_back(id);
+  roots_flat_.push_back(id);
+  root_offsets_.back() = roots_flat_.size();
   segment_work_.back() += work;
   total_work_ += work;
   max_task_work_ = std::max(max_task_work_, work);

@@ -24,6 +24,31 @@
 
 namespace rips::apps {
 
+/// Lightweight view of one segment's root tasks (a span into the trace's
+/// flat CSR root array). Source-compatible with the `const
+/// std::vector<TaskId>&` it replaced: iteration, size/empty, indexing and
+/// equality all work; the view is only invalidated by mutating the trace.
+class RootSpan {
+ public:
+  RootSpan(const TaskId* data, size_t size) : data_(data), size_(size) {}
+  const TaskId* begin() const { return data_; }
+  const TaskId* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  TaskId operator[](size_t i) const { return data_[i]; }
+  friend bool operator==(const RootSpan& a, const RootSpan& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  const TaskId* data_;
+  size_t size_;
+};
+
 struct TraceTask {
   u64 work = 0;          ///< work units (application operations)
   u32 first_child = 0;   ///< offset into TaskTrace child array
@@ -56,9 +81,12 @@ class TaskTrace {
   }
   u32 num_children(TaskId id) const { return task(id).num_children; }
 
-  u32 num_segments() const { return static_cast<u32>(roots_.size()); }
-  const std::vector<TaskId>& roots(u32 segment) const {
-    return roots_[segment];
+  u32 num_segments() const {
+    return static_cast<u32>(root_offsets_.size() - 1);
+  }
+  RootSpan roots(u32 segment) const {
+    const size_t begin = root_offsets_[segment];
+    return {roots_flat_.data() + begin, root_offsets_[segment + 1] - begin};
   }
 
   u64 total_work() const { return total_work_; }
@@ -81,7 +109,12 @@ class TaskTrace {
   friend class TraceValidator;
   std::vector<TraceTask> tasks_;
   std::vector<TaskId> children_;
-  std::vector<std::vector<TaskId>> roots_{{}};
+  // Per-segment roots as flat CSR: roots_flat_[root_offsets_[s] ..
+  // root_offsets_[s+1]) are segment s's roots. Roots are only ever added
+  // to the newest segment, so append stays O(1). Segment 0 exists
+  // implicitly.
+  std::vector<TaskId> roots_flat_;
+  std::vector<size_t> root_offsets_{0, 0};
   std::vector<u64> segment_work_{0};
   u64 total_work_ = 0;
   u64 max_task_work_ = 0;

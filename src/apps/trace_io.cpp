@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -128,14 +129,28 @@ std::optional<TaskTrace> load_trace(const std::string& path) {
   return trace;
 }
 
+namespace {
+std::string g_trace_cache_dir;  // --trace-cache override; empty = use env
+}  // namespace
+
+void set_trace_cache_dir(const std::string& dir) { g_trace_cache_dir = dir; }
+
 TaskTrace cached_trace(const std::string& cache_key,
                        const std::function<TaskTrace()>& build) {
-  const char* dir = std::getenv("RIPS_TRACE_CACHE");
-  if (dir == nullptr || *dir == '\0') return build();
-  const std::string path = std::string(dir) + "/" + cache_key + ".trace";
+  std::string dir_str = g_trace_cache_dir;
+  if (dir_str.empty()) {
+    const char* dir = std::getenv("RIPS_TRACE_CACHE");
+    if (dir != nullptr) dir_str = dir;
+  }
+  if (dir_str.empty()) return build();
+  const std::string path = dir_str + "/" + cache_key + ".trace";
   if (auto cached = load_trace(path)) return std::move(*cached);
   TaskTrace trace = build();
-  // Failure to persist is not fatal: the trace is still correct.
+  // Failure to persist is not fatal: the trace is still correct. The
+  // cache directory is created on demand so a fresh --trace-cache=DIR
+  // works without setup.
+  std::error_code ec;
+  std::filesystem::create_directories(dir_str, ec);
   (void)save_trace(trace, path);
   return trace;
 }

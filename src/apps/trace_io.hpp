@@ -24,11 +24,17 @@ bool save_trace(const TaskTrace& trace, const std::string& path);
 /// malformed or fails its checksum.
 std::optional<TaskTrace> load_trace(const std::string& path);
 
-/// Cached build: if `cache_key` exists under the directory named by the
-/// RIPS_TRACE_CACHE environment variable, load it; otherwise invoke
-/// `build` and persist the result. With the variable unset this is just
-/// `build()`.
+/// Cached build: if `cache_key` exists under the trace-cache directory,
+/// load it; otherwise invoke `build` and persist the result. The directory
+/// is the programmatic override (set_trace_cache_dir, i.e. --trace-cache)
+/// when set, else the RIPS_TRACE_CACHE environment variable. With neither
+/// set this is just `build()`.
 TaskTrace cached_trace(const std::string& cache_key,
                        const std::function<TaskTrace()>& build);
+
+/// Overrides the trace-cache directory for subsequent cached_trace calls;
+/// takes precedence over RIPS_TRACE_CACHE. An empty string reverts to the
+/// environment variable.
+void set_trace_cache_dir(const std::string& dir);
 
 }  // namespace rips::apps

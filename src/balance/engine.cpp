@@ -65,6 +65,7 @@ void DynamicEngine::send_message(NodeId from, NodeId to, i32 kind, i64 a,
   RIPS_CHECK(from != to);
   NodeRt& sender = nodes_[static_cast<size_t>(from)];
   Message msg;
+  msg.tasks = acquire_task_buf();
   msg.kind = kind;
   msg.a = a;
   msg.b = b;
@@ -101,6 +102,7 @@ void DynamicEngine::send_message(NodeId from, NodeId to, i32 kind, i64 a,
 void DynamicEngine::send_spawned_task(NodeId from, NodeId to, TaskId task) {
   RIPS_CHECK(from != to);
   Message msg;
+  msg.tasks = acquire_task_buf();
   msg.kind = -1;  // pure migration, no strategy meaning
   msg.from = from;
   msg.tasks.push_back(task);
@@ -190,6 +192,7 @@ void DynamicEngine::deliver(NodeId node, Message msg, SimTime arrival) {
   }
   if (msg.kind >= 0) strategy_.on_message(*this, node, msg);
   maybe_start(node);
+  release_task_buf(std::move(msg.tasks));
 }
 
 void DynamicEngine::release_segment(u32 segment, SimTime at) {

@@ -119,6 +119,20 @@ class DynamicEngine {
   void release_segment(u32 segment, SimTime at);
   void after_queue_change(NodeId node);
 
+  /// Message payload buffers cycle through a free list: acquired when a
+  /// message is built, released (capacity kept) after delivery. In steady
+  /// state the per-steal message path allocates nothing.
+  std::vector<TaskId> acquire_task_buf() {
+    if (task_buf_pool_.empty()) return {};
+    std::vector<TaskId> buf = std::move(task_buf_pool_.back());
+    task_buf_pool_.pop_back();
+    return buf;
+  }
+  void release_task_buf(std::vector<TaskId>&& buf) {
+    buf.clear();
+    task_buf_pool_.push_back(std::move(buf));
+  }
+
   const topo::Topology& topo_;
   sim::CostModel cost_;
   Strategy& strategy_;
@@ -136,6 +150,7 @@ class DynamicEngine {
   SimTime now_ = 0;
   bool running_ = false;
   i64 msg_corr_ = 0;  // next send/recv correlation id (reset per run)
+  std::vector<std::vector<TaskId>> task_buf_pool_;  // recycled msg payloads
 
   // Observability (cached instrument pointers — one add per increment).
   obs::Obs obs_;

@@ -35,7 +35,8 @@ std::string kind_name(Kind kind) {
 
 StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
                          double rid_u, core::RipsConfig config,
-                         const obs::Obs& o, const sim::FaultPlan* fault_plan) {
+                         const obs::Obs& o, const sim::FaultPlan* fault_plan,
+                         const EngineTuning& tuning) {
   const topo::MeshShape shape = topo::paper_mesh_shape(nodes);
   topo::Mesh mesh(shape.rows, shape.cols);
 
@@ -46,6 +47,8 @@ StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
     core::RipsEngine engine(mwa, workload.cost, config);
     engine.set_obs(o);
     engine.set_fault_plan(fault_plan);
+    engine.set_full_measure_pass(tuning.full_measure);
+    engine.set_phase_snapshots(tuning.phase_snapshots);
     out.metrics = engine.run(workload.trace);
     out.phases = engine.phases();
     out.registry = engine.metrics_registry();
@@ -113,7 +116,7 @@ RunResult run_one(const RunDescriptor& d) {
     }
     if (monitored) o.monitor = &monitor;
     result.run = run_strategy(*d.workload, d.nodes, d.kind, d.rid_u, d.config,
-                              o, d.fault_plan);
+                              o, d.fault_plan, d.tuning);
     result.ok = true;
   } catch (const std::exception& e) {
     result.error = e.what();

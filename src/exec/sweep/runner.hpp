@@ -44,6 +44,15 @@ enum class Kind { kRandom, kGradient, kRid, kRips, kSid };
 
 std::string kind_name(Kind kind);
 
+/// RIPS engine knobs that change cost but never results (ignored by the
+/// dynamic strategies). scale_sweep uses them: snapshots off keeps the
+/// steady-state loop allocation-free; full_measure re-enables the original
+/// O(subtree) measuring pass so one binary can time old vs new.
+struct EngineTuning {
+  bool full_measure = false;
+  bool phase_snapshots = true;
+};
+
 /// Runs `workload` on `nodes` processors (paper mesh shape) under the
 /// given strategy. `rid_u` overrides RID's load-update factor (the paper
 /// retunes it to 0.7 for IDA* on 64/128 nodes); `config` selects the RIPS
@@ -54,7 +63,8 @@ StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
                          double rid_u = 0.4,
                          core::RipsConfig config = core::RipsConfig{},
                          const obs::Obs& o = obs::Obs{},
-                         const sim::FaultPlan* fault_plan = nullptr);
+                         const sim::FaultPlan* fault_plan = nullptr,
+                         const EngineTuning& tuning = EngineTuning{});
 
 /// The paper's four Table-I strategies in row order.
 std::vector<Kind> table1_kinds();
@@ -80,6 +90,8 @@ struct RunDescriptor {
   /// stretch the sweep's tail; purely a scheduling hint — results are
   /// committed in descriptor order either way.
   double cost_hint = 0.0;
+  /// RIPS engine knobs (cost-only; results are unaffected).
+  EngineTuning tuning;
 };
 
 struct RunResult {

@@ -150,19 +150,24 @@ SimTime RipsEngine::recover(SimTime t) {
 
   // Re-inject every dead node's checkpoint — its RTE assignment at the last
   // recovery line — onto the survivor nearest to it in the base network
-  // (that node holds the replicated descriptors at minimal distance).
+  // (that node holds the replicated descriptors at minimal distance). The
+  // checkpoint CSR was built at the end of the previous system phase, when
+  // the node was still live; the next rebuild gives dead nodes empty
+  // spans, so a span is never re-injected twice.
   u64 reinjected = 0;
   for (const PendingDeath& d : dead_pending_) {
-    auto& ckpt = checkpoint_[static_cast<size_t>(d.node)];
-    if (!ckpt.empty()) {
+    const auto p = static_cast<size_t>(d.node);
+    const size_t begin = ckpt_offsets_[p];
+    const size_t end = ckpt_offsets_[p + 1];
+    if (end > begin) {
       const NodeId adopter = nearest_live(d.node);
       auto& dst = nodes_[static_cast<size_t>(adopter)];
-      dst.rts.insert(dst.rts.end(), ckpt.begin(), ckpt.end());
-      dst.ovh_ns += cost_.recv_time(static_cast<i64>(ckpt.size()));
-      c_reinjected_->add(ckpt.size());
-      reinjected += ckpt.size();
+      dst.rts.insert(dst.rts.end(), ckpt_tasks_.begin() + begin,
+                     ckpt_tasks_.begin() + end);
+      dst.ovh_ns += cost_.recv_time(static_cast<i64>(end - begin));
+      c_reinjected_->add(end - begin);
+      reinjected += end - begin;
     }
-    ckpt.clear();
   }
   dead_pending_.clear();
 
@@ -210,59 +215,60 @@ SimTime RipsEngine::system_phase(SimTime t) {
   // Counts (the paper's choice) or work totals (weighted mode: what
   // perfect grain estimation would let the scheduler balance). Loads are
   // indexed by logical rank; rank r is physical node live_[r].
-  std::vector<i64> load(static_cast<size_t>(n), 0);
+  load_.assign(static_cast<size_t>(n), 0);
   for (i32 r = 0; r < n; ++r) {
     for (TaskId task : nodes_[static_cast<size_t>(live_[r])].rts) {
-      load[static_cast<size_t>(r)] +=
+      load_[static_cast<size_t>(r)] +=
           config_.weighted ? static_cast<i64>(trace_->task(task).work) : 1;
     }
   }
-  const sched::ScheduleResult plan = active_scheduler().schedule(load);
+  // The plan is borrowed from the scheduler's pooled result; it stays valid
+  // until the next schedule() call, which only happens next phase.
+  const sched::ScheduleResult& plan = active_scheduler().schedule(load_);
 
   // Monitor-only cost: the invariant checks need to know where every task
-  // started the phase, which the replay below destroys.
+  // started the phase, which the replay below destroys. The snapshot is a
+  // flat CSR so detached monitors cost nothing and attached ones cost no
+  // steady-state allocation.
   const u64 phase_idx = static_cast<u64>(phases_.size());
   const bool monitoring = obs_.monitor != nullptr && !config_.weighted;
-  std::vector<std::vector<TaskId>> before;
   if (monitoring) {
-    before.resize(static_cast<size_t>(n));
+    before_offsets_.resize(static_cast<size_t>(n) + 1);
+    before_tasks_.clear();
+    before_offsets_[0] = 0;
     for (i32 r = 0; r < n; ++r) {
       const auto& rts = nodes_[static_cast<size_t>(live_[r])].rts;
-      before[static_cast<size_t>(r)].assign(rts.begin(), rts.end());
+      before_tasks_.insert(before_tasks_.end(), rts.begin(), rts.end());
+      before_offsets_[static_cast<size_t>(r) + 1] = before_tasks_.size();
     }
   }
 
   // Replay the transfer plan on the actual task ids. Nodes forward tasks
   // that are already non-local before giving up their own (locality).
-  struct Pool {
-    std::vector<TaskId> local;
-    std::vector<TaskId> foreign;
-  };
-  std::vector<Pool> pools(static_cast<size_t>(n));
+  if (pools_.size() < static_cast<size_t>(n)) pools_.resize(static_cast<size_t>(n));
+  for (i32 r = 0; r < n; ++r) {
+    pools_[static_cast<size_t>(r)].local.clear();
+    pools_[static_cast<size_t>(r)].foreign.clear();
+  }
   for (i32 r = 0; r < n; ++r) {
     const NodeId phys = live_[static_cast<size_t>(r)];
     for (TaskId task : nodes_[static_cast<size_t>(phys)].rts) {
       if (origin_[static_cast<size_t>(task)] == phys) {
-        pools[static_cast<size_t>(r)].local.push_back(task);
+        pools_[static_cast<size_t>(r)].local.push_back(task);
       } else {
-        pools[static_cast<size_t>(r)].foreign.push_back(task);
+        pools_[static_cast<size_t>(r)].foreign.push_back(task);
       }
     }
     nodes_[static_cast<size_t>(phys)].rts.clear();
   }
-  std::vector<SimTime> migration(static_cast<size_t>(n), 0);
+  migration_.assign(static_cast<size_t>(n), 0);
   u64 moved = 0;
   // Per-transfer payloads, kept only while tracing so the send/recv
   // instants below can carry matching correlation ids.
-  struct TracedTransfer {
-    NodeId from;
-    NodeId to;
-    i64 sent;
-  };
-  std::vector<TracedTransfer> traced;
+  traced_.clear();
   for (const sched::Transfer& tr : plan.transfers) {
-    Pool& src = pools[static_cast<size_t>(tr.from)];
-    Pool& dst = pools[static_cast<size_t>(tr.to)];
+    Pool& src = pools_[static_cast<size_t>(tr.from)];
+    Pool& dst = pools_[static_cast<size_t>(tr.to)];
     const NodeId to_phys = live_[static_cast<size_t>(tr.to)];
     if (!config_.weighted) {
       RIPS_CHECK_MSG(
@@ -300,12 +306,12 @@ SimTime RipsEngine::system_phase(SimTime t) {
       ++sent;
     }
     moved += static_cast<u64>(sent);
-    migration[static_cast<size_t>(tr.from)] += cost_.send_time(sent);
-    migration[static_cast<size_t>(tr.to)] += cost_.recv_time(sent);
+    migration_[static_cast<size_t>(tr.from)] += cost_.send_time(sent);
+    migration_[static_cast<size_t>(tr.to)] += cost_.recv_time(sent);
     c_msg_sent_->add();
     if (obs_.trace != nullptr && sent > 0) {
-      traced.push_back({live_[static_cast<size_t>(tr.from)],
-                        live_[static_cast<size_t>(tr.to)], sent});
+      traced_.push_back({live_[static_cast<size_t>(tr.from)],
+                         live_[static_cast<size_t>(tr.to)], sent});
     }
   }
   c_tasks_migrated_->add(moved);
@@ -313,8 +319,12 @@ SimTime RipsEngine::system_phase(SimTime t) {
   // Scheduled tasks enter the RTE queues (own tasks first, then received).
   for (i32 r = 0; r < n; ++r) {
     auto& rte = nodes_[static_cast<size_t>(live_[r])].rte;
-    for (TaskId task : pools[static_cast<size_t>(r)].local) rte.push_back(task);
-    for (TaskId task : pools[static_cast<size_t>(r)].foreign) rte.push_back(task);
+    for (TaskId task : pools_[static_cast<size_t>(r)].local) {
+      rte.push_back(task);
+    }
+    for (TaskId task : pools_[static_cast<size_t>(r)].foreign) {
+      rte.push_back(task);
+    }
   }
 
   // Cost: lock-step scheduling rounds (cheap scalar-only information steps
@@ -322,32 +332,42 @@ SimTime RipsEngine::system_phase(SimTime t) {
   // migrate tasks takes about 1 ms") plus the slowest node's migration CPU
   // time; the phase is synchronous, everyone leaves it together.
   SimTime max_migration = 0;
-  for (SimTime m : migration) max_migration = std::max(max_migration, m);
+  for (SimTime m : migration_) max_migration = std::max(max_migration, m);
   const SimTime step_time = plan.info_steps * cost_.info_step_ns +
                             plan.transfer_steps * cost_.step_ns;
   const SimTime duration = step_time + max_migration + recovery_extra;
   for (i32 r = 0; r < n; ++r) {
     nodes_[static_cast<size_t>(live_[r])].ovh_ns +=
-        step_time + migration[static_cast<size_t>(r)];
+        step_time + migration_[static_cast<size_t>(r)];
   }
 
   // Recovery line: the post-scheduling RTE assignment is exactly what a
   // survivor can replay for a node that dies before the next system phase.
+  // Rebuilt in place over ALL physical nodes — dead ones own empty spans,
+  // which also retires any span recover() just re-injected.
   if (injector_.has_value()) {
-    for (NodeId phys : live_) {
-      auto& ck = checkpoint_[static_cast<size_t>(phys)];
-      const auto& rte = nodes_[static_cast<size_t>(phys)].rte;
-      ck.assign(rte.begin(), rte.end());
+    const size_t n_phys = nodes_.size();
+    ckpt_offsets_.resize(n_phys + 1);
+    ckpt_tasks_.clear();
+    ckpt_offsets_[0] = 0;
+    for (size_t p = 0; p < n_phys; ++p) {
+      if (alive_[p]) {
+        const auto& rte = nodes_[p].rte;
+        ckpt_tasks_.insert(ckpt_tasks_.end(), rte.begin(), rte.end());
+      }
+      ckpt_offsets_[p + 1] = ckpt_tasks_.size();
     }
   }
 
   phases_.push_back({total, moved, plan.comm_steps, duration});
   c_phase_system_->add();
   g_rts_total_->set(static_cast<i64>(total));
-  h_phase_imbalance_->observe(sched::load_imbalance(load));
+  h_phase_imbalance_->observe(sched::load_imbalance(load_));
   h_phase_moved_->observe(static_cast<i64>(moved));
   h_phase_dur_us_->observe(duration / 1000);
-  registry_.snapshot("phase=" + std::to_string(phase_idx));
+  if (phase_snapshots_) {
+    registry_.snapshot("phase=" + std::to_string(phase_idx));
+  }
   if (timeline_ != nullptr) {
     timeline_->record({sim::TimelineEvent::Kind::kSystemPhase, kInvalidNode,
                        t, t + duration, kInvalidTask});
@@ -372,7 +392,7 @@ SimTime RipsEngine::system_phase(SimTime t) {
     // synchronous: sends fire when scheduling ends, receives when the
     // slowest migrator finishes.
     const SimTime mig_t0 = sched_t0 + step_time;
-    for (const TracedTransfer& tt : traced) {
+    for (const TracedTransfer& tt : traced_) {
       const i64 corr = mig_corr_++;
       obs_.trace->instant(tt.from, "msg", "send", mig_t0, "tasks", tt.sent,
                           "corr", corr);
@@ -381,15 +401,16 @@ SimTime RipsEngine::system_phase(SimTime t) {
     }
   }
   if (monitoring) {
-    check_phase_invariants(phase_idx, load, plan, before,
-                           static_cast<i64>(total));
+    check_phase_invariants(phase_idx, load_, plan, static_cast<i64>(total));
   }
+  if (phase_probe_ != nullptr) phase_probe_(probe_ctx_, phase_idx);
   return t + duration;
 }
 
-void RipsEngine::check_phase_invariants(
-    u64 phase, const std::vector<i64>& load, const sched::ScheduleResult& plan,
-    const std::vector<std::vector<TaskId>>& before, i64 total) {
+void RipsEngine::check_phase_invariants(u64 phase,
+                                        const std::vector<i64>& load,
+                                        const sched::ScheduleResult& plan,
+                                        i64 total) {
   obs::InvariantMonitor* mon = obs_.monitor;
   // Theorem 1: post-scheduling loads pairwise within 1, total conserved.
   mon->check_balance(phase, plan.new_load, total);
@@ -403,8 +424,10 @@ void RipsEngine::check_phase_invariants(
   start_rank.reserve(static_cast<size_t>(total));
   bool conserved = true;
   for (i32 r = 0; r < n; ++r) {
-    for (TaskId task : before[static_cast<size_t>(r)]) {
-      conserved = start_rank.emplace(task, r).second && conserved;
+    const size_t begin = before_offsets_[static_cast<size_t>(r)];
+    const size_t end = before_offsets_[static_cast<size_t>(r) + 1];
+    for (size_t i = begin; i < end; ++i) {
+      conserved = start_rank.emplace(before_tasks_[i], r).second && conserved;
     }
   }
   i64 relocated = 0;
@@ -500,17 +523,33 @@ SimTime RipsEngine::user_phase(SimTime t) {
   const u64 op_base = coll_op_counter_;
   coll_op_counter_ += 2;  // one id for notify delays, one for detection
 
-  // Measuring pass: when would each node drain its RTE, undisturbed?
-  std::vector<SimTime> drain(nodes_.size(), kNever);
-  for (NodeId phys : live_) {
-    drain[static_cast<size_t>(phys)] =
-        simulate_user_phase(phys, t, kNever, PhaseMode::kMeasure);
+  // Measuring pass: when would each node drain its RTE, undisturbed? With
+  // no fault injector the simulated instruction stream is position-free, so
+  // the drain time is the exact sum of precomputed per-task drain costs —
+  // O(queue) instead of a full O(subtree) dry-run simulation. Fault runs
+  // (slowdowns make work position-dependent) keep the full pass.
+  std::vector<SimTime>& drain = drain_;
+  drain.assign(nodes_.size(), kNever);
+  if (fast_measure_) {
+    for (NodeId phys : live_) {
+      SimTime sum = t;
+      for (TaskId task : nodes_[static_cast<size_t>(phys)].rte) {
+        sum += drain_cost_[static_cast<size_t>(task)];
+      }
+      drain[static_cast<size_t>(phys)] = sum;
+    }
+  } else {
+    for (NodeId phys : live_) {
+      drain[static_cast<size_t>(phys)] =
+          simulate_user_phase(phys, t, kNever, PhaseMode::kMeasure);
+    }
   }
 
   // Effective crash times: a crash timed before this phase (inside the
   // system phase) fires at the phase start; crashes are honored at
   // user-phase granularity.
-  std::vector<SimTime> crash_eff(nodes_.size(), kNever);
+  std::vector<SimTime>& crash_eff = crash_eff_;
+  crash_eff.assign(nodes_.size(), kNever);
   bool crash_candidates = false;
   if (injector_.has_value()) {
     for (NodeId phys : live_) {
@@ -524,7 +563,8 @@ SimTime RipsEngine::user_phase(SimTime t) {
 
   // Global condition time over the nodes that stay alive; crash admission
   // below removes the doomed and recomputes until a fixpoint.
-  std::vector<char> doomed(nodes_.size(), 0);
+  std::vector<char>& doomed = doomed_;
+  doomed.assign(nodes_.size(), 0);
   i32 doomed_count = 0;
   SimTime t_cond = t;
   NodeId initiator = live_.front();
@@ -733,6 +773,8 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
   released_segments_ = 0;
   phases_.clear();
   user_phases_.clear();
+  if (phases_.capacity() < 1024) phases_.reserve(1024);
+  if (user_phases_.capacity() < 1024) user_phases_.reserve(1024);
   metrics_ = sim::RunMetrics{};
   metrics_.num_nodes = n;
   registry_.reset();
@@ -751,7 +793,10 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
   for (i32 j = 0; j < n; ++j) live_[static_cast<size_t>(j)] = j;
   crash_time_.assign(static_cast<size_t>(n), kNever);
   dead_at_.assign(static_cast<size_t>(n), kNever);
-  checkpoint_.assign(static_cast<size_t>(n), {});
+  ckpt_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  ckpt_tasks_.clear();
+  before_offsets_.clear();
+  before_tasks_.clear();
   dead_pending_.clear();
   live_view_.reset();
   degraded_sched_.reset();
@@ -764,6 +809,31 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
     for (const sim::CrashFault& c : injector_->crashes()) {
       auto& slot = crash_time_[static_cast<size_t>(c.node)];
       slot = std::min(slot, c.time_ns);
+    }
+  }
+
+  // Drain-sum fast path: without an injector the per-task measure cost is a
+  // fixed function of the task (lazy drains the whole spawned subtree;
+  // eager only charges the spawn overhead — children land in RTS, not the
+  // queue). A backward sweep is valid because children always carry larger
+  // ids than their parent.
+  fast_measure_ = !full_measure_ && !injector_.has_value();
+  if (fast_measure_) {
+    const size_t m = trace.size();
+    drain_cost_.assign(m, 0);
+    const bool lazy = config_.local == LocalPolicy::kLazy;
+    for (size_t i = m; i-- > 0;) {
+      const auto task = static_cast<TaskId>(i);
+      SimTime c = cost_.work_time(trace.task(task).work);
+      const u32 kids = trace.num_children(task);
+      c += static_cast<SimTime>(kids) * cost_.spawn_ns;
+      if (lazy) {
+        const TaskId* child = trace.children_begin(task);
+        for (u32 k = 0; k < kids; ++k) {
+          c += drain_cost_[static_cast<size_t>(child[k])];
+        }
+      }
+      drain_cost_[i] = c;
     }
   }
 

@@ -91,6 +91,35 @@ class RipsEngine {
   /// metrics.
   void set_fault_plan(const sim::FaultPlan* plan) { fault_plan_ = plan; }
 
+  /// Per-phase registry snapshots (labels "phase=N") power the Table-II
+  /// style reports but append to the registry every system phase. Scale
+  /// runs and the allocation regression test turn them off; metrics and
+  /// results are unaffected (snapshots are a passive copy).
+  void set_phase_snapshots(bool on) { phase_snapshots_ = on; }
+
+  /// Forces the original measuring pass that re-simulates every node's
+  /// full RTE drain (O(subtree) per phase). The default uses precomputed
+  /// per-task drain costs (O(queue length) per phase) whenever no fault
+  /// plan is attached; both paths produce bit-identical results — this
+  /// switch exists so benchmarks can measure one against the other in the
+  /// same binary.
+  void set_full_measure_pass(bool on) { full_measure_ = on; }
+
+  /// Test introspection: whether any system phase of the last run built
+  /// the monitor's begin-of-phase snapshot (only invariant monitors need
+  /// it; monitor-less runs must never pay for it).
+  bool built_monitor_snapshots() const { return !before_offsets_.empty(); }
+
+  /// Test hook: invoked at the end of every system phase with the phase
+  /// index. The allocation regression test uses it to bracket a
+  /// steady-state window; a plain function pointer so attaching and
+  /// invoking it never allocates.
+  using PhaseProbe = void (*)(void* ctx, u64 phase_idx);
+  void set_phase_probe(PhaseProbe probe, void* ctx) {
+    phase_probe_ = probe;
+    probe_ctx_ = ctx;
+  }
+
   /// Scheduler builder used to rebuild the scheduler over the survivors
   /// after a crash (the constructor-provided scheduler only fits the full
   /// machine). Defaults to sched::any_size_mesh_factory().
@@ -183,6 +212,53 @@ class RipsEngine {
   sim::Timeline* timeline_ = nullptr;
   sim::RunMetrics metrics_;
 
+  // --- steady-state scratch arenas ---------------------------------------
+  // Every per-phase working vector lives here and is overwritten in place:
+  // after the first few phases a system phase performs zero heap
+  // allocations (with monitors detached and phase snapshots off), which is
+  // what lets the engine scale to thousands of simulated nodes. Enforced
+  // by the allocation-counter regression test (tests/test_alloc.cpp).
+
+  /// Replay pools: per-rank task ids split by origin (locality order).
+  struct Pool {
+    std::vector<TaskId> local;
+    std::vector<TaskId> foreign;
+  };
+  /// Per-transfer payloads, kept only while tracing so the send/recv
+  /// instants can carry matching correlation ids.
+  struct TracedTransfer {
+    NodeId from;
+    NodeId to;
+    i64 sent;
+  };
+  std::vector<i64> load_;            // per-rank loads (system phase)
+  std::vector<Pool> pools_;          // replay pools; inner vectors reused
+  std::vector<SimTime> migration_;   // per-rank migration CPU time
+  std::vector<TracedTransfer> traced_;
+  std::vector<SimTime> drain_;       // user phase: per-node drain times
+  std::vector<SimTime> crash_eff_;   // user phase: effective crash times
+  std::vector<char> doomed_;         // user phase: admitted crashes
+  // Monitor begin-of-phase snapshot as flat CSR (offsets + one backing
+  // array), built per phase ONLY while a monitor is attached.
+  std::vector<size_t> before_offsets_;
+  std::vector<TaskId> before_tasks_;
+
+  // --- drain-cost fast path ----------------------------------------------
+  // drain_cost_[t]: the simulated time a node spends on task t during a
+  // full RTE drain — work + spawn overhead, plus (lazy policy) the cost of
+  // every descendant, which execute in the same phase. Children always
+  // have larger ids than their parent, so one backward sweep fills it.
+  // The measuring pass then reduces to summing queue entries: exact i64
+  // arithmetic and order independence make it bit-identical to the full
+  // simulation. Invalid (and unused) when a fault injector is attached —
+  // slowdown windows make work position-dependent.
+  std::vector<SimTime> drain_cost_;
+  bool fast_measure_ = false;  // valid for the current run
+  bool full_measure_ = false;
+  bool phase_snapshots_ = true;
+  PhaseProbe phase_probe_ = nullptr;
+  void* probe_ctx_ = nullptr;
+
   // --- observability -----------------------------------------------------
   // The registry is the engine's counter store (RunMetrics is derived from
   // it at the end of run()); the cached pointers make each increment one
@@ -190,10 +266,10 @@ class RipsEngine {
   // replaced. obs_ carries the optional external sinks.
 
   /// Theorem-2 bookkeeping for one system phase (monitor-only cost).
+  /// Reads the begin-of-phase CSR snapshot (before_offsets_/before_tasks_)
+  /// that system_phase builds only while a monitor is attached.
   void check_phase_invariants(u64 phase, const std::vector<i64>& load,
-                              const sched::ScheduleResult& plan,
-                              const std::vector<std::vector<TaskId>>& before,
-                              i64 total);
+                              const sched::ScheduleResult& plan, i64 total);
 
   obs::Obs obs_;
   obs::MetricsRegistry registry_;
@@ -233,7 +309,13 @@ class RipsEngine {
   std::vector<NodeId> live_;              // rank -> physical, sorted
   std::vector<SimTime> crash_time_;       // per physical node, kNever if none
   std::vector<SimTime> dead_at_;          // per physical node, kNever alive
-  std::vector<std::vector<TaskId>> checkpoint_;  // RTE at last system phase
+  // RTE assignment at the last system phase as flat CSR over ALL physical
+  // nodes (dead nodes own empty spans): ckpt_tasks_[ckpt_offsets_[p] ..
+  // ckpt_offsets_[p+1]) is node p's checkpointed queue. Rebuilt in place
+  // at the end of every system phase — no per-node vectors, no
+  // steady-state allocation.
+  std::vector<size_t> ckpt_offsets_;
+  std::vector<TaskId> ckpt_tasks_;
   std::vector<PendingDeath> dead_pending_;
   std::unique_ptr<topo::LiveView> live_view_;    // null while all alive
   std::unique_ptr<sched::ParallelScheduler> degraded_sched_;

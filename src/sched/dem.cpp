@@ -33,10 +33,11 @@ void exchange_pair(std::vector<i64>& w, NodeId a, NodeId b, i32 step,
 
 }  // namespace
 
-ScheduleResult DemHypercube::schedule(const std::vector<i64>& load) {
+const ScheduleResult& DemHypercube::schedule(const std::vector<i64>& load) {
   const i32 n = cube_.size();
   RIPS_CHECK(static_cast<i32>(load.size()) == n);
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
   out.new_load = load;
   for (i32 k = 0; k < cube_.dim(); ++k) {
     for (NodeId v = 0; v < n; ++v) {
@@ -51,7 +52,7 @@ ScheduleResult DemHypercube::schedule(const std::vector<i64>& load) {
     out.transfer_steps += 1;
   }
   out.comm_steps = out.info_steps + out.transfer_steps;
-  return out;
+  return result_;
 }
 
 DemMesh::DemMesh(topo::Mesh mesh) : mesh_(mesh) {
@@ -60,11 +61,12 @@ DemMesh::DemMesh(topo::Mesh mesh) : mesh_(mesh) {
                  "DemMesh needs power-of-two mesh dimensions");
 }
 
-ScheduleResult DemMesh::schedule(const std::vector<i64>& load) {
+const ScheduleResult& DemMesh::schedule(const std::vector<i64>& load) {
   const i32 n1 = mesh_.rows();
   const i32 n2 = mesh_.cols();
   RIPS_CHECK(static_cast<i32>(load.size()) == n1 * n2);
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
   out.new_load = load;
   i32 step = 0;
   // Column dimensions: partners inside each row at distance 2^k.
@@ -99,7 +101,7 @@ ScheduleResult DemMesh::schedule(const std::vector<i64>& load) {
     out.transfer_steps += dist;
   }
   out.comm_steps = out.info_steps + out.transfer_steps;
-  return out;
+  return result_;
 }
 
 }  // namespace rips::sched

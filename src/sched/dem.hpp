@@ -21,24 +21,26 @@ class DemHypercube final : public ParallelScheduler {
  public:
   explicit DemHypercube(topo::Hypercube cube) : cube_(cube) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return cube_; }
   std::string name() const override { return "dem-hypercube"; }
 
  private:
   topo::Hypercube cube_;
+  ScheduleResult result_;
 };
 
 class DemMesh final : public ParallelScheduler {
  public:
   explicit DemMesh(topo::Mesh mesh);
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return mesh_; }
   std::string name() const override { return "dem-mesh"; }
 
  private:
   topo::Mesh mesh_;
+  ScheduleResult result_;
 };
 
 }  // namespace rips::sched

@@ -22,7 +22,7 @@ class OwningOptimal final : public ParallelScheduler {
   explicit OwningOptimal(std::unique_ptr<topo::Topology> topo)
       : topo_(std::move(topo)), inner_(*topo_) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override {
+  const ScheduleResult& schedule(const std::vector<i64>& load) override {
     return inner_.schedule(load);
   }
   const topo::Topology& topology() const override { return *topo_; }

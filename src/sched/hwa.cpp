@@ -35,17 +35,19 @@ void eta_gamma_apply(const std::vector<NodeId>& senders,
 
 }  // namespace
 
-ScheduleResult Hwa::schedule(const std::vector<i64>& load) {
+const ScheduleResult& Hwa::schedule(const std::vector<i64>& load) {
   const i32 n = cube_.size();
   const i32 dim = cube_.dim();
   RIPS_CHECK(static_cast<i32>(load.size()) == n);
 
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
   out.new_load = load;
 
   i64 total = 0;
   for (i64 w : load) total += w;
-  const std::vector<i64> quota = quota_for(total, n);
+  quota_into(total, n, scratch_.quota);
+  const std::vector<i64>& quota = scratch_.quota;
 
   // Load gathering by recursive doubling (every node learns its subcube's
   // loads as the walk needs them): d info steps; one transfer step per
@@ -55,8 +57,8 @@ ScheduleResult Hwa::schedule(const std::vector<i64>& load) {
 
   // Walk dimensions from the highest: at stage k each subcube (fixed bits
   // above k) settles the balance between its two dimension-k halves.
-  std::vector<NodeId> senders;
-  std::vector<NodeId> receivers;
+  std::vector<NodeId>& senders = scratch_.senders;
+  std::vector<NodeId>& receivers = scratch_.receivers;
   for (i32 k = dim - 1; k >= 0; --k) {
     const i32 bit = 1 << k;
     const i32 step = dim - k;
@@ -96,7 +98,7 @@ ScheduleResult Hwa::schedule(const std::vector<i64>& load) {
     RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
                quota[static_cast<size_t>(v)]);
   }
-  return out;
+  return result_;
 }
 
 }  // namespace rips::sched

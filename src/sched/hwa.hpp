@@ -25,12 +25,21 @@ class Hwa final : public ParallelScheduler {
  public:
   explicit Hwa(topo::Hypercube cube) : cube_(cube) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return cube_; }
   std::string name() const override { return "hwa"; }
 
  private:
   topo::Hypercube cube_;
+
+  // Scratch arena (see Mwa): pair lists and quotas reused across phases.
+  struct Scratch {
+    std::vector<i64> quota;
+    std::vector<NodeId> senders;
+    std::vector<NodeId> receivers;
+  };
+  Scratch scratch_;
+  ScheduleResult result_;
 };
 
 }  // namespace rips::sched

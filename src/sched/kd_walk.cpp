@@ -9,15 +9,16 @@ namespace rips::sched {
 namespace {
 
 /// eta/gamma surplus split (see Mwa): distributes `amount` over the
-/// ordered `senders`, each sending at most its surplus, with earlier
-/// deficits reserved from later surpluses. Applies the moves to `w` and
-/// records transfers to the paired receivers.
-void split_and_send(const std::vector<NodeId>& senders, i32 receiver_offset,
+/// ordered senders [first, first + count), each sending at most its
+/// surplus, with earlier deficits reserved from later surpluses. Applies
+/// the moves to `w` and records transfers to the paired receivers.
+void split_and_send(NodeId first, size_t count, i32 receiver_offset,
                     std::vector<i64>& w, const std::vector<i64>& quota,
                     i64 amount, i32 step, ScheduleResult& out) {
   i64 eta = amount;
   i64 gamma = 0;
-  for (const NodeId sender : senders) {
+  for (NodeId sender = first; sender < first + static_cast<NodeId>(count);
+       ++sender) {
     const auto v = static_cast<size_t>(sender);
     const i64 delta = w[v] - quota[v];
     const i64 send = std::clamp(delta - gamma, i64{0}, eta);
@@ -36,61 +37,63 @@ void split_and_send(const std::vector<NodeId>& senders, i32 receiver_offset,
 
 }  // namespace
 
-void KdWalk::balance_box(const std::vector<NodeId>& nodes, i32 axis,
+void KdWalk::balance_box(NodeId first, size_t count, i32 axis,
                          std::vector<i64>& w, const std::vector<i64>& quota,
                          ScheduleResult& out,
                          std::vector<i32>& axis_rounds) {
-  if (axis >= mesh_.rank() || nodes.size() <= 1) return;
+  if (axis >= mesh_.rank() || count <= 1) return;
   const i32 extent = mesh_.dims()[static_cast<size_t>(axis)];
   const i32 stride = mesh_.stride(axis);
-  RIPS_CHECK(static_cast<i32>(nodes.size()) % extent == 0);
-  const auto slab_size = nodes.size() / static_cast<size_t>(extent);
-
-  // Slab k: the contiguous run of `slab_size` ids in row-major order.
-  std::vector<std::vector<NodeId>> slabs(static_cast<size_t>(extent));
-  for (i32 k = 0; k < extent; ++k) {
-    slabs[static_cast<size_t>(k)].assign(
-        nodes.begin() + static_cast<std::ptrdiff_t>(k * slab_size),
-        nodes.begin() + static_cast<std::ptrdiff_t>((k + 1) * slab_size));
-  }
+  RIPS_CHECK(static_cast<i32>(count) % extent == 0);
+  const auto slab_size = count / static_cast<size_t>(extent);
+  // Slab k: the contiguous id range starting at first + k * slab_size.
+  const auto slab_first = [&](i32 k) {
+    return first + static_cast<NodeId>(static_cast<size_t>(k) * slab_size);
+  };
 
   // Prefix flows between adjacent slabs: y_k > 0 means slabs 0..k send
-  // y_k to slab k+1 (the path version of MWA's step 4).
-  std::vector<i64> y(static_cast<size_t>(extent), 0);
+  // y_k to slab k+1 (the path version of MWA's step 4). y_{extent-1} is
+  // always 0, so only the running prefix is needed — cascades re-derive
+  // each boundary flow from the same prefix sums.
   i64 prefix = 0;
-  for (i32 k = 0; k < extent; ++k) {
-    for (const NodeId v : slabs[static_cast<size_t>(k)]) {
-      prefix += w[static_cast<size_t>(v)] - quota[static_cast<size_t>(v)];
-    }
-    y[static_cast<size_t>(k)] = prefix;
-  }
-  RIPS_CHECK(y[static_cast<size_t>(extent - 1)] == 0);
-
   // Downward cascade (receipts from slab k-1 land before slab k sends).
   i32 down = 0;
   {
     i32 chain = 0;
     for (i32 k = 0; k + 1 < extent; ++k) {
-      if (y[static_cast<size_t>(k)] > 0) {
+      for (NodeId v = slab_first(k); v < slab_first(k + 1); ++v) {
+        prefix += w[static_cast<size_t>(v)] - quota[static_cast<size_t>(v)];
+      }
+      if (prefix > 0) {
         chain += 1;
-        split_and_send(slabs[static_cast<size_t>(k)], stride, w, quota,
-                       y[static_cast<size_t>(k)], chain, out);
+        split_and_send(slab_first(k), slab_size, stride, w, quota, prefix,
+                       chain, out);
         down = std::max(down, chain);
+        // The send itself zeroes the boundary surplus as seen by the next
+        // prefix: tasks moved into slab k+1 are counted there instead.
+        prefix = 0;
       } else {
         chain = 0;
       }
     }
   }
-  // Upward cascade.
+  // Upward cascade. The downward pass left every boundary flow <= 0;
+  // recompute the (still-negative) prefixes bottom-up.
   i32 up = 0;
   {
     i32 chain = 0;
+    i64 suffix = 0;  // surplus of slabs k..extent-1 == -y_{k-1}
     for (i32 k = extent - 1; k >= 1; --k) {
-      if (y[static_cast<size_t>(k - 1)] < 0) {
+      for (NodeId v = slab_first(k);
+           v < slab_first(k) + static_cast<NodeId>(slab_size); ++v) {
+        suffix += w[static_cast<size_t>(v)] - quota[static_cast<size_t>(v)];
+      }
+      if (suffix > 0) {
         chain += 1;
-        split_and_send(slabs[static_cast<size_t>(k)], -stride, w, quota,
-                       -y[static_cast<size_t>(k - 1)], chain, out);
+        split_and_send(slab_first(k), slab_size, -stride, w, quota, suffix,
+                       chain, out);
         up = std::max(up, chain);
+        suffix = 0;
       } else {
         chain = 0;
       }
@@ -99,30 +102,33 @@ void KdWalk::balance_box(const std::vector<NodeId>& nodes, i32 axis,
   axis_rounds[static_cast<size_t>(axis)] =
       std::max(axis_rounds[static_cast<size_t>(axis)], std::max(down, up));
 
-  for (const auto& slab : slabs) {
-    balance_box(slab, axis + 1, w, quota, out, axis_rounds);
+  for (i32 k = 0; k < extent; ++k) {
+    balance_box(slab_first(k), slab_size, axis + 1, w, quota, out,
+                axis_rounds);
   }
 }
 
-ScheduleResult KdWalk::schedule(const std::vector<i64>& load) {
+const ScheduleResult& KdWalk::schedule(const std::vector<i64>& load) {
   const i32 n = mesh_.size();
   RIPS_CHECK(static_cast<i32>(load.size()) == n);
 
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
   out.new_load = load;
   i64 total = 0;
   for (i64 w : load) total += w;
-  const std::vector<i64> quota = quota_for(total, n);
+  quota_into(total, n, scratch_.quota);
+  const std::vector<i64>& quota = scratch_.quota;
 
   // Information: scan + spread along every axis (the MWA pattern).
   i64 info = 0;
   for (const i32 dim : mesh_.dims()) info += dim;
   out.info_steps = 2 * info;
 
-  std::vector<NodeId> all(static_cast<size_t>(n));
-  for (i32 v = 0; v < n; ++v) all[static_cast<size_t>(v)] = v;
-  std::vector<i32> axis_rounds(static_cast<size_t>(mesh_.rank()), 0);
-  balance_box(all, 0, out.new_load, quota, out, axis_rounds);
+  std::vector<i32>& axis_rounds = scratch_.axis_rounds;
+  axis_rounds.assign(static_cast<size_t>(mesh_.rank()), 0);
+  balance_box(0, static_cast<size_t>(n), 0, out.new_load, quota, out,
+              axis_rounds);
   for (const i32 rounds : axis_rounds) out.transfer_steps += rounds;
 
   out.comm_steps = out.info_steps + out.transfer_steps;
@@ -130,7 +136,7 @@ ScheduleResult KdWalk::schedule(const std::vector<i64>& load) {
     RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
                quota[static_cast<size_t>(v)]);
   }
-  return out;
+  return result_;
 }
 
 }  // namespace rips::sched

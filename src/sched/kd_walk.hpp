@@ -23,19 +23,31 @@ class KdWalk final : public ParallelScheduler {
  public:
   explicit KdWalk(topo::MeshKd mesh) : mesh_(std::move(mesh)) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return mesh_; }
   std::string name() const override { return "kd-walk"; }
 
  private:
-  /// Balances the sub-box of nodes whose coordinates on axes < `axis`
-  /// equal those encoded in `base`, over axes >= `axis`. `nodes` holds the
-  /// ids of the box members in row-major order.
-  void balance_box(const std::vector<NodeId>& nodes, i32 axis,
-                   std::vector<i64>& w, const std::vector<i64>& quota,
-                   ScheduleResult& out, std::vector<i32>& axis_rounds);
+  /// Balances the sub-box whose members are the contiguous row-major id
+  /// range [first, first + count), over axes >= `axis`. Boxes are always
+  /// contiguous ranges (the full mesh is 0..n-1 and each slab of a
+  /// contiguous range is contiguous), so the range is passed as
+  /// (first, count) instead of materializing id vectors per recursion
+  /// level — the recursion allocates nothing.
+  void balance_box(NodeId first, size_t count, i32 axis, std::vector<i64>& w,
+                   const std::vector<i64>& quota, ScheduleResult& out,
+                   std::vector<i32>& axis_rounds);
 
   topo::MeshKd mesh_;
+
+  // Scratch arena (see Mwa): quota and per-axis round counters reused
+  // across system phases.
+  struct Scratch {
+    std::vector<i64> quota;
+    std::vector<i32> axis_rounds;
+  };
+  Scratch scratch_;
+  ScheduleResult result_;
 };
 
 }  // namespace rips::sched

@@ -31,13 +31,14 @@ void eta_gamma_sends(const std::vector<i64>& delta, i64 amount,
 
 }  // namespace
 
-ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
+const ScheduleResult& Mwa::schedule(const std::vector<i64>& load) {
   const i32 n1 = mesh_.rows();
   const i32 n2 = mesh_.cols();
   const i32 n = n1 * n2;
   RIPS_CHECK(static_cast<i32>(load.size()) == n);
 
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
 
   // Working copy of per-node loads, indexed [row][col].
   auto w = [&](i32 i, i32 j) -> i64& {
@@ -60,7 +61,8 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
   out.info_steps += 2 * (n1 + n2);
 
   // --- Step 3: quotas.
-  const std::vector<i64> quota = quota_for(total, n);
+  quota_into(total, n, scratch_.quota);
+  const std::vector<i64>& quota = scratch_.quota;
   auto q = [&](i32 i, i32 j) -> i64 {
     return quota[static_cast<size_t>(i * n2 + j)];
   };
@@ -227,7 +229,7 @@ ScheduleResult Mwa::schedule(const std::vector<i64>& load) {
   }
   for (const Transfer& tr : out.transfers) out.task_hops += tr.count;
   out.comm_steps = out.info_steps + out.transfer_steps;
-  return out;
+  return result_;
 }
 
 }  // namespace rips::sched

@@ -28,7 +28,7 @@ class Mwa final : public ParallelScheduler {
  public:
   explicit Mwa(topo::Mesh mesh) : mesh_(mesh) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return mesh_; }
   std::string name() const override { return "mwa"; }
 
@@ -44,6 +44,7 @@ class Mwa final : public ParallelScheduler {
   // identical to freshly allocated vectors.
   struct Scratch {
     std::vector<i64> t;         // t_i prefix row sums
+    std::vector<i64> quota;     // per-node quotas
     std::vector<i64> big_q;     // Q_i row-accumulation quotas
     std::vector<i64> y;         // vertical boundary flows
     std::vector<i64> delta;     // per-column surplus of the working row
@@ -54,6 +55,7 @@ class Mwa final : public ParallelScheduler {
     std::vector<Transfer> batch;
   };
   Scratch scratch_;
+  ScheduleResult result_;
 };
 
 }  // namespace rips::sched

@@ -9,15 +9,17 @@
 
 namespace rips::sched {
 
-ScheduleResult OptimalFlow::schedule(const std::vector<i64>& load) {
+const ScheduleResult& OptimalFlow::schedule(const std::vector<i64>& load) {
   const i32 n = topo_.size();
   RIPS_CHECK(static_cast<i32>(load.size()) == n);
 
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
   out.new_load = load;
   i64 total = 0;
   for (i64 w : load) total += w;
-  const std::vector<i64> quota = quota_for(total, n);
+  quota_into(total, n, quota_);
+  const std::vector<i64>& quota = quota_;
 
   // Build the flow network: machine links with cost 1, a source feeding
   // every overloaded node and a sink draining every underloaded one.
@@ -110,7 +112,7 @@ ScheduleResult OptimalFlow::schedule(const std::vector<i64>& load) {
     RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
                quota[static_cast<size_t>(v)]);
   }
-  return out;
+  return result_;
 }
 
 }  // namespace rips::sched

@@ -18,12 +18,18 @@ class OptimalFlow final : public ParallelScheduler {
   /// must outlive the scheduler.
   explicit OptimalFlow(const topo::Topology& topo) : topo_(topo) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return topo_; }
   std::string name() const override { return "optimal-flow"; }
 
  private:
   const topo::Topology& topo_;
+
+  // Pooled result + quota only. The flow network itself is rebuilt per
+  // call — this scheduler is the offline O(n^2 v) yardstick, explicitly
+  // outside the allocation-free steady-state contract.
+  std::vector<i64> quota_;
+  ScheduleResult result_;
 };
 
 }  // namespace rips::sched

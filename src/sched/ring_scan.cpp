@@ -7,31 +7,36 @@
 
 namespace rips::sched {
 
-ScheduleResult RingScan::schedule(const std::vector<i64>& load) {
+const ScheduleResult& RingScan::schedule(const std::vector<i64>& load) {
   const i32 n = ring_.size();
   RIPS_CHECK(static_cast<i32>(load.size()) == n);
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
   out.new_load = load;
 
   i64 total = 0;
   for (i64 w : load) total += w;
-  const std::vector<i64> quota = quota_for(total, n);
+  quota_into(total, n, scratch_.quota);
+  const std::vector<i64>& quota = scratch_.quota;
 
-  if (n == 1) return out;
+  if (n == 1) return result_;
 
   // Prefix imbalances: P_b = sum_{k<b} (w_k - q_k) for b = 0..n-1 (P_0 = 0).
   // Rightward flow across boundary b (into node b) is F_b = P_b - c.
-  std::vector<i64> prefix(static_cast<size_t>(n), 0);
+  std::vector<i64>& prefix = scratch_.prefix;
+  prefix.assign(static_cast<size_t>(n), 0);
   for (i32 b = 1; b < n; ++b) {
     prefix[static_cast<size_t>(b)] =
         prefix[static_cast<size_t>(b - 1)] +
         load[static_cast<size_t>(b - 1)] - quota[static_cast<size_t>(b - 1)];
   }
-  std::vector<i64> sorted = prefix;
+  std::vector<i64>& sorted = scratch_.sorted;
+  sorted.assign(prefix.begin(), prefix.end());
   std::nth_element(sorted.begin(), sorted.begin() + (n - 1) / 2, sorted.end());
   const i64 c = sorted[static_cast<size_t>((n - 1) / 2)];
 
-  std::vector<i64> flow(static_cast<size_t>(n));
+  std::vector<i64>& flow = scratch_.flow;
+  flow.assign(static_cast<size_t>(n), 0);
   for (i32 b = 0; b < n; ++b) {
     flow[static_cast<size_t>(b)] = prefix[static_cast<size_t>(b)] - c;
   }
@@ -42,15 +47,18 @@ ScheduleResult RingScan::schedule(const std::vector<i64>& load) {
 
   // Synchronous relay rounds: boundary b joins node b-1 (mod n) and node b;
   // positive flow moves rightward (increasing id) into node b.
-  std::vector<i64> hold(out.new_load);
+  std::vector<i64>& hold = scratch_.hold;
+  hold.assign(out.new_load.begin(), out.new_load.end());
   i32 round = 0;
   bool pending = true;
   while (pending) {
     pending = false;
     ++round;
     RIPS_CHECK_MSG(round <= n + 1, "ring relay failed to settle");
-    std::vector<i64> reserved(static_cast<size_t>(n), 0);
-    std::vector<Transfer> batch;
+    std::vector<i64>& reserved = scratch_.reserved;
+    reserved.assign(static_cast<size_t>(n), 0);
+    std::vector<Transfer>& batch = scratch_.batch;
+    batch.clear();
     for (i32 b = 0; b < n; ++b) {
       i64& f = flow[static_cast<size_t>(b)];
       if (f == 0) continue;
@@ -82,12 +90,12 @@ ScheduleResult RingScan::schedule(const std::vector<i64>& load) {
   }
   out.transfer_steps += round - 1;
   out.comm_steps = out.info_steps + out.transfer_steps;
-  out.new_load = hold;
+  out.new_load.assign(hold.begin(), hold.end());
   for (i32 v = 0; v < n; ++v) {
     RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
                quota[static_cast<size_t>(v)]);
   }
-  return out;
+  return result_;
 }
 
 }  // namespace rips::sched

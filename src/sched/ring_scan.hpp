@@ -17,12 +17,25 @@ class RingScan final : public ParallelScheduler {
  public:
   explicit RingScan(topo::Ring ring) : ring_(ring) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return ring_; }
   std::string name() const override { return "ring-scan"; }
 
  private:
   topo::Ring ring_;
+
+  // Scratch arena (see Mwa): per-phase working vectors reused in place.
+  struct Scratch {
+    std::vector<i64> quota;     // per-node quotas
+    std::vector<i64> prefix;    // P_b prefix imbalances
+    std::vector<i64> sorted;    // median selection workspace
+    std::vector<i64> flow;      // pending boundary flows
+    std::vector<i64> hold;      // relay-round holdings
+    std::vector<i64> reserved;  // per-round reserved sends
+    std::vector<Transfer> batch;
+  };
+  Scratch scratch_;
+  ScheduleResult result_;
 };
 
 }  // namespace rips::sched

@@ -7,13 +7,18 @@
 namespace rips::sched {
 
 std::vector<i64> quota_for(i64 total, i32 num_nodes) {
+  std::vector<i64> quota;
+  quota_into(total, num_nodes, quota);
+  return quota;
+}
+
+void quota_into(i64 total, i32 num_nodes, std::vector<i64>& quota) {
   RIPS_CHECK(num_nodes > 0);
   RIPS_CHECK(total >= 0);
   const i64 wavg = total / num_nodes;
   const i64 remainder = total % num_nodes;
-  std::vector<i64> quota(static_cast<size_t>(num_nodes), wavg);
+  quota.assign(static_cast<size_t>(num_nodes), wavg);
   for (i64 i = 0; i < remainder; ++i) quota[static_cast<size_t>(i)] += 1;
-  return quota;
 }
 
 i64 min_nonlocal_tasks(const std::vector<i64>& load,

@@ -36,6 +36,15 @@ struct ScheduleResult {
   i64 info_steps = 0;     ///< rounds carrying scalar load information only
   i64 transfer_steps = 0; ///< rounds moving task payloads
   i64 task_hops = 0;      ///< sum over links of tasks crossing them (Σ e_k)
+
+  /// Empties the result for reuse, keeping vector capacity (the
+  /// schedulers call this at the top of schedule() on their pooled
+  /// result so steady-state phases never reallocate).
+  void reset() {
+    new_load.clear();
+    transfers.clear();
+    comm_steps = info_steps = transfer_steps = task_hops = 0;
+  }
 };
 
 class ParallelScheduler {
@@ -45,7 +54,13 @@ class ParallelScheduler {
   /// Balances `load` (size = topology().size()). Total is conserved; the
   /// result loads differ pairwise by at most one for all schedulers in
   /// this library except DEM (which is approximate by design).
-  virtual ScheduleResult schedule(const std::vector<i64>& load) = 0;
+  ///
+  /// The returned result is owned by the scheduler and stays valid until
+  /// the next schedule() call (or destruction). Schedulers reuse the
+  /// result's storage and their internal scratch arenas across calls, so
+  /// a steady-state system phase performs no heap allocation. Callers
+  /// that need the plan beyond the next call must copy it.
+  virtual const ScheduleResult& schedule(const std::vector<i64>& load) = 0;
 
   virtual const topo::Topology& topology() const = 0;
   virtual std::string name() const = 0;
@@ -54,6 +69,11 @@ class ParallelScheduler {
 /// The paper's quota rule: wavg = floor(T/N), R = T mod N; the first R
 /// nodes (row-major id order) get wavg + 1, the rest wavg.
 std::vector<i64> quota_for(i64 total, i32 num_nodes);
+
+/// Fill-in-place variant of quota_for: resizes `quota` to num_nodes and
+/// overwrites it. Allocation-free once `quota` has capacity — this is what
+/// the schedulers' steady-state arenas use.
+void quota_into(i64 total, i32 num_nodes, std::vector<i64>& quota);
 
 /// Lower bound on non-local tasks to reach `quota` from `load`
 /// (Lemma 1: sum over underloaded nodes of quota - load).

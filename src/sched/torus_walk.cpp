@@ -10,28 +10,30 @@ namespace rips::sched {
 namespace {
 
 /// Median-offset ring flows: given per-position imbalances (value - quota)
-/// around a ring, returns the net rightward flow across each boundary b
-/// (between position b-1 mod n and position b) minimizing total |flow|.
-std::vector<i64> ring_flows(const std::vector<i64>& imbalance) {
+/// around a ring, fills `flows` with the net rightward flow across each
+/// boundary b (between position b-1 mod n and position b) minimizing total
+/// |flow|. `prefix`/`sorted` are caller-owned workspaces (scratch arena).
+void ring_flows_into(const std::vector<i64>& imbalance,
+                     std::vector<i64>& prefix, std::vector<i64>& sorted,
+                     std::vector<i64>& flows) {
   const size_t n = imbalance.size();
-  std::vector<i64> prefix(n, 0);
+  prefix.assign(n, 0);
   for (size_t b = 1; b < n; ++b) {
     prefix[b] = prefix[b - 1] + imbalance[b - 1];
   }
-  std::vector<i64> sorted = prefix;
+  sorted.assign(prefix.begin(), prefix.end());
   std::nth_element(sorted.begin(), sorted.begin() + (n - 1) / 2, sorted.end());
   const i64 median = sorted[(n - 1) / 2];
-  std::vector<i64> flows(n);
+  flows.assign(n, 0);
   for (size_t b = 0; b < n; ++b) flows[b] = prefix[b] - median;
-  return flows;
 }
 
 /// eta/gamma split of `amount` across the columns of a sending row; sends
-/// only above-quota surplus. Returns per-column amounts (sum == amount).
-std::vector<i64> row_split(const std::vector<i64>& w,
-                           const std::vector<i64>& quota, i32 row, i32 cols,
-                           i64 amount) {
-  std::vector<i64> send(static_cast<size_t>(cols), 0);
+/// only above-quota surplus. Fills `send` with per-column amounts (sum ==
+/// amount).
+void row_split_into(const std::vector<i64>& w, const std::vector<i64>& quota,
+                    i32 row, i32 cols, i64 amount, std::vector<i64>& send) {
+  send.assign(static_cast<size_t>(cols), 0);
   i64 eta = amount;
   i64 gamma = 0;
   for (i32 j = 0; j < cols; ++j) {
@@ -55,22 +57,23 @@ std::vector<i64> row_split(const std::vector<i64>& w,
     }
   }
   RIPS_CHECK(eta == 0);
-  return send;
 }
 
 }  // namespace
 
-ScheduleResult TorusWalk::schedule(const std::vector<i64>& load) {
+const ScheduleResult& TorusWalk::schedule(const std::vector<i64>& load) {
   const i32 n1 = torus_.rows();
   const i32 n2 = torus_.cols();
   const i32 n = n1 * n2;
   RIPS_CHECK(static_cast<i32>(load.size()) == n);
 
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
   out.new_load = load;
   i64 total = 0;
   for (i64 w : load) total += w;
-  const std::vector<i64> quota = quota_for(total, n);
+  quota_into(total, n, scratch_.quota);
+  const std::vector<i64>& quota = scratch_.quota;
 
   // Information collection: ring scans in both dimensions plus the
   // broadcast of the average / circulation constants.
@@ -80,8 +83,10 @@ ScheduleResult TorusWalk::schedule(const std::vector<i64>& load) {
   // adjacent rows (a ring of rows) execute in synchronous rounds; a row
   // only ever sends its surplus above the row quota.
   if (n1 > 1) {
-    std::vector<i64> row_total(static_cast<size_t>(n1), 0);
-    std::vector<i64> row_quota(static_cast<size_t>(n1), 0);
+    std::vector<i64>& row_total = scratch_.row_total;
+    std::vector<i64>& row_quota = scratch_.row_quota;
+    row_total.assign(static_cast<size_t>(n1), 0);
+    row_quota.assign(static_cast<size_t>(n1), 0);
     for (i32 i = 0; i < n1; ++i) {
       for (i32 j = 0; j < n2; ++j) {
         row_total[static_cast<size_t>(i)] +=
@@ -90,12 +95,14 @@ ScheduleResult TorusWalk::schedule(const std::vector<i64>& load) {
             quota[static_cast<size_t>(i * n2 + j)];
       }
     }
-    std::vector<i64> imbalance(static_cast<size_t>(n1));
+    std::vector<i64>& imbalance = scratch_.imbalance;
+    imbalance.assign(static_cast<size_t>(n1), 0);
     for (i32 i = 0; i < n1; ++i) {
       imbalance[static_cast<size_t>(i)] =
           row_total[static_cast<size_t>(i)] - row_quota[static_cast<size_t>(i)];
     }
-    std::vector<i64> flows = ring_flows(imbalance);
+    std::vector<i64>& flows = scratch_.flows;
+    ring_flows_into(imbalance, scratch_.prefix, scratch_.sorted, flows);
 
     i32 round = 0;
     bool pending = true;
@@ -115,8 +122,8 @@ ScheduleResult TorusWalk::schedule(const std::vector<i64>& load) {
                    row_quota[static_cast<size_t>(sender)]);
         const i64 amount = std::min(std::abs(f), surplus);
         if (amount > 0) {
-          const auto split =
-              row_split(out.new_load, quota, sender, n2, amount);
+          std::vector<i64>& split = scratch_.split;
+          row_split_into(out.new_load, quota, sender, n2, amount, split);
           for (i32 j = 0; j < n2; ++j) {
             const i64 s = split[static_cast<size_t>(j)];
             if (s == 0) continue;
@@ -141,12 +148,14 @@ ScheduleResult TorusWalk::schedule(const std::vector<i64>& load) {
   i32 horizontal_rounds = 0;
   for (i32 i = 0; i < n1; ++i) {
     if (n2 == 1) break;
-    std::vector<i64> imbalance(static_cast<size_t>(n2));
+    std::vector<i64>& imbalance = scratch_.imbalance;
+    imbalance.assign(static_cast<size_t>(n2), 0);
     for (i32 j = 0; j < n2; ++j) {
       const auto v = static_cast<size_t>(i * n2 + j);
       imbalance[static_cast<size_t>(j)] = out.new_load[v] - quota[v];
     }
-    std::vector<i64> flows = ring_flows(imbalance);
+    std::vector<i64>& flows = scratch_.flows;
+    ring_flows_into(imbalance, scratch_.prefix, scratch_.sorted, flows);
     i32 round = 0;
     bool pending = true;
     while (pending) {
@@ -154,8 +163,10 @@ ScheduleResult TorusWalk::schedule(const std::vector<i64>& load) {
       ++round;
       RIPS_CHECK_MSG(round <= n2 + 1,
                      "torus horizontal relay failed to settle");
-      std::vector<i64> reserved(static_cast<size_t>(n2), 0);
-      std::vector<Transfer> batch;
+      std::vector<i64>& reserved = scratch_.reserved;
+      reserved.assign(static_cast<size_t>(n2), 0);
+      std::vector<Transfer>& batch = scratch_.batch;
+      batch.clear();
       for (i32 b = 0; b < n2; ++b) {
         i64& f = flows[static_cast<size_t>(b)];
         if (f == 0) continue;
@@ -192,7 +203,7 @@ ScheduleResult TorusWalk::schedule(const std::vector<i64>& load) {
     RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
                quota[static_cast<size_t>(v)]);
   }
-  return out;
+  return result_;
 }
 
 }  // namespace rips::sched

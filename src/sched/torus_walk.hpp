@@ -23,12 +23,29 @@ class TorusWalk final : public ParallelScheduler {
  public:
   explicit TorusWalk(topo::Torus torus) : torus_(torus) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return torus_; }
   std::string name() const override { return "torus-walk"; }
 
  private:
   topo::Torus torus_;
+
+  // Scratch arena (see Mwa): ring-flow and relay working vectors reused
+  // across system phases.
+  struct Scratch {
+    std::vector<i64> quota;
+    std::vector<i64> row_total;
+    std::vector<i64> row_quota;
+    std::vector<i64> imbalance;
+    std::vector<i64> flows;
+    std::vector<i64> prefix;    // ring_flows workspace
+    std::vector<i64> sorted;    // ring_flows median workspace
+    std::vector<i64> split;     // row_split output
+    std::vector<i64> reserved;  // horizontal per-round reserved sends
+    std::vector<Transfer> batch;
+  };
+  Scratch scratch_;
+  ScheduleResult result_;
 };
 
 }  // namespace rips::sched

@@ -6,32 +6,37 @@
 
 namespace rips::sched {
 
-ScheduleResult Twa::schedule(const std::vector<i64>& load) {
+const ScheduleResult& Twa::schedule(const std::vector<i64>& load) {
   const i32 n = tree_.size();
   RIPS_CHECK(static_cast<i32>(load.size()) == n);
 
-  ScheduleResult out;
+  ScheduleResult& out = result_;
+  out.reset();
   out.new_load = load;
 
   // Upward sweep: subtree sums (children have larger heap indices, so a
   // reverse id scan respects the dependency order).
-  std::vector<i64> subtree(load.begin(), load.end());
+  std::vector<i64>& subtree = scratch_.subtree;
+  subtree.assign(load.begin(), load.end());
   for (NodeId v = n - 1; v >= 1; --v) {
     subtree[static_cast<size_t>(topo::BinaryTree::parent(v))] +=
         subtree[static_cast<size_t>(v)];
   }
   const i64 total = subtree[0];
-  const std::vector<i64> quota = quota_for(total, n);
+  quota_into(total, n, scratch_.quota);
+  const std::vector<i64>& quota = scratch_.quota;
 
   // Subtree quotas.
-  std::vector<i64> subtree_quota(quota.begin(), quota.end());
+  std::vector<i64>& subtree_quota = scratch_.subtree_quota;
+  subtree_quota.assign(quota.begin(), quota.end());
   for (NodeId v = n - 1; v >= 1; --v) {
     subtree_quota[static_cast<size_t>(topo::BinaryTree::parent(v))] +=
         subtree_quota[static_cast<size_t>(v)];
   }
 
   // Net flow on the edge (parent(v), v): positive means v must send up.
-  std::vector<i64> up_flow(static_cast<size_t>(n), 0);
+  std::vector<i64>& up_flow = scratch_.up_flow;
+  up_flow.assign(static_cast<size_t>(n), 0);
   for (NodeId v = 1; v < n; ++v) {
     up_flow[static_cast<size_t>(v)] = subtree[static_cast<size_t>(v)] -
                                       subtree_quota[static_cast<size_t>(v)];
@@ -42,15 +47,18 @@ ScheduleResult Twa::schedule(const std::vector<i64>& load) {
 
   // Synchronous relay rounds: every node forwards as much of its pending
   // edge flow as its current holdings allow.
-  std::vector<i64> hold(out.new_load);
+  std::vector<i64>& hold = scratch_.hold;
+  hold.assign(out.new_load.begin(), out.new_load.end());
   i32 round = 0;
   bool pending = true;
   while (pending) {
     pending = false;
     ++round;
     RIPS_CHECK_MSG(round <= 2 * height + 2, "TWA relay failed to settle");
-    std::vector<i64> reserved(static_cast<size_t>(n), 0);
-    std::vector<Transfer> batch;
+    std::vector<i64>& reserved = scratch_.reserved;
+    reserved.assign(static_cast<size_t>(n), 0);
+    std::vector<Transfer>& batch = scratch_.batch;
+    batch.clear();
     for (NodeId v = 1; v < n; ++v) {
       i64& f = up_flow[static_cast<size_t>(v)];
       if (f == 0) continue;
@@ -83,12 +91,12 @@ ScheduleResult Twa::schedule(const std::vector<i64>& load) {
   out.transfer_steps += round - 1;
   out.comm_steps = out.info_steps + out.transfer_steps;
 
-  out.new_load = hold;
+  out.new_load.assign(hold.begin(), hold.end());
   for (NodeId v = 0; v < n; ++v) {
     RIPS_CHECK(out.new_load[static_cast<size_t>(v)] ==
                quota[static_cast<size_t>(v)]);
   }
-  return out;
+  return result_;
 }
 
 }  // namespace rips::sched

@@ -22,12 +22,26 @@ class Twa final : public ParallelScheduler {
  public:
   explicit Twa(topo::BinaryTree tree) : tree_(tree) {}
 
-  ScheduleResult schedule(const std::vector<i64>& load) override;
+  const ScheduleResult& schedule(const std::vector<i64>& load) override;
   const topo::Topology& topology() const override { return tree_; }
   std::string name() const override { return "twa"; }
 
  private:
   topo::BinaryTree tree_;
+
+  // Scratch arena (see Mwa): the sweep vectors are the same size every
+  // system phase, so they live here and are overwritten in place.
+  struct Scratch {
+    std::vector<i64> subtree;        // upward-sweep subtree load sums
+    std::vector<i64> quota;          // per-node quotas
+    std::vector<i64> subtree_quota;  // subtree quota sums
+    std::vector<i64> up_flow;        // pending flow on (parent(v), v)
+    std::vector<i64> hold;           // relay-round holdings
+    std::vector<i64> reserved;       // per-round reserved sends
+    std::vector<Transfer> batch;
+  };
+  Scratch scratch_;
+  ScheduleResult result_;
 };
 
 }  // namespace rips::sched

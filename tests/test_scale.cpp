@@ -1,0 +1,128 @@
+// Scaling frontier tests (docs/PERFORMANCE.md, Scaling): the `scale`
+// synthetic preset and the EngineTuning knobs the scale_sweep tool runs
+// with. The `scale` ctest label also runs scale_sweep --quick itself
+// (see scale_smoke in CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "exec/sweep/runner.hpp"
+#include "sim/metrics.hpp"
+
+namespace rips::sweep {
+namespace {
+
+apps::Workload scale_workload(u64 target) {
+  apps::Workload w;
+  w.group = "scale";
+  w.name = "scale-" + std::to_string(target);
+  w.trace = apps::build_synthetic_trace(apps::scale_config(target),
+                                        /*seed=*/1);
+  w.cost.ns_per_work = 2000.0;
+  w.tasks_reported = w.trace.size();
+  return w;
+}
+
+void expect_same_run(const RunResult& a, const RunResult& b,
+                     const std::string& what) {
+  ASSERT_TRUE(a.ok) << what << ": " << a.error;
+  ASSERT_TRUE(b.ok) << what << ": " << b.error;
+  const sim::RunMetrics& ma = a.run.metrics;
+  const sim::RunMetrics& mb = b.run.metrics;
+  EXPECT_EQ(ma.num_tasks, mb.num_tasks) << what;
+  EXPECT_EQ(ma.makespan_ns, mb.makespan_ns) << what;
+  EXPECT_EQ(ma.sequential_ns, mb.sequential_ns) << what;
+  EXPECT_EQ(ma.total_busy_ns, mb.total_busy_ns) << what;
+  EXPECT_EQ(ma.total_overhead_ns, mb.total_overhead_ns) << what;
+  EXPECT_EQ(ma.total_idle_ns, mb.total_idle_ns) << what;
+  EXPECT_EQ(ma.nonlocal_tasks, mb.nonlocal_tasks) << what;
+  EXPECT_EQ(ma.system_phases, mb.system_phases) << what;
+  EXPECT_EQ(a.run.registry.to_json(), b.run.registry.to_json()) << what;
+}
+
+// The preset's task count tracks the requested target: close enough that
+// "a million-task trace" means a million tasks, loose enough to absorb the
+// randomness of the spawn process.
+TEST(ScalePreset, TraceSizeTracksTarget) {
+  for (const u64 target : {u64{10'000}, u64{100'000}}) {
+    const apps::TaskTrace trace =
+        apps::build_synthetic_trace(apps::scale_config(target), /*seed=*/1);
+    EXPECT_GT(trace.size(), target / 2) << "target " << target;
+    EXPECT_LT(trace.size(), target * 2) << "target " << target;
+    EXPECT_EQ(trace.num_segments(), 1u) << "target " << target;
+  }
+}
+
+// scale_sweep's determinism promise, at the executor level: the exact runs
+// the quick suite issues produce byte-identical registries and identical
+// metrics for any job count.
+TEST(ScaleSweep, ResultsAreIdenticalAcrossJobCounts) {
+  const apps::Workload w = scale_workload(8192);
+  std::vector<RunDescriptor> descriptors;
+  for (const i32 nodes : {64, 128}) {
+    RunDescriptor d;
+    d.workload = &w;
+    d.nodes = nodes;
+    d.kind = Kind::kRips;
+    d.tuning.phase_snapshots = false;
+    descriptors.push_back(d);
+  }
+  const std::vector<RunResult> serial = run_sweep(descriptors, /*jobs=*/1);
+  const std::vector<RunResult> threaded = run_sweep(descriptors, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    expect_same_run(serial[i], threaded[i],
+                    "jobs=1 vs jobs=4, descriptor " + std::to_string(i));
+  }
+}
+
+// EngineTuning is cost-only by contract: flipping full_measure must not
+// change a single simulated bit (with snapshots off the registries are
+// byte-identical, not just metric-equal).
+TEST(ScaleSweep, FullMeasurePassChangesNothingObservable) {
+  const apps::Workload w = scale_workload(8192);
+  RunDescriptor fast;
+  fast.workload = &w;
+  fast.nodes = 64;
+  fast.kind = Kind::kRips;
+  fast.tuning.phase_snapshots = false;
+  RunDescriptor full = fast;
+  full.tuning.full_measure = true;
+
+  const std::vector<RunResult> results = run_sweep({fast, full}, /*jobs=*/1);
+  ASSERT_EQ(results.size(), 2u);
+  expect_same_run(results[0], results[1], "fast vs full measuring pass");
+}
+
+// Disabling phase snapshots strips the per-phase registry dumps but leaves
+// every simulated metric untouched — the knob scale_sweep relies on to
+// keep the steady-state loop allocation-free.
+TEST(ScaleSweep, SnapshotKnobOnlyAffectsSnapshots) {
+  const apps::Workload w = scale_workload(8192);
+  RunDescriptor with;
+  with.workload = &w;
+  with.nodes = 64;
+  with.kind = Kind::kRips;
+  RunDescriptor without = with;
+  without.tuning.phase_snapshots = false;
+
+  const std::vector<RunResult> results = run_sweep({with, without}, /*jobs=*/1);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  ASSERT_TRUE(results[1].ok) << results[1].error;
+  const sim::RunMetrics& ma = results[0].run.metrics;
+  const sim::RunMetrics& mb = results[1].run.metrics;
+  EXPECT_EQ(ma.makespan_ns, mb.makespan_ns);
+  EXPECT_EQ(ma.total_busy_ns, mb.total_busy_ns);
+  EXPECT_EQ(ma.total_overhead_ns, mb.total_overhead_ns);
+  EXPECT_EQ(ma.system_phases, mb.system_phases);
+  // The snapshot-bearing registry is a strict superset.
+  const std::string with_json = results[0].run.registry.to_json();
+  const std::string without_json = results[1].run.registry.to_json();
+  EXPECT_GT(with_json.size(), without_json.size());
+}
+
+}  // namespace
+}  // namespace rips::sweep
