@@ -42,6 +42,12 @@ void check_run(const Value& run, const std::string& where) {
   require(run, "scheduler", Value::Type::kString, where);
   require(run, "policy", Value::Type::kString, where);
   require(run, "monitors_ok", Value::Type::kBool, where);
+  if (const Value* mp =
+          require(run, "measure_pass", Value::Type::kString, where)) {
+    if (mp->string != "drain-sum" && mp->string != "full") {
+      fail(where + ": measure_pass must be \"drain-sum\" or \"full\"");
+    }
+  }
   for (const char* key : {"nodes", "tasks", "makespan_ns", "sequential_ns",
                           "nonlocal_tasks", "system_phases"}) {
     if (const Value* v = require(run, key, Value::Type::kNumber, where)) {
@@ -76,7 +82,28 @@ void check_run(const Value& run, const std::string& where) {
         fail(where + ": metrics.counters[\"tasks.executed\"] must be > 0");
       }
     }
-    require(*m, "histograms", Value::Type::kObject, where + ".metrics");
+    const Value* hists =
+        require(*m, "histograms", Value::Type::kObject, where + ".metrics");
+    if (hists != nullptr) {
+      for (const auto& [name, h] : hists->object) {
+        const std::string hwhere = where + ".metrics.histograms." + name;
+        if (!h.is_object()) {
+          fail(hwhere + " must be an object");
+          continue;
+        }
+        long long pct[3] = {0, 0, 0};
+        const char* keys[3] = {"p50", "p95", "p99"};
+        for (int i = 0; i < 3; ++i) {
+          if (const Value* v =
+                  require(h, keys[i], Value::Type::kNumber, hwhere)) {
+            pct[i] = v->as_i64();
+          }
+        }
+        if (pct[0] > pct[1] || pct[1] > pct[2]) {
+          fail(hwhere + ": percentiles must be non-decreasing");
+        }
+      }
+    }
   }
 }
 

@@ -29,6 +29,7 @@
 #include "apps/trace_io.hpp"
 #include "harness.hpp"
 #include "obs/json.hpp"
+#include "obs/live_status.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
 
@@ -111,6 +112,8 @@ std::string to_json(const std::vector<RunRecord>& runs, const std::string& suite
     out += "\"idle_s\":" + std::string(buf) + ",";
     out += "\"nonlocal_tasks\":" + std::to_string(m.nonlocal_tasks) + ",";
     out += "\"system_phases\":" + std::to_string(m.system_phases) + ",";
+    out += "\"measure_pass\":" +
+           quoted(m.used_fast_measure ? "drain-sum" : "full") + ",";
     out += "\"monitors_ok\":" + std::string(r.monitors_ok ? "true" : "false") +
            ",";
     out += "\"metrics\":" + r.registry_json;
@@ -131,11 +134,16 @@ int main(int argc, char** argv) {
         "  [--policy={any,all}-{lazy,eager}] [--quick=1] [--rid-u=0.4]\n"
         "  [--monitors=1] [--jobs=1] [--json[=BENCH_core.json]]\n"
         "  [--trace-out=path] [--trace-cache=DIR]\n"
+        "  [--live-status] [--timeseries-out=harness.timeseries.json]\n"
         "emits the rips-bench-v1 JSON document (see docs/OBSERVABILITY.md);\n"
         "validate with bench/check_bench_json. --jobs=N parallelizes the\n"
         "sweep (0 = all hardware threads); output is identical for any N.\n"
-        "--trace-cache=DIR caches the expensive application traces under\n"
-        "DIR across invocations (overrides the RIPS_TRACE_CACHE env var).\n");
+        "--live-status keeps a progress line on stderr; --timeseries-out\n"
+        "records per-phase samples for every run and writes a\n"
+        "rips-timeseries-v1 document (both leave stdout and the bench JSON\n"
+        "byte-identical). --trace-cache=DIR caches the expensive\n"
+        "application traces under DIR across invocations (overrides the\n"
+        "RIPS_TRACE_CACHE env var).\n");
     return 0;
   }
 
@@ -210,8 +218,22 @@ int main(int argc, char** argv) {
   // per-run sessions are tens of MB, so only that run records one.
   if (want_trace) descriptors.back().collect_trace = true;
 
+  // Live telemetry: one locked printer shared by every per-run bus, and
+  // per-run samplers when a time-series export was requested. Both are
+  // passive — stdout and the bench JSON stay byte-identical.
+  const bool live_status = args.get_bool("live-status", args.has("live-status"));
+  const bool want_timeseries = args.has("timeseries-out");
+  obs::LiveStatusPrinter::Options live_opts;
+  live_opts.total_runs = descriptors.size();
+  obs::LiveStatusPrinter live(live_opts);
+  for (bench::RunDescriptor& d : descriptors) {
+    if (live_status) d.live = &live;
+    d.collect_timeseries = want_timeseries;
+  }
+
   const std::vector<bench::RunResult> results =
       bench::run_sweep(descriptors, jobs);
+  if (live_status) live.finish();
 
   std::vector<RunRecord> runs;
   bool all_monitors_ok = true;
@@ -253,6 +275,19 @@ int main(int argc, char** argv) {
     out.flush();
     RIPS_CHECK_MSG(out.good(), "failed to write the bench JSON");
     std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+  }
+  if (want_timeseries) {
+    std::string path = args.get("timeseries-out", "harness.timeseries.json");
+    if (path.empty()) path = "harness.timeseries.json";
+    std::vector<const obs::TimeSeriesSampler*> samplers;
+    for (const bench::RunResult& r : results) {
+      samplers.push_back(r.timeseries.get());
+    }
+    std::ofstream ts_out(path, std::ios::binary);
+    ts_out << obs::timeseries_doc_json(samplers);
+    ts_out.flush();
+    RIPS_CHECK_MSG(ts_out.good(), "failed to write the time series");
+    std::printf("wrote %s (%zu series)\n", path.c_str(), samplers.size());
   }
   if (want_trace) {
     const std::string path = args.get("trace-out", "harness.trace.json");

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "flow/mincost_flow.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
@@ -283,6 +285,37 @@ void BM_ObsSpanEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsSpanEnabled);
+
+// Same discipline for the telemetry bus: every phase boundary publishes,
+// so with no bus attached the cost must be one test-and-branch (matching
+// BM_ObsSpanDisabled) — CI asserts the disabled case stays ~1 ns.
+void BM_TelemetryPublishDisabled(benchmark::State& state) {
+  obs::TelemetryBus* bus = nullptr;
+  obs::PhaseSample sample{};
+  sample.kind = obs::PhaseKind::kSystem;
+  SimTime t = 0;
+  for (auto _ : state) {
+    if (bus != nullptr) bus->publish(sample);  // the engines' publish site
+    benchmark::DoNotOptimize(bus);
+    benchmark::DoNotOptimize(t += 100);
+  }
+}
+BENCHMARK(BM_TelemetryPublishDisabled);
+
+void BM_TelemetryPublishEnabled(benchmark::State& state) {
+  obs::TelemetryBus bus;
+  obs::FlightRecorder recorder;  // the always-on subscriber: ring write
+  bus.subscribe(&recorder);
+  obs::PhaseSample sample{};
+  sample.kind = obs::PhaseKind::kSystem;
+  obs::TelemetryBus* attached = &bus;
+  SimTime t = 0;
+  for (auto _ : state) {
+    if (attached != nullptr) attached->publish(sample);
+    benchmark::DoNotOptimize(t += 100);
+  }
+}
+BENCHMARK(BM_TelemetryPublishEnabled);
 
 }  // namespace
 

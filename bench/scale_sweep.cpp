@@ -33,6 +33,8 @@
 #include "apps/trace_io.hpp"
 #include "harness.hpp"
 #include "obs/json.hpp"
+#include "obs/live_status.hpp"
+#include "sim/fault.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
 
@@ -91,6 +93,8 @@ std::string to_json(const std::vector<RunRecord>& runs, bool quick,
     out += "\"idle_s\":" + std::string(buf) + ",";
     out += "\"nonlocal_tasks\":" + std::to_string(m.nonlocal_tasks) + ",";
     out += "\"system_phases\":" + std::to_string(m.system_phases) + ",";
+    out += "\"measure_pass\":" +
+           quoted(m.used_fast_measure ? "drain-sum" : "full") + ",";
     out += "\"monitors_ok\":" + std::string(r.monitors_ok ? "true" : "false") +
            ",";
     out += "\"metrics\":" + r.registry_json;
@@ -109,22 +113,33 @@ int main(int argc, char** argv) {
         "usage: scale_sweep [--quick=0] [--jobs=1]\n"
         "  [--json[=BENCH_scale.json]] [--full-measure=0]\n"
         "  [--trace-cache=DIR]\n"
+        "  [--live-status] [--timeseries-out=scale.timeseries.json]\n"
+        "  [--fault-seed=N] [--crash-mtbf-ms=N] [--drop-prob=P]\n"
+        "  [--fault-horizon-ms=N]\n"
         "strong + weak scaling of RIPS on the `scale` synthetic preset at\n"
         "nodes in {128, 512, 2048, 4096} (quick: one 2048-node ~100k-task\n"
         "strong point for CI smoke). stdout/--json carry simulated metrics\n"
-        "only (byte-identical for any --jobs); host-side throughput goes\n"
-        "to stderr. --full-measure times the legacy O(subtree) measuring\n"
-        "pass instead of the drain-sum fast path (identical results).\n");
+        "only (byte-identical for any --jobs); host-side throughput and\n"
+        "the --live-status line go to stderr. --full-measure times the\n"
+        "legacy O(subtree) measuring pass instead of the drain-sum fast\n"
+        "path (identical results); attaching a fault plan (--fault-seed)\n"
+        "forces that full pass too, so faulty runs do not measure the\n"
+        "fast path's throughput.\n");
     return 0;
   }
   args.check_known({"help", "quick", "jobs", "json", "full-measure",
-                    "trace-cache"});
+                    "trace-cache", "live-status", "timeseries-out",
+                    "fault-seed", "crash-mtbf-ms", "drop-prob",
+                    "fault-horizon-ms"});
   if (args.has("trace-cache")) {
     apps::set_trace_cache_dir(args.get("trace-cache", ""));
   }
   const bool quick = args.get_bool("quick", false);
   const i32 jobs = static_cast<i32>(args.get_int("jobs", 1));
   const bool full_measure = args.get_bool("full-measure", false);
+  const bool live_status = args.get_bool("live-status", args.has("live-status"));
+  const bool want_timeseries = args.has("timeseries-out");
+  const bool inject_faults = args.has("fault-seed");
 
   // The suite: strong scaling re-runs one trace at every machine size;
   // weak scaling grows the trace with the machine (~256 tasks per node,
@@ -177,8 +192,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Deterministic fault injection, one plan per machine size (crash
+  // victims are node ids, so a plan is only meaningful at its own size).
+  // Attaching any plan — even one that never fires — switches the engine
+  // to the legacy full measuring pass, which is exactly what this suite
+  // exists NOT to measure; say so loudly.
+  std::vector<sim::FaultPlan> fault_plans;
+  fault_plans.reserve(points.size());
+  if (inject_faults) {
+    if (!full_measure) {
+      std::fprintf(stderr,
+                   "scale_sweep: warning: fault injection forces the full "
+                   "O(subtree) measuring pass — throughput below does not "
+                   "reflect the drain-sum fast path\n");
+    }
+    sim::FaultSpec spec;
+    spec.horizon_ns = args.get_int("fault-horizon-ms", 1000) * 1'000'000;
+    spec.crash_mtbf_ns = args.get_double("crash-mtbf-ms", 0.0) * 1e6;
+    spec.drop_prob = args.get_double("drop-prob", 0.0);
+    const u64 seed = static_cast<u64>(args.get_int("fault-seed", 1));
+    for (const ScalePoint& p : points) {
+      fault_plans.push_back(sim::FaultPlan::generate(seed, p.nodes, spec));
+    }
+  }
+
+  obs::LiveStatusPrinter::Options live_opts;
+  live_opts.total_runs = points.size();
+  obs::LiveStatusPrinter live(live_opts);
+
   std::vector<bench::RunDescriptor> descriptors;
-  for (const ScalePoint& p : points) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
     bench::RunDescriptor d;
     d.workload = &workloads[p.workload];
     d.nodes = p.nodes;
@@ -187,11 +231,15 @@ int main(int argc, char** argv) {
     // steady-state configuration it exists to measure.
     d.tuning.phase_snapshots = false;
     d.tuning.full_measure = full_measure;
+    if (inject_faults) d.fault_plan = &fault_plans[i];
+    if (live_status) d.live = &live;
+    d.collect_timeseries = want_timeseries;
     d.cost_hint = static_cast<double>(d.workload->trace.size());
     descriptors.push_back(d);
   }
   const std::vector<bench::RunResult> results =
       bench::run_sweep(descriptors, jobs);
+  if (live_status) live.finish();
   const auto sweep_end = std::chrono::steady_clock::now();
 
   std::vector<RunRecord> runs;
@@ -234,6 +282,19 @@ int main(int argc, char** argv) {
     RIPS_CHECK_MSG(out.good(), "failed to write the scale JSON");
     std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
   }
+  if (want_timeseries) {
+    std::string path = args.get("timeseries-out", "scale.timeseries.json");
+    if (path.empty()) path = "scale.timeseries.json";
+    std::vector<const obs::TimeSeriesSampler*> samplers;
+    for (const bench::RunResult& r : results) {
+      samplers.push_back(r.timeseries.get());
+    }
+    std::ofstream ts_out(path, std::ios::binary);
+    ts_out << obs::timeseries_doc_json(samplers);
+    ts_out.flush();
+    RIPS_CHECK_MSG(ts_out.good(), "failed to write the time series");
+    std::printf("wrote %s (%zu series)\n", path.c_str(), samplers.size());
+  }
 
   // Host-side throughput — stderr on purpose: stdout and the JSON must
   // stay byte-identical across hosts and job counts; wall clock is the one
@@ -256,6 +317,6 @@ int main(int argc, char** argv) {
                "throughput=%.0f tasks/s jobs=%d measure=%s\n",
                build_ms, sweep_ms,
                static_cast<unsigned long long>(total_tasks), throughput, jobs,
-               full_measure ? "full" : "fast");
+               full_measure || inject_faults ? "full" : "fast");
   return 0;
 }

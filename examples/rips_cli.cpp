@@ -29,7 +29,11 @@
 #include "balance/random_alloc.hpp"
 #include "balance/rid.hpp"
 #include "balance/sender_initiated.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/live_status.hpp"
 #include "obs/monitors.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "rips/rips_engine.hpp"
 #include "sched/scheduler.hpp"
@@ -213,6 +217,11 @@ int run_cli(const Args& args) {
         "  [--trace-out=run.trace.json]   Perfetto trace (ui.perfetto.dev)\n"
         "  [--metrics-out=metrics.json]   counters/histograms/snapshots\n"
         "  [--monitors=1]                 Theorem-1/2 + conservation checks\n"
+        "  [--live-status]                progress line on stderr\n"
+        "  [--timeseries-out=run.timeseries.json]  per-phase sample series\n"
+        "  [--blackbox[=rips-blackbox.json]]  always-on flight recorder:\n"
+        "      dumps the recent-phase ring on faults, monitor violations,\n"
+        "      aborts and fatal signals (inspect with trace_tool blackbox)\n"
         "  fault injection (RIPS strategy only):\n"
         "  [--fault-seed=N] [--crash-mtbf-ms=N] [--drop-prob=P]\n"
         "  [--fault-horizon-ms=N]\n"
@@ -231,7 +240,7 @@ int run_cli(const Args& args) {
       "fault-horizon-ms", "n", "split", "config", "cutoff", "steps", "matrix",
       "block", "roots", "spawn", "depth", "work-model", "mean-work",
       "segments", "seed", "ns-per-work", "topo", "rid-u", "jobs",
-      "trace-cache",
+      "trace-cache", "live-status", "timeseries-out", "blackbox",
   });
 
   if (args.has("trace-cache")) {
@@ -262,6 +271,37 @@ int run_cli(const Args& args) {
   obs::Obs o;
   if (args.has("trace-out")) o.trace = &trace_session;
   if (args.get_bool("monitors", false)) o.monitor = &monitor;
+
+  // Live telemetry (docs/OBSERVABILITY.md, "Live telemetry"): the bus is
+  // attached only when at least one subscriber exists, so the default run
+  // keeps the null-sink fast path.
+  obs::TelemetryBus bus;
+  obs::TimeSeriesSampler sampler;
+  obs::LiveStatusPrinter live;
+  obs::FlightRecorder recorder;
+  const bool want_timeseries = args.has("timeseries-out");
+  const bool want_blackbox = args.has("blackbox");
+  if (want_timeseries) {
+    sampler.set_label(args.get("app", "queens") + "/" + strategy + "/n" +
+                      std::to_string(nodes));
+    bus.subscribe(&sampler);
+  }
+  if (args.get_bool("live-status", args.has("live-status"))) {
+    bus.subscribe(&live);
+  }
+  if (want_blackbox) {
+    // Flight recorder: bounded rings of recent phases/events, auto-dumped
+    // on faults and monitor violations, and on aborts/fatal signals via
+    // the process hooks (RIPS_CHECK failures abort, so engine invariant
+    // trips leave a black box too).
+    std::string dump_path = args.get("blackbox", "rips-blackbox.json");
+    if (dump_path.empty()) dump_path = "rips-blackbox.json";
+    recorder.set_dump_path(dump_path);
+    recorder.attach_trace(o.trace);
+    recorder.arm_process_hooks();
+    bus.subscribe(&recorder);
+  }
+  if (!bus.empty()) o.bus = &bus;
 
   if (strategy == "rips") {
     auto sched = sched::make_scheduler(args.get("sched", "mwa"), nodes);
@@ -325,6 +365,8 @@ int run_cli(const Args& args) {
     }
   }
 
+  if (args.get_bool("live-status", args.has("live-status"))) live.finish();
+
   std::printf("Th=%.3fs Ti=%.3fs speedup=%.1f optimal-bound=%.1f%%\n",
               metrics.overhead_s(), metrics.idle_s(), metrics.speedup(),
               100.0 * trace.optimal_efficiency(nodes));
@@ -340,6 +382,23 @@ int run_cli(const Args& args) {
                 "ui.perfetto.dev\n",
                 path.c_str(), trace_session.size(),
                 static_cast<unsigned long long>(trace_session.dropped()));
+  }
+  if (want_timeseries) {
+    std::string path = args.get("timeseries-out", "run.timeseries.json");
+    if (path.empty()) path = "run.timeseries.json";
+    RIPS_CHECK_MSG(sampler.write_json(path),
+                   "failed to write the time series");
+    std::printf("wrote %s (%llu samples, %zu events)\n", path.c_str(),
+                static_cast<unsigned long long>(sampler.seen()),
+                sampler.events().size());
+  }
+  if (want_blackbox) {
+    if (recorder.dumps_written() > 0) {
+      std::printf("black box dumped to %s (inspect with trace_tool "
+                  "blackbox)\n",
+                  recorder.dump_path().c_str());
+    }
+    obs::FlightRecorder::disarm_process_hooks();
   }
   if (o.monitor != nullptr) {
     std::fputs(monitor.report().c_str(), stdout);

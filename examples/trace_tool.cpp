@@ -8,8 +8,11 @@
 //   ./trace_tool critical-path run.trace.json --json=cp.json
 //   ./trace_tool top run.trace.json --limit=5      where the time went
 //   ./trace_tool diff BENCH_core.json BENCH_fresh.json   bench regression
+//   ./trace_tool blackbox rips-blackbox.json       flight-recorder dump
+//   ./trace_tool ts-diff base.ts.json cur.ts.json  steady-band regression
 //
-// Exit codes: 0 = ok, 1 = regression (diff only), 2 = usage/parse error.
+// Exit codes: 0 = ok, 1 = regression (diff/ts-diff only), 2 = usage/parse
+// error (including empty or truncated inputs).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -18,6 +21,8 @@
 
 #include "obs/analysis/analysis.hpp"
 #include "obs/analysis/bench_diff.hpp"
+#include "obs/analysis/blackbox.hpp"
+#include "obs/analysis/ts_diff.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -54,7 +59,13 @@ int usage(bool ok) {
       "  top <trace.json> [--limit=10]             span time aggregation\n"
       "  diff <baseline.json> <current.json>       bench regression gate\n"
       "       [--makespan-tol=0.10] [--overhead-factor=2.0]\n"
-      "       [--overhead-floor-s=1e-4] [--efficiency-tol=0.05]\n");
+      "       [--overhead-floor-s=1e-4] [--efficiency-tol=0.05]\n"
+      "       [--percentile-factor=4.0]\n"
+      "  blackbox <rips-blackbox.json>             flight-recorder\n"
+      "       post-mortem: events attributed to their phase windows\n"
+      "  ts-diff <baseline.json> <current.json>    steady-state band gate\n"
+      "       over rips-timeseries-v1 docs [--mean-factor=1.5]\n"
+      "       [--p95-factor=2.0] [--abs-floor=4.0]\n");
   return ok ? 0 : 2;
 }
 
@@ -65,12 +76,31 @@ int load_trace(const std::string& path, AnalysisTrace& trace) {
     std::fprintf(stderr, "trace_tool: %s\n", error.c_str());
     return 2;
   }
+  if (text.empty()) {
+    std::fprintf(stderr,
+                 "trace_tool: %s: file is empty — the run may have died "
+                 "before the trace was written\n",
+                 path.c_str());
+    return 2;
+  }
   auto parsed = AnalysisTrace::from_trace_json(text, &error);
   if (!parsed.has_value()) {
-    std::fprintf(stderr, "trace_tool: %s: %s\n", path.c_str(), error.c_str());
+    // A syntactically broken document is almost always a capture cut off
+    // mid-write (crashed run, full disk); say so instead of leaving the
+    // user with a bare parse offset.
+    std::fprintf(stderr,
+                 "trace_tool: %s: %s (empty or truncated capture?)\n",
+                 path.c_str(), error.c_str());
     return 2;
   }
   trace = std::move(*parsed);
+  if (trace.events.empty()) {
+    std::fprintf(stderr,
+                 "trace_tool: %s: trace contains no events — nothing to "
+                 "analyze (was the session attached to the run?)\n",
+                 path.c_str());
+    return 2;
+  }
   if (trace.dropped > 0) {
     std::fprintf(stderr,
                  "trace_tool: warning: %llu events were dropped by the ring "
@@ -134,15 +164,54 @@ int run_tool(const Args& args) {
     return 0;
   }
 
+  if (cmd == "blackbox") {
+    args.check_known({"help"});
+    if (args.positional().size() != 2) return usage(false);
+    std::string error;
+    const auto doc = load_blackbox_file(args.positional()[1], &error);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "trace_tool: %s: %s\n",
+                   args.positional()[1].c_str(), error.c_str());
+      return 2;
+    }
+    std::fputs(blackbox_report(*doc).c_str(), stdout);
+    return 0;
+  }
+
+  if (cmd == "ts-diff") {
+    args.check_known({"help", "mean-factor", "p95-factor", "abs-floor"});
+    if (args.positional().size() != 3) return usage(false);
+    TsDiffOptions opts;
+    opts.mean_factor = args.get_double("mean-factor", 1.5);
+    opts.p95_factor = args.get_double("p95-factor", 2.0);
+    opts.abs_floor = args.get_double("abs-floor", 4.0);
+    std::string error;
+    const auto baseline = load_timeseries_file(args.positional()[1], &error);
+    if (!baseline.has_value()) {
+      std::fprintf(stderr, "trace_tool: baseline: %s\n", error.c_str());
+      return 2;
+    }
+    const auto current = load_timeseries_file(args.positional()[2], &error);
+    if (!current.has_value()) {
+      std::fprintf(stderr, "trace_tool: current: %s\n", error.c_str());
+      return 2;
+    }
+    const TsDiffResult result = ts_diff(*baseline, *current, opts);
+    std::fputs(ts_report(result).c_str(), stdout);
+    return result.ok() ? 0 : 1;
+  }
+
   if (cmd == "diff") {
     args.check_known({"help", "makespan-tol", "overhead-factor",
-                      "overhead-floor-s", "efficiency-tol"});
+                      "overhead-floor-s", "efficiency-tol",
+                      "percentile-factor"});
     if (args.positional().size() != 3) return usage(false);
     DiffOptions opts;
     opts.makespan_rel_tol = args.get_double("makespan-tol", 0.10);
     opts.overhead_factor = args.get_double("overhead-factor", 2.0);
     opts.overhead_abs_floor_s = args.get_double("overhead-floor-s", 1e-4);
     opts.efficiency_abs_tol = args.get_double("efficiency-tol", 0.05);
+    opts.percentile_factor = args.get_double("percentile-factor", 4.0);
     std::string error;
     const auto baseline = load_bench_file(args.positional()[1], &error);
     if (!baseline.has_value()) {

@@ -196,6 +196,7 @@ void DynamicEngine::deliver(NodeId node, Message msg, SimTime arrival) {
 }
 
 void DynamicEngine::release_segment(u32 segment, SimTime at) {
+  const u64 completed_prev = completed_in_segment_;
   current_segment_ = segment;
   completed_in_segment_ = 0;
 
@@ -213,6 +214,24 @@ void DynamicEngine::release_segment(u32 segment, SimTime at) {
   }
   obs::span(obs_.trace, kInvalidNode, "phase", "segment_barrier", latest,
             release_t, "segment", static_cast<i64>(segment));
+  if (obs_.bus != nullptr) {
+    obs::PhaseSample sample;
+    sample.kind = obs::PhaseKind::kSegment;
+    sample.phase = segment;
+    sample.t0 = latest;
+    sample.t1 = release_t;
+    sample.tasks = completed_prev;
+    i64 min_load = load_of(0);
+    i64 max_load = min_load;
+    for (NodeId v = 1; v < static_cast<NodeId>(nodes_.size()); ++v) {
+      min_load = std::min(min_load, load_of(v));
+      max_load = std::max(max_load, load_of(v));
+    }
+    sample.imbalance = max_load - min_load;
+    sample.live_nodes = static_cast<i32>(nodes_.size());
+    sample.executed_total = c_tasks_executed_->value();
+    obs_.bus->publish(sample);
+  }
   for (auto& n : nodes_) {
     n.ovh_ns += cost_.send_overhead_ns + cost_.recv_overhead_ns;
     n.free_at = std::max(n.free_at, release_t);
@@ -268,6 +287,14 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
         cost_.work_time(trace.task(static_cast<TaskId>(i)).work);
   }
 
+  if (obs_.bus != nullptr) {
+    obs::RunStart rs;
+    rs.engine = "dynamic";
+    rs.num_nodes = n;
+    rs.num_tasks = trace.size();
+    obs_.bus->publish_run_begin(rs);
+  }
+
   strategy_.reset(*this);
 
   // Segment 0 roots materialize on node 0 (sequential root expansion).
@@ -314,6 +341,20 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
     metrics_.total_idle_ns += makespan - node.busy_ns - node.ovh_ns;
   }
   metrics_.load_counters(registry_);
+  if (obs_.bus != nullptr) {
+    // The final segment never hits a barrier — publish its execution tally
+    // so subscribers see every task, then close the run.
+    obs::PhaseSample sample;
+    sample.kind = obs::PhaseKind::kSegment;
+    sample.phase = current_segment_ + 1;
+    sample.t0 = makespan;
+    sample.t1 = makespan;
+    sample.tasks = completed_in_segment_;
+    sample.live_nodes = n;
+    sample.executed_total = c_tasks_executed_->value();
+    obs_.bus->publish(sample);
+    obs_.bus->publish_run_end(makespan);
+  }
   running_ = false;
   return metrics_;
 }

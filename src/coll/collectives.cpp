@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace rips::coll {
@@ -173,6 +174,15 @@ i32 Collectives::tree_phase_faulty(NodeId root, bool upward,
       // its contribution.
       stats.suspected.push_back(v);
       stats.retry_log.push_back({from, to, max_retries, false});
+      if (telemetry_ != nullptr) {
+        obs::TelemetryEvent ev;
+        ev.kind = obs::TelemetryEvent::Kind::kCollSuspect;
+        ev.t = telemetry_t_;
+        ev.node = v;
+        ev.arg = max_retries;
+        ev.detail = "silent peer suspected (collective rank)";
+        telemetry_->publish(ev);
+      }
     }
   }
   stats.timeouts += crit;

@@ -19,6 +19,10 @@
 #include "topo/topology.hpp"
 #include "util/types.hpp"
 
+namespace rips::obs {
+class TelemetryBus;
+}
+
 namespace rips::coll {
 
 /// Counters accumulated by collective executions.
@@ -79,6 +83,19 @@ class Collectives {
   explicit Collectives(const topo::Topology& topo);
 
   const topo::Topology& topology() const { return topo_; }
+
+  /// Optional live telemetry: when a bus is attached, every *_faulty
+  /// execution publishes one kCollSuspect TelemetryEvent per peer whose
+  /// signal never arrived within the retry budget — the moment the
+  /// heartbeat protocol gives a node up, not end-of-run. Node ids are
+  /// collective ranks (the caller owns any physical remap). `t` stamps the
+  /// published events — the collective layer has no sim clock of its own,
+  /// so the caller passes the operation's start time. Publishing is
+  /// observational only; pass nullptr to detach.
+  void set_telemetry(obs::TelemetryBus* bus, SimTime t = 0) {
+    telemetry_ = bus;
+    telemetry_t_ = t;
+  }
 
   /// BFS eccentricity of `root` (max hop distance to any node).
   i32 eccentricity(NodeId root) const;
@@ -147,6 +164,8 @@ class Collectives {
                         i32 max_retries, Ledger& ledger,
                         FaultStats& stats) const;
   const topo::Topology& topo_;
+  obs::TelemetryBus* telemetry_ = nullptr;
+  SimTime telemetry_t_ = 0;
   mutable std::vector<i32> ecc_cache_;  // -1 = unknown
 };
 

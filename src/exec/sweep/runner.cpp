@@ -103,7 +103,11 @@ namespace {
 RunResult run_one(const RunDescriptor& d) {
   RunResult result;
   std::shared_ptr<obs::TraceSession> trace;
+  std::shared_ptr<obs::TimeSeriesSampler> timeseries;
   obs::InvariantMonitor monitor;
+  // The bus lives on this slot's stack: per-run isolation is structural,
+  // not a locking discipline — a concurrent run cannot even name it.
+  obs::TelemetryBus bus;
   obs::Obs o;
   const bool monitored = d.monitor && d.kind == Kind::kRips;
   try {
@@ -115,6 +119,14 @@ RunResult run_one(const RunDescriptor& d) {
       o.trace = trace.get();
     }
     if (monitored) o.monitor = &monitor;
+    if (d.collect_timeseries) {
+      timeseries = std::make_shared<obs::TimeSeriesSampler>();
+      timeseries->set_label(d.workload->name + "/" + kind_name(d.kind) + "/n" +
+                            std::to_string(d.nodes));
+      bus.subscribe(timeseries.get());
+    }
+    if (d.live != nullptr) bus.subscribe(d.live);
+    if (!bus.empty()) o.bus = &bus;
     result.run = run_strategy(*d.workload, d.nodes, d.kind, d.rid_u, d.config,
                               o, d.fault_plan, d.tuning);
     result.ok = true;
@@ -123,6 +135,7 @@ RunResult run_one(const RunDescriptor& d) {
     return result;
   }
   result.trace = std::move(trace);
+  result.timeseries = std::move(timeseries);
   if (monitored && !monitor.ok()) {
     result.monitors_ok = false;
     result.monitor_report = monitor.report();

@@ -21,6 +21,8 @@
 #include "obs/metrics.hpp"
 #include "obs/monitors.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "rips/config.hpp"
 #include "rips/rips_engine.hpp"
@@ -85,6 +87,16 @@ struct RunDescriptor {
   bool collect_trace = false;
   /// Attach a per-run InvariantMonitor (RIPS only, like the harness).
   bool monitor = false;
+  /// Record a per-run time series (RunResult::timeseries): a private
+  /// TelemetryBus + TimeSeriesSampler pair is created inside the run slot,
+  /// so concurrent runs can never leak samples into each other. The
+  /// sampler is passive — metrics and registries stay byte-identical with
+  /// sampling on or off, for any job count.
+  bool collect_timeseries = false;
+  /// Optional extra subscriber attached to the per-run bus (the harness's
+  /// shared --live-status printer). Must be internally thread-safe when
+  /// the sweep runs with jobs > 1; may be null.
+  obs::TelemetrySubscriber* live = nullptr;
   /// Optional relative cost estimate (any unit). The executor starts
   /// expensive runs first so the longest run does not begin last and
   /// stretch the sweep's tail; purely a scheduling hint — results are
@@ -101,6 +113,9 @@ struct RunResult {
   bool monitors_ok = true;
   std::string monitor_report;  ///< only populated when monitors_ok is false
   std::shared_ptr<obs::TraceSession> trace;  ///< when collect_trace was set
+  /// Per-run sample series (when collect_timeseries was set), labeled
+  /// "<workload>/<strategy>/n<nodes>".
+  std::shared_ptr<obs::TimeSeriesSampler> timeseries;
 };
 
 /// Executes every descriptor on up to `jobs` threads (<= 0: all hardware

@@ -73,6 +73,26 @@ std::optional<BenchDoc> load_bench_doc(std::string_view text,
     r.system_phases = static_cast<i64>(num_field(rv, "system_phases"));
     const json::Value* mon = rv.find("monitors_ok");
     r.monitors_ok = mon == nullptr || !mon->is_bool() || mon->boolean;
+    r.measure_pass = str_field(rv, "measure_pass");
+    // Histogram tails live inside the embedded registry object. Older
+    // documents lack the p50/p95/p99 fields; those histograms are skipped
+    // so a fresh run still diffs cleanly against a pre-percentile baseline.
+    const json::Value* metrics = rv.find("metrics");
+    const json::Value* hists =
+        metrics != nullptr && metrics->is_object() ? metrics->find("histograms")
+                                                   : nullptr;
+    if (hists != nullptr && hists->is_object()) {
+      for (const auto& [name, hv] : hists->object) {
+        if (!hv.is_object()) continue;
+        const json::Value* p50 = hv.find("p50");
+        const json::Value* p95 = hv.find("p95");
+        const json::Value* p99 = hv.find("p99");
+        if (p50 == nullptr || p95 == nullptr || p99 == nullptr) continue;
+        r.hist_pcts.emplace_back(
+            name, std::array<i64, 3>{p50->as_i64(), p95->as_i64(),
+                                     p99->as_i64()});
+      }
+    }
     if (r.workload.empty() || r.makespan_ns <= 0) {
       return fail("run entry missing workload/makespan_ns");
     }
@@ -151,6 +171,43 @@ DiffResult diff(const BenchDoc& baseline, const BenchDoc& current,
     // Invariant monitors flipping to failed is always a regression.
     if (b->monitors_ok && !c.monitors_ok) {
       out.regressions.push_back({key, "monitors_ok", 1, 0, "monitors failed"});
+    }
+
+    // Losing the drain-sum fast path is a perf regression even though the
+    // simulated metrics are bit-identical either way. Skipped when either
+    // document predates the field.
+    if (b->measure_pass == "drain-sum" && c.measure_pass == "full") {
+      out.regressions.push_back({key, "measure_pass", 1, 0,
+                                 "drain-sum fast path lost to the full "
+                                 "measuring pass"});
+    }
+
+    // Histogram tails (p95/p99 only — p50 is covered transitively by the
+    // makespan gate and too coarse to gate on its own). Multiplicative,
+    // and skipped whenever the baseline lacks percentiles or the baseline
+    // tail is zero.
+    for (const auto& [hname, bp] : b->hist_pcts) {
+      const std::array<i64, 3>* cp = nullptr;
+      for (const auto& [cname, cpct] : c.hist_pcts) {
+        if (cname == hname) {
+          cp = &cpct;
+          break;
+        }
+      }
+      if (cp == nullptr) continue;
+      static constexpr const char* kPct[3] = {"p50", "p95", "p99"};
+      for (size_t pi = 1; pi < 3; ++pi) {
+        if (bp[pi] <= 0) continue;
+        const double factor = static_cast<double>((*cp)[pi]) /
+                              static_cast<double>(bp[pi]);
+        if (factor > opts.percentile_factor) {
+          char note[96];
+          std::snprintf(note, sizeof note, "%.1fx %s tail", factor, kPct[pi]);
+          out.regressions.push_back({key, hname + "." + kPct[pi],
+                                     static_cast<double>(bp[pi]),
+                                     static_cast<double>((*cp)[pi]), note});
+        }
+      }
     }
   }
   return out;

@@ -7,9 +7,11 @@
 // bench/bench_diff as a gate — nonzero exit on any regression.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -33,6 +35,13 @@ struct BenchRun {
   i64 nonlocal_tasks = 0;
   i64 system_phases = 0;
   bool monitors_ok = true;
+  /// Which drain-measuring pass the engine used: "drain-sum" | "full".
+  /// Empty for documents written before the field existed.
+  std::string measure_pass;
+  /// Histogram tails from the run's embedded metrics registry:
+  /// name -> {p50, p95, p99}. Empty for pre-percentile baselines, in which
+  /// case diff() skips the percentile gate entirely.
+  std::vector<std::pair<std::string, std::array<i64, 3>>> hist_pcts;
 
   /// Identity of the configuration the run measures.
   std::string key() const;
@@ -61,6 +70,10 @@ struct DiffOptions {
   double overhead_factor = 2.0;      ///< >2x overhead = regression
   double overhead_abs_floor_s = 1e-4;  ///< ignore overhead deltas below this
   double efficiency_abs_tol = 0.05;  ///< >5pp efficiency drop = regression
+  /// Histogram p95/p99 growth gate. Power-of-two buckets quantize the
+  /// derived percentiles to a 2x step, so 4.0 (two buckets) is the
+  /// smallest factor that cannot fire on a single-bucket wobble.
+  double percentile_factor = 4.0;
 };
 
 struct DiffEntry {

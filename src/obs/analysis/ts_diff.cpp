@@ -1,0 +1,142 @@
+#include "obs/analysis/ts_diff.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace rips::obs::analysis {
+
+const SeriesBand* SeriesBands::find(std::string_view field) const {
+  for (const auto& [name, band] : bands) {
+    if (name == field) return &band;
+  }
+  return nullptr;
+}
+
+std::optional<TimeSeriesDoc> load_timeseries_doc(std::string_view text,
+                                                 std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<TimeSeriesDoc> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::string parse_err;
+  const std::optional<json::Value> doc = json::parse(text, &parse_err);
+  if (!doc.has_value()) return fail("invalid JSON: " + parse_err);
+  if (!doc->is_object()) return fail("time-series document is not an object");
+  const json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "rips-timeseries-v1") {
+    return fail("schema is not rips-timeseries-v1");
+  }
+  const json::Value* series = doc->find("series");
+  if (series == nullptr || !series->is_array()) {
+    return fail("missing series array");
+  }
+  TimeSeriesDoc out;
+  for (const json::Value& sv : series->array) {
+    if (!sv.is_object()) return fail("series entry is not an object");
+    SeriesBands s;
+    const json::Value* label = sv.find("label");
+    if (label != nullptr && label->is_string()) s.label = label->string;
+    const json::Value* engine = sv.find("engine");
+    if (engine != nullptr && engine->is_string()) s.engine = engine->string;
+    const json::Value* nodes = sv.find("nodes");
+    if (nodes != nullptr && nodes->is_number()) s.nodes = nodes->as_i64();
+    const json::Value* complete = sv.find("complete");
+    s.complete = complete != nullptr && complete->boolean;
+    const json::Value* bands = sv.find("bands");
+    if (bands != nullptr && bands->is_object()) {
+      for (const auto& [field, bv] : bands->object) {
+        if (!bv.is_object()) continue;
+        SeriesBand band;
+        const json::Value* count = bv.find("count");
+        if (count != nullptr) band.count = static_cast<u64>(count->as_i64());
+        const json::Value* mean = bv.find("mean");
+        if (mean != nullptr) band.mean = mean->number;
+        const json::Value* min = bv.find("min");
+        if (min != nullptr) band.min = min->as_i64();
+        const json::Value* max = bv.find("max");
+        if (max != nullptr) band.max = max->as_i64();
+        const json::Value* p50 = bv.find("p50");
+        if (p50 != nullptr) band.p50 = p50->as_i64();
+        const json::Value* p95 = bv.find("p95");
+        if (p95 != nullptr) band.p95 = p95->as_i64();
+        s.bands.emplace_back(field, band);
+      }
+    }
+    out.series.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::optional<TimeSeriesDoc> load_timeseries_file(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return load_timeseries_doc(ss.str(), error);
+}
+
+TsDiffResult ts_diff(const TimeSeriesDoc& baseline,
+                     const TimeSeriesDoc& current,
+                     const TsDiffOptions& opts) {
+  TsDiffResult out;
+  for (const SeriesBands& b : baseline.series) {
+    const SeriesBands* c = nullptr;
+    for (const SeriesBands& s : current.series) {
+      if (s.label == b.label) {
+        c = &s;
+        break;
+      }
+    }
+    if (c == nullptr) {
+      out.missing.push_back(b.label);
+      continue;
+    }
+    for (const auto& [field, bb] : b.bands) {
+      const SeriesBand* cb = c->find(field);
+      if (cb == nullptr || bb.count == 0 || cb->count == 0) continue;
+      if (bb.mean >= opts.abs_floor &&
+          cb->mean > bb.mean * opts.mean_factor) {
+        out.regressions.push_back({b.label, field, "mean", bb.mean, cb->mean});
+      }
+      if (static_cast<double>(bb.p95) >= opts.abs_floor &&
+          static_cast<double>(cb->p95) >
+              static_cast<double>(bb.p95) * opts.p95_factor) {
+        out.regressions.push_back({b.label, field, "p95",
+                                   static_cast<double>(bb.p95),
+                                   static_cast<double>(cb->p95)});
+      }
+    }
+  }
+  return out;
+}
+
+std::string ts_report(const TsDiffResult& result) {
+  std::string out;
+  char buf[256];
+  for (const TsDiffEntry& e : result.regressions) {
+    std::snprintf(buf, sizeof buf,
+                  "REGRESSION  %-12s %-40s %-5s %g -> %g (%.2fx)\n",
+                  e.field.c_str(), e.label.c_str(), e.stat.c_str(), e.baseline,
+                  e.current, e.baseline > 0 ? e.current / e.baseline : 0.0);
+    out += buf;
+  }
+  for (const std::string& label : result.missing) {
+    out += "MISSING     " + label + " (in baseline, not in current)\n";
+  }
+  std::snprintf(buf, sizeof buf,
+                "ts-diff: %zu regression(s), %zu missing — %s\n",
+                result.regressions.size(), result.missing.size(),
+                result.ok() ? "PASS" : "FAIL");
+  out += buf;
+  return out;
+}
+
+}  // namespace rips::obs::analysis

@@ -1,0 +1,75 @@
+// Time-series regression diffing (docs/OBSERVABILITY.md, "Live
+// telemetry"). The bench_diff counterpart for `rips-timeseries-v1`
+// documents: instead of Table-I end-of-run columns it gates the
+// *steady-state bands* each series carries (mean/p50/p95 of per-phase
+// imbalance, drain estimate, phase duration, ... over the second half of
+// the run), so a change that keeps the makespan but degrades phase-level
+// behaviour — a growing imbalance tail, longer drains — still fails CI.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "util/types.hpp"
+
+namespace rips::obs::analysis {
+
+/// One series of a rips-timeseries-v1 document, bands only: samples are
+/// not re-derived — the writer's own bands are compared, so the gate sees
+/// exactly what the document claims.
+struct SeriesBands {
+  std::string label;
+  std::string engine;
+  i64 nodes = 0;
+  bool complete = false;
+  std::vector<std::pair<std::string, SeriesBand>> bands;
+
+  const SeriesBand* find(std::string_view field) const;
+};
+
+struct TimeSeriesDoc {
+  std::vector<SeriesBands> series;
+};
+
+std::optional<TimeSeriesDoc> load_timeseries_doc(std::string_view text,
+                                                 std::string* error = nullptr);
+std::optional<TimeSeriesDoc> load_timeseries_file(const std::string& path,
+                                                  std::string* error = nullptr);
+
+/// Band gates, multiplicative against the baseline. Phase-level values are
+/// noisier than Table-I totals (a band summarizes tens of phases, not
+/// millions of tasks), so the defaults are looser than bench_diff's.
+struct TsDiffOptions {
+  double mean_factor = 1.5;  ///< >1.5x steady-state mean = regression
+  double p95_factor = 2.0;   ///< >2x steady-state p95 tail = regression
+  /// Means below this are ignored by the factor gates (a 0 -> 2 jump in a
+  /// counter that is essentially zero is noise, not a regression).
+  double abs_floor = 4.0;
+};
+
+struct TsDiffEntry {
+  std::string label;  ///< series label
+  std::string field;  ///< "imbalance", "drain_ns", ...
+  std::string stat;   ///< "mean" | "p95"
+  double baseline = 0;
+  double current = 0;
+};
+
+struct TsDiffResult {
+  std::vector<TsDiffEntry> regressions;
+  std::vector<std::string> missing;  ///< baseline series absent from current
+
+  bool ok() const { return regressions.empty() && missing.empty(); }
+};
+
+TsDiffResult ts_diff(const TimeSeriesDoc& baseline,
+                     const TimeSeriesDoc& current,
+                     const TsDiffOptions& opts = {});
+
+/// One line per finding plus a PASS/FAIL summary, bench_diff style.
+std::string ts_report(const TsDiffResult& result);
+
+}  // namespace rips::obs::analysis

@@ -30,6 +30,27 @@ void Histogram::observe(i64 x) {
   sum_ += x;
 }
 
+i64 Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1.
+  u64 target = static_cast<u64>(q * static_cast<double>(count_));
+  if (static_cast<double>(target) < q * static_cast<double>(count_)) {
+    target += 1;
+  }
+  if (target == 0) target = 1;
+  u64 cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      const i64 value = i < bounds_.size() ? bounds_[i] : max_;
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), u64{0});
   count_ = 0;
@@ -58,6 +79,17 @@ const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   return it == counters_.end() ? nullptr : &it->second;
 }
 
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
@@ -80,6 +112,11 @@ void MetricsRegistry::snapshot(const std::string& label) {
   snap.gauges.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
     snap.gauges.emplace_back(name, g.value());
+  }
+  snap.hists.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.hists.emplace_back(name,
+                            std::array<i64, 3>{h.p50(), h.p95(), h.p99()});
   }
   snapshots_.push_back(std::move(snap));
 }
@@ -116,7 +153,10 @@ std::string MetricsRegistry::to_json() const {
     out += "], \"count\": " + std::to_string(h.count()) +
            ", \"sum\": " + std::to_string(h.sum()) +
            ", \"min\": " + std::to_string(h.min()) +
-           ", \"max\": " + std::to_string(h.max()) + "}";
+           ", \"max\": " + std::to_string(h.max()) +
+           ", \"p50\": " + std::to_string(h.p50()) +
+           ", \"p95\": " + std::to_string(h.p95()) +
+           ", \"p99\": " + std::to_string(h.p99()) + "}";
     first = false;
   }
   out += "\n  },\n  \"snapshots\": [";
@@ -135,6 +175,14 @@ std::string MetricsRegistry::to_json() const {
     for (const auto& [name, v] : snap.gauges) {
       if (!f2) out += ", ";
       out += json::quoted(name) + ": " + std::to_string(v);
+      f2 = false;
+    }
+    out += "}, \"hists\": {";
+    f2 = true;
+    for (const auto& [name, pct] : snap.hists) {
+      if (!f2) out += ", ";
+      out += json::quoted(name) + ": [" + std::to_string(pct[0]) + ", " +
+             std::to_string(pct[1]) + ", " + std::to_string(pct[2]) + "]";
       f2 = false;
     }
     out += "}}";

@@ -10,6 +10,7 @@
 // so the registry is deterministic by construction.
 #pragma once
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,6 +55,17 @@ class Histogram {
   i64 sum() const { return sum_; }
   i64 min() const { return count_ == 0 ? 0 : min_; }
   i64 max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Deterministic integer percentile estimate for q in [0, 1]: the upper
+  /// bound of the bucket holding the ceil(q * count)-th observation,
+  /// clamped to the observed [min, max] (so the overflow bucket reports
+  /// max, not infinity). Resolution is the bucket width — with the pow2
+  /// bounds the engines use, a reported p95 is within 2x of the true one.
+  /// 0 when empty.
+  i64 percentile(double q) const;
+  i64 p50() const { return percentile(0.50); }
+  i64 p95() const { return percentile(0.95); }
+  i64 p99() const { return percentile(0.99); }
   const std::vector<i64>& bounds() const { return bounds_; }
   /// size() == bounds().size() + 1; the last entry is the overflow bucket.
   const std::vector<u64>& bucket_counts() const { return counts_; }
@@ -80,6 +92,8 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, std::vector<i64> bounds);
 
   const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
 
   /// Zeroes every instrument and drops all snapshots. Instruments stay
   /// registered so cached references survive across runs.
@@ -92,6 +106,10 @@ class MetricsRegistry {
     std::string label;
     std::vector<std::pair<std::string, u64>> counters;
     std::vector<std::pair<std::string, i64>> gauges;
+    /// Per-histogram {p50, p95, p99} at snapshot time — the in-flight
+    /// distribution view (the totals in the histogram section are
+    /// end-of-run).
+    std::vector<std::pair<std::string, std::array<i64, 3>>> hists;
   };
 
   /// Records a snapshot unless the cap was reached (then it only counts

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "obs/monitors.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/types.hpp"
 
@@ -18,9 +19,11 @@ namespace rips::obs {
 struct Obs {
   TraceSession* trace = nullptr;
   InvariantMonitor* monitor = nullptr;
+  TelemetryBus* bus = nullptr;
 
   bool tracing() const { return trace != nullptr; }
   bool monitoring() const { return monitor != nullptr; }
+  bool telemetry() const { return bus != nullptr; }
 };
 
 /// Null-safe span record.

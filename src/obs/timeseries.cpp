@@ -1,0 +1,282 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace rips::obs {
+
+namespace {
+
+/// Field extractors shared by bands, JSON and CSV — one table so the
+/// column set cannot drift between exporters.
+i64 sample_field(const PhaseSample& s, const std::string& field) {
+  if (field == "tasks") return static_cast<i64>(s.tasks);
+  if (field == "moved") return static_cast<i64>(s.moved);
+  if (field == "imbalance") return s.imbalance;
+  if (field == "comm_steps") return s.comm_steps;
+  if (field == "rts_total") return s.rts_total;
+  if (field == "retries") return s.retries;
+  if (field == "drain_ns") return s.drain_ns;
+  if (field == "duration_ns") return s.t1 - s.t0;
+  return 0;
+}
+
+bool known_field(const std::string& field) {
+  static const char* const kFields[] = {"tasks",   "moved",    "imbalance",
+                                        "comm_steps", "rts_total", "retries",
+                                        "drain_ns", "duration_ns"};
+  for (const char* f : kFields) {
+    if (field == f) return true;
+  }
+  return false;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string band_json(const SeriesBand& band) {
+  std::string out = "{\"count\":" + std::to_string(band.count);
+  out += ",\"mean\":" + fmt_double(band.mean);
+  out += ",\"min\":" + std::to_string(band.min);
+  out += ",\"max\":" + std::to_string(band.max);
+  out += ",\"p50\":" + std::to_string(band.p50);
+  out += ",\"p95\":" + std::to_string(band.p95);
+  out += "}";
+  return out;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(Options options) : options_(options) {
+  if (options_.stride == 0) options_.stride = 1;
+}
+
+void TimeSeriesSampler::on_run_begin(const RunStart& run) {
+  engine_ = run.engine;
+  num_nodes_ = run.num_nodes;
+  num_tasks_ = run.num_tasks;
+  makespan_ns_ = 0;
+  run_complete_ = false;
+}
+
+void TimeSeriesSampler::on_phase(const PhaseSample& sample) {
+  ++seen_;
+  if ((seen_ - 1) % options_.stride != 0 ||
+      samples_.size() >= options_.max_samples) {
+    ++dropped_;
+    return;
+  }
+  samples_.push_back(sample);
+}
+
+void TimeSeriesSampler::on_event(const TelemetryEvent& event) {
+  if (events_.size() < options_.max_events) events_.push_back(event);
+}
+
+void TimeSeriesSampler::on_run_end(SimTime makespan_ns) {
+  makespan_ns_ = makespan_ns;
+  run_complete_ = true;
+}
+
+void TimeSeriesSampler::clear() {
+  label_.clear();
+  engine_ = "";
+  num_nodes_ = 0;
+  num_tasks_ = 0;
+  makespan_ns_ = 0;
+  run_complete_ = false;
+  seen_ = 0;
+  dropped_ = 0;
+  samples_.clear();
+  events_.clear();
+}
+
+SeriesBand TimeSeriesSampler::steady_band(const std::string& field) const {
+  SeriesBand band;
+  if (!known_field(field)) return band;
+
+  // Prefer the system-phase cadence (the paper's unit of steady state);
+  // dynamic-engine series fall back to whatever kind they publish.
+  std::vector<const PhaseSample*> window;
+  for (const PhaseSample& s : samples_) {
+    if (s.kind == PhaseKind::kSystem) window.push_back(&s);
+  }
+  if (window.empty()) {
+    for (const PhaseSample& s : samples_) window.push_back(&s);
+  }
+  if (window.empty()) return band;
+
+  // Steady state = second half of the run; short runs keep everything.
+  if (window.size() >= 8) {
+    window.erase(window.begin(),
+                 window.begin() + static_cast<std::ptrdiff_t>(window.size() / 2));
+  }
+
+  std::vector<i64> values;
+  values.reserve(window.size());
+  i64 sum = 0;
+  for (const PhaseSample* s : window) {
+    const i64 v = sample_field(*s, field);
+    values.push_back(v);
+    sum += v;
+  }
+  std::sort(values.begin(), values.end());
+  band.count = values.size();
+  band.mean = static_cast<double>(sum) / static_cast<double>(values.size());
+  band.min = values.front();
+  band.max = values.back();
+  const auto rank = [&](double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(values.size()));
+    if (idx >= values.size()) idx = values.size() - 1;
+    return values[idx];
+  };
+  band.p50 = rank(0.50);
+  band.p95 = rank(0.95);
+  return band;
+}
+
+const char* timeseries_csv_header() {
+  return "label,kind,phase,t0,t1,tasks,moved,imbalance,comm_steps,"
+         "rts_total,retries,live_nodes,drain_ns,executed_total,job";
+}
+
+std::string TimeSeriesSampler::series_json() const {
+  std::string out = "{";
+  out += "\"label\":" + json::quoted(label_);
+  out += ",\"engine\":" + json::quoted(engine_);
+  out += ",\"nodes\":" + std::to_string(num_nodes_);
+  out += ",\"tasks\":" + std::to_string(num_tasks_);
+  out += ",\"makespan_ns\":" + std::to_string(makespan_ns_);
+  out += ",\"complete\":" + std::string(run_complete_ ? "true" : "false");
+  out += ",\"seen\":" + std::to_string(seen_);
+  out += ",\"dropped\":" + std::to_string(dropped_);
+  out +=
+      ",\"columns\":[\"kind\",\"phase\",\"t0\",\"t1\",\"tasks\",\"moved\","
+      "\"imbalance\",\"comm_steps\",\"rts_total\",\"retries\",\"live_nodes\","
+      "\"drain_ns\",\"executed_total\",\"job\"]";
+  out += ",\"samples\":[";
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const PhaseSample& s = samples_[i];
+    if (i != 0) out += ",";
+    out += "[" + json::quoted(phase_kind_name(s.kind));
+    out += "," + std::to_string(s.phase);
+    out += "," + std::to_string(s.t0);
+    out += "," + std::to_string(s.t1);
+    out += "," + std::to_string(s.tasks);
+    out += "," + std::to_string(s.moved);
+    out += "," + std::to_string(s.imbalance);
+    out += "," + std::to_string(s.comm_steps);
+    out += "," + std::to_string(s.rts_total);
+    out += "," + std::to_string(s.retries);
+    out += "," + std::to_string(s.live_nodes);
+    out += "," + std::to_string(s.drain_ns);
+    out += "," + std::to_string(s.executed_total);
+    out += "," + std::to_string(s.job);
+    out += "]";
+  }
+  out += "],\"events\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TelemetryEvent& e = events_[i];
+    if (i != 0) out += ",";
+    out += "{\"kind\":" + json::quoted(telemetry_event_kind_name(e.kind));
+    out += ",\"t\":" + std::to_string(e.t);
+    out += ",\"node\":" + std::to_string(e.node);
+    out += ",\"phase\":" + std::to_string(e.phase);
+    out += ",\"arg\":" + std::to_string(e.arg);
+    out += ",\"detail\":" + json::quoted(e.detail);
+    out += "}";
+  }
+  out += "],\"bands\":{";
+  static const char* const kBandFields[] = {"drain_ns", "duration_ns",
+                                            "imbalance", "moved",
+                                            "retries",  "tasks"};
+  bool first = true;
+  for (const char* field : kBandFields) {
+    if (!first) out += ",";
+    first = false;
+    out += json::quoted(field) + ":" + band_json(steady_band(field));
+  }
+  out += "}}";
+  return out;
+}
+
+std::string TimeSeriesSampler::to_json() const {
+  return "{\"schema\":\"rips-timeseries-v1\",\"series\":[" + series_json() +
+         "]}\n";
+}
+
+std::string TimeSeriesSampler::to_csv() const {
+  std::string out = timeseries_csv_header();
+  out += "\n";
+  for (const PhaseSample& s : samples_) {
+    out += label_;
+    out += ",";
+    out += phase_kind_name(s.kind);
+    out += "," + std::to_string(s.phase);
+    out += "," + std::to_string(s.t0);
+    out += "," + std::to_string(s.t1);
+    out += "," + std::to_string(s.tasks);
+    out += "," + std::to_string(s.moved);
+    out += "," + std::to_string(s.imbalance);
+    out += "," + std::to_string(s.comm_steps);
+    out += "," + std::to_string(s.rts_total);
+    out += "," + std::to_string(s.retries);
+    out += "," + std::to_string(s.live_nodes);
+    out += "," + std::to_string(s.drain_ns);
+    out += "," + std::to_string(s.executed_total);
+    out += "," + std::to_string(s.job);
+    out += "\n";
+  }
+  return out;
+}
+
+bool TimeSeriesSampler::write_json(const std::string& path) const {
+  return write_text(path, to_json());
+}
+
+bool TimeSeriesSampler::write_csv(const std::string& path) const {
+  return write_text(path, to_csv());
+}
+
+std::string timeseries_doc_json(
+    const std::vector<const TimeSeriesSampler*>& samplers) {
+  std::string out = "{\"schema\":\"rips-timeseries-v1\",\"series\":[";
+  bool first = true;
+  for (const TimeSeriesSampler* s : samplers) {
+    if (s == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += s->series_json();
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string timeseries_doc_csv(
+    const std::vector<const TimeSeriesSampler*>& samplers) {
+  std::string out = timeseries_csv_header();
+  out += "\n";
+  for (const TimeSeriesSampler* s : samplers) {
+    if (s == nullptr) continue;
+    const std::string csv = s->to_csv();
+    // Strip the per-sampler header line.
+    const size_t eol = csv.find('\n');
+    if (eol != std::string::npos) out += csv.substr(eol + 1);
+  }
+  return out;
+}
+
+}  // namespace rips::obs

@@ -185,6 +185,15 @@ SimTime RipsEngine::recover(SimTime t) {
   }
   obs::span(obs_.trace, kInvalidNode, "fault", "recovery", t, t + extra,
             "reinjected", static_cast<i64>(reinjected));
+  if (obs_.bus != nullptr) {
+    obs::TelemetryEvent ev;
+    ev.kind = obs::TelemetryEvent::Kind::kRecovery;
+    ev.t = t;
+    ev.phase = static_cast<u64>(phases_.size());
+    ev.arg = static_cast<i64>(reinjected);
+    ev.detail = "recovery line rebuilt";
+    obs_.bus->publish(ev);
+  }
   return extra;
 }
 
@@ -362,9 +371,25 @@ SimTime RipsEngine::system_phase(SimTime t) {
   phases_.push_back({total, moved, plan.comm_steps, duration});
   c_phase_system_->add();
   g_rts_total_->set(static_cast<i64>(total));
-  h_phase_imbalance_->observe(sched::load_imbalance(load_));
+  const i64 imbalance = sched::load_imbalance(load_);
+  h_phase_imbalance_->observe(imbalance);
   h_phase_moved_->observe(static_cast<i64>(moved));
   h_phase_dur_us_->observe(duration / 1000);
+  if (obs_.bus != nullptr) {
+    obs::PhaseSample sample;
+    sample.kind = obs::PhaseKind::kSystem;
+    sample.phase = phase_idx;
+    sample.t0 = t;
+    sample.t1 = t + duration;
+    sample.tasks = total;
+    sample.moved = moved;
+    sample.imbalance = imbalance;
+    sample.comm_steps = plan.comm_steps;
+    sample.rts_total = static_cast<i64>(total);
+    sample.live_nodes = n;
+    sample.executed_total = executed_total_;
+    obs_.bus->publish(sample);
+  }
   if (phase_snapshots_) {
     registry_.snapshot("phase=" + std::to_string(phase_idx));
   }
@@ -401,7 +426,25 @@ SimTime RipsEngine::system_phase(SimTime t) {
     }
   }
   if (monitoring) {
+    const size_t violations_before = obs_.monitor->violations().size();
     check_phase_invariants(phase_idx, load_, plan, static_cast<i64>(total));
+    const size_t violations_after = obs_.monitor->violations().size();
+    if (obs_.bus != nullptr && violations_after > violations_before) {
+      const obs::InvariantMonitor::Violation& v =
+          obs_.monitor->violations().back();
+      obs::TelemetryEvent ev;
+      ev.kind = obs::TelemetryEvent::Kind::kMonitorViolation;
+      ev.t = t + duration;
+      ev.node = v.node;
+      ev.phase = phase_idx;
+      ev.arg = static_cast<i64>(violations_after - violations_before);
+      // TelemetryEvent keeps static strings only — map the violation's
+      // monitor name back to its literal.
+      ev.detail = v.monitor == "theorem1"   ? "theorem1"
+                  : v.monitor == "theorem2" ? "theorem2"
+                                            : "conservation";
+      obs_.bus->publish(ev);
+    }
   }
   if (phase_probe_ != nullptr) phase_probe_(probe_ctx_, phase_idx);
   return t + duration;
@@ -486,6 +529,10 @@ SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
       exec_node_[static_cast<size_t>(task)] = node;
       executed_total_ += 1;
       c_tasks_executed_->add();
+      if (job_counting_) {
+        job_exec_[static_cast<size_t>((*job_of_)[static_cast<size_t>(task)])] +=
+            1;
+      }
       if (timeline_ != nullptr) {
         timeline_->record({sim::TimelineEvent::Kind::kTask, node, now - work,
                            now, task});
@@ -522,6 +569,10 @@ SimTime RipsEngine::user_phase(SimTime t) {
   const SimTime user_start = t;
   const u64 op_base = coll_op_counter_;
   coll_op_counter_ += 2;  // one id for notify delays, one for detection
+  i64 phase_retries = 0;  // detection-collective retransmissions, for telemetry
+
+  job_counting_ = obs_.bus != nullptr && job_of_ != nullptr && num_jobs_ > 0;
+  if (job_counting_) job_exec_.assign(static_cast<size_t>(num_jobs_), 0);
 
   // Measuring pass: when would each node drain its RTE, undisturbed? With
   // no fault injector the simulated instruction stream is position-free, so
@@ -652,6 +703,16 @@ SimTime RipsEngine::user_phase(SimTime t) {
     }
     obs::instant(obs_.trace, phys, "fault", "crash", death, "lost_execs",
                  static_cast<i64>(lost));
+    if (obs_.bus != nullptr) {
+      obs::TelemetryEvent ev;
+      ev.kind = obs::TelemetryEvent::Kind::kCrash;
+      ev.t = death;
+      ev.node = phys;
+      ev.phase = static_cast<u64>(phases_.size());
+      ev.arg = static_cast<i64>(lost);
+      ev.detail = "fail-stop crash committed";
+      obs_.bus->publish(ev);
+    }
   };
   if (config_.global == GlobalPolicy::kAny) {
     for (NodeId phys : live_) {
@@ -698,6 +759,7 @@ SimTime RipsEngine::user_phase(SimTime t) {
       injector_.has_value() && injector_->has_message_faults();
   if ((doomed_count > 0 || message_faults) && n > 1) {
     coll::Collectives& coll = detection_collectives();
+    coll.set_telemetry(obs_.bus, phase_end);
     coll::Ledger ledger;
     coll::FaultStats stats;
     const u64 coll_op = op_base + 1;
@@ -731,6 +793,7 @@ SimTime RipsEngine::user_phase(SimTime t) {
         static_cast<SimTime>(stats.timeouts) * config_.fault_timeout_ns;
     c_dropped_msgs_->add(static_cast<u64>(stats.dropped));
     c_msg_retries_->add(static_cast<u64>(stats.retries));
+    phase_retries = stats.retries;
     if (doomed_count > 0) c_recovery_time_ns_->add(static_cast<u64>(extra));
     if (extra > 0 && obs_.trace != nullptr) {
       // The detection collective's retransmission burst: one span covering
@@ -760,6 +823,31 @@ SimTime RipsEngine::user_phase(SimTime t) {
   h_uphase_tasks_->observe(static_cast<i64>(executed));
   obs::span(obs_.trace, kInvalidNode, "phase", "user_phase", user_start,
             phase_end, "executed", static_cast<i64>(executed));
+  if (obs_.bus != nullptr) {
+    obs::PhaseSample sample;
+    sample.kind = obs::PhaseKind::kUser;
+    sample.phase = static_cast<u64>(user_phases_.size() - 1);
+    sample.t0 = user_start;
+    sample.t1 = phase_end;
+    sample.tasks = executed;
+    sample.retries = phase_retries;
+    sample.live_nodes = n - doomed_count;
+    // Drain estimate: how long the measuring pass predicted this phase's
+    // computation would run before the global condition fired.
+    sample.drain_ns = t_cond - user_start;
+    sample.executed_total = executed_total_;
+    obs_.bus->publish(sample);
+    if (job_counting_) {
+      // One extra sample per job: the per-tenant slice of this phase.
+      for (i32 j = 0; j < num_jobs_; ++j) {
+        obs::PhaseSample js = sample;
+        js.job = j;
+        js.tasks = job_exec_[static_cast<size_t>(j)];
+        js.retries = 0;
+        obs_.bus->publish(js);
+      }
+    }
+  }
   return phase_end;
 }
 
@@ -837,6 +925,16 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
     }
   }
 
+  metrics_.used_fast_measure = fast_measure_;
+  job_counting_ = false;
+  if (obs_.bus != nullptr) {
+    obs::RunStart rs;
+    rs.engine = "rips";
+    rs.num_nodes = n;
+    rs.num_tasks = trace.size();
+    obs_.bus->publish_run_begin(rs);
+  }
+
   if (timeline_ != nullptr) timeline_->clear();
   release_segment_roots(0);
   SimTime t = 0;
@@ -879,6 +977,7 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
   // The registry is the source of truth for every counter column; the
   // Table-I view is derived from it once, here.
   metrics_.load_counters(registry_);
+  if (obs_.bus != nullptr) obs_.bus->publish_run_end(metrics_.makespan_ns);
   return metrics_;
 }
 

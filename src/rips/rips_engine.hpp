@@ -105,6 +105,23 @@ class RipsEngine {
   /// same binary.
   void set_full_measure_pass(bool on) { full_measure_ = on; }
 
+  /// Which measuring pass the last run actually used (a fault plan forces
+  /// the full pass even when the fast one was requested). Also recorded
+  /// in RunMetrics::used_fast_measure and the rips-bench-v1 output.
+  bool used_fast_measure() const { return fast_measure_; }
+
+  /// Optional per-task job ownership for multi-job runs
+  /// (apps::MergedJobs::owner, values in [0, num_jobs)). When attached
+  /// together with a telemetry bus, every user phase additionally
+  /// publishes one PhaseSample per job carrying that job's executed-task
+  /// count (PhaseSample::job = job index) — the per-tenant progress view.
+  /// Purely observational; pass nullptr to detach. `job_of` must outlive
+  /// subsequent runs and have one entry per trace task.
+  void set_job_map(const std::vector<i32>* job_of, i32 num_jobs) {
+    job_of_ = job_of;
+    num_jobs_ = job_of == nullptr ? 0 : num_jobs;
+  }
+
   /// Test introspection: whether any system phase of the last run built
   /// the monitor's begin-of-phase snapshot (only invariant monitors need
   /// it; monitor-less runs must never pay for it).
@@ -211,6 +228,13 @@ class RipsEngine {
   std::vector<UserPhaseStats> user_phases_;
   sim::Timeline* timeline_ = nullptr;
   sim::RunMetrics metrics_;
+
+  // Multi-job telemetry labels (set_job_map): per-task job index and the
+  // per-phase executed-count scratch, active only while a bus is attached.
+  const std::vector<i32>* job_of_ = nullptr;
+  i32 num_jobs_ = 0;
+  std::vector<u64> job_exec_;
+  bool job_counting_ = false;
 
   // --- steady-state scratch arenas ---------------------------------------
   // Every per-phase working vector lives here and is overwritten in place:

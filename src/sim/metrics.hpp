@@ -31,6 +31,13 @@ struct RunMetrics {
 
   // --- fault tolerance (all zero on a fault-free run) -------------------
 
+  /// Which drain-measuring pass the RIPS engine used: true = the O(queue)
+  /// drain-sum fast path, false = the legacy full O(subtree) re-simulation
+  /// (forced whenever a fault plan is attached, because slowdowns make
+  /// work position-dependent; always false for dynamic strategies).
+  /// Exported as rips-bench-v1's "measure_pass" ("drain-sum" | "full").
+  bool used_fast_measure = false;
+
   u64 crashes = 0;            ///< fail-stop nodes lost during the run
   u64 recovery_phases = 0;    ///< system phases that doubled as recovery lines
   u64 tasks_reinjected = 0;   ///< checkpointed tasks re-adopted by survivors

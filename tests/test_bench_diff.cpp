@@ -124,6 +124,74 @@ TEST(BenchDiff, OverheadGateHasAnAbsoluteFloor) {
   EXPECT_TRUE(diff(doc_of(tiny_base), doc_of(tiny_worse)).ok());
 }
 
+TEST(BenchDiff, FlagsMeasurePassFallbackToTheFullPass) {
+  BenchRun fast = make_run(1e9);
+  fast.measure_pass = "drain-sum";
+  BenchRun full = make_run(1e9);
+  full.measure_pass = "full";
+
+  // Losing the fast path is a regression even with identical timings.
+  const DiffResult lost = diff(doc_of(fast), doc_of(full));
+  EXPECT_FALSE(lost.ok());
+  ASSERT_EQ(lost.regressions.size(), 1u);
+  EXPECT_EQ(lost.regressions[0].metric, "measure_pass");
+
+  // Gaining it (full -> drain-sum) is fine, as is a pre-v7 baseline with
+  // no measure_pass field at all.
+  EXPECT_TRUE(diff(doc_of(full), doc_of(fast)).ok());
+  BenchRun legacy = make_run(1e9);
+  legacy.measure_pass = "";
+  EXPECT_TRUE(diff(doc_of(legacy), doc_of(full)).ok());
+}
+
+TEST(BenchDiff, GatesHistogramTailPercentiles) {
+  BenchRun base = make_run(1e9);
+  base.hist_pcts.push_back({"phase.duration_us", {100, 400, 800}});
+  BenchRun worse = make_run(1e9);
+  // p95 5x the baseline: beyond the 4x two-bucket allowance.
+  worse.hist_pcts.push_back({"phase.duration_us", {100, 2000, 800}});
+  const DiffResult r = diff(doc_of(base), doc_of(worse));
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_EQ(r.regressions[0].metric, "phase.duration_us.p95");
+
+  // One pow2 bucket of wobble (2x) stays inside the gate; p50 shifts are
+  // reported nowhere (only the tails gate).
+  BenchRun wobble = make_run(1e9);
+  wobble.hist_pcts.push_back({"phase.duration_us", {400, 800, 1600}});
+  EXPECT_TRUE(diff(doc_of(base), doc_of(wobble)).ok());
+
+  // A baseline without percentiles (pre-v7 docs) never gates.
+  EXPECT_TRUE(diff(doc_of(make_run(1e9)), doc_of(worse)).ok());
+
+  // The factor is tunable.
+  DiffOptions strict;
+  strict.percentile_factor = 1.5;
+  EXPECT_FALSE(diff(doc_of(base), doc_of(wobble), strict).ok());
+}
+
+TEST(BenchDiff, ParsesMeasurePassAndPercentiles) {
+  const std::string text = R"({
+    "schema":"rips-bench-v1","suite":"core","quick":false,"nodes":16,
+    "runs":[{"workload":"q","group":"g","scheduler":"s","policy":"p",
+             "nodes":16,"tasks":10,"makespan_ns":1,"sequential_ns":10,
+             "efficiency":0.5,"speedup":8,"overhead_s":0.01,"idle_s":0.001,
+             "nonlocal_tasks":0,"system_phases":1,"monitors_ok":true,
+             "measure_pass":"drain-sum",
+             "metrics":{"histograms":{
+               "phase.duration_us":{"count":4,"sum":100,"min":10,"max":40,
+                 "p50":16,"p95":32,"p99":32,
+                 "buckets":[{"le":16,"count":2},{"le":32,"count":2}]}}}}]})";
+  std::string error;
+  const auto doc = load_bench_doc(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->runs.size(), 1u);
+  EXPECT_EQ(doc->runs[0].measure_pass, "drain-sum");
+  ASSERT_EQ(doc->runs[0].hist_pcts.size(), 1u);
+  EXPECT_EQ(doc->runs[0].hist_pcts[0].first, "phase.duration_us");
+  EXPECT_EQ(doc->runs[0].hist_pcts[0].second[1], 32);
+}
+
 TEST(BenchDiff, FlagsEfficiencyDropMonitorsAndMissingRuns) {
   const BenchDoc base = doc_of(make_run(1e9));
 

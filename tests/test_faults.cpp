@@ -241,7 +241,13 @@ TEST(RipsFaults, PlanThatNeverFiresIsBitIdenticalToFaultFree) {
   plan.seed = 1;
   plan.crashes.push_back({3, base.makespan_ns * 10});  // after the end
   engine.set_fault_plan(&plan);
-  const auto with_plan = engine.run(trace);
+  auto with_plan = engine.run(trace);
+  // Attaching a plan forces the legacy full measuring pass (slowdowns make
+  // work position-dependent), and the run records which pass it used.
+  // Every simulated bit must still match.
+  EXPECT_TRUE(base.used_fast_measure);
+  EXPECT_FALSE(with_plan.used_fast_measure);
+  with_plan.used_fast_measure = base.used_fast_measure;
   EXPECT_TRUE(base == with_plan);
 
   engine.set_fault_plan(nullptr);

@@ -247,6 +247,66 @@ TEST(RunSweep, MatchesDirectRunStrategy) {
 
 // ------------------------------------------------------ build_workloads
 
+TEST(RunSweep, TimeSeriesAreIsolatedPerRunForAnyJobCount) {
+  // Telemetry isolation contract: each run's sampler sees only its own
+  // run — same machinery as PerRunTracesAreIdenticalForAnyJobCount, but
+  // for the live-telemetry bus, which is a per-run stack object inside
+  // run_one (a concurrent run cannot even name it).
+  const apps::Workload a = small_workload(6);
+  const apps::Workload b = small_workload(7);
+  std::vector<RunDescriptor> descriptors;
+  for (const apps::Workload* w : {&a, &b}) {
+    for (const Kind kind : {Kind::kRips, Kind::kRid, Kind::kGradient}) {
+      RunDescriptor d;
+      d.workload = w;
+      d.nodes = 16;
+      d.kind = kind;
+      d.collect_timeseries = true;
+      descriptors.push_back(d);
+    }
+  }
+  const auto serial = run_sweep(descriptors, 1);
+  const auto wide = run_sweep(descriptors, 8);
+  ASSERT_EQ(serial.size(), descriptors.size());
+  for (size_t i = 0; i < descriptors.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok && wide[i].ok) << i;
+    ASSERT_TRUE(serial[i].timeseries != nullptr);
+    ASSERT_TRUE(wide[i].timeseries != nullptr);
+    const obs::TimeSeriesSampler& s = *wide[i].timeseries;
+    // The label and counts belong to THIS run's descriptor — no leakage
+    // from the 7 sibling runs in flight.
+    const RunDescriptor& d = descriptors[i];
+    EXPECT_EQ(s.label(),
+              d.workload->name + "/" + kind_name(d.kind) + "/n16");
+    EXPECT_EQ(s.num_tasks(), d.workload->trace.size());
+    EXPECT_EQ(s.num_nodes(), 16);
+    EXPECT_TRUE(s.run_complete());
+    EXPECT_EQ(s.makespan_ns(), wide[i].run.metrics.makespan_ns);
+    EXPECT_GT(s.samples().size(), 0u);
+    // And the recorded stream is byte-identical to the serial run's.
+    EXPECT_EQ(serial[i].timeseries->to_json(), s.to_json()) << i;
+  }
+}
+
+TEST(RunSweep, SamplingNeverChangesTheResults) {
+  // Attaching samplers must leave every run's output bytes untouched:
+  // the registry JSON of a sampled sweep equals the unsampled one.
+  const apps::Workload a = small_workload(8);
+  const apps::Workload b = small_workload(9);
+  auto descriptors = mixed_descriptors(a, b);
+  const auto bare = run_sweep(descriptors, 4);
+  for (RunDescriptor& d : descriptors) d.collect_timeseries = true;
+  const auto sampled = run_sweep(descriptors, 4);
+  ASSERT_EQ(bare.size(), sampled.size());
+  for (size_t i = 0; i < bare.size(); ++i) {
+    ASSERT_TRUE(bare[i].ok && sampled[i].ok) << i;
+    EXPECT_EQ(bare[i].run.metrics.makespan_ns,
+              sampled[i].run.metrics.makespan_ns) << i;
+    EXPECT_EQ(bare[i].run.registry.to_json(),
+              sampled[i].run.registry.to_json()) << i;
+  }
+}
+
 TEST(BuildWorkloads, ParallelBuildMatchesSerialBuild) {
   std::vector<apps::WorkloadSpec> specs;
   for (u64 seed : {10, 11, 12, 13}) {

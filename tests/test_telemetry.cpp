@@ -1,0 +1,518 @@
+// Live telemetry layer tests (docs/OBSERVABILITY.md, "Live telemetry"):
+// the TelemetryBus null-sink contract (attaching a bus never changes the
+// metrics), the TimeSeriesSampler (stride, caps, steady-state bands, JSON
+// and CSV export round-tripped through the ts_diff loader), the
+// FlightRecorder black box (bounded rings, auto-dump on faults, dump
+// loading + phase attribution, signal-safe path), per-job sample labels,
+// and the histogram percentile derivation the snapshots carry.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/nqueens.hpp"
+#include "balance/engine.hpp"
+#include "balance/rid.hpp"
+#include "obs/analysis/blackbox.hpp"
+#include "obs/analysis/ts_diff.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitors.hpp"
+#include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "sim/fault.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::obs {
+namespace {
+
+PhaseSample sample_at(SimTime t0, SimTime t1, u64 phase = 0,
+                      PhaseKind kind = PhaseKind::kSystem) {
+  PhaseSample s{};
+  s.kind = kind;
+  s.phase = phase;
+  s.t0 = t0;
+  s.t1 = t1;
+  return s;
+}
+
+TelemetryEvent crash_at(SimTime t, NodeId node) {
+  TelemetryEvent e{};
+  e.kind = TelemetryEvent::Kind::kCrash;
+  e.t = t;
+  e.node = node;
+  e.detail = "test crash";
+  return e;
+}
+
+// ------------------------------------------------------------ TelemetryBus
+
+class CountingSubscriber final : public TelemetrySubscriber {
+ public:
+  void on_run_begin(const RunStart&) override { ++begins; }
+  void on_phase(const PhaseSample&) override { ++phases; }
+  void on_event(const TelemetryEvent&) override { ++events; }
+  void on_run_end(SimTime) override { ++ends; }
+
+  int begins = 0;
+  int phases = 0;
+  int events = 0;
+  int ends = 0;
+};
+
+TEST(TelemetryBus, FansOutToEverySubscriberAndUnsubscribes) {
+  TelemetryBus bus;
+  EXPECT_TRUE(bus.empty());
+  CountingSubscriber a;
+  CountingSubscriber b;
+  bus.subscribe(&a);
+  bus.subscribe(&a);  // double-subscribe is deduped
+  bus.subscribe(&b);
+  EXPECT_EQ(bus.subscriber_count(), 2u);
+
+  bus.publish_run_begin(RunStart{"rips", 4, 100});
+  bus.publish(sample_at(0, 10));
+  bus.publish(crash_at(5, 1));
+  bus.publish_run_end(10);
+  EXPECT_EQ(a.begins, 1);
+  EXPECT_EQ(a.phases, 1);
+  EXPECT_EQ(a.events, 1);
+  EXPECT_EQ(a.ends, 1);
+  EXPECT_EQ(b.phases, 1);
+
+  bus.unsubscribe(&a);
+  bus.publish(sample_at(10, 20));
+  EXPECT_EQ(a.phases, 1);
+  EXPECT_EQ(b.phases, 2);
+}
+
+TEST(TelemetryBus, NullSafeFreePublishIsANoOp) {
+  publish(nullptr, crash_at(0, 0));  // must not crash
+  TelemetryBus bus;
+  CountingSubscriber sub;
+  bus.subscribe(&sub);
+  publish(&bus, crash_at(0, 0));
+  EXPECT_EQ(sub.events, 1);
+}
+
+// ------------------------------------------------------ TimeSeriesSampler
+
+TEST(TimeSeriesSampler, StrideAndCapCountDropped) {
+  TimeSeriesSampler::Options opts;
+  opts.stride = 2;
+  opts.max_samples = 3;
+  TimeSeriesSampler sampler(opts);
+  for (int i = 0; i < 10; ++i) {
+    sampler.on_phase(sample_at(i * 10, i * 10 + 10, static_cast<u64>(i)));
+  }
+  // Samples 0, 2, 4 retained; 6 and 8 hit the cap; odd ones hit the stride.
+  EXPECT_EQ(sampler.samples().size(), 3u);
+  EXPECT_EQ(sampler.seen(), 10u);
+  EXPECT_EQ(sampler.dropped(), 7u);
+  EXPECT_EQ(sampler.samples()[2].phase, 4u);
+}
+
+TEST(TimeSeriesSampler, SteadyBandUsesSecondHalfOfSystemPhases) {
+  TimeSeriesSampler sampler;
+  // 8 system phases: imbalance 100 for the first half, 10 for the second;
+  // the steady band must only see the second half.
+  for (int i = 0; i < 8; ++i) {
+    PhaseSample s = sample_at(i * 10, i * 10 + 10, static_cast<u64>(i));
+    s.imbalance = i < 4 ? 100 : 10;
+    sampler.on_phase(s);
+    // User phases must not pollute the system-phase band.
+    PhaseSample u = sample_at(i * 10, i * 10 + 10, static_cast<u64>(i),
+                              PhaseKind::kUser);
+    u.imbalance = 9999;
+    sampler.on_phase(u);
+  }
+  const SeriesBand band = sampler.steady_band("imbalance");
+  EXPECT_EQ(band.count, 4u);
+  EXPECT_EQ(band.min, 10);
+  EXPECT_EQ(band.max, 10);
+  EXPECT_DOUBLE_EQ(band.mean, 10.0);
+  EXPECT_EQ(sampler.steady_band("no-such-field").count, 0u);
+}
+
+TEST(TimeSeriesSampler, JsonRoundTripsThroughTheTsDiffLoader) {
+  TimeSeriesSampler sampler;
+  sampler.set_label("unit/RIPS/n4");
+  sampler.on_run_begin(RunStart{"rips", 4, 42});
+  for (int i = 0; i < 10; ++i) {
+    PhaseSample s = sample_at(i * 10, i * 10 + 10, static_cast<u64>(i));
+    s.imbalance = 7;
+    sampler.on_phase(s);
+  }
+  sampler.on_event(crash_at(55, 2));
+  sampler.on_run_end(100);
+
+  std::string error;
+  const auto doc = analysis::load_timeseries_doc(sampler.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->series.size(), 1u);
+  const analysis::SeriesBands& s = doc->series[0];
+  EXPECT_EQ(s.label, "unit/RIPS/n4");
+  EXPECT_EQ(s.engine, "rips");
+  EXPECT_EQ(s.nodes, 4);
+  EXPECT_TRUE(s.complete);
+  const SeriesBand* band = s.find("imbalance");
+  ASSERT_NE(band, nullptr);
+  EXPECT_EQ(band->p50, 7);
+}
+
+TEST(TimeSeriesSampler, CsvHeaderMatchesRowShape) {
+  TimeSeriesSampler sampler;
+  sampler.set_label("x");
+  sampler.on_phase(sample_at(0, 10));
+  const std::string csv = sampler.to_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header, timeseries_csv_header());
+  // Same number of columns in the header and in a data row.
+  const std::string row = csv.substr(csv.find('\n') + 1);
+  const auto commas = [](const std::string& line) {
+    size_t n = 0;
+    for (char c : line) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(commas(header), commas(row.substr(0, row.find('\n'))));
+}
+
+TEST(TsDiff, GatesSteadyBandRegressionsAndMissingSeries) {
+  const auto make_doc = [](i64 p95, double mean) {
+    TimeSeriesSampler s;
+    s.set_label("w/RIPS/n8");
+    for (int i = 0; i < 4; ++i) {
+      PhaseSample smp = sample_at(i * 10, i * 10 + 10, static_cast<u64>(i));
+      smp.imbalance = i == 3 ? p95 : static_cast<i64>(mean);
+      s.on_phase(smp);
+    }
+    std::string error;
+    auto doc = analysis::load_timeseries_doc(s.to_json(), &error);
+    EXPECT_TRUE(doc.has_value()) << error;
+    return *doc;
+  };
+  const analysis::TimeSeriesDoc base = make_doc(20, 10.0);
+  const analysis::TimeSeriesDoc same = make_doc(20, 10.0);
+  const analysis::TimeSeriesDoc worse = make_doc(200, 10.0);
+
+  EXPECT_TRUE(analysis::ts_diff(base, same).ok());
+  const analysis::TsDiffResult bad = analysis::ts_diff(base, worse);
+  EXPECT_FALSE(bad.ok());
+  ASSERT_FALSE(bad.regressions.empty());
+  EXPECT_EQ(bad.regressions[0].field, "imbalance");
+
+  analysis::TimeSeriesDoc empty;
+  const analysis::TsDiffResult missing = analysis::ts_diff(base, empty);
+  EXPECT_FALSE(missing.ok());
+  ASSERT_EQ(missing.missing.size(), 1u);
+  EXPECT_NE(analysis::ts_report(missing).find("MISSING"), std::string::npos);
+}
+
+// --------------------------------------------------------- FlightRecorder
+
+TEST(FlightRecorder, RingsKeepTheMostRecentWindowInOrder) {
+  FlightRecorder::Options opts;
+  opts.sample_capacity = 4;
+  opts.event_capacity = 2;
+  opts.dump_on_event = false;
+  FlightRecorder rec(opts);
+  for (int i = 0; i < 10; ++i) {
+    rec.on_phase(sample_at(i * 10, i * 10 + 10, static_cast<u64>(i)));
+    rec.on_event(crash_at(i * 10 + 5, i));
+  }
+  EXPECT_EQ(rec.samples_seen(), 10u);
+  const auto samples = rec.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().phase, 6u);  // oldest retained
+  EXPECT_EQ(samples.back().phase, 9u);   // newest
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events.back().node, 9);
+}
+
+TEST(FlightRecorder, AutoDumpsOnCrashEventAndLoadsBack) {
+  const std::string path = ::testing::TempDir() + "rips_bb_auto.json";
+  FlightRecorder::Options opts;
+  opts.dump_path = path;
+  FlightRecorder rec(opts);
+  rec.on_run_begin(RunStart{"rips", 8, 1000});
+  rec.on_phase(sample_at(0, 100, 0));
+  rec.on_phase(sample_at(100, 200, 0, PhaseKind::kUser));
+  rec.on_event(crash_at(150, 3));  // kCrash: triggers the dump
+  EXPECT_EQ(rec.dumps_written(), 1u);
+
+  std::string error;
+  const auto doc = analysis::load_blackbox_file(path, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->reason, "fault");
+  EXPECT_EQ(doc->engine, "rips");
+  EXPECT_EQ(doc->num_nodes, 8);
+  EXPECT_FALSE(doc->complete);
+  ASSERT_EQ(doc->samples.size(), 2u);
+  ASSERT_EQ(doc->events.size(), 1u);
+  EXPECT_STREQ(doc->events[0].detail, "test crash");
+
+  // Attribution: the crash at t=150 lands in the user phase [100, 200].
+  const auto attributed = analysis::attribute_events(*doc);
+  ASSERT_EQ(attributed.size(), 1u);
+  ASSERT_NE(attributed[0].sample_index, analysis::Attribution::kNoPhase);
+  EXPECT_EQ(doc->samples[attributed[0].sample_index].kind, PhaseKind::kUser);
+  EXPECT_NE(analysis::blackbox_report(*doc).find("user phase"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, SignalSafeDumpIsParseable) {
+  const std::string path = ::testing::TempDir() + "rips_bb_signal.json";
+  FlightRecorder rec;
+  rec.on_run_begin(RunStart{"rips", 4, 10});
+  for (int i = 0; i < 6; ++i) {
+    rec.on_phase(sample_at(i * 10, i * 10 + 10, static_cast<u64>(i)));
+  }
+  rec.on_event(crash_at(33, 2));
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  rec.dump_signal_safe(fd, "signal:SIGABRT");
+  ::close(fd);
+
+  std::string error;
+  const auto doc = analysis::load_blackbox_file(path, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->reason, "signal:SIGABRT");
+  EXPECT_EQ(doc->samples.size(), 6u);
+  EXPECT_EQ(doc->events.size(), 1u);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------- engine integration
+
+struct EngineFixture {
+  apps::TaskTrace trace = apps::build_nqueens_trace(9, 4);
+  topo::Mesh mesh{4, 4};
+  sched::Mwa mwa{mesh};
+  sim::CostModel cost;
+
+  EngineFixture() { cost.ns_per_work = 2000.0; }
+};
+
+TEST(TelemetryIntegration, AttachingTheBusNeverChangesTheMetrics) {
+  EngineFixture f;
+  core::RipsEngine bare(f.mwa, f.cost, core::RipsConfig{});
+  const sim::RunMetrics without = bare.run(f.trace);
+
+  core::RipsEngine observed(f.mwa, f.cost, core::RipsConfig{});
+  TelemetryBus bus;
+  TimeSeriesSampler sampler;
+  FlightRecorder recorder;
+  bus.subscribe(&sampler);
+  bus.subscribe(&recorder);
+  Obs o;
+  o.bus = &bus;
+  observed.set_obs(o);
+  const sim::RunMetrics with = observed.run(f.trace);
+
+  EXPECT_EQ(without, with);
+  // The registries must also agree byte-for-byte — sinks are passive.
+  EXPECT_EQ(bare.metrics_registry().to_json(),
+            observed.metrics_registry().to_json());
+  EXPECT_GT(sampler.seen(), 0u);
+  EXPECT_TRUE(sampler.run_complete());
+  EXPECT_EQ(sampler.makespan_ns(), with.makespan_ns);
+}
+
+TEST(TelemetryIntegration, RipsRunPublishesSystemAndUserPhases) {
+  EngineFixture f;
+  core::RipsEngine engine(f.mwa, f.cost, core::RipsConfig{});
+  TelemetryBus bus;
+  TimeSeriesSampler sampler;
+  bus.subscribe(&sampler);
+  Obs o;
+  o.bus = &bus;
+  engine.set_obs(o);
+  const sim::RunMetrics m = engine.run(f.trace);
+
+  u64 system = 0;
+  u64 user = 0;
+  for (const PhaseSample& s : sampler.samples()) {
+    system += s.kind == PhaseKind::kSystem;
+    user += s.kind == PhaseKind::kUser;
+    EXPECT_GE(s.t1, s.t0);
+  }
+  EXPECT_EQ(system, m.system_phases);
+  // Every system phase but the final (termination-detecting) one opens a
+  // user phase.
+  EXPECT_EQ(user, m.system_phases - 1);
+  EXPECT_EQ(sampler.engine(), std::string("rips"));
+  EXPECT_EQ(sampler.num_tasks(), f.trace.size());
+  // The last user phase's executed_total reaches the run total.
+  EXPECT_EQ(sampler.samples().back().executed_total, m.num_tasks);
+}
+
+TEST(TelemetryIntegration, FaultRunPublishesCrashAndRecoveryEvents) {
+  const apps::TaskTrace trace = apps::build_nqueens_trace(10, 4);
+  topo::Mesh mesh(4, 4);
+  sched::Mwa mwa(mesh);
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+  core::RipsEngine engine(mwa, cost, core::RipsConfig{});
+
+  sim::FaultSpec spec;
+  spec.horizon_ns = 50'000'000;
+  spec.crash_mtbf_ns = 10e6;
+  const sim::FaultPlan plan = sim::FaultPlan::generate(7, 16, spec);
+  engine.set_fault_plan(&plan);
+
+  TelemetryBus bus;
+  TimeSeriesSampler sampler;
+  FlightRecorder::Options ropts;
+  ropts.dump_path = ::testing::TempDir() + "rips_bb_faultrun.json";
+  FlightRecorder recorder(ropts);
+  bus.subscribe(&sampler);
+  bus.subscribe(&recorder);
+  Obs o;
+  o.bus = &bus;
+  engine.set_obs(o);
+  const sim::RunMetrics m = engine.run(trace);
+
+  ASSERT_GT(m.crashes, 0u);
+  u64 crash_events = 0;
+  u64 recovery_events = 0;
+  for (const TelemetryEvent& e : sampler.events()) {
+    crash_events += e.kind == TelemetryEvent::Kind::kCrash;
+    recovery_events += e.kind == TelemetryEvent::Kind::kRecovery;
+  }
+  EXPECT_EQ(crash_events, m.crashes);
+  EXPECT_EQ(recovery_events, m.recovery_phases);
+  // The black box auto-dumped on the first crash; the dump loads and the
+  // crash attributes to a phase window.
+  EXPECT_GT(recorder.dumps_written(), 0u);
+  std::string error;
+  const auto doc = analysis::load_blackbox_file(ropts.dump_path, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->reason, "fault");
+  std::remove(ropts.dump_path.c_str());
+}
+
+TEST(TelemetryIntegration, DynamicEnginePublishesSegmentSamples) {
+  EngineFixture f;
+  balance::Rid strategy;
+  balance::DynamicEngine engine(f.mesh, f.cost, strategy);
+  TelemetryBus bus;
+  TimeSeriesSampler sampler;
+  bus.subscribe(&sampler);
+  Obs o;
+  o.bus = &bus;
+  engine.set_obs(o);
+  const sim::RunMetrics m = engine.run(f.trace);
+
+  ASSERT_GT(sampler.samples().size(), 0u);
+  for (const PhaseSample& s : sampler.samples()) {
+    EXPECT_EQ(s.kind, PhaseKind::kSegment);
+  }
+  EXPECT_EQ(sampler.engine(), std::string("dynamic"));
+  EXPECT_EQ(sampler.makespan_ns(), m.makespan_ns);
+}
+
+TEST(TelemetryIntegration, JobMapAddsPerJobSamplesWithoutChangingMetrics) {
+  EngineFixture f;
+  // Split tasks round-robin into 3 synthetic jobs.
+  std::vector<i32> job_of(f.trace.size());
+  for (size_t i = 0; i < job_of.size(); ++i) {
+    job_of[i] = static_cast<i32>(i % 3);
+  }
+
+  core::RipsEngine bare(f.mwa, f.cost, core::RipsConfig{});
+  const sim::RunMetrics without = bare.run(f.trace);
+
+  core::RipsEngine labeled(f.mwa, f.cost, core::RipsConfig{});
+  labeled.set_job_map(&job_of, 3);
+  TelemetryBus bus;
+  TimeSeriesSampler sampler;
+  bus.subscribe(&sampler);
+  Obs o;
+  o.bus = &bus;
+  labeled.set_obs(o);
+  const sim::RunMetrics with = labeled.run(f.trace);
+  EXPECT_EQ(without, with);
+
+  // Per-job samples: every user phase fans out one sample per job, and
+  // the per-job executed counts sum to the phase total.
+  u64 job_samples = 0;
+  u64 job_tasks = 0;
+  u64 user_tasks = 0;
+  for (const PhaseSample& s : sampler.samples()) {
+    if (s.kind != PhaseKind::kUser) continue;
+    if (s.job >= 0) {
+      EXPECT_LT(s.job, 3);
+      ++job_samples;
+      job_tasks += s.tasks;
+    } else {
+      user_tasks += s.tasks;
+    }
+  }
+  EXPECT_EQ(job_samples, 3 * (with.system_phases - 1));
+  EXPECT_EQ(job_tasks, user_tasks);
+  EXPECT_EQ(user_tasks, with.num_tasks);
+}
+
+TEST(TelemetryIntegration, UsedFastMeasureReflectsTheMeasuringPass) {
+  EngineFixture f;
+  core::RipsEngine fast(f.mwa, f.cost, core::RipsConfig{});
+  EXPECT_TRUE(fast.run(f.trace).used_fast_measure);
+  EXPECT_TRUE(fast.used_fast_measure());
+
+  core::RipsEngine full(f.mwa, f.cost, core::RipsConfig{});
+  full.set_full_measure_pass(true);
+  EXPECT_FALSE(full.run(f.trace).used_fast_measure);
+}
+
+// ------------------------------------------------- histogram percentiles
+
+TEST(HistogramPercentiles, DerivesTailsFromBucketUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {10, 100, 1000});
+  EXPECT_EQ(h.percentile(0.5), 0);  // empty histogram
+  for (int i = 0; i < 98; ++i) h.observe(5);
+  h.observe(50);
+  h.observe(500);
+  // p50 lands in the first bucket (upper bound 10, clamped to max observed
+  // range [5, 500] -> 10); p99 reaches the second bucket; p100 the third.
+  EXPECT_EQ(h.p50(), 10);
+  EXPECT_EQ(h.p99(), 100);
+  EXPECT_EQ(h.percentile(1.0), 500);  // clamped to the observed max
+  EXPECT_EQ(h.percentile(0.0), 10);   // rank floors at the first observation
+
+  // Snapshots carry the percentile triple.
+  registry.snapshot("phase 0");
+  ASSERT_EQ(registry.snapshots().size(), 1u);
+  const auto& hists = registry.snapshots()[0].hists;
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].first, "lat");
+  EXPECT_EQ(hists[0].second[0], 10);
+  EXPECT_EQ(hists[0].second[2], 100);
+
+  // The registry JSON exposes them for bench_diff.
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"p50\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 100"), std::string::npos);
+}
+
+TEST(HistogramPercentiles, SingleValueHistogramPinsAllPercentiles) {
+  Histogram h({1, 2, 4, 8});
+  for (int i = 0; i < 5; ++i) h.observe(3);
+  EXPECT_EQ(h.p50(), 3);  // clamped into [min, max] = [3, 3]
+  EXPECT_EQ(h.p95(), 3);
+  EXPECT_EQ(h.p99(), 3);
+}
+
+}  // namespace
+}  // namespace rips::obs
