@@ -25,18 +25,20 @@ int main(int argc, char** argv) {
                    "  [--overhead-factor=2.0]  overhead regression factor\n"
                    "  [--overhead-floor-s=1e-4] absolute overhead floor\n"
                    "  [--efficiency-tol=0.05]  absolute efficiency drop\n"
-                   "  [--percentile-factor=4.0] histogram p95/p99 growth\n");
+                   "  [--percentile-factor=4.0] histogram p95/p99 growth\n"
+                   "  [--fairness-tol=0.10]    absolute per-job fairness drop\n");
       return args.has("help") ? 0 : 2;
     }
     args.check_known({"help", "makespan-tol", "overhead-factor",
                       "overhead-floor-s", "efficiency-tol",
-                      "percentile-factor"});
+                      "percentile-factor", "fairness-tol"});
     DiffOptions opts;
     opts.makespan_rel_tol = args.get_double("makespan-tol", 0.10);
     opts.overhead_factor = args.get_double("overhead-factor", 2.0);
     opts.overhead_abs_floor_s = args.get_double("overhead-floor-s", 1e-4);
     opts.efficiency_abs_tol = args.get_double("efficiency-tol", 0.05);
     opts.percentile_factor = args.get_double("percentile-factor", 4.0);
+    opts.fairness_abs_tol = args.get_double("fairness-tol", 0.10);
 
     std::string error;
     const auto baseline = load_bench_file(args.positional()[0], &error);

@@ -72,6 +72,47 @@ void check_run(const Value& run, const std::string& where) {
       if (v->number < 0) fail(where + ": \"" + std::string(key) + "\" < 0");
     }
   }
+  // Per-job rows are optional (multi-job workloads only), but when present
+  // both fields must be there and consistent.
+  const Value* fairness = run.find("fairness");
+  const Value* jobs = run.find("jobs");
+  if ((fairness == nullptr) != (jobs == nullptr)) {
+    fail(where + ": \"fairness\" and \"jobs\" must appear together");
+  }
+  if (fairness != nullptr) {
+    if (!fairness->is_number() || fairness->number <= 0.0 ||
+        fairness->number > 1.0) {
+      fail(where + ": fairness must be a number in (0, 1]");
+    }
+  }
+  if (jobs != nullptr) {
+    if (jobs->type != Value::Type::kArray || jobs->array.size() < 2) {
+      fail(where + ": jobs must be an array of at least two rows");
+    } else {
+      for (size_t j = 0; j < jobs->array.size(); ++j) {
+        const std::string jwhere = where + ".jobs[" + std::to_string(j) + "]";
+        const Value& job = jobs->array[j];
+        if (!job.is_object()) {
+          fail(jwhere + " must be an object");
+          continue;
+        }
+        require(job, "name", Value::Type::kString, jwhere);
+        for (const char* key : {"tasks", "nonlocal_tasks", "tasks_migrated",
+                                "work_ns", "completion_ns"}) {
+          if (const Value* v = require(job, key, Value::Type::kNumber,
+                                       jwhere)) {
+            if (v->number < 0) {
+              fail(jwhere + ": \"" + std::string(key) + "\" < 0");
+            }
+          }
+        }
+        if (const Value* v = require(job, "tasks", Value::Type::kNumber,
+                                     jwhere)) {
+          if (v->as_i64() <= 0) fail(jwhere + ": tasks must be positive");
+        }
+      }
+    }
+  }
   if (const Value* m = require(run, "metrics", Value::Type::kObject, where)) {
     const Value* counters =
         require(*m, "counters", Value::Type::kObject, where + ".metrics");

@@ -34,6 +34,7 @@
 #include "harness.hpp"
 #include "obs/json.hpp"
 #include "obs/live_status.hpp"
+#include "obs/perflab/runstore.hpp"
 #include "sim/fault.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
@@ -115,7 +116,7 @@ int main(int argc, char** argv) {
         "  [--trace-cache=DIR]\n"
         "  [--live-status] [--timeseries-out=scale.timeseries.json]\n"
         "  [--fault-seed=N] [--crash-mtbf-ms=N] [--drop-prob=P]\n"
-        "  [--fault-horizon-ms=N]\n"
+        "  [--fault-horizon-ms=N] [--runstore=DIR] [--run-id=ID]\n"
         "strong + weak scaling of RIPS on the `scale` synthetic preset at\n"
         "nodes in {128, 512, 2048, 4096} (quick: one 2048-node ~100k-task\n"
         "strong point for CI smoke). stdout/--json carry simulated metrics\n"
@@ -124,13 +125,16 @@ int main(int argc, char** argv) {
         "legacy O(subtree) measuring pass instead of the drain-sum fast\n"
         "path (identical results); attaching a fault plan (--fault-seed)\n"
         "forces that full pass too, so faulty runs do not measure the\n"
-        "fast path's throughput.\n");
+        "fast path's throughput. --runstore=DIR archives the sweep's\n"
+        "artifacts plus per-config wall time and measuring pass into the\n"
+        "perf-lab run store; --run-id=ID names the archived run\n"
+        "(default: scale-<epoch seconds>).\n");
     return 0;
   }
   args.check_known({"help", "quick", "jobs", "json", "full-measure",
                     "trace-cache", "live-status", "timeseries-out",
                     "fault-seed", "crash-mtbf-ms", "drop-prob",
-                    "fault-horizon-ms"});
+                    "fault-horizon-ms", "runstore", "run-id"});
   if (args.has("trace-cache")) {
     apps::set_trace_cache_dir(args.get("trace-cache", ""));
   }
@@ -271,17 +275,19 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(rec));
   }
 
+  const i32 max_nodes =
+      *std::max_element(node_counts.begin(), node_counts.end());
+  const std::string bench_json = to_json(runs, quick, max_nodes);
   if (args.has("json")) {
     std::string path = args.get("json", "BENCH_scale.json");
     if (path.empty()) path = "BENCH_scale.json";
-    const i32 max_nodes =
-        *std::max_element(node_counts.begin(), node_counts.end());
     std::ofstream out(path, std::ios::binary);
-    out << to_json(runs, quick, max_nodes) << "\n";
+    out << bench_json << "\n";
     out.flush();
     RIPS_CHECK_MSG(out.good(), "failed to write the scale JSON");
     std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
   }
+  std::string timeseries_json;
   if (want_timeseries) {
     std::string path = args.get("timeseries-out", "scale.timeseries.json");
     if (path.empty()) path = "scale.timeseries.json";
@@ -289,11 +295,57 @@ int main(int argc, char** argv) {
     for (const bench::RunResult& r : results) {
       samplers.push_back(r.timeseries.get());
     }
+    timeseries_json = obs::timeseries_doc_json(samplers);
     std::ofstream ts_out(path, std::ios::binary);
-    ts_out << obs::timeseries_doc_json(samplers);
+    ts_out << timeseries_json;
     ts_out.flush();
     RIPS_CHECK_MSG(ts_out.good(), "failed to write the time series");
     std::printf("wrote %s (%zu series)\n", path.c_str(), samplers.size());
+  }
+  if (args.has("runstore")) {
+    // Per-config wall time + measuring pass go into meta.json — the one
+    // artifact where host wall clock is allowed — so trend reports can
+    // track throughput per scale point without touching the simulated
+    // metrics.
+    obs::perflab::RunStore store(args.get("runstore", ""));
+    std::string err;
+    if (!store.open(&err)) {
+      std::fprintf(stderr, "runstore: %s\n", err.c_str());
+      return 2;
+    }
+    obs::perflab::IngestRequest req;
+    req.run_id = args.get("run-id", "");
+    if (req.run_id.empty()) {
+      const auto epoch_s =
+          std::chrono::duration_cast<std::chrono::seconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
+      req.run_id = "scale-" + std::to_string(epoch_s);
+    }
+    req.suite = "scale";
+    req.labels.emplace_back("tool", "scale_sweep");
+    req.labels.emplace_back("measure",
+                            full_measure || inject_faults ? "full" : "fast");
+    req.bench_json = bench_json;
+    req.timeseries_json = timeseries_json;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      obs::perflab::RunMetaEntry entry;
+      const RunRecord& rec = runs[i];
+      entry.key = rec.workload + "|" + rec.group + "|" + rec.scheduler + "|" +
+                  rec.policy + "|n" + std::to_string(rec.nodes);
+      entry.wall_ms = static_cast<i64>(results[i].wall_ms);
+      entry.measure_pass =
+          rec.metrics.used_fast_measure ? "drain-sum" : "full";
+      req.meta.push_back(std::move(entry));
+    }
+    if (!store.ingest(req, &err)) {
+      std::fprintf(stderr, "runstore: %s\n", err.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "runstore: archived run %s (seq %llu) in %s\n",
+                 req.run_id.c_str(),
+                 static_cast<unsigned long long>(store.runs().back().seq),
+                 store.root().c_str());
   }
 
   // Host-side throughput — stderr on purpose: stdout and the JSON must

@@ -1,0 +1,46 @@
+# Perf-lab end-to-end (ctest -L perflab): two harness runs archive
+# themselves into a fresh runstore, `perf-lab trend` prints both, and
+# `perf-lab regress` over the newest pair — two runs of a deterministic
+# simulator on the same config — exits clean. Exercises the whole CLI
+# surface CI leans on, including the exit codes.
+#
+# Inputs: -DTRACE_TOOL=..., -DHARNESS=..., -DSTORE=... (scratch dir).
+file(REMOVE_RECURSE "${STORE}")
+
+foreach(id a b)
+  execute_process(
+    COMMAND "${HARNESS}" --app=Multi-job --nodes=16
+            --runstore=${STORE} --run-id=e2e-${id}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "harness --runstore run e2e-${id} failed (rc=${rc})")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${TRACE_TOOL}" perf-lab trend "${STORE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE trend)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "perf-lab trend failed (rc=${rc})")
+endif()
+foreach(needle "e2e-a" "e2e-b" "makespan=")
+  if(NOT trend MATCHES "${needle}")
+    message(FATAL_ERROR "perf-lab trend output is missing '${needle}':\n${trend}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${TRACE_TOOL}" perf-lab regress "${STORE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE report)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "perf-lab regress flagged identical runs (rc=${rc}):\n${report}")
+endif()
+
+# Re-ingesting an existing id must fail loudly (append-only archive).
+execute_process(
+  COMMAND "${HARNESS}" --app=Multi-job --nodes=16
+          --runstore=${STORE} --run-id=e2e-a
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "duplicate run id e2e-a was accepted; the store must be append-only")
+endif()

@@ -3,6 +3,7 @@
 #include "apps/trace_io.hpp"
 
 #include "apps/gromos.hpp"
+#include "apps/multi_job.hpp"
 #include "apps/nqueens.hpp"
 #include "apps/puzzle.hpp"
 #include "util/check.hpp"
@@ -77,6 +78,33 @@ Workload build_gromos_workload(double cutoff_angstrom) {
                 std::move(trace), kGromosNsPerPair, per_step);
 }
 
+Workload build_multi_job_workload(const std::vector<i32>& queens_sizes) {
+  RIPS_CHECK(!queens_sizes.empty());
+  std::vector<TaskTrace> traces;
+  traces.reserve(queens_sizes.size());
+  for (i32 n : queens_sizes) {
+    std::string key = "queens-";
+    key += std::to_string(n);
+    key += "-d";
+    key += std::to_string(kQueensSplitDepth);
+    traces.push_back(cached_trace(
+        key, [n] { return build_nqueens_trace(n, kQueensSplitDepth); }));
+  }
+  std::vector<std::pair<std::string, const TaskTrace*>> jobs;
+  std::string name = "queens";
+  for (size_t i = 0; i < queens_sizes.size(); ++i) {
+    jobs.emplace_back(std::to_string(queens_sizes[i]) + "-Queens", &traces[i]);
+    name += (i == 0 ? " " : "+") + std::to_string(queens_sizes[i]);
+  }
+  MergedJobs merged = merge_jobs(jobs);
+  Workload w = finish("Multi-job", name, std::move(merged.trace),
+                      kQueensNsPerNode, 0);
+  w.job_names.reserve(merged.jobs.size());
+  for (const JobSpan& span : merged.jobs) w.job_names.push_back(span.name);
+  w.job_of.assign(merged.owner.begin(), merged.owner.end());
+  return w;
+}
+
 std::vector<WorkloadSpec> paper_workload_specs(bool quick) {
   std::vector<WorkloadSpec> out;
   const auto add = [&out](std::string group, std::string name,
@@ -103,6 +131,8 @@ std::vector<WorkloadSpec> paper_workload_specs(bool quick) {
       return finish("GROMOS", "8 A", build_gromos_trace(gc), kGromosNsPerPair,
                     1246);
     });
+    add("Multi-job", "queens 9+10+11",
+        [] { return build_multi_job_workload({9, 10, 11}); });
     return out;
   }
   for (i32 n : {13, 14, 15}) {
@@ -117,6 +147,8 @@ std::vector<WorkloadSpec> paper_workload_specs(bool quick) {
     add("GROMOS", std::to_string(static_cast<i32>(r)) + " A",
         [r] { return build_gromos_workload(r); });
   }
+  add("Multi-job", "queens 11+12+13",
+      [] { return build_multi_job_workload({11, 12, 13}); });
   return out;
 }
 

@@ -31,11 +31,22 @@ struct Workload {
   sim::CostModel cost;
   u64 tasks_reported = 0;  ///< paper-convention task count
   double paper_optimal_efficiency = 0.0;  ///< Table II reference value
+
+  /// Multi-programming workloads only (apps::merge_jobs): job names in job
+  /// order and the per-task owning-job index the engines' set_job_map
+  /// consumes. Both empty for the single-job paper rows.
+  std::vector<std::string> job_names;
+  std::vector<i32> job_of;
 };
 
 Workload build_queens_workload(i32 n);
 Workload build_ida_workload(i32 config_index);  // 1..3
 Workload build_gromos_workload(double cutoff_angstrom);
+
+/// Multi-programming row: the given n-queens jobs merged into one trace
+/// (apps::merge_jobs) with `job_names` / `job_of` filled in — the workload
+/// the per-job accounting and the fairness index are exercised on.
+Workload build_multi_job_workload(const std::vector<i32>& queens_sizes);
 
 /// A not-yet-built workload: group/name match what `build()` will return,
 /// so callers can filter a suite BEFORE paying for construction, and

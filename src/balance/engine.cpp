@@ -153,6 +153,12 @@ void DynamicEngine::finish_task(NodeId node, TaskId task) {
   exec_node_[static_cast<size_t>(task)] = node;
   c_tasks_executed_->add();
   completed_in_segment_ += 1;
+  if (job_accounting_) {
+    const auto j = static_cast<size_t>((*job_of_)[static_cast<size_t>(task)]);
+    job_tasks_[j] += 1;
+    job_work_ns_[j] += n.free_at - n.task_start_ns;
+    if (n.free_at > job_done_ns_[j]) job_done_ns_[j] = n.free_at;
+  }
 
   // Spawn children at this node; the strategy places each one.
   const u32 kids = trace_->num_children(task);
@@ -279,6 +285,14 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
   current_segment_ = 0;
   completed_in_segment_ = 0;
   msg_corr_ = 0;
+  job_accounting_ = job_of_ != nullptr && num_jobs_ > 0;
+  if (job_accounting_) {
+    RIPS_CHECK_MSG(job_of_->size() == trace.size(),
+                   "job map must have one entry per trace task");
+    job_tasks_.assign(static_cast<size_t>(num_jobs_), 0);
+    job_work_ns_.assign(static_cast<size_t>(num_jobs_), 0);
+    job_done_ns_.assign(static_cast<size_t>(num_jobs_), 0);
+  }
 
   segment_sizes_.assign(trace.num_segments(), 0);
   for (size_t i = 0; i < trace.size(); ++i) {
@@ -328,6 +342,27 @@ sim::RunMetrics DynamicEngine::run(const apps::TaskTrace& trace) {
     if (exec_node_[i] != origin_[i]) nonlocal += 1;
   }
   c_tasks_nonlocal_->add(nonlocal);
+  if (job_accounting_) {
+    metrics_.jobs.resize(static_cast<size_t>(num_jobs_));
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (exec_node_[i] != origin_[i]) {
+        metrics_.jobs[static_cast<size_t>((*job_of_)[i])].nonlocal_tasks += 1;
+      }
+    }
+    for (size_t j = 0; j < metrics_.jobs.size(); ++j) {
+      sim::JobMetrics& jm = metrics_.jobs[j];
+      jm.tasks = job_tasks_[j];
+      jm.work_ns = job_work_ns_[j];
+      jm.completion_ns = job_done_ns_[j];
+      const std::string prefix = "job." + std::to_string(j) + ".";
+      registry_.counter(prefix + "tasks_executed").add(jm.tasks);
+      registry_.counter(prefix + "tasks_nonlocal").add(jm.nonlocal_tasks);
+      registry_.counter(prefix + "tasks_migrated").add(jm.tasks_migrated);
+      registry_.counter(prefix + "work_ns").add(static_cast<u64>(jm.work_ns));
+      registry_.counter(prefix + "completion_ns")
+          .add(static_cast<u64>(jm.completion_ns));
+    }
+  }
   SimTime makespan = 0;
   for (const NodeRt& node : nodes_) makespan = std::max(makespan, node.free_at);
   metrics_.makespan_ns = makespan;

@@ -57,6 +57,21 @@ class DynamicEngine {
   /// start; source of RunMetrics' counter columns.
   const obs::MetricsRegistry& metrics_registry() const { return registry_; }
 
+  /// Optional per-task job ownership for multi-job runs
+  /// (apps::MergedJobs::owner, values in [0, num_jobs)). While attached,
+  /// subsequent runs account tasks, executed work, completion time and
+  /// non-local executions PER JOB (RunMetrics::jobs plus "job.<i>.*"
+  /// registry counters). JobMetrics::tasks_migrated stays zero here:
+  /// dynamic strategies move tasks point-to-point before execution, and
+  /// those moves are already visible as the job's nonlocal_tasks. Purely
+  /// observational — every pre-existing metric is bit-identical with or
+  /// without a map. Pass nullptr to detach. `job_of` must outlive
+  /// subsequent runs and have one entry per trace task.
+  void set_job_map(const std::vector<i32>* job_of, i32 num_jobs) {
+    job_of_ = job_of;
+    num_jobs_ = job_of == nullptr ? 0 : num_jobs;
+  }
+
   /// Per-node (busy, overhead) of the last run, for diagnostics/tests.
   struct NodeTotals {
     SimTime busy_ns = 0;
@@ -151,6 +166,14 @@ class DynamicEngine {
   bool running_ = false;
   i64 msg_corr_ = 0;  // next send/recv correlation id (reset per run)
   std::vector<std::vector<TaskId>> task_buf_pool_;  // recycled msg payloads
+
+  // Multi-job accounting (set_job_map); active only while a map is attached.
+  const std::vector<i32>* job_of_ = nullptr;
+  i32 num_jobs_ = 0;
+  bool job_accounting_ = false;
+  std::vector<u64> job_tasks_;        // cumulative executions per job
+  std::vector<SimTime> job_work_ns_;  // cumulative executed work per job
+  std::vector<SimTime> job_done_ns_;  // latest task end per job
 
   // Observability (cached instrument pointers — one add per increment).
   obs::Obs obs_;

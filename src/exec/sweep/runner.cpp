@@ -1,6 +1,7 @@
 #include "exec/sweep/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -33,12 +34,32 @@ std::string kind_name(Kind kind) {
   return "?";
 }
 
+namespace {
+
+/// Stamps the workload's job names onto the per-job metric rows (the
+/// engines know tasks only by job index).
+void name_jobs(const apps::Workload& workload, sim::RunMetrics& metrics) {
+  for (size_t j = 0; j < metrics.jobs.size(); ++j) {
+    if (j < workload.job_names.size()) {
+      metrics.jobs[j].name = workload.job_names[j];
+    }
+  }
+}
+
+}  // namespace
+
 StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
                          double rid_u, core::RipsConfig config,
                          const obs::Obs& o, const sim::FaultPlan* fault_plan,
                          const EngineTuning& tuning) {
   const topo::MeshShape shape = topo::paper_mesh_shape(nodes);
   topo::Mesh mesh(shape.rows, shape.cols);
+
+  // Multi-job workloads carry a per-task owner map; attaching it turns on
+  // the engines' per-job (tenant) accounting.
+  const std::vector<i32>* job_of =
+      workload.job_of.empty() ? nullptr : &workload.job_of;
+  const i32 num_jobs = static_cast<i32>(workload.job_names.size());
 
   StrategyRun out;
   out.strategy = kind_name(kind);
@@ -49,9 +70,11 @@ StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
     engine.set_fault_plan(fault_plan);
     engine.set_full_measure_pass(tuning.full_measure);
     engine.set_phase_snapshots(tuning.phase_snapshots);
+    engine.set_job_map(job_of, num_jobs);
     out.metrics = engine.run(workload.trace);
     out.phases = engine.phases();
     out.registry = engine.metrics_registry();
+    name_jobs(workload, out.metrics);
     return out;
   }
 
@@ -59,8 +82,10 @@ StrategyRun run_strategy(const apps::Workload& workload, i32 nodes, Kind kind,
   const auto run_dynamic = [&](balance::Strategy& strategy) {
     balance::DynamicEngine engine(mesh, workload.cost, strategy);
     engine.set_obs(o);
+    engine.set_job_map(job_of, num_jobs);
     out.metrics = engine.run(workload.trace);
     out.registry = engine.metrics_registry();
+    name_jobs(workload, out.metrics);
   };
   switch (kind) {
     case Kind::kRandom: {
@@ -101,6 +126,7 @@ namespace {
 /// monitor, scheduler, engine, registry copy — is local to this call, so
 /// concurrent slots share only the read-only workloads.
 RunResult run_one(const RunDescriptor& d) {
+  const auto wall_start = std::chrono::steady_clock::now();
   RunResult result;
   std::shared_ptr<obs::TraceSession> trace;
   std::shared_ptr<obs::TimeSeriesSampler> timeseries;
@@ -134,6 +160,12 @@ RunResult run_one(const RunDescriptor& d) {
     result.error = e.what();
     return result;
   }
+  result.wall_ms =
+      1e-6 * static_cast<double>(std::chrono::duration_cast<
+                                     std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() -
+                                     wall_start)
+                                     .count());
   result.trace = std::move(trace);
   result.timeseries = std::move(timeseries);
   if (monitored && !monitor.ok()) {

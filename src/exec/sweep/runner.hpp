@@ -116,6 +116,11 @@ struct RunResult {
   /// Per-run sample series (when collect_timeseries was set), labeled
   /// "<workload>/<strategy>/n<nodes>".
   std::shared_ptr<obs::TimeSeriesSampler> timeseries;
+  /// Host wall-clock of this run slot, milliseconds. NEVER serialized into
+  /// deterministic outputs (stdout tables, bench JSON) — it exists for
+  /// side channels only: stderr summaries and the perf-lab runstore's
+  /// meta.json, where cross-run wall-clock trends are the point.
+  double wall_ms = 0.0;
 };
 
 /// Executes every descriptor on up to `jobs` threads (<= 0: all hardware

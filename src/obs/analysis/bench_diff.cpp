@@ -74,6 +74,7 @@ std::optional<BenchDoc> load_bench_doc(std::string_view text,
     const json::Value* mon = rv.find("monitors_ok");
     r.monitors_ok = mon == nullptr || !mon->is_bool() || mon->boolean;
     r.measure_pass = str_field(rv, "measure_pass");
+    r.fairness = num_field(rv, "fairness", -1.0);
     // Histogram tails live inside the embedded registry object. Older
     // documents lack the p50/p95/p99 fields; those histograms are skipped
     // so a fresh run still diffs cleanly against a pre-percentile baseline.
@@ -171,6 +172,18 @@ DiffResult diff(const BenchDoc& baseline, const BenchDoc& current,
     // Invariant monitors flipping to failed is always a regression.
     if (b->monitors_ok && !c.monitors_ok) {
       out.regressions.push_back({key, "monitors_ok", 1, 0, "monitors failed"});
+    }
+
+    // Per-job fairness: a multi-job run starving one tenant shows up as a
+    // drop in the Jain index. Skipped when either document predates the
+    // per-job rows (fairness < 0).
+    if (b->fairness >= 0.0 && c.fairness >= 0.0 &&
+        b->fairness - c.fairness > opts.fairness_abs_tol) {
+      char note[64];
+      std::snprintf(note, sizeof note, "-%.2f fairness index",
+                    b->fairness - c.fairness);
+      out.regressions.push_back(
+          {key, "fairness", b->fairness, c.fairness, note});
     }
 
     // Losing the drain-sum fast path is a perf regression even though the

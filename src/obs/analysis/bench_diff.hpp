@@ -38,6 +38,11 @@ struct BenchRun {
   /// Which drain-measuring pass the engine used: "drain-sum" | "full".
   /// Empty for documents written before the field existed.
   std::string measure_pass;
+  /// Jain fairness index over per-job progress rates — multi-job runs
+  /// only. Negative when the run has no per-job rows (single-job runs and
+  /// pre-perf-lab documents), in which case diff() skips the fairness
+  /// gate.
+  double fairness = -1.0;
   /// Histogram tails from the run's embedded metrics registry:
   /// name -> {p50, p95, p99}. Empty for pre-percentile baselines, in which
   /// case diff() skips the percentile gate entirely.
@@ -74,6 +79,9 @@ struct DiffOptions {
   /// derived percentiles to a 2x step, so 4.0 (two buckets) is the
   /// smallest factor that cannot fire on a single-bucket wobble.
   double percentile_factor = 4.0;
+  /// Per-job fairness drop gate (absolute, index units). Only fires when
+  /// both documents carry a fairness index for the run.
+  double fairness_abs_tol = 0.10;
 };
 
 struct DiffEntry {

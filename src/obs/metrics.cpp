@@ -32,7 +32,10 @@ void Histogram::observe(i64 x) {
 
 i64 Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
-  if (q < 0.0) q = 0.0;
+  // !(q >= 0) rather than (q < 0): a NaN q fails every ordered comparison,
+  // so the naive two-sided clamp would let it through into the rank
+  // computation and produce a garbage cast.
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the target observation, 1-based: ceil(q * count), at least 1.
   u64 target = static_cast<u64>(q * static_cast<double>(count_));

@@ -1,0 +1,440 @@
+#include "obs/perflab/attrib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace rips::obs::perflab {
+
+namespace {
+
+using analysis::Category;
+using analysis::kNumCategories;
+
+const json::Value* require_member(const json::Value& obj, const char* key,
+                                  json::Value::Type type, std::string* error) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || v->type != type) {
+    if (error != nullptr) {
+      *error = std::string("missing or mistyped \"") + key + "\"";
+    }
+    return nullptr;
+  }
+  return v;
+}
+
+bool check_schema(const json::Value& doc, const char* want,
+                  std::string* error) {
+  const json::Value* schema =
+      require_member(doc, "schema", json::Value::Type::kString, error);
+  if (schema == nullptr) return false;
+  if (schema->string != want) {
+    if (error != nullptr) {
+      *error = "expected schema \"" + std::string(want) + "\", found \"" +
+               schema->string + "\"";
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Largest-sum contiguous node range of `delta` (Kadane). Returns false
+/// when no range has a positive sum — nothing got slower anywhere.
+bool max_range(const std::vector<i64>& delta, i32* lo, i32* hi, i64* sum) {
+  i64 best = 0, cur = 0;
+  i32 best_lo = -1, best_hi = -1, cur_lo = 0;
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (cur <= 0) {
+      cur = 0;
+      cur_lo = static_cast<i32>(i);
+    }
+    cur += delta[i];
+    if (cur > best) {
+      best = cur;
+      best_lo = cur_lo;
+      best_hi = static_cast<i32>(i);
+    }
+  }
+  if (best <= 0) return false;
+  *lo = best_lo;
+  *hi = best_hi;
+  *sum = best;
+  return true;
+}
+
+std::string fmt_ms(i64 ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.3f ms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+const char* category_phase_kind(Category c) {
+  switch (c) {
+    case Category::kSchedule:
+    case Category::kMigration:
+    case Category::kRecovery:
+      return "system";
+    case Category::kCompute:
+    case Category::kIdle:
+    case Category::kCollective:
+      return "user";
+  }
+  return "-";
+}
+
+std::optional<CriticalPathDoc> parse_critical_path(std::string_view text,
+                                                   std::string* error) {
+  const auto doc = json::parse(text, error);
+  if (!doc.has_value()) return std::nullopt;
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "top level must be an object";
+    return std::nullopt;
+  }
+  if (!check_schema(*doc, "rips-critical-path-v1", error)) return std::nullopt;
+  CriticalPathDoc out;
+  const json::Value* makespan =
+      require_member(*doc, "makespan_ns", json::Value::Type::kNumber, error);
+  if (makespan == nullptr) return std::nullopt;
+  out.makespan_ns = makespan->as_i64();
+  if (const json::Value* phased = doc->find("phased");
+      phased != nullptr && phased->is_bool()) {
+    out.phased = phased->boolean;
+  }
+  const json::Value* cats =
+      require_member(*doc, "by_category", json::Value::Type::kObject, error);
+  if (cats == nullptr) return std::nullopt;
+  for (size_t c = 0; c < kNumCategories; ++c) {
+    const char* name = analysis::category_name(static_cast<Category>(c));
+    const json::Value* v = require_member(*cats, name,
+                                          json::Value::Type::kNumber, error);
+    if (v == nullptr) return std::nullopt;
+    out.by_category[c] = v->as_i64();
+  }
+  return out;
+}
+
+std::optional<PhaseProfileDoc> parse_phase_profile(std::string_view text,
+                                                   std::string* error) {
+  const auto doc = json::parse(text, error);
+  if (!doc.has_value()) return std::nullopt;
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "top level must be an object";
+    return std::nullopt;
+  }
+  if (!check_schema(*doc, "rips-phase-profile-v1", error)) return std::nullopt;
+  PhaseProfileDoc out;
+  const json::Value* makespan =
+      require_member(*doc, "makespan_ns", json::Value::Type::kNumber, error);
+  const json::Value* num_nodes =
+      require_member(*doc, "num_nodes", json::Value::Type::kNumber, error);
+  const json::Value* totals =
+      require_member(*doc, "totals", json::Value::Type::kObject, error);
+  if (makespan == nullptr || num_nodes == nullptr || totals == nullptr) {
+    return std::nullopt;
+  }
+  out.makespan_ns = makespan->as_i64();
+  out.num_nodes = static_cast<i32>(num_nodes->as_i64());
+  const struct {
+    const char* key;
+    SimTime* dst;
+  } fields[] = {
+      {"system_ns", &out.system_ns},       {"user_ns", &out.user_ns},
+      {"schedule_ns", &out.schedule_ns},   {"migrate_ns", &out.migrate_ns},
+      {"recovery_ns", &out.recovery_ns},   {"collective_ns", &out.collective_ns},
+      {"compute_ns", &out.compute_ns},
+  };
+  for (const auto& f : fields) {
+    const json::Value* v =
+        require_member(*totals, f.key, json::Value::Type::kNumber, error);
+    if (v == nullptr) return std::nullopt;
+    *f.dst = v->as_i64();
+  }
+  const json::Value* nodes =
+      require_member(*doc, "nodes", json::Value::Type::kArray, error);
+  if (nodes == nullptr) return std::nullopt;
+  for (size_t i = 0; i < nodes->array.size(); ++i) {
+    const json::Value& n = nodes->array[i];
+    const std::string where = "nodes[" + std::to_string(i) + "]";
+    if (!n.is_object()) {
+      if (error != nullptr) *error = where + " must be an object";
+      return std::nullopt;
+    }
+    PhaseProfileDoc::Node row;
+    const json::Value* id =
+        require_member(n, "node", json::Value::Type::kNumber, error);
+    const json::Value* busy =
+        require_member(n, "busy_ns", json::Value::Type::kNumber, error);
+    const json::Value* idle =
+        require_member(n, "idle_ns", json::Value::Type::kNumber, error);
+    if (id == nullptr || busy == nullptr || idle == nullptr) {
+      if (error != nullptr) *error = where + ": " + *error;
+      return std::nullopt;
+    }
+    row.node = static_cast<i32>(id->as_i64());
+    row.busy_ns = busy->as_i64();
+    row.idle_ns = idle->as_i64();
+    out.nodes.push_back(row);
+  }
+  return out;
+}
+
+AttribReport attribute(const RunArtifacts& baseline,
+                       const RunArtifacts& current,
+                       const AttribOptions& opts) {
+  AttribReport report;
+  const bool have_cp =
+      baseline.critical_path != nullptr && current.critical_path != nullptr;
+  const bool have_profile =
+      baseline.profile != nullptr && current.profile != nullptr;
+  const bool have_bench = baseline.bench != nullptr && current.bench != nullptr;
+
+  // Makespans, from the most precise source available.
+  if (have_cp) {
+    report.baseline_makespan_ns = baseline.critical_path->makespan_ns;
+    report.current_makespan_ns = current.critical_path->makespan_ns;
+  } else if (have_profile) {
+    report.baseline_makespan_ns = baseline.profile->makespan_ns;
+    report.current_makespan_ns = current.profile->makespan_ns;
+  } else if (have_bench) {
+    // Sum over the runs present on both sides, so added/removed configs do
+    // not masquerade as a makespan shift.
+    std::map<std::string, double> base_by_key;
+    for (const analysis::BenchRun& r : baseline.bench->runs) {
+      base_by_key[r.key()] = r.makespan_ns;
+    }
+    for (const analysis::BenchRun& r : current.bench->runs) {
+      const auto it = base_by_key.find(r.key());
+      if (it == base_by_key.end()) continue;
+      report.baseline_makespan_ns += static_cast<SimTime>(it->second);
+      report.current_makespan_ns += static_cast<SimTime>(r.makespan_ns);
+    }
+  }
+  report.makespan_delta_ns =
+      static_cast<i64>(report.current_makespan_ns) -
+      static_cast<i64>(report.baseline_makespan_ns);
+  report.regression =
+      report.baseline_makespan_ns > 0 &&
+      static_cast<double>(report.makespan_delta_ns) >
+          opts.makespan_rel_tol *
+              static_cast<double>(report.baseline_makespan_ns);
+
+  // Node-range localization from the per-node profile rows: the contiguous
+  // range whose busy (resp. idle) time grew the most.
+  i32 busy_lo = -1, busy_hi = -1, idle_lo = -1, idle_hi = -1;
+  i64 busy_sum = 0, idle_sum = 0;
+  bool busy_range = false, idle_range = false;
+  if (have_profile &&
+      baseline.profile->nodes.size() == current.profile->nodes.size()) {
+    std::vector<i64> dbusy(current.profile->nodes.size());
+    std::vector<i64> didle(current.profile->nodes.size());
+    for (size_t i = 0; i < dbusy.size(); ++i) {
+      dbusy[i] = current.profile->nodes[i].busy_ns -
+                 baseline.profile->nodes[i].busy_ns;
+      didle[i] = current.profile->nodes[i].idle_ns -
+                 baseline.profile->nodes[i].idle_ns;
+    }
+    busy_range = max_range(dbusy, &busy_lo, &busy_hi, &busy_sum);
+    idle_range = max_range(didle, &idle_lo, &idle_hi, &idle_sum);
+  }
+  const auto attach_range = [&](AttribRow& row) {
+    if (row.category == "compute" && busy_range) {
+      row.node_lo = busy_lo;
+      row.node_hi = busy_hi;
+      row.note = "busy grew " + fmt_ms(busy_sum) + " on this range";
+    } else if ((row.category == "idle" || row.category == "collective") &&
+               idle_range) {
+      row.node_lo = idle_lo;
+      row.node_hi = idle_hi;
+      row.note = "idle grew " + fmt_ms(idle_sum) + " on this range";
+    }
+  };
+
+  // Category rows, one source only (they decompose the same makespan, so
+  // mixing sources would double-count): the critical path is exact and
+  // preferred; the profile totals are the fallback; bench rows — the only
+  // thing CI has when the baseline left no trace — decompose per run key.
+  if (have_cp) {
+    for (size_t c = 0; c < kNumCategories; ++c) {
+      AttribRow row;
+      row.source = "critical-path";
+      row.category = analysis::category_name(static_cast<Category>(c));
+      row.phase = category_phase_kind(static_cast<Category>(c));
+      row.baseline_ns = baseline.critical_path->by_category[c];
+      row.current_ns = current.critical_path->by_category[c];
+      row.delta_ns = row.current_ns - row.baseline_ns;
+      attach_range(row);
+      report.rows.push_back(std::move(row));
+    }
+  } else if (have_profile) {
+    const struct {
+      const char* category;
+      const char* phase;
+      SimTime PhaseProfileDoc::*field;
+    } totals[] = {
+        {"schedule", "system", &PhaseProfileDoc::schedule_ns},
+        {"migration", "system", &PhaseProfileDoc::migrate_ns},
+        {"recovery", "system", &PhaseProfileDoc::recovery_ns},
+        {"collective", "user", &PhaseProfileDoc::collective_ns},
+        {"compute", "user", &PhaseProfileDoc::compute_ns},
+    };
+    for (const auto& t : totals) {
+      AttribRow row;
+      row.source = "phase-profile";
+      row.category = t.category;
+      row.phase = t.phase;
+      row.baseline_ns = baseline.profile->*t.field;
+      row.current_ns = current.profile->*t.field;
+      // Σ-over-nodes compute is machine-scaled; report the per-node mean so
+      // it ranks against the makespan-scale phase totals.
+      if (row.category == "compute" && baseline.profile->num_nodes > 0) {
+        row.baseline_ns /= baseline.profile->num_nodes;
+        row.current_ns /= std::max(1, current.profile->num_nodes);
+        row.note = "per-node mean";
+      }
+      row.delta_ns = row.current_ns - row.baseline_ns;
+      attach_range(row);
+      report.rows.push_back(std::move(row));
+    }
+  } else if (have_bench) {
+    std::map<std::string, const analysis::BenchRun*> base;
+    for (const analysis::BenchRun& r : baseline.bench->runs) {
+      base.emplace(r.key(), &r);
+    }
+    for (const analysis::BenchRun& r : current.bench->runs) {
+      const auto it = base.find(r.key());
+      if (it == base.end()) continue;
+      const analysis::BenchRun& b = *it->second;
+      const struct {
+        const char* category;
+        const char* phase;
+        double baseline_ns;
+        double current_ns;
+      } metrics[] = {
+          {"makespan", "-", b.makespan_ns, r.makespan_ns},
+          // Table-I per-node averages, rescaled to totals in ns.
+          {"overhead", "system", b.overhead_s * 1e9 * b.nodes,
+           r.overhead_s * 1e9 * r.nodes},
+          {"idle", "user", b.idle_s * 1e9 * b.nodes,
+           r.idle_s * 1e9 * r.nodes},
+      };
+      for (const auto& m : metrics) {
+        AttribRow row;
+        row.source = "bench";
+        row.key = r.key();
+        row.category = m.category;
+        row.phase = m.phase;
+        row.baseline_ns = static_cast<i64>(m.baseline_ns);
+        row.current_ns = static_cast<i64>(m.current_ns);
+        row.delta_ns = row.current_ns - row.baseline_ns;
+        report.rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  // Rank by |delta| descending (stable, so equal rows keep source order),
+  // drop the noise floor, cap, and compute shares.
+  std::stable_sort(report.rows.begin(), report.rows.end(),
+                   [](const AttribRow& a, const AttribRow& b) {
+                     return std::llabs(a.delta_ns) > std::llabs(b.delta_ns);
+                   });
+  const i64 top = report.rows.empty() ? 0 : std::llabs(report.rows[0].delta_ns);
+  if (top == 0) {
+    // A self-diff (or a bit-identical rerun): nothing shifted anywhere.
+    report.rows.clear();
+    return report;
+  }
+  const double denom = static_cast<double>(
+      std::max<i64>(std::llabs(report.makespan_delta_ns), std::max<i64>(top, 1)));
+  std::vector<AttribRow> kept;
+  for (AttribRow& row : report.rows) {
+    if (kept.size() >= opts.max_rows) break;
+    const double share = static_cast<double>(std::llabs(row.delta_ns)) / denom;
+    if (top > 0 &&
+        static_cast<double>(std::llabs(row.delta_ns)) <
+            opts.min_share * static_cast<double>(top)) {
+      continue;
+    }
+    row.share = share;
+    kept.push_back(std::move(row));
+  }
+  report.rows = std::move(kept);
+  return report;
+}
+
+std::string AttribReport::to_json() const {
+  using json::quoted;
+  std::string out = "{\"schema\":\"rips-attrib-v1\"";
+  out += ",\"baseline_makespan_ns\":" + std::to_string(baseline_makespan_ns);
+  out += ",\"current_makespan_ns\":" + std::to_string(current_makespan_ns);
+  out += ",\"makespan_delta_ns\":" + std::to_string(makespan_delta_ns);
+  out += ",\"regression\":";
+  out += regression ? "true" : "false";
+  if (const AttribRow* top = culprit(); top != nullptr) {
+    out += ",\"culprit\":{\"phase\":" + quoted(top->phase) +
+           ",\"category\":" + quoted(top->category) + "}";
+  }
+  out += ",\"rows\":[";
+  char buf[32];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const AttribRow& r = rows[i];
+    if (i > 0) out += ",";
+    out += "\n{\"source\":" + quoted(r.source);
+    if (!r.key.empty()) out += ",\"key\":" + quoted(r.key);
+    out += ",\"phase\":" + quoted(r.phase);
+    out += ",\"category\":" + quoted(r.category);
+    out += ",\"baseline_ns\":" + std::to_string(r.baseline_ns);
+    out += ",\"current_ns\":" + std::to_string(r.current_ns);
+    out += ",\"delta_ns\":" + std::to_string(r.delta_ns);
+    std::snprintf(buf, sizeof buf, "%.4f", r.share);
+    out += ",\"share\":" + std::string(buf);
+    out += ",\"node_lo\":" + std::to_string(r.node_lo);
+    out += ",\"node_hi\":" + std::to_string(r.node_hi);
+    if (!r.note.empty()) out += ",\"note\":" + quoted(r.note);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string AttribReport::to_text() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "attribution: makespan %.3f ms -> %.3f ms (%s)%s\n",
+                static_cast<double>(baseline_makespan_ns) / 1e6,
+                static_cast<double>(current_makespan_ns) / 1e6,
+                fmt_ms(makespan_delta_ns).c_str(),
+                regression ? "  REGRESSION" : "");
+  std::string out = buf;
+  if (rows.empty()) {
+    out += "  no significant shifts\n";
+    return out;
+  }
+  const AttribRow* top = culprit();
+  std::snprintf(buf, sizeof buf, "  culprit: %s time in %s phases\n",
+                top->category.c_str(), top->phase.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %-14s %-7s %-11s %14s %8s %-11s\n",
+                "category", "phase", "source", "delta", "share", "nodes");
+  out += buf;
+  for (const AttribRow& r : rows) {
+    std::string nodes = "-";
+    if (r.node_lo >= 0) {
+      nodes = std::to_string(r.node_lo) + ".." + std::to_string(r.node_hi);
+    }
+    std::snprintf(buf, sizeof buf, "  %-14s %-7s %-11s %14s %7.1f%% %-11s",
+                  r.category.c_str(), r.phase.c_str(), r.source.c_str(),
+                  fmt_ms(r.delta_ns).c_str(), 100.0 * r.share, nodes.c_str());
+    out += buf;
+    if (!r.key.empty()) out += "  " + r.key;
+    if (!r.note.empty()) out += "  (" + r.note + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rips::obs::perflab

@@ -1,0 +1,128 @@
+// Regression attribution (docs/OBSERVABILITY.md, "Perf lab").
+//
+// bench_diff and ts-diff say THAT a gate fired; this engine says WHERE.
+// Given a baseline and a candidate run — any subset of a rips-bench-v1
+// document, a rips-critical-path-v1 report and a rips-phase-profile-v1
+// report — attribute() diffs the critical-path category totals and the
+// Table-II per-phase / per-node decomposition and localizes the makespan
+// delta to (phase kind, category, node range), ranked by the size of the
+// shift. The output is a `rips-attrib-v1` document plus a text report;
+// `trace_tool perf-lab regress` is the CLI and CI entry point.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/analysis/analysis.hpp"
+#include "obs/analysis/bench_diff.hpp"
+#include "util/types.hpp"
+
+namespace rips::obs::perflab {
+
+/// Parsed rips-critical-path-v1 report (the category totals; the step list
+/// is not needed for attribution).
+struct CriticalPathDoc {
+  SimTime makespan_ns = 0;
+  bool phased = false;
+  /// Indexed by analysis::Category.
+  std::array<SimTime, analysis::kNumCategories> by_category{};
+};
+
+/// Parsed rips-phase-profile-v1 report: the totals block plus the per-node
+/// rows (busy / idle), which is all the node-range localization needs.
+struct PhaseProfileDoc {
+  SimTime makespan_ns = 0;
+  i32 num_nodes = 0;
+  SimTime system_ns = 0;
+  SimTime user_ns = 0;
+  SimTime schedule_ns = 0;
+  SimTime migrate_ns = 0;
+  SimTime recovery_ns = 0;
+  SimTime collective_ns = 0;
+  SimTime compute_ns = 0;
+  struct Node {
+    i32 node = 0;
+    SimTime busy_ns = 0;
+    SimTime idle_ns = 0;
+  };
+  std::vector<Node> nodes;
+};
+
+/// Strict parsers — nullopt + `error` on anything that is not a complete
+/// document of the expected schema (truncated captures fail here, never
+/// downstream).
+std::optional<CriticalPathDoc> parse_critical_path(std::string_view text,
+                                                   std::string* error = nullptr);
+std::optional<PhaseProfileDoc> parse_phase_profile(std::string_view text,
+                                                   std::string* error = nullptr);
+
+/// Everything known about one run. Null members are simply skipped — the
+/// report degrades gracefully (CI's bench-only mode has no baseline trace).
+struct RunArtifacts {
+  const analysis::BenchDoc* bench = nullptr;
+  const CriticalPathDoc* critical_path = nullptr;
+  const PhaseProfileDoc* profile = nullptr;
+};
+
+struct AttribOptions {
+  /// Makespan growth below this fraction is reported but not flagged as a
+  /// regression (matches bench_diff's default gate).
+  double makespan_rel_tol = 0.10;
+  /// Rows whose |delta| is below this share of the largest |delta| are
+  /// dropped as noise.
+  double min_share = 0.01;
+  size_t max_rows = 16;
+};
+
+/// One ranked finding: a category (or bench metric) whose time shifted,
+/// localized to a phase kind and — when per-node profiles are available —
+/// a contiguous node range.
+struct AttribRow {
+  std::string source;    ///< "critical-path" | "phase-profile" | "bench"
+  std::string key;       ///< run identity for bench rows, "" otherwise
+  std::string phase;     ///< "system" | "user" | "-"
+  std::string category;  ///< critical-path category or bench metric name
+  i64 baseline_ns = 0;
+  i64 current_ns = 0;
+  i64 delta_ns = 0;
+  /// |delta| as a fraction of the makespan delta (of the total |delta| when
+  /// the makespan barely moved).
+  double share = 0.0;
+  i32 node_lo = -1;  ///< inclusive; -1 = not localized
+  i32 node_hi = -1;
+  std::string note;
+};
+
+struct AttribReport {
+  SimTime baseline_makespan_ns = 0;
+  SimTime current_makespan_ns = 0;
+  i64 makespan_delta_ns = 0;
+  /// True when the candidate makespan grew beyond the tolerance.
+  bool regression = false;
+  /// Ranked by |delta_ns| descending.
+  std::vector<AttribRow> rows;
+
+  /// Top-ranked row's phase / category — what CI names as the culprit.
+  const AttribRow* culprit() const {
+    return rows.empty() ? nullptr : &rows.front();
+  }
+
+  std::string to_json() const;  ///< rips-attrib-v1
+  std::string to_text() const;
+};
+
+/// Diffs every artifact pair present in both runs. At least one pair must
+/// be present; with none the report is empty and non-regressing.
+AttribReport attribute(const RunArtifacts& baseline,
+                       const RunArtifacts& current,
+                       const AttribOptions& opts = {});
+
+/// Phase kind a critical-path category executes under: schedule, migration
+/// and recovery happen inside system phases; compute, idle and collective
+/// (retry stretches of the detection barrier) inside user phases.
+const char* category_phase_kind(analysis::Category c);
+
+}  // namespace rips::obs::perflab

@@ -1,0 +1,450 @@
+#include "obs/perflab/runstore.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/analysis/bench_diff.hpp"
+#include "obs/analysis/blackbox.hpp"
+#include "obs/analysis/ts_diff.hpp"
+#include "obs/json.hpp"
+#include "obs/perflab/attrib.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rips::obs::perflab {
+
+namespace {
+
+constexpr const char* kIndexName = "runstore.json";
+constexpr const char* kStagePrefix = ".tmp-";
+
+/// kind -> file name inside the run directory.
+const std::pair<const char*, const char*> kArtifactFiles[] = {
+    {"bench", "bench.json"},
+    {"timeseries", "timeseries.json"},
+    {"profile", "profile.json"},
+    {"critical_path", "critical_path.json"},
+    {"blackbox", "blackbox.json"},
+    {"meta", "meta.json"},
+};
+
+const char* artifact_file(const std::string& kind) {
+  for (const auto& [k, f] : kArtifactFiles) {
+    if (kind == k) return f;
+  }
+  return nullptr;
+}
+
+bool read_file(const fs::path& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path.string();
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool write_file(const fs::path& path, const std::string& content,
+                std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot create " + path.string();
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "short write to " + path.string();
+    return false;
+  }
+  return true;
+}
+
+bool valid_run_id(const std::string& id) {
+  if (id.empty() || id.size() > 128 || id[0] == '.') return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+u64 fnv1a(std::string_view s) {
+  u64 h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(u64 h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string labels_json(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += json::quoted(labels[i].first) + ":" +
+           json::quoted(labels[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+std::string artifacts_json(const std::vector<std::string>& kinds) {
+  std::string out = "[";
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    if (i > 0) out += ",";
+    out += json::quoted(kinds[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string RunStore::fingerprint(const std::string& bench_json) {
+  const auto doc = analysis::load_bench_doc(bench_json);
+  if (!doc.has_value()) return "-";
+  std::string identity = doc->suite;
+  identity += doc->quick ? "|quick" : "|full";
+  identity += "|n";
+  identity += std::to_string(doc->nodes);
+  for (const analysis::BenchRun& r : doc->runs) identity += "|" + r.key();
+  return hex64(fnv1a(identity));
+}
+
+std::string RunStore::meta_json(const std::vector<RunMetaEntry>& entries) {
+  std::string out = "{\"schema\":\"rips-runmeta-v1\",\"entries\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const RunMetaEntry& e = entries[i];
+    if (i > 0) out += ",";
+    out += "\n{\"key\":" + json::quoted(e.key) +
+           ",\"wall_ms\":" + std::to_string(e.wall_ms) +
+           ",\"measure_pass\":" + json::quoted(e.measure_pass) + "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string RunStore::dir_of(const RunRef& ref) const {
+  return (fs::path(root_) / "runs" / ref.id).string();
+}
+
+const RunRef* RunStore::find(const std::string& id) const {
+  for (const RunRef& r : runs_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+bool RunStore::open(std::string* error) {
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / "runs", ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create " + root_ + ": " + ec.message();
+    }
+    return false;
+  }
+  // Sweep staging directories an interrupted ingest left behind — they
+  // were never indexed, so removing them cannot lose a stored run.
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(root_) / "runs", ec)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind(kStagePrefix, 0) == 0) {
+      fs::remove_all(entry.path(), ec);
+    }
+  }
+
+  runs_.clear();
+  next_seq_ = 1;
+  const fs::path index = fs::path(root_) / kIndexName;
+  if (!fs::exists(index)) return true;  // fresh store
+
+  std::string text;
+  if (!read_file(index, &text, error)) return false;
+  std::string perr;
+  const auto doc = json::parse(text, &perr);
+  if (!doc.has_value() || !doc->is_object()) {
+    if (error != nullptr) {
+      *error = root_ + "/" + kIndexName + ": " +
+               (perr.empty() ? "not a JSON object" : perr);
+    }
+    return false;
+  }
+  const json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "rips-runstore-v1") {
+    if (error != nullptr) {
+      *error = root_ + "/" + kIndexName + ": not a rips-runstore-v1 index";
+    }
+    return false;
+  }
+  if (const json::Value* seq = doc->find("next_seq");
+      seq != nullptr && seq->is_number()) {
+    next_seq_ = static_cast<u64>(seq->as_i64());
+  }
+  const json::Value* runs = doc->find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    if (error != nullptr) {
+      *error = root_ + "/" + kIndexName + ": missing \"runs\" array";
+    }
+    return false;
+  }
+  for (const json::Value& r : runs->array) {
+    if (!r.is_object()) {
+      if (error != nullptr) {
+        *error = root_ + "/" + kIndexName + ": malformed run row";
+      }
+      return false;
+    }
+    RunRef ref;
+    const json::Value* id = r.find("id");
+    if (id == nullptr || !id->is_string() || !valid_run_id(id->string)) {
+      if (error != nullptr) {
+        *error = root_ + "/" + kIndexName + ": run row with a bad id";
+      }
+      return false;
+    }
+    ref.id = id->string;
+    if (const json::Value* v = r.find("seq"); v != nullptr && v->is_number()) {
+      ref.seq = static_cast<u64>(v->as_i64());
+    }
+    if (const json::Value* v = r.find("fingerprint");
+        v != nullptr && v->is_string()) {
+      ref.fingerprint = v->string;
+    }
+    if (const json::Value* v = r.find("suite");
+        v != nullptr && v->is_string()) {
+      ref.suite = v->string;
+    }
+    if (const json::Value* v = r.find("artifacts");
+        v != nullptr && v->is_array()) {
+      for (const json::Value& a : v->array) {
+        if (a.is_string()) ref.artifacts.push_back(a.string);
+      }
+    }
+    runs_.push_back(std::move(ref));
+  }
+  return true;
+}
+
+bool RunStore::write_index(std::string* error) const {
+  std::string out = "{\"schema\":\"rips-runstore-v1\"";
+  out += ",\"next_seq\":" + std::to_string(next_seq_);
+  out += ",\"runs\":[";
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const RunRef& r = runs_[i];
+    if (i > 0) out += ",";
+    out += "\n{\"id\":" + json::quoted(r.id) +
+           ",\"seq\":" + std::to_string(r.seq) +
+           ",\"fingerprint\":" + json::quoted(r.fingerprint) +
+           ",\"suite\":" + json::quoted(r.suite) +
+           ",\"artifacts\":" + artifacts_json(r.artifacts) + "}";
+  }
+  out += "\n]}\n";
+  // Same atomicity discipline as the run directory: stage, then rename.
+  const fs::path index = fs::path(root_) / kIndexName;
+  const fs::path tmp = fs::path(root_) / (std::string(kIndexName) + ".tmp");
+  if (!write_file(tmp, out, error)) return false;
+  std::error_code ec;
+  fs::rename(tmp, index, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot commit " + index.string() + ": " + ec.message();
+    }
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool RunStore::ingest(const IngestRequest& req, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (!valid_run_id(req.run_id)) {
+    return fail("invalid run id \"" + req.run_id +
+                "\" (want [A-Za-z0-9._-]+, not starting with '.')");
+  }
+  if (find(req.run_id) != nullptr) {
+    return fail("run \"" + req.run_id +
+                "\" already exists — the archive is append-only, pick a new "
+                "id");
+  }
+
+  // Validate EVERY artifact with its real loader before any disk write, so
+  // a truncated or partial capture can never enter the archive.
+  struct Staged {
+    const char* kind;
+    const char* file;
+    const std::string* content;
+  };
+  std::vector<Staged> staged;
+  std::string perr;
+  if (!req.bench_json.empty()) {
+    if (!analysis::load_bench_doc(req.bench_json, &perr).has_value()) {
+      return fail("bench artifact rejected: " + perr);
+    }
+    staged.push_back({"bench", "bench.json", &req.bench_json});
+  }
+  if (!req.timeseries_json.empty()) {
+    if (!analysis::load_timeseries_doc(req.timeseries_json, &perr)
+             .has_value()) {
+      return fail("timeseries artifact rejected: " + perr);
+    }
+    staged.push_back({"timeseries", "timeseries.json", &req.timeseries_json});
+  }
+  if (!req.profile_json.empty()) {
+    if (!parse_phase_profile(req.profile_json, &perr).has_value()) {
+      return fail("profile artifact rejected: " + perr);
+    }
+    staged.push_back({"profile", "profile.json", &req.profile_json});
+  }
+  if (!req.critical_path_json.empty()) {
+    if (!parse_critical_path(req.critical_path_json, &perr).has_value()) {
+      return fail("critical-path artifact rejected: " + perr);
+    }
+    staged.push_back(
+        {"critical_path", "critical_path.json", &req.critical_path_json});
+  }
+  if (!req.blackbox_json.empty()) {
+    if (!analysis::load_blackbox_doc(req.blackbox_json, &perr).has_value()) {
+      return fail("blackbox artifact rejected: " + perr);
+    }
+    staged.push_back({"blackbox", "blackbox.json", &req.blackbox_json});
+  }
+  std::string meta;
+  if (!req.meta.empty()) meta = meta_json(req.meta);
+  if (!meta.empty()) staged.push_back({"meta", "meta.json", &meta});
+  if (staged.empty()) {
+    return fail("nothing to ingest — provide at least one artifact");
+  }
+
+  RunRef ref;
+  ref.id = req.run_id;
+  ref.seq = next_seq_;
+  ref.suite = req.suite;
+  ref.fingerprint =
+      req.bench_json.empty() ? "-" : fingerprint(req.bench_json);
+  for (const Staged& s : staged) ref.artifacts.emplace_back(s.kind);
+
+  // Stage the run directory, then rename into place: the final path either
+  // does not exist or holds a complete run.
+  const fs::path stage =
+      fs::path(root_) / "runs" / (std::string(kStagePrefix) + ref.id);
+  const fs::path final_dir = fs::path(root_) / "runs" / ref.id;
+  std::error_code ec;
+  fs::remove_all(stage, ec);
+  fs::create_directories(stage, ec);
+  if (ec) return fail("cannot stage " + stage.string() + ": " + ec.message());
+  const auto abort_stage = [&](const std::string& msg) {
+    std::error_code cleanup;
+    fs::remove_all(stage, cleanup);
+    return fail(msg);
+  };
+
+  std::string manifest = "{\"schema\":\"rips-runstore-manifest-v1\"";
+  manifest += ",\"id\":" + json::quoted(ref.id);
+  manifest += ",\"seq\":" + std::to_string(ref.seq);
+  manifest += ",\"fingerprint\":" + json::quoted(ref.fingerprint);
+  manifest += ",\"suite\":" + json::quoted(ref.suite);
+  manifest += ",\"labels\":" + labels_json(req.labels);
+  manifest += ",\"artifacts\":" + artifacts_json(ref.artifacts) + "}\n";
+  std::string werr;
+  if (!write_file(stage / "manifest.json", manifest, &werr)) {
+    return abort_stage(werr);
+  }
+  for (const Staged& s : staged) {
+    if (!write_file(stage / s.file, *s.content, &werr)) {
+      return abort_stage(werr);
+    }
+  }
+  fs::rename(stage, final_dir, ec);
+  if (ec) {
+    return abort_stage("cannot commit " + final_dir.string() + ": " +
+                       ec.message());
+  }
+
+  runs_.push_back(ref);
+  next_seq_ += 1;
+  if (!write_index(error)) {
+    // Roll the run back out so disk and index agree again.
+    runs_.pop_back();
+    next_seq_ -= 1;
+    fs::remove_all(final_dir, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> RunStore::read_artifact(const std::string& id,
+                                                   const std::string& kind,
+                                                   std::string* error) const {
+  const RunRef* ref = find(id);
+  if (ref == nullptr) {
+    if (error != nullptr) *error = "no run \"" + id + "\" in " + root_;
+    return std::nullopt;
+  }
+  const char* file = artifact_file(kind);
+  if (file == nullptr) {
+    if (error != nullptr) *error = "unknown artifact kind \"" + kind + "\"";
+    return std::nullopt;
+  }
+  if (std::find(ref->artifacts.begin(), ref->artifacts.end(), kind) ==
+      ref->artifacts.end()) {
+    if (error != nullptr) {
+      *error = "run \"" + id + "\" has no " + kind + " artifact";
+    }
+    return std::nullopt;
+  }
+  std::string text;
+  if (!read_file(fs::path(dir_of(*ref)) / file, &text, error)) {
+    return std::nullopt;
+  }
+  return text;
+}
+
+std::vector<RunMetaEntry> RunStore::read_meta(const std::string& id) const {
+  std::vector<RunMetaEntry> out;
+  const auto text = read_artifact(id, "meta", nullptr);
+  if (!text.has_value()) return out;
+  const auto doc = json::parse(*text);
+  if (!doc.has_value() || !doc->is_object()) return out;
+  const json::Value* entries = doc->find("entries");
+  if (entries == nullptr || !entries->is_array()) return out;
+  for (const json::Value& e : entries->array) {
+    if (!e.is_object()) continue;
+    RunMetaEntry entry;
+    if (const json::Value* v = e.find("key"); v != nullptr && v->is_string()) {
+      entry.key = v->string;
+    }
+    if (const json::Value* v = e.find("wall_ms");
+        v != nullptr && v->is_number()) {
+      entry.wall_ms = v->as_i64();
+    }
+    if (const json::Value* v = e.find("measure_pass");
+        v != nullptr && v->is_string()) {
+      entry.measure_pass = v->string;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace rips::obs::perflab

@@ -1,0 +1,115 @@
+// RunStore — the perf lab's append-only on-disk run archive
+// (docs/OBSERVABILITY.md, "Perf lab").
+//
+// Layout (`rips-runstore-v1`):
+//
+//   <root>/runstore.json            index: schema, next_seq, one row per run
+//   <root>/runs/<id>/manifest.json  id, seq, fingerprint, suite, labels,
+//                                   artifact list
+//   <root>/runs/<id>/bench.json           rips-bench-v1        (optional)
+//   <root>/runs/<id>/timeseries.json      rips-timeseries-v1   (optional)
+//   <root>/runs/<id>/profile.json         rips-phase-profile-v1(optional)
+//   <root>/runs/<id>/critical_path.json   rips-critical-path-v1(optional)
+//   <root>/runs/<id>/blackbox.json        rips-blackbox-v1     (optional)
+//   <root>/runs/<id>/meta.json            rips-runmeta-v1      (optional)
+//
+// Ingest is strict and atomic: every artifact is parsed with the real
+// loaders BEFORE anything touches disk (a truncated capture is rejected
+// with the loader's diagnostic, mirroring trace_tool's empty/truncated
+// handling), the run directory is staged under a temporary name and
+// renamed into place, and only then is the index rewritten. A failed or
+// interrupted ingest therefore never corrupts the store — at worst it
+// leaves an unindexed staging directory that the next open() sweeps away.
+// Run ids are unique; re-ingesting an existing id is an error, not an
+// overwrite (the archive is append-only).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rips::obs::perflab {
+
+/// Host-side measurements for one configuration of a run — wall time and
+/// which measuring pass the engine used. The simulated artifacts are
+/// deliberately wall-free; this is where the wall clock is allowed to
+/// live, so trends can expose coverage dimensions (fault-injected runs
+/// force measure_pass == "full").
+struct RunMetaEntry {
+  std::string key;  ///< run identity, BenchRun::key() format
+  i64 wall_ms = 0;
+  std::string measure_pass;  ///< "drain-sum" | "full" | ""
+};
+
+/// One run to ingest. Artifact strings hold whole documents; empty means
+/// the artifact is absent (at least one must be present).
+struct IngestRequest {
+  std::string run_id;
+  std::string suite;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::string bench_json;
+  std::string timeseries_json;
+  std::string profile_json;
+  std::string critical_path_json;
+  std::string blackbox_json;
+  std::vector<RunMetaEntry> meta;
+};
+
+/// Index row of a stored run.
+struct RunRef {
+  std::string id;
+  u64 seq = 0;               ///< ingest order, monotonically increasing
+  std::string fingerprint;   ///< config fingerprint (see fingerprint())
+  std::string suite;
+  std::vector<std::string> artifacts;  ///< kinds present, sorted
+};
+
+class RunStore {
+ public:
+  explicit RunStore(std::string root) : root_(std::move(root)) {}
+
+  /// Opens an existing store or initializes an empty one at `root`.
+  /// Returns false + `error` on a malformed index (never "repairs" one).
+  bool open(std::string* error);
+
+  const std::string& root() const { return root_; }
+  const std::vector<RunRef>& runs() const { return runs_; }
+  const RunRef* find(const std::string& id) const;
+
+  /// Validates all artifacts, stages the run directory, renames it into
+  /// place and appends to the index. On any failure the store on disk is
+  /// exactly what it was before the call.
+  bool ingest(const IngestRequest& req, std::string* error);
+
+  /// Content of one stored artifact ("bench", "timeseries", "profile",
+  /// "critical_path", "blackbox", "meta"); nullopt + `error` when the run
+  /// or artifact does not exist or cannot be read.
+  std::optional<std::string> read_artifact(const std::string& id,
+                                           const std::string& kind,
+                                           std::string* error) const;
+
+  /// Parsed meta entries of a stored run (empty when it has none).
+  std::vector<RunMetaEntry> read_meta(const std::string& id) const;
+
+  /// FNV-1a fingerprint of a bench document's configuration identity
+  /// (suite, quick, nodes and every run key — NOT the measured values), so
+  /// trend tools can detect when two runs measured different configs.
+  /// "-" when the document cannot be parsed.
+  static std::string fingerprint(const std::string& bench_json);
+
+  /// Serialized rips-runmeta-v1 document for `entries`.
+  static std::string meta_json(const std::vector<RunMetaEntry>& entries);
+
+ private:
+  std::string dir_of(const RunRef& ref) const;
+  bool write_index(std::string* error) const;
+
+  std::string root_;
+  std::vector<RunRef> runs_;
+  u64 next_seq_ = 1;
+};
+
+}  // namespace rips::obs::perflab

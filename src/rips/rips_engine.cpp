@@ -313,6 +313,10 @@ SimTime RipsEngine::system_phase(SimTime t) {
         dst.foreign.push_back(task);
       }
       ++sent;
+      if (job_accounting_) {
+        job_migrated_[static_cast<size_t>(
+            (*job_of_)[static_cast<size_t>(task)])] += 1;
+      }
     }
     moved += static_cast<u64>(sent);
     migration_[static_cast<size_t>(tr.from)] += cost_.send_time(sent);
@@ -529,9 +533,13 @@ SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
       exec_node_[static_cast<size_t>(task)] = node;
       executed_total_ += 1;
       c_tasks_executed_->add();
-      if (job_counting_) {
-        job_exec_[static_cast<size_t>((*job_of_)[static_cast<size_t>(task)])] +=
-            1;
+      if (job_accounting_) {
+        const auto j =
+            static_cast<size_t>((*job_of_)[static_cast<size_t>(task)]);
+        job_tasks_[j] += 1;
+        job_work_ns_[j] += work;
+        if (now > job_done_ns_[j]) job_done_ns_[j] = now;
+        if (job_counting_) job_exec_[j] += 1;
       }
       if (timeline_ != nullptr) {
         timeline_->record({sim::TimelineEvent::Kind::kTask, node, now - work,
@@ -571,7 +579,7 @@ SimTime RipsEngine::user_phase(SimTime t) {
   coll_op_counter_ += 2;  // one id for notify delays, one for detection
   i64 phase_retries = 0;  // detection-collective retransmissions, for telemetry
 
-  job_counting_ = obs_.bus != nullptr && job_of_ != nullptr && num_jobs_ > 0;
+  job_counting_ = obs_.bus != nullptr && job_accounting_;
   if (job_counting_) job_exec_.assign(static_cast<size_t>(num_jobs_), 0);
 
   // Measuring pass: when would each node drain its RTE, undisturbed? With
@@ -927,6 +935,16 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
 
   metrics_.used_fast_measure = fast_measure_;
   job_counting_ = false;
+  job_accounting_ = job_of_ != nullptr && num_jobs_ > 0;
+  if (job_accounting_) {
+    RIPS_CHECK_MSG(job_of_->size() == trace.size(),
+                   "job map must have one entry per trace task");
+    const auto nj = static_cast<size_t>(num_jobs_);
+    job_tasks_.assign(nj, 0);
+    job_work_ns_.assign(nj, 0);
+    job_done_ns_.assign(nj, 0);
+    job_migrated_.assign(nj, 0);
+  }
   if (obs_.bus != nullptr) {
     obs::RunStart rs;
     rs.engine = "rips";
@@ -974,6 +992,30 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
   c_tasks_nonlocal_->add(nonlocal);
   RIPS_CHECK_MSG(executed_total_ == trace.size(),
                  "RIPS finished with unexecuted tasks");
+  if (job_accounting_) {
+    metrics_.jobs.resize(static_cast<size_t>(num_jobs_));
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (exec_node_[i] != origin_[i]) {
+        metrics_.jobs[static_cast<size_t>((*job_of_)[i])].nonlocal_tasks += 1;
+      }
+    }
+    for (i32 j = 0; j < num_jobs_; ++j) {
+      sim::JobMetrics& jm = metrics_.jobs[static_cast<size_t>(j)];
+      jm.tasks = job_tasks_[static_cast<size_t>(j)];
+      jm.work_ns = job_work_ns_[static_cast<size_t>(j)];
+      jm.completion_ns = job_done_ns_[static_cast<size_t>(j)];
+      jm.tasks_migrated = job_migrated_[static_cast<size_t>(j)];
+      // The per-tenant slice in the registry, next to the machine-wide
+      // counters the bench JSON already embeds.
+      const std::string prefix = "job." + std::to_string(j) + ".";
+      registry_.counter(prefix + "tasks_executed").add(jm.tasks);
+      registry_.counter(prefix + "tasks_nonlocal").add(jm.nonlocal_tasks);
+      registry_.counter(prefix + "tasks_migrated").add(jm.tasks_migrated);
+      registry_.counter(prefix + "work_ns").add(static_cast<u64>(jm.work_ns));
+      registry_.counter(prefix + "completion_ns")
+          .add(static_cast<u64>(jm.completion_ns));
+    }
+  }
   // The registry is the source of truth for every counter column; the
   // Table-I view is derived from it once, here.
   metrics_.load_counters(registry_);

@@ -111,12 +111,17 @@ class RipsEngine {
   bool used_fast_measure() const { return fast_measure_; }
 
   /// Optional per-task job ownership for multi-job runs
-  /// (apps::MergedJobs::owner, values in [0, num_jobs)). When attached
-  /// together with a telemetry bus, every user phase additionally
-  /// publishes one PhaseSample per job carrying that job's executed-task
-  /// count (PhaseSample::job = job index) — the per-tenant progress view.
-  /// Purely observational; pass nullptr to detach. `job_of` must outlive
-  /// subsequent runs and have one entry per trace task.
+  /// (apps::MergedJobs::owner, values in [0, num_jobs)). While attached,
+  /// subsequent runs account tasks, executed work, completion time,
+  /// migrations and non-local executions PER JOB (RunMetrics::jobs plus
+  /// "job.<i>.*" registry counters) — the per-tenant view the perf lab's
+  /// fairness index is computed from. When a telemetry bus is also
+  /// attached, every user phase additionally publishes one PhaseSample per
+  /// job carrying that job's executed-task count (PhaseSample::job = job
+  /// index). Purely observational either way: the run's own results and
+  /// every pre-existing metric are bit-identical with or without a map.
+  /// Pass nullptr to detach. `job_of` must outlive subsequent runs and
+  /// have one entry per trace task.
   void set_job_map(const std::vector<i32>* job_of, i32 num_jobs) {
     job_of_ = job_of;
     num_jobs_ = job_of == nullptr ? 0 : num_jobs;
@@ -229,12 +234,21 @@ class RipsEngine {
   sim::Timeline* timeline_ = nullptr;
   sim::RunMetrics metrics_;
 
-  // Multi-job telemetry labels (set_job_map): per-task job index and the
-  // per-phase executed-count scratch, active only while a bus is attached.
+  // Multi-job accounting (set_job_map). job_accounting_ is on for the
+  // whole run whenever a map is attached — independent of any bus, so
+  // RunMetrics::jobs and the "job.<i>.*" counters are identical with and
+  // without telemetry. job_counting_ additionally gates the per-phase
+  // PhaseSample fan-out (bus-only cost); job_exec_ is its per-phase
+  // scratch.
   const std::vector<i32>* job_of_ = nullptr;
   i32 num_jobs_ = 0;
   std::vector<u64> job_exec_;
   bool job_counting_ = false;
+  bool job_accounting_ = false;
+  std::vector<u64> job_tasks_;        // cumulative executions per job
+  std::vector<SimTime> job_work_ns_;  // cumulative executed work per job
+  std::vector<SimTime> job_done_ns_;  // latest task end per job
+  std::vector<u64> job_migrated_;     // task moves per job
 
   // --- steady-state scratch arenas ---------------------------------------
   // Every per-phase working vector lives here and is overwritten in place:

@@ -26,6 +26,19 @@ void RunMetrics::load_counters(const obs::MetricsRegistry& registry) {
   recovery_time_ns = static_cast<SimTime>(value("fault.recovery_time_ns"));
 }
 
+double RunMetrics::job_fairness() const {
+  if (jobs.size() < 2) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const JobMetrics& j : jobs) {
+    const double x = j.progress_rate();
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(jobs.size()) * sum_sq);
+}
+
 std::string RunMetrics::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof buf,

@@ -13,6 +13,29 @@ class MetricsRegistry;
 
 namespace rips::sim {
 
+/// Per-tenant accounting of one multi-job run (apps::merge_jobs +
+/// set_job_map on the engines). All zero / empty for single-job runs.
+struct JobMetrics {
+  std::string name;
+  u64 tasks = 0;            ///< tasks executed on behalf of this job
+  u64 nonlocal_tasks = 0;   ///< executed away from their origin node
+  u64 tasks_migrated = 0;   ///< moves of this job's tasks (RIPS only)
+  SimTime work_ns = 0;        ///< executed work (the job's share of Ts)
+  SimTime completion_ns = 0;  ///< simulated end of the job's last task
+
+  /// Progress rate x_j = work / completion — the quantity the fairness
+  /// index is computed over (a starved job finishes late relative to its
+  /// work volume and drags its rate down).
+  double progress_rate() const {
+    return completion_ns <= 0
+               ? 0.0
+               : static_cast<double>(work_ns) /
+                     static_cast<double>(completion_ns);
+  }
+
+  bool operator==(const JobMetrics&) const = default;
+};
+
 struct RunMetrics {
   i32 num_nodes = 0;
   u64 num_tasks = 0;        ///< tasks executed
@@ -47,9 +70,18 @@ struct RunMetrics {
   SimTime lost_work_ns = 0;       ///< work executed on nodes that then died
   SimTime recovery_time_ns = 0;   ///< detection + membership-rebuild time
 
+  /// Per-job rows when a job map was attached (multi-job runs), in job
+  /// index order; empty otherwise.
+  std::vector<JobMetrics> jobs;
+
   /// Field-by-field equality — fault determinism tests assert that the
   /// same fault seed reproduces bit-identical metrics.
   bool operator==(const RunMetrics&) const = default;
+
+  /// Jain fairness index over the per-job progress rates:
+  /// J = (Σx)² / (n·Σx²), 1.0 = perfectly fair, 1/n = one job hogging the
+  /// machine. 1.0 when fewer than two jobs are accounted.
+  double job_fairness() const;
 
   /// Fills every counter column from an obs::MetricsRegistry — the engines
   /// count into their registry (the single source of truth) and derive this

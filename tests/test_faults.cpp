@@ -368,7 +368,7 @@ TEST(RipsFaults, MessageDropsAreChargedAndDeterministic) {
 // metrics. This is the ISSUE's acceptance scenario.
 TEST(RipsFaults, PaperWorkloadsSurviveMidRunCrash) {
   const auto workloads = apps::build_paper_workloads(/*quick=*/false);
-  ASSERT_EQ(workloads.size(), 9u);
+  ASSERT_EQ(workloads.size(), 10u);  // 9 paper rows + the Multi-job row
   for (const auto& w : workloads) {
     auto sched = sched::make_scheduler("mwa", 32);
     RipsEngine engine(*sched, w.cost, RipsConfig{});

@@ -116,7 +116,7 @@ TEST(Integration, MwaCheaperThanDemOnMesh) {
 
 TEST(Integration, PaperWorkloadsQuickSetBuilds) {
   const auto workloads = apps::build_paper_workloads(/*quick=*/true);
-  ASSERT_EQ(workloads.size(), 4u);
+  ASSERT_EQ(workloads.size(), 5u);  // 4 paper rows + the Multi-job row
   for (const auto& w : workloads) {
     EXPECT_GT(w.trace.size(), 0u);
     EXPECT_GT(w.trace.total_work(), 0u);

@@ -5,6 +5,7 @@
 // attaching observers never changes the metrics.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -129,6 +130,37 @@ TEST(MetricsRegistry, HistogramBucketBoundariesAreInclusiveUpper) {
   EXPECT_EQ(h.min(), -5);
   EXPECT_EQ(h.max(), 101);
   EXPECT_EQ(h.sum(), 0 + 1 + 10 + 11 + 100 + 101 - 5);
+}
+
+TEST(MetricsRegistry, PercentileEdgeCasesNeverEmitGarbage) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {10});
+
+  // Empty histogram: every percentile reads 0 — no NaN, no stale min/max.
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+  EXPECT_EQ(h.p99(), 0);
+
+  // One observation in the single finite bucket: every percentile IS that
+  // observation (bucket upper bounds are clamped to the observed range).
+  h.observe(7);
+  EXPECT_EQ(h.percentile(0.0), 7);
+  EXPECT_EQ(h.p50(), 7);
+  EXPECT_EQ(h.p99(), 7);
+  EXPECT_EQ(h.percentile(1.0), 7);
+
+  // Out-of-domain q is clamped; NaN q must not reach the rank computation.
+  EXPECT_EQ(h.percentile(-3.0), 7);
+  EXPECT_EQ(h.percentile(42.0), 7);
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), 7);
+
+  // Overflow bucket only: the percentile clamps to the observed max, not
+  // to a bound that does not exist.
+  Histogram& over = registry.histogram("over", {10});
+  over.observe(1000);
+  EXPECT_EQ(over.p50(), 1000);
+  EXPECT_EQ(over.p99(), 1000);
 }
 
 TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {

@@ -53,12 +53,17 @@ TEST(PaperWorkloads, IdaConfigsOrderedByDifficulty) {
   EXPECT_EQ(c3.paper_optimal_efficiency, 0.853);
 }
 
-TEST(PaperWorkloads, FullSetHasNineRows) {
+TEST(PaperWorkloads, FullSetHasNineRowsPlusMultiJob) {
   const auto workloads = build_paper_workloads(false);
-  ASSERT_EQ(workloads.size(), 9u);
+  ASSERT_EQ(workloads.size(), 10u);
   EXPECT_EQ(workloads[0].name, "13-Queens");
   EXPECT_EQ(workloads[3].name, "config #1");
   EXPECT_EQ(workloads[8].name, "16 A");
+  // The tenth row is the multi-programming extension: three queens jobs
+  // merged into one trace, carrying the per-task job map.
+  EXPECT_EQ(workloads[9].group, "Multi-job");
+  EXPECT_EQ(workloads[9].job_names.size(), 3u);
+  EXPECT_EQ(workloads[9].job_of.size(), workloads[9].trace.size());
   for (const auto& w : workloads) {
     EXPECT_GT(w.trace.optimal_efficiency(32), 0.9)
         << w.name << ": paper workloads are all highly parallel at N=32";

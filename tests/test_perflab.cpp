@@ -1,0 +1,384 @@
+// Perf-lab tests (src/obs/perflab): the RunStore archive's strict
+// validate-before-write ingest contract (truncated, partial and duplicate
+// artifacts are rejected with a diagnostic and never corrupt the store),
+// the regression-attribution engine — including the acceptance scenario,
+// where a synthetic collective-latency regression (message drops injected
+// with a FaultPlan) is localized to the collective category inside user
+// phases — and the per-job (tenant) accounting rows the engines emit when
+// a job map is attached.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "apps/nqueens.hpp"
+#include "apps/paper_workloads.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/analysis/bench_diff.hpp"
+#include "obs/obs.hpp"
+#include "obs/perflab/attrib.hpp"
+#include "obs/perflab/runstore.hpp"
+#include "obs/trace.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "sim/fault.hpp"
+#include "topo/topology.hpp"
+
+namespace rips::obs::perflab {
+namespace {
+
+sim::CostModel test_cost() {
+  sim::CostModel cost;
+  cost.ns_per_work = 2000.0;
+  return cost;
+}
+
+/// Runs RIPS (ANY-Lazy defaults) on a queens trace with tracing attached.
+sim::RunMetrics run_rips(TraceSession& session,
+                         const sim::FaultPlan* plan = nullptr) {
+  const apps::TaskTrace trace = apps::build_nqueens_trace(9, 4);
+  topo::Mesh mesh(4, 4);
+  sched::Mwa mwa(mesh);
+  core::RipsEngine engine(mwa, test_cost(), core::RipsConfig{});
+  engine.set_obs(Obs{&session, nullptr});
+  if (plan != nullptr) engine.set_fault_plan(plan);
+  return engine.run(trace);
+}
+
+/// Critical-path + phase-profile documents of a session, round-tripped
+/// through their JSON serializations and the strict perflab parsers —
+/// exactly the path `trace_tool perf-lab regress` takes.
+struct ParsedRun {
+  CriticalPathDoc critical_path;
+  PhaseProfileDoc profile;
+};
+
+ParsedRun parse_run(const TraceSession& session) {
+  const analysis::AnalysisTrace at = analysis::AnalysisTrace::from_session(session);
+  std::string error;
+  const auto cp = parse_critical_path(analysis::critical_path(at).to_json(), &error);
+  EXPECT_TRUE(cp.has_value()) << error;
+  const auto prof = parse_phase_profile(analysis::phase_profile(at).to_json(), &error);
+  EXPECT_TRUE(prof.has_value()) << error;
+  return ParsedRun{cp.value_or(CriticalPathDoc{}), prof.value_or(PhaseProfileDoc{})};
+}
+
+/// Fresh empty directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A small but complete rips-bench-v1 document (one run).
+std::string bench_fixture(double makespan_ns = 123456789.0) {
+  std::string out = R"({
+    "schema":"rips-bench-v1","suite":"core","quick":false,"nodes":16,
+    "runs":[{"workload":"queens13","group":"rips","scheduler":"mwa",
+             "policy":"ANY-Lazy","nodes":16,"tasks":5180,
+             "makespan_ns":)";
+  out += std::to_string(static_cast<i64>(makespan_ns));
+  out += R"(,"sequential_ns":999999999,
+             "efficiency":0.81,"speedup":12.9,"overhead_s":0.01,
+             "idle_s":0.002,"nonlocal_tasks":37,"system_phases":9,
+             "monitors_ok":true}]})";
+  return out;
+}
+
+// ------------------------------------------------- attribution engine
+
+// The acceptance scenario: inflate collective latency with deterministic
+// message drops (every dropped barrier message forces a retry stretch of
+// the detection barrier) and check that attribution names the collective
+// category inside user phases as the top-ranked culprit.
+TEST(Attrib, CollectiveDropRegressionNamedAsCulprit) {
+  TraceSession base_session(16, 1 << 16);
+  const sim::RunMetrics base = run_rips(base_session);
+
+  sim::FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_prob = 0.25;
+  TraceSession cur_session(16, 1 << 16);
+  const sim::RunMetrics cur = run_rips(cur_session, &plan);
+  ASSERT_GT(cur.makespan_ns, base.makespan_ns);
+
+  const ParsedRun b = parse_run(base_session);
+  const ParsedRun c = parse_run(cur_session);
+  EXPECT_EQ(b.critical_path.makespan_ns, base.makespan_ns);
+  EXPECT_EQ(c.critical_path.makespan_ns, cur.makespan_ns);
+
+  const RunArtifacts baseline{nullptr, &b.critical_path, &b.profile};
+  const RunArtifacts current{nullptr, &c.critical_path, &c.profile};
+  const AttribReport report = attribute(baseline, current);
+
+  EXPECT_TRUE(report.regression);
+  EXPECT_EQ(report.makespan_delta_ns, cur.makespan_ns - base.makespan_ns);
+  ASSERT_NE(report.culprit(), nullptr);
+  EXPECT_EQ(report.culprit()->category, "collective");
+  EXPECT_EQ(report.culprit()->phase, "user");
+  EXPECT_GT(report.culprit()->delta_ns, 0);
+
+  // The serialized report is a rips-attrib-v1 document naming the same
+  // culprit in its top-ranked row.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\":\"rips-attrib-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"regression\":true"), std::string::npos);
+  const size_t first_cat = json.find("\"category\"");
+  ASSERT_NE(first_cat, std::string::npos);
+  EXPECT_EQ(json.find("\"category\":\"collective\""), first_cat);
+}
+
+TEST(Attrib, SelfDiffIsEmptyAndNonRegressing) {
+  TraceSession session(16, 1 << 16);
+  run_rips(session);
+  const ParsedRun r = parse_run(session);
+  const RunArtifacts arts{nullptr, &r.critical_path, &r.profile};
+  const AttribReport report = attribute(arts, arts);
+  EXPECT_FALSE(report.regression);
+  EXPECT_EQ(report.makespan_delta_ns, 0);
+  EXPECT_TRUE(report.rows.empty());
+}
+
+TEST(Attrib, BenchOnlyModeAttributesPerRunMetrics) {
+  std::string error;
+  const auto base = analysis::load_bench_doc(bench_fixture(100000000.0), &error);
+  ASSERT_TRUE(base.has_value()) << error;
+  const auto cur = analysis::load_bench_doc(bench_fixture(130000000.0), &error);
+  ASSERT_TRUE(cur.has_value()) << error;
+  const RunArtifacts baseline{&*base, nullptr, nullptr};
+  const RunArtifacts current{&*cur, nullptr, nullptr};
+  const AttribReport report = attribute(baseline, current);
+  EXPECT_TRUE(report.regression);
+  ASSERT_NE(report.culprit(), nullptr);
+  EXPECT_EQ(report.culprit()->source, "bench");
+  EXPECT_EQ(report.culprit()->key, "queens13|rips|mwa|ANY-Lazy|n16");
+}
+
+TEST(Attrib, ParsersRejectTruncatedAndForeignDocs) {
+  std::string error;
+  EXPECT_FALSE(parse_critical_path("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_critical_path("{\"schema\":\"rips-critical-path-v1\"",
+                                   &error).has_value());
+  EXPECT_FALSE(parse_critical_path("{\"schema\":\"other\"}", &error)
+                   .has_value());
+  EXPECT_FALSE(parse_phase_profile("not json at all", &error).has_value());
+  EXPECT_FALSE(parse_phase_profile("{\"schema\":\"rips-phase-profile-v1\"}",
+                                   &error).has_value());
+}
+
+// ------------------------------------------------------------ RunStore
+
+TEST(RunStore, IngestAndReadBack) {
+  RunStore store(fresh_dir("runstore_roundtrip"));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+  EXPECT_TRUE(store.runs().empty());
+
+  IngestRequest req;
+  req.run_id = "run-a";
+  req.suite = "core";
+  req.labels = {{"tool", "test"}};
+  req.bench_json = bench_fixture();
+  req.meta = {{"queens13|rips|mwa|ANY-Lazy|n16", 42, "drain-sum"}};
+  ASSERT_TRUE(store.ingest(req, &error)) << error;
+
+  ASSERT_EQ(store.runs().size(), 1u);
+  const RunRef* ref = store.find("run-a");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->seq, 1u);
+  EXPECT_EQ(ref->suite, "core");
+  EXPECT_NE(ref->fingerprint, "-");
+  EXPECT_EQ(ref->fingerprint, RunStore::fingerprint(req.bench_json));
+
+  const auto bench = store.read_artifact("run-a", "bench", &error);
+  ASSERT_TRUE(bench.has_value()) << error;
+  EXPECT_EQ(*bench, req.bench_json);
+  const auto meta = store.read_meta("run-a");
+  ASSERT_EQ(meta.size(), 1u);
+  EXPECT_EQ(meta[0].key, "queens13|rips|mwa|ANY-Lazy|n16");
+  EXPECT_EQ(meta[0].wall_ms, 42);
+  EXPECT_EQ(meta[0].measure_pass, "drain-sum");
+
+  // Absent artifacts and unknown runs fail with a diagnostic, not a crash.
+  EXPECT_FALSE(store.read_artifact("run-a", "blackbox", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(store.read_artifact("nope", "bench", &error).has_value());
+}
+
+TEST(RunStore, ReopenPreservesIndexAndSequence) {
+  const std::string root = fresh_dir("runstore_reopen");
+  std::string error;
+  {
+    RunStore store(root);
+    ASSERT_TRUE(store.open(&error)) << error;
+    IngestRequest req;
+    req.run_id = "first";
+    req.suite = "core";
+    req.bench_json = bench_fixture();
+    ASSERT_TRUE(store.ingest(req, &error)) << error;
+  }
+  RunStore reopened(root);
+  ASSERT_TRUE(reopened.open(&error)) << error;
+  ASSERT_EQ(reopened.runs().size(), 1u);
+  EXPECT_EQ(reopened.runs()[0].id, "first");
+  EXPECT_EQ(reopened.runs()[0].seq, 1u);
+
+  IngestRequest req;
+  req.run_id = "second";
+  req.suite = "core";
+  req.bench_json = bench_fixture();
+  ASSERT_TRUE(reopened.ingest(req, &error)) << error;
+  EXPECT_EQ(reopened.find("second")->seq, 2u);
+}
+
+TEST(RunStore, TruncatedArtifactIsRejectedWithoutCorruption) {
+  RunStore store(fresh_dir("runstore_truncated"));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  IngestRequest good;
+  good.run_id = "good";
+  good.suite = "core";
+  good.bench_json = bench_fixture();
+  ASSERT_TRUE(store.ingest(good, &error)) << error;
+
+  // A capture cut off mid-write: validation fails before anything is
+  // staged, and the ingest names the artifact in its diagnostic.
+  IngestRequest bad;
+  bad.run_id = "bad";
+  bad.suite = "core";
+  bad.bench_json = bench_fixture().substr(0, 80);
+  error.clear();
+  EXPECT_FALSE(store.ingest(bad, &error));
+  EXPECT_NE(error.find("bench"), std::string::npos) << error;
+
+  // A structurally-valid JSON file of the wrong schema is just as dead.
+  IngestRequest foreign;
+  foreign.run_id = "foreign";
+  foreign.suite = "core";
+  foreign.critical_path_json = "{\"schema\":\"other\"}";
+  EXPECT_FALSE(store.ingest(foreign, &error));
+
+  // A run with no artifacts at all is meaningless and rejected.
+  IngestRequest empty;
+  empty.run_id = "empty";
+  empty.suite = "core";
+  EXPECT_FALSE(store.ingest(empty, &error));
+
+  // The store is exactly what it was before the failed ingests: one run,
+  // no stray directories, and a reopen sees the same index.
+  ASSERT_EQ(store.runs().size(), 1u);
+  EXPECT_EQ(store.runs()[0].id, "good");
+  EXPECT_FALSE(
+      std::filesystem::exists(std::filesystem::path(store.root()) / "runs" / "bad"));
+  RunStore reopened(store.root());
+  ASSERT_TRUE(reopened.open(&error)) << error;
+  ASSERT_EQ(reopened.runs().size(), 1u);
+  EXPECT_EQ(reopened.runs()[0].id, "good");
+  ASSERT_TRUE(reopened.read_artifact("good", "bench", &error).has_value())
+      << error;
+}
+
+TEST(RunStore, DuplicateIdIsRejectedAppendOnly) {
+  RunStore store(fresh_dir("runstore_dup"));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  IngestRequest req;
+  req.run_id = "same-id";
+  req.suite = "core";
+  req.bench_json = bench_fixture(100000000.0);
+  ASSERT_TRUE(store.ingest(req, &error)) << error;
+
+  // Re-ingesting the id — even with different content — is an error, not
+  // an overwrite; the first run's artifact survives untouched.
+  req.bench_json = bench_fixture(999999999.0);
+  EXPECT_FALSE(store.ingest(req, &error));
+  EXPECT_NE(error.find("same-id"), std::string::npos) << error;
+  ASSERT_EQ(store.runs().size(), 1u);
+  const auto bench = store.read_artifact("same-id", "bench", &error);
+  ASSERT_TRUE(bench.has_value()) << error;
+  EXPECT_NE(bench->find("100000000"), std::string::npos);
+}
+
+TEST(RunStore, MalformedIndexIsNeverRepaired) {
+  const std::string root = fresh_dir("runstore_badindex");
+  std::filesystem::create_directories(root);
+  {
+    std::ofstream out(root + "/runstore.json", std::ios::binary);
+    out << "{\"schema\":\"rips-runstore-v1\",";  // truncated index
+  }
+  RunStore store(root);
+  std::string error;
+  EXPECT_FALSE(store.open(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------- per-job accounting
+
+TEST(JobAccounting, MultiJobRunEmitsConservedFairRows) {
+  const apps::Workload w = apps::build_multi_job_workload({8, 9, 10});
+  ASSERT_EQ(w.job_names.size(), 3u);
+  ASSERT_EQ(w.job_of.size(), w.trace.size());
+
+  topo::Mesh mesh(4, 4);
+  sched::Mwa mwa(mesh);
+  core::RipsEngine engine(mwa, test_cost(), core::RipsConfig{});
+  engine.set_job_map(&w.job_of, static_cast<i32>(w.job_names.size()));
+  const sim::RunMetrics m = engine.run(w.trace);
+
+  ASSERT_EQ(m.jobs.size(), 3u);
+  u64 tasks = 0, nonlocal = 0, migrated = 0;
+  SimTime work = 0;
+  for (const sim::JobMetrics& jm : m.jobs) {
+    EXPECT_GT(jm.tasks, 0u);
+    EXPECT_GT(jm.work_ns, 0);
+    EXPECT_GT(jm.completion_ns, 0);
+    EXPECT_LE(jm.completion_ns, m.makespan_ns);
+    EXPECT_LE(jm.nonlocal_tasks, jm.tasks);
+    tasks += jm.tasks;
+    nonlocal += jm.nonlocal_tasks;
+    migrated += jm.tasks_migrated;
+    work += jm.work_ns;
+  }
+  // Conservation: the per-job rows partition the machine-wide totals.
+  EXPECT_EQ(tasks, m.num_tasks);
+  EXPECT_EQ(nonlocal, m.nonlocal_tasks);
+  EXPECT_EQ(migrated, m.tasks_migrated);
+  EXPECT_EQ(work, m.total_busy_ns);
+  // The last job completion lands inside the final user phase — after it
+  // only the closing detection barrier separates it from the makespan.
+  SimTime last = 0;
+  for (const sim::JobMetrics& jm : m.jobs) last = std::max(last, jm.completion_ns);
+  EXPECT_GT(last, 0);
+  EXPECT_LE(last, m.makespan_ns);
+
+  const double fairness = m.job_fairness();
+  EXPECT_GT(fairness, 1.0 / 3.0 - 1e-9);  // Jain lower bound for 3 jobs
+  EXPECT_LE(fairness, 1.0);
+}
+
+TEST(JobAccounting, AttachingJobMapNeverChangesTheSchedule) {
+  const apps::Workload w = apps::build_multi_job_workload({8, 9, 10});
+  topo::Mesh mesh(4, 4);
+
+  sched::Mwa mwa_plain(mesh);
+  core::RipsEngine plain(mwa_plain, test_cost(), core::RipsConfig{});
+  sim::RunMetrics without = plain.run(w.trace);
+
+  sched::Mwa mwa_mapped(mesh);
+  core::RipsEngine mapped(mwa_mapped, test_cost(), core::RipsConfig{});
+  mapped.set_job_map(&w.job_of, static_cast<i32>(w.job_names.size()));
+  sim::RunMetrics with = mapped.run(w.trace);
+
+  // Accounting is observation, not policy: every machine-wide metric is
+  // bit-identical with the job map on or off.
+  ASSERT_FALSE(with.jobs.empty());
+  with.jobs.clear();
+  EXPECT_EQ(without, with);
+}
+
+}  // namespace
+}  // namespace rips::obs::perflab
