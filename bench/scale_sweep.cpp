@@ -123,9 +123,10 @@ int main(int argc, char** argv) {
         "only (byte-identical for any --jobs); host-side throughput and\n"
         "the --live-status line go to stderr. --full-measure times the\n"
         "legacy O(subtree) measuring pass instead of the drain-sum fast\n"
-        "path (identical results); attaching a fault plan (--fault-seed)\n"
-        "forces that full pass too, so faulty runs do not measure the\n"
-        "fast path's throughput. --runstore=DIR archives the sweep's\n"
+        "path (identical results); fault plans keep the fast path unless\n"
+        "they carry slowdown windows (only those make work position-\n"
+        "dependent), and every JSON row records the pass actually used in\n"
+        "its measure_pass flag. --runstore=DIR archives the sweep's\n"
         "artifacts plus per-config wall time and measuring pass into the\n"
         "perf-lab run store; --run-id=ID names the archived run\n"
         "(default: scale-<epoch seconds>).\n");
@@ -198,25 +199,28 @@ int main(int argc, char** argv) {
 
   // Deterministic fault injection, one plan per machine size (crash
   // victims are node ids, so a plan is only meaningful at its own size).
-  // Attaching any plan — even one that never fires — switches the engine
-  // to the legacy full measuring pass, which is exactly what this suite
-  // exists NOT to measure; say so loudly.
+  // Crash/message-fault plans keep the drain-sum fast path (the sweep's
+  // FaultSpec never generates slowdowns); only slowdown windows force the
+  // legacy full measuring pass — which is exactly what this suite exists
+  // NOT to measure, so if a plan somehow carries them, say so loudly.
   std::vector<sim::FaultPlan> fault_plans;
   fault_plans.reserve(points.size());
   if (inject_faults) {
-    if (!full_measure) {
-      std::fprintf(stderr,
-                   "scale_sweep: warning: fault injection forces the full "
-                   "O(subtree) measuring pass — throughput below does not "
-                   "reflect the drain-sum fast path\n");
-    }
     sim::FaultSpec spec;
     spec.horizon_ns = args.get_int("fault-horizon-ms", 1000) * 1'000'000;
     spec.crash_mtbf_ns = args.get_double("crash-mtbf-ms", 0.0) * 1e6;
     spec.drop_prob = args.get_double("drop-prob", 0.0);
     const u64 seed = static_cast<u64>(args.get_int("fault-seed", 1));
+    bool slowdowns = false;
     for (const ScalePoint& p : points) {
       fault_plans.push_back(sim::FaultPlan::generate(seed, p.nodes, spec));
+      slowdowns = slowdowns || !fault_plans.back().slowdowns.empty();
+    }
+    if (slowdowns && !full_measure) {
+      std::fprintf(stderr,
+                   "scale_sweep: warning: slowdown faults force the full "
+                   "O(subtree) measuring pass — throughput below does not "
+                   "reflect the drain-sum fast path\n");
     }
   }
 
@@ -275,6 +279,17 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(rec));
   }
 
+  // The measuring pass actually used, derived from the runs themselves (so
+  // the labels below can never disagree with the per-row measure_pass flag
+  // in the JSON).
+  bool saw_fast = false;
+  bool saw_full = false;
+  for (const RunRecord& rec : runs) {
+    (rec.metrics.used_fast_measure ? saw_fast : saw_full) = true;
+  }
+  const char* measure_label =
+      saw_fast && saw_full ? "mixed" : (saw_full ? "full" : "fast");
+
   const i32 max_nodes =
       *std::max_element(node_counts.begin(), node_counts.end());
   const std::string bench_json = to_json(runs, quick, max_nodes);
@@ -324,8 +339,7 @@ int main(int argc, char** argv) {
     }
     req.suite = "scale";
     req.labels.emplace_back("tool", "scale_sweep");
-    req.labels.emplace_back("measure",
-                            full_measure || inject_faults ? "full" : "fast");
+    req.labels.emplace_back("measure", measure_label);
     req.bench_json = bench_json;
     req.timeseries_json = timeseries_json;
     for (size_t i = 0; i < runs.size(); ++i) {
@@ -369,6 +383,6 @@ int main(int argc, char** argv) {
                "throughput=%.0f tasks/s jobs=%d measure=%s\n",
                build_ms, sweep_ms,
                static_cast<unsigned long long>(total_tasks), throughput, jobs,
-               full_measure || inject_faults ? "full" : "fast");
+               measure_label);
   return 0;
 }

@@ -1,0 +1,213 @@
+// serve_soak — deterministic serving-load soak (docs/SERVING.md).
+//
+// Drives RipsEngine::run_online through an apps::ScriptedSource: M jobs
+// across T tenants arriving on a fixed simulated-time schedule, so the
+// whole soak is bit-reproducible (same flags => byte-identical JSON) and
+// can be regression-gated by bench_diff --fairness-tol like every other
+// suite. This is the nightly stand-in for hours of real rips_served
+// uptime: the multiplexing, per-job accounting and latency distribution
+// under sustained multi-tenant load, without sockets or wall clocks.
+//
+//   ./serve_soak --json=BENCH_serve.json          # committed baseline
+//   ./serve_soak --jobs-total=48 --tenants=6 --nodes=128
+//
+// Reported per job: submit-to-completion latency (arrival -> last task,
+// simulated); reported per run: p50/p95/p99/mean latency and the Jain
+// fairness index over tenant progress rates.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/online_source.hpp"
+#include "apps/synthetic.hpp"
+#include "obs/json.hpp"
+#include "obs/monitors.hpp"
+#include "rips/rips_engine.hpp"
+#include "sched/mwa.hpp"
+#include "topo/topology.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace rips;
+
+struct SoakResult {
+  sim::RunMetrics metrics;
+  std::vector<SimTime> latencies;  ///< per job, job index order
+  bool monitors_ok = true;
+  std::string registry_json;
+};
+
+SoakResult run_soak(i32 nodes, i32 jobs_total, i32 tenants,
+                    SimTime interarrival_ns, u64 seed, bool monitors) {
+  // Fixed schedule: job k belongs to tenant k % T and arrives at
+  // k * interarrival. Sizes vary by seed so tenants are not symmetric.
+  std::vector<apps::ScriptedJob> schedule;
+  schedule.reserve(static_cast<size_t>(jobs_total));
+  for (i32 k = 0; k < jobs_total; ++k) {
+    apps::SyntheticConfig config;
+    config.num_roots = 8 + (k % 5) * 6;
+    config.max_depth = 3 + (k % 3);
+    config.spawn_prob = 0.45;
+    config.max_branch = 3;
+    config.mean_work = 2000 + (k % 7) * 500;
+    config.work_model = 2;
+    config.num_segments = 1;
+    apps::ScriptedJob job;
+    job.name = "tenant-" + std::to_string(k % tenants) + "/job-" +
+               std::to_string(k);
+    job.arrival_ns = static_cast<SimTime>(k) * interarrival_ns;
+    job.trace = apps::build_synthetic_trace(config, seed + static_cast<u64>(k));
+    schedule.push_back(std::move(job));
+  }
+  apps::ScriptedSource source(std::move(schedule));
+
+  const topo::MeshShape shape = topo::paper_mesh_shape(nodes);
+  topo::Mesh mesh(shape.rows, shape.cols);
+  sched::Mwa mwa(mesh);
+  sim::CostModel cost;
+  cost.ns_per_work = 500.0;
+  core::RipsEngine engine(mwa, cost, core::RipsConfig{});
+  engine.set_phase_snapshots(false);
+  obs::InvariantMonitor monitor;
+  obs::Obs o;
+  if (monitors) o.monitor = &monitor;
+  engine.set_obs(o);
+
+  SoakResult result;
+  result.metrics = engine.run_online(source);
+  for (size_t j = 0; j < result.metrics.jobs.size(); ++j) {
+    result.metrics.jobs[j].name = source.jobs().name(static_cast<i32>(j));
+    const SimTime end = result.metrics.jobs[j].completion_ns;
+    const SimTime arrival = source.arrival_ns(static_cast<i32>(j));
+    result.latencies.push_back(end > arrival ? end - arrival : 0);
+  }
+  result.monitors_ok = !monitors || monitor.ok();
+  result.registry_json = engine.metrics_registry().to_json();
+  return result;
+}
+
+SimTime percentile(std::vector<SimTime> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: serve_soak [--nodes=64] [--jobs-total=24] [--tenants=4]\n"
+        "  [--interarrival-ms=20] [--seed=7] [--monitors=1]\n"
+        "  [--json[=BENCH_serve.json]]\n"
+        "deterministic multi-tenant serving soak over the online engine\n"
+        "(docs/SERVING.md); emits a rips-bench-v1 document with per-job\n"
+        "rows, Jain fairness and latency percentiles.\n");
+    return 0;
+  }
+  args.check_known({"help", "nodes", "jobs-total", "tenants",
+                    "interarrival-ms", "seed", "monitors", "json"});
+
+  const i32 nodes = static_cast<i32>(args.get_int("nodes", 64));
+  const i32 jobs_total = static_cast<i32>(args.get_int("jobs-total", 24));
+  const i32 tenants = static_cast<i32>(args.get_int("tenants", 4));
+  const SimTime interarrival_ns =
+      args.get_int("interarrival-ms", 20) * 1'000'000;
+  const u64 seed = static_cast<u64>(args.get_int("seed", 7));
+  const bool monitors = args.get_bool("monitors", true);
+  RIPS_CHECK_MSG(jobs_total >= 2 && tenants >= 1 && tenants <= jobs_total,
+                 "need --jobs-total >= 2 and 1 <= --tenants <= --jobs-total");
+
+  const SoakResult result =
+      run_soak(nodes, jobs_total, tenants, interarrival_ns, seed, monitors);
+  const sim::RunMetrics& m = result.metrics;
+
+  std::vector<SimTime> sorted = result.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  SimTime lat_sum = 0;
+  for (const SimTime l : sorted) lat_sum += l;
+  const SimTime p50 = percentile(sorted, 0.50);
+  const SimTime p95 = percentile(sorted, 0.95);
+  const SimTime p99 = percentile(sorted, 0.99);
+  const SimTime mean =
+      sorted.empty() ? 0 : lat_sum / static_cast<SimTime>(sorted.size());
+
+  std::printf("serve_soak: %d jobs / %d tenants on %d nodes\n", jobs_total,
+              tenants, nodes);
+  std::printf("  makespan %.3f s, %llu tasks, efficiency %.4f\n", m.exec_s(),
+              static_cast<unsigned long long>(m.num_tasks), m.efficiency());
+  std::printf("  latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  mean %.3f ms\n",
+              1e-6 * static_cast<double>(p50), 1e-6 * static_cast<double>(p95),
+              1e-6 * static_cast<double>(p99),
+              1e-6 * static_cast<double>(mean));
+  std::printf("  fairness (Jain) %.4f, monitors %s\n", m.job_fairness(),
+              result.monitors_ok ? "clean" : "VIOLATED");
+
+  if (args.has("json")) {
+    using obs::json::quoted;
+    char buf[64];
+    std::string out = "{";
+    out += "\"schema\":\"rips-bench-v1\",";
+    out += "\"suite\":\"serve-soak\",";
+    out += "\"quick\":false,";
+    out += "\"nodes\":" + std::to_string(nodes) + ",";
+    out += "\"runs\":[{";
+    out += "\"workload\":\"scripted-soak\",";
+    out += "\"group\":\"serve\",";
+    out += "\"scheduler\":\"RIPS\",";
+    out += "\"policy\":\"any-lazy\",";
+    out += "\"nodes\":" + std::to_string(nodes) + ",";
+    out += "\"tasks\":" + std::to_string(m.num_tasks) + ",";
+    out += "\"makespan_ns\":" + std::to_string(m.makespan_ns) + ",";
+    out += "\"sequential_ns\":" + std::to_string(m.sequential_ns) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.efficiency());
+    out += "\"efficiency\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.3f", m.speedup());
+    out += "\"speedup\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.overhead_s());
+    out += "\"overhead_s\":" + std::string(buf) + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.idle_s());
+    out += "\"idle_s\":" + std::string(buf) + ",";
+    out += "\"nonlocal_tasks\":" + std::to_string(m.nonlocal_tasks) + ",";
+    out += "\"system_phases\":" + std::to_string(m.system_phases) + ",";
+    out += "\"measure_pass\":" +
+           quoted(m.used_fast_measure ? "drain-sum" : "full") + ",";
+    std::snprintf(buf, sizeof buf, "%.6f", m.job_fairness());
+    out += "\"fairness\":" + std::string(buf) + ",";
+    out += "\"jobs\":[";
+    for (size_t j = 0; j < m.jobs.size(); ++j) {
+      const sim::JobMetrics& jm = m.jobs[j];
+      if (j > 0) out += ",";
+      out += "{";
+      out += "\"name\":" + quoted(jm.name) + ",";
+      out += "\"tasks\":" + std::to_string(jm.tasks) + ",";
+      out += "\"nonlocal_tasks\":" + std::to_string(jm.nonlocal_tasks) + ",";
+      out += "\"tasks_migrated\":" + std::to_string(jm.tasks_migrated) + ",";
+      out += "\"work_ns\":" + std::to_string(jm.work_ns) + ",";
+      out += "\"completion_ns\":" + std::to_string(jm.completion_ns);
+      out += "}";
+    }
+    out += "],";
+    out += "\"latency_p50_ns\":" + std::to_string(p50) + ",";
+    out += "\"latency_p95_ns\":" + std::to_string(p95) + ",";
+    out += "\"latency_p99_ns\":" + std::to_string(p99) + ",";
+    out += "\"latency_mean_ns\":" + std::to_string(mean) + ",";
+    out += "\"monitors_ok\":" +
+           std::string(result.monitors_ok ? "true" : "false") + ",";
+    out += "\"metrics\":" + result.registry_json;
+    out += "}]}";
+
+    const std::string path = args.get("json", "BENCH_serve.json");
+    std::ofstream file(path);
+    RIPS_CHECK_MSG(file.good(), "cannot open --json output file");
+    file << out << "\n";
+    std::fprintf(stderr, "serve_soak: wrote %s\n", path.c_str());
+  }
+  return result.monitors_ok ? 0 : 1;
+}

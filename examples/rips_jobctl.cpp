@@ -1,0 +1,194 @@
+// rips_jobctl — client CLI for rips_served (docs/SERVING.md).
+//
+// Speaks the line-delimited JSON protocol over the daemon's Unix-domain
+// socket, one command per invocation:
+//
+//   rips_jobctl --socket=/tmp/rips.sock ping
+//   rips_jobctl --socket=/tmp/rips.sock submit --tenant=alice --roots=64
+//   rips_jobctl --socket=/tmp/rips.sock submit --count=8   # burst
+//   rips_jobctl --socket=/tmp/rips.sock status --job=0
+//   rips_jobctl --socket=/tmp/rips.sock stats
+//   rips_jobctl --socket=/tmp/rips.sock drain     # blocks until idle
+//   rips_jobctl --socket=/tmp/rips.sock shutdown
+//
+// Every raw reply line is echoed to stdout (scripts parse those); the
+// exit status encodes the outcome for shell logic:
+//   0  every request was acknowledged ok
+//   2  usage error (bad flags, unknown command)
+//   3  the server rejected at least one request (429/409/404/400/413)
+//   4  transport failure (cannot connect / peer closed mid-exchange)
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace rips;
+
+int connect_to(const std::string& path) {
+  sockaddr_un addr;
+  ::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) return -1;
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one newline-terminated reply (the protocol guarantees one reply
+/// line per request, in order).
+bool read_line(int fd, std::string* line) {
+  line->clear();
+  char c;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed before the newline
+    if (c == '\n') return true;
+    line->push_back(c);
+  }
+}
+
+/// True when the reply parses and has "ok":true.
+bool reply_ok(const std::string& reply) {
+  std::string error;
+  const auto doc = obs::json::parse(reply, &error);
+  if (!doc.has_value() || !doc->is_object()) return false;
+  const obs::json::Value* ok = doc->find("ok");
+  return ok != nullptr && ok->is_bool() && ok->boolean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help") || args.positional().empty()) {
+    std::printf(
+        "usage: rips_jobctl --socket=PATH "
+        "ping|submit|status|stats|drain|shutdown\n"
+        "  submit flags: [--tenant=default] [--name=STR] [--count=1]\n"
+        "    [--workload=synthetic|queens] [--roots=16] [--depth=3]\n"
+        "    [--branch=3] [--spawn=0.5] [--mean-work=2000]\n"
+        "    [--work-model=2] [--seed=1] [--n=8] [--split=2]\n"
+        "  status flags: --job=ID\n"
+        "exit: 0 ok, 2 usage, 3 server reject, 4 transport failure\n");
+    return args.has("help") ? 0 : 2;
+  }
+  try {
+    args.check_known({"help", "socket", "tenant", "name", "count", "workload",
+                      "roots", "depth", "branch", "spawn", "mean-work",
+                      "work-model", "seed", "n", "split", "job"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rips_jobctl: %s\n", e.what());
+    return 2;
+  }
+  const std::string command = args.positional()[0];
+  const std::string socket_path = args.get("socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "rips_jobctl: --socket=PATH is required\n");
+    return 2;
+  }
+
+  std::vector<std::string> requests;
+  if (command == "ping" || command == "stats" || command == "drain" ||
+      command == "shutdown") {
+    requests.push_back("{\"op\":\"" + command + "\"}");
+  } else if (command == "status") {
+    if (!args.has("job")) {
+      std::fprintf(stderr, "rips_jobctl: status requires --job=ID\n");
+      return 2;
+    }
+    requests.push_back("{\"op\":\"status\",\"job\":" +
+                       std::to_string(args.get_int("job", 0)) + "}");
+  } else if (command == "submit") {
+    const i64 count = args.get_int("count", 1);
+    if (count < 1 || count > 4096) {
+      std::fprintf(stderr, "rips_jobctl: --count must be in [1, 4096]\n");
+      return 2;
+    }
+    char spawn_buf[32];
+    std::snprintf(spawn_buf, sizeof spawn_buf, "%.6f",
+                  args.get_double("spawn", 0.5));
+    for (i64 k = 0; k < count; ++k) {
+      std::string req = "{\"op\":\"submit\"";
+      req += ",\"tenant\":" +
+             obs::json::quoted(args.get("tenant", "default"));
+      if (args.has("name")) {
+        std::string name = args.get("name", "");
+        if (count > 1) name += "-" + std::to_string(k);
+        req += ",\"name\":" + obs::json::quoted(name);
+      }
+      req += ",\"workload\":" +
+             obs::json::quoted(args.get("workload", "synthetic"));
+      req += ",\"roots\":" + std::to_string(args.get_int("roots", 16));
+      req += ",\"depth\":" + std::to_string(args.get_int("depth", 3));
+      req += ",\"branch\":" + std::to_string(args.get_int("branch", 3));
+      req += std::string(",\"spawn\":") + spawn_buf;
+      req += ",\"mean_work\":" +
+             std::to_string(args.get_int("mean-work", 2000));
+      req += ",\"work_model\":" +
+             std::to_string(args.get_int("work-model", 2));
+      // A burst varies the seed so tenants do not submit identical DAGs.
+      req += ",\"seed\":" + std::to_string(args.get_int("seed", 1) + k);
+      req += ",\"n\":" + std::to_string(args.get_int("n", 8));
+      req += ",\"split\":" + std::to_string(args.get_int("split", 2));
+      req += "}";
+      requests.push_back(std::move(req));
+    }
+  } else {
+    std::fprintf(stderr, "rips_jobctl: unknown command \"%s\"\n",
+                 command.c_str());
+    return 2;
+  }
+
+  const int fd = connect_to(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "rips_jobctl: cannot connect to %s: %s\n",
+                 socket_path.c_str(), ::strerror(errno));
+    return 4;
+  }
+
+  int exit_code = 0;
+  for (const std::string& req : requests) {
+    std::string reply;
+    if (!send_all(fd, req + "\n") || !read_line(fd, &reply)) {
+      std::fprintf(stderr, "rips_jobctl: connection lost\n");
+      ::close(fd);
+      return 4;
+    }
+    std::printf("%s\n", reply.c_str());
+    if (!reply_ok(reply)) exit_code = 3;
+  }
+  ::close(fd);
+  return exit_code;
+}

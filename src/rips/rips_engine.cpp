@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "exec/task_source.hpp"
 #include "util/check.hpp"
 
 namespace rips::core {
@@ -859,7 +860,7 @@ SimTime RipsEngine::user_phase(SimTime t) {
   return phase_end;
 }
 
-sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
+void RipsEngine::init_run_state(const apps::TaskTrace& trace) {
   trace_ = &trace;
   const i32 n = scheduler_.topology().size();
   nodes_.assign(static_cast<size_t>(n), NodeRt{});
@@ -908,29 +909,21 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
     }
   }
 
-  // Drain-sum fast path: without an injector the per-task measure cost is a
-  // fixed function of the task (lazy drains the whole spawned subtree;
-  // eager only charges the spawn overhead — children land in RTS, not the
-  // queue). A backward sweep is valid because children always carry larger
-  // ids than their parent.
-  fast_measure_ = !full_measure_ && !injector_.has_value();
+  // Drain-sum fast path: the per-task measure cost is a fixed function of
+  // the task (lazy drains the whole spawned subtree; eager only charges the
+  // spawn overhead — children land in RTS, not the queue) unless the fault
+  // plan contains slowdown windows, which make work position-dependent.
+  // Crash- and message-fault-only plans keep the fast pass: neither fault
+  // class changes the undisturbed drain times the measuring pass computes
+  // (crashes are admitted against the measured drains afterwards, and
+  // message faults only stretch the detection collectives), so the two
+  // passes stay bit-identical.
+  const bool position_dependent =
+      injector_.has_value() && !injector_->plan().slowdowns.empty();
+  fast_measure_ = !full_measure_ && !position_dependent;
   if (fast_measure_) {
-    const size_t m = trace.size();
-    drain_cost_.assign(m, 0);
-    const bool lazy = config_.local == LocalPolicy::kLazy;
-    for (size_t i = m; i-- > 0;) {
-      const auto task = static_cast<TaskId>(i);
-      SimTime c = cost_.work_time(trace.task(task).work);
-      const u32 kids = trace.num_children(task);
-      c += static_cast<SimTime>(kids) * cost_.spawn_ns;
-      if (lazy) {
-        const TaskId* child = trace.children_begin(task);
-        for (u32 k = 0; k < kids; ++k) {
-          c += drain_cost_[static_cast<size_t>(child[k])];
-        }
-      }
-      drain_cost_[i] = c;
-    }
+    drain_cost_.resize(trace.size());
+    extend_drain_cost(0);
   }
 
   metrics_.used_fast_measure = fast_measure_;
@@ -944,6 +937,14 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
     job_work_ns_.assign(nj, 0);
     job_done_ns_.assign(nj, 0);
     job_migrated_.assign(nj, 0);
+  } else {
+    // Stale accumulators from a previous run must not leak into an online
+    // run whose first tenant arrives only after the loop started (the
+    // grow path resizes these, preserving existing entries).
+    job_tasks_.clear();
+    job_work_ns_.clear();
+    job_done_ns_.clear();
+    job_migrated_.clear();
   }
   if (obs_.bus != nullptr) {
     obs::RunStart rs;
@@ -954,23 +955,154 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
   }
 
   if (timeline_ != nullptr) timeline_->clear();
+}
+
+void RipsEngine::extend_drain_cost(size_t from) {
+  const size_t m = trace_->size();
+  drain_cost_.resize(m, 0);
+  const bool lazy = config_.local == LocalPolicy::kLazy;
+  for (size_t i = m; i-- > from;) {
+    const auto task = static_cast<TaskId>(i);
+    SimTime c = cost_.work_time(trace_->task(task).work);
+    const u32 kids = trace_->num_children(task);
+    c += static_cast<SimTime>(kids) * cost_.spawn_ns;
+    if (lazy) {
+      const TaskId* child = trace_->children_begin(task);
+      for (u32 k = 0; k < kids; ++k) {
+        c += drain_cost_[static_cast<size_t>(child[k])];
+      }
+    }
+    drain_cost_[i] = c;
+  }
+}
+
+bool RipsEngine::machine_empty() const {
+  for (NodeId phys : live_) {
+    const auto& node = nodes_[static_cast<size_t>(phys)];
+    if (!node.rte.empty() || !node.rts.empty()) return false;
+  }
+  return true;
+}
+
+sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
+  init_run_state(trace);
   release_segment_roots(0);
   SimTime t = 0;
 
   while (true) {
     t = system_phase(t);
     if (executed_total_ == trace.size()) {
-      bool empty = true;
-      for (NodeId phys : live_) {
-        const auto& node = nodes_[static_cast<size_t>(phys)];
-        empty = empty && node.rte.empty() && node.rts.empty();
-      }
-      RIPS_CHECK(empty);
+      RIPS_CHECK(machine_empty());
       break;  // the final (empty) system phase detected termination
     }
     t = user_phase(t);
   }
+  return finalize_run(t);
+}
 
+sim::RunMetrics RipsEngine::run_online(exec::TaskSource& source) {
+  RIPS_CHECK_MSG(fault_plan_ == nullptr || fault_plan_->empty(),
+                 "online mode does not support fault injection");
+  // The source owns the job map in online mode: a set_job_map() binding
+  // would go stale the moment the trace grows.
+  job_of_ = source.job_of();
+  num_jobs_ = job_of_ == nullptr ? 0 : source.num_jobs();
+  init_run_state(source.trace());
+  RIPS_CHECK_MSG(trace_->num_segments() == 1,
+                 "online task sources must keep a single segment");
+  // The segment barrier has no meaning when jobs arrive continuously; mark
+  // the single segment released without placing roots — the source reports
+  // every root (including any in its initial trace) through poll().
+  released_segments_ = 1;
+  online_synced_ = trace_->size();
+  online_rr_ = 0;
+
+  SimTime t = 0;
+  bool drained = online_poll(source, &t, /*idle=*/true);
+  while (true) {
+    t = system_phase(t);
+    if (machine_empty()) {
+      RIPS_CHECK_MSG(executed_total_ == trace_->size(),
+                     "machine idle with unexecuted tasks — the source "
+                     "appended tasks without reporting their roots");
+      if (drained) break;  // the final (empty) phase detected termination
+      if (online_poll(source, &t, /*idle=*/true)) drained = true;
+      continue;  // the next system phase schedules what just arrived
+    }
+    t = user_phase(t);
+    if (online_poll(source, &t, /*idle=*/false)) drained = true;
+  }
+  return finalize_run(t);
+}
+
+bool RipsEngine::online_poll(exec::TaskSource& source, SimTime* t, bool idle) {
+  exec::TaskSource::EngineView view;
+  view.now = *t;
+  view.machine_idle = idle;
+  view.executed_total = executed_total_;
+  view.job_executed = job_accounting_ ? job_tasks_.data() : nullptr;
+  view.num_jobs = num_jobs_;
+  online_roots_.clear();
+  SimTime advance = 0;
+  const exec::TaskSource::Poll st = source.poll(view, &online_roots_, &advance);
+  RIPS_CHECK_MSG(advance >= 0, "task sources cannot advance time backwards");
+  *t += advance;
+  grow_online_state(source);
+  // Inject the new roots round-robin across the live nodes: the spawn is
+  // charged to the receiving node's overhead, and the very next system
+  // phase rebalances them like any other RTS task — which is also what
+  // keeps the conservation monitor clean (the roots are on a queue before
+  // the phase snapshot is taken).
+  for (TaskId r : online_roots_) {
+    RIPS_CHECK_MSG(static_cast<size_t>(r) < trace_->size() &&
+                       origin_[static_cast<size_t>(r)] == kInvalidNode,
+                   "online root out of range or injected twice");
+    const NodeId home = live_[static_cast<size_t>(online_rr_ % live_.size())];
+    online_rr_ += 1;
+    origin_[static_cast<size_t>(r)] = home;
+    nodes_[static_cast<size_t>(home)].rts.push_back(r);
+    nodes_[static_cast<size_t>(home)].ovh_ns += cost_.spawn_ns;
+  }
+  return st == exec::TaskSource::Poll::kDrained;
+}
+
+void RipsEngine::grow_online_state(const exec::TaskSource& source) {
+  const size_t m = trace_->size();
+  if (m == online_synced_ && source.num_jobs() == num_jobs_) return;
+  RIPS_CHECK_MSG(m >= online_synced_, "online traces only grow");
+  RIPS_CHECK_MSG(trace_->num_segments() == 1,
+                 "online task sources must keep a single segment");
+  origin_.resize(m, kInvalidNode);
+  exec_node_.resize(m, kInvalidNode);
+  for (size_t i = online_synced_; i < m; ++i) {
+    metrics_.sequential_ns +=
+        cost_.work_time(trace_->task(static_cast<TaskId>(i)).work);
+  }
+  if (fast_measure_) extend_drain_cost(online_synced_);
+  online_synced_ = m;
+
+  // Late-arriving tenants: the job map and the per-job accumulators grow
+  // with the trace (resize preserves the earlier jobs' counts). Turning
+  // accounting on at the first job is safe — nothing has executed before
+  // the first poll delivers work.
+  const i32 nj = source.num_jobs();
+  if (job_of_ != nullptr && nj > num_jobs_) {
+    num_jobs_ = nj;
+    job_accounting_ = true;
+    const auto s = static_cast<size_t>(nj);
+    job_tasks_.resize(s, 0);
+    job_work_ns_.resize(s, 0);
+    job_done_ns_.resize(s, 0);
+    job_migrated_.resize(s, 0);
+  }
+  if (job_accounting_) {
+    RIPS_CHECK_MSG(job_of_->size() == m,
+                   "job map must have one entry per trace task");
+  }
+}
+
+sim::RunMetrics RipsEngine::finalize_run(SimTime t) {
+  const i32 n = static_cast<i32>(nodes_.size());
   metrics_.makespan_ns = t;
   for (i32 j = 0; j < n; ++j) {
     const auto& node = nodes_[static_cast<size_t>(j)];
@@ -986,15 +1118,15 @@ sim::RunMetrics RipsEngine::run(const apps::TaskTrace& trace) {
     }
   }
   u64 nonlocal = 0;
-  for (size_t i = 0; i < trace.size(); ++i) {
+  for (size_t i = 0; i < trace_->size(); ++i) {
     if (exec_node_[i] != origin_[i]) nonlocal += 1;
   }
   c_tasks_nonlocal_->add(nonlocal);
-  RIPS_CHECK_MSG(executed_total_ == trace.size(),
+  RIPS_CHECK_MSG(executed_total_ == trace_->size(),
                  "RIPS finished with unexecuted tasks");
   if (job_accounting_) {
     metrics_.jobs.resize(static_cast<size_t>(num_jobs_));
-    for (size_t i = 0; i < trace.size(); ++i) {
+    for (size_t i = 0; i < trace_->size(); ++i) {
       if (exec_node_[i] != origin_[i]) {
         metrics_.jobs[static_cast<size_t>((*job_of_)[i])].nonlocal_tasks += 1;
       }

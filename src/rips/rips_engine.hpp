@@ -55,6 +55,10 @@
 #include "topo/live_view.hpp"
 #include "util/types.hpp"
 
+namespace rips::exec {
+class TaskSource;
+}
+
 namespace rips::core {
 
 class RipsEngine {
@@ -64,6 +68,18 @@ class RipsEngine {
 
   /// Executes the whole trace; returns Table-I style metrics.
   sim::RunMetrics run(const apps::TaskTrace& trace);
+
+  /// Online serving mode (docs/SERVING.md): instead of replaying a finite
+  /// trace known up front, pulls work from a TaskSource between phases —
+  /// jobs submitted while the loop is already running spawn tasks
+  /// dynamically mid-run. The source is polled after every user phase and
+  /// (blockingly) whenever the machine runs out of work; new roots are
+  /// injected round-robin across the live nodes and rebalanced by the very
+  /// next system phase. Returns when the source reports kDrained and
+  /// everything injected has executed, with the same Table-I metrics as
+  /// run(). Fault plans are not supported in online mode, and the source's
+  /// job map (if any) replaces a set_job_map() binding for the run.
+  sim::RunMetrics run_online(exec::TaskSource& source);
 
   /// Optional instrumentation: when set, every task execution and system
   /// phase of subsequent runs is recorded (the timeline is cleared at the
@@ -105,9 +121,13 @@ class RipsEngine {
   /// same binary.
   void set_full_measure_pass(bool on) { full_measure_ = on; }
 
-  /// Which measuring pass the last run actually used (a fault plan forces
-  /// the full pass even when the fast one was requested). Also recorded
-  /// in RunMetrics::used_fast_measure and the rips-bench-v1 output.
+  /// Which measuring pass the last run actually used (a fault plan with
+  /// slowdown windows forces the full pass even when the fast one was
+  /// requested — crash- and message-fault-only plans keep the drain-sum
+  /// path, which stays bit-identical because neither fault class changes
+  /// the undisturbed drain times the measuring pass computes). Also
+  /// recorded in RunMetrics::used_fast_measure and the rips-bench-v1
+  /// output.
   bool used_fast_measure() const { return fast_measure_; }
 
   /// Optional per-task job ownership for multi-job runs
@@ -202,6 +222,25 @@ class RipsEngine {
   SimTime system_phase(SimTime t);
   SimTime user_phase(SimTime t);
 
+  /// Shared bracket of run() and run_online(): per-run state reset /
+  /// derivation of the final RunMetrics once the phase loop terminated.
+  void init_run_state(const apps::TaskTrace& trace);
+  sim::RunMetrics finalize_run(SimTime t);
+  /// Extends the drain-cost fast path over tasks [from, trace size): one
+  /// backward sweep, valid incrementally because children always carry
+  /// larger ids than their parent (so a new task's subtree is entirely
+  /// inside the new range or already computed).
+  void extend_drain_cost(size_t from);
+  bool machine_empty() const;
+
+  /// One TaskSource poll (online mode): advances the clock by the source's
+  /// reported idle wait, syncs engine state over newly appended tasks and
+  /// injects the new roots. Returns true once the source is drained.
+  bool online_poll(exec::TaskSource& source, SimTime* t, bool idle);
+  /// Grows origin_/exec_node_/sequential_ns/drain_cost_/job arrays over
+  /// tasks the source appended since the last sync.
+  void grow_online_state(const exec::TaskSource& source);
+
   /// Recovery line: marks pending deaths permanent, rebuilds the live
   /// view / scheduler / collectives, re-injects checkpointed tasks of the
   /// dead onto their nearest survivors. Returns the extra system-phase
@@ -250,6 +289,11 @@ class RipsEngine {
   std::vector<SimTime> job_done_ns_;  // latest task end per job
   std::vector<u64> job_migrated_;     // task moves per job
 
+  // Online mode (run_online) bookkeeping.
+  std::vector<TaskId> online_roots_;  // per-poll scratch
+  size_t online_synced_ = 0;          // tasks synced into engine state
+  u64 online_rr_ = 0;                 // round-robin root placement cursor
+
   // --- steady-state scratch arenas ---------------------------------------
   // Every per-phase working vector lives here and is overwritten in place:
   // after the first few phases a system phase performs zero heap
@@ -288,8 +332,9 @@ class RipsEngine {
   // have larger ids than their parent, so one backward sweep fills it.
   // The measuring pass then reduces to summing queue entries: exact i64
   // arithmetic and order independence make it bit-identical to the full
-  // simulation. Invalid (and unused) when a fault injector is attached —
-  // slowdown windows make work position-dependent.
+  // simulation. Invalid (and unused) only when the attached fault plan
+  // contains slowdown windows — those make work position-dependent;
+  // crashes and message faults never touch the undisturbed drain times.
   std::vector<SimTime> drain_cost_;
   bool fast_measure_ = false;  // valid for the current run
   bool full_measure_ = false;

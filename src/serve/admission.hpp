@@ -1,0 +1,67 @@
+// Admission control for the job server: a bounded pending queue with
+// load-shedding plus a per-tenant concurrent-job cap. Pure function of the
+// observable queue state — no clocks, no randomness — so rejects are
+// deterministic and unit-testable (tests/test_serve.cpp) and the daemon
+// sheds overload gracefully instead of growing an unbounded backlog.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace rips::serve {
+
+struct AdmissionOptions {
+  i32 max_pending = 16;  ///< pending (queued, not yet injected) jobs total
+  i32 tenant_cap = 4;    ///< queued + running jobs per tenant
+  /// Base of the 429 retry-after hint: the hint grows linearly with the
+  /// backlog the client would be waiting behind.
+  i64 retry_base_ms = 50;
+};
+
+struct AdmissionVerdict {
+  bool admitted = false;
+  i32 code = 0;               ///< 409 draining / 429 overloaded when rejected
+  const char* reason = "";    ///< static string, safe to embed in replies
+  i64 retry_after_ms = -1;    ///< -1 = no hint (409); >= 0 on 429
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  /// Decides one submission given the pending-queue depth, the submitting
+  /// tenant's queued+running job count, and whether the server is
+  /// draining. Deterministic: same inputs, same verdict.
+  AdmissionVerdict check(i32 pending_total, i32 tenant_active,
+                         bool draining) const {
+    AdmissionVerdict v;
+    if (draining) {
+      v.code = 409;
+      v.reason = "server is draining; submissions are closed";
+      return v;
+    }
+    if (pending_total >= options_.max_pending) {
+      v.code = 429;
+      v.reason = "pending queue full";
+      v.retry_after_ms =
+          options_.retry_base_ms *
+          static_cast<i64>(pending_total - options_.max_pending + 1);
+      return v;
+    }
+    if (tenant_active >= options_.tenant_cap) {
+      v.code = 429;
+      v.reason = "tenant concurrent-job cap reached";
+      v.retry_after_ms = options_.retry_base_ms;
+      return v;
+    }
+    v.admitted = true;
+    return v;
+  }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+};
+
+}  // namespace rips::serve

@@ -1,0 +1,183 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "apps/nqueens.hpp"
+#include "apps/synthetic.hpp"
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace rips::serve {
+
+namespace {
+
+using obs::json::Value;
+
+/// Reads an integer member with range validation; returns false (and sets
+/// *error) on a present-but-invalid value, true otherwise.
+bool read_int(const Value& obj, const char* key, i64 lo, i64 hi, i64* out,
+              std::string* error) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return true;  // keep the default
+  if (!v->is_number() || v->number != std::floor(v->number)) {
+    *error = std::string("\"") + key + "\" must be an integer";
+    return false;
+  }
+  const i64 value = v->as_i64();
+  if (value < lo || value > hi) {
+    *error = std::string("\"") + key + "\" out of range [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool read_double(const Value& obj, const char* key, double lo, double hi,
+                 double* out, std::string* error) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || !(v->number >= lo && v->number <= hi)) {
+    *error = std::string("\"") + key + "\" must be a number in [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+bool read_string(const Value& obj, const char* key, size_t max_len,
+                 std::string* out, std::string* error) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_string() || v->string.size() > max_len) {
+    *error = std::string("\"") + key + "\" must be a string of at most " +
+             std::to_string(max_len) + " bytes";
+    return false;
+  }
+  *out = v->string;
+  return true;
+}
+
+ParseOutcome reject(std::string op, i32 code, std::string error) {
+  ParseOutcome out;
+  out.ok = false;
+  out.code = code;
+  out.error = std::move(error);
+  out.op = std::move(op);
+  return out;
+}
+
+}  // namespace
+
+ParseOutcome parse_request(std::string_view line) {
+  if (line.size() > kMaxFrame) {
+    return reject("", 413, "request frame exceeds " +
+                               std::to_string(kMaxFrame) + " bytes");
+  }
+  std::string parse_error;
+  const auto doc = obs::json::parse(line, &parse_error);
+  if (!doc.has_value()) {
+    return reject("", 400, "malformed JSON: " + parse_error);
+  }
+  if (!doc->is_object()) {
+    return reject("", 400, "request must be a JSON object");
+  }
+  const Value* op = doc->find("op");
+  if (op == nullptr || !op->is_string()) {
+    return reject("", 400, "missing string member \"op\"");
+  }
+
+  ParseOutcome out;
+  out.op = op->string;
+  std::string error;
+  if (op->string == "ping") {
+    out.request.op = Request::Op::kPing;
+  } else if (op->string == "stats") {
+    out.request.op = Request::Op::kStats;
+  } else if (op->string == "drain") {
+    out.request.op = Request::Op::kDrain;
+  } else if (op->string == "shutdown") {
+    out.request.op = Request::Op::kShutdown;
+  } else if (op->string == "status") {
+    out.request.op = Request::Op::kStatus;
+    i64 job = -1;
+    if (!read_int(*doc, "job", 0, std::numeric_limits<i64>::max() / 2, &job,
+                  &error) ||
+        job < 0) {
+      return reject(out.op, 400,
+                    error.empty() ? "\"job\" is required" : error);
+    }
+    out.request.job_id = job;
+  } else if (op->string == "submit") {
+    out.request.op = Request::Op::kSubmit;
+    SubmitParams& p = out.request.submit;
+    i64 seed = 1;
+    const bool ok = read_string(*doc, "tenant", 64, &p.tenant, &error) &&
+             read_string(*doc, "name", 128, &p.name, &error) &&
+             read_string(*doc, "workload", 32, &p.workload, &error) &&
+             read_int(*doc, "roots", 1, 65536, &p.roots, &error) &&
+             read_int(*doc, "depth", 0, 16, &p.depth, &error) &&
+             read_int(*doc, "branch", 1, 16, &p.branch, &error) &&
+             read_double(*doc, "spawn", 0.0, 1.0, &p.spawn, &error) &&
+             read_int(*doc, "mean_work", 1, 100'000'000, &p.mean_work,
+                      &error) &&
+             read_int(*doc, "work_model", 0, 3, &p.work_model, &error) &&
+             read_int(*doc, "seed", 0, std::numeric_limits<i64>::max() / 2,
+                      &seed, &error) &&
+             read_int(*doc, "n", 4, 13, &p.queens_n, &error) &&
+             read_int(*doc, "split", 1, 4, &p.queens_split, &error);
+    if (!ok) return reject(out.op, 400, error);
+    p.seed = static_cast<u64>(seed);
+    if (p.tenant.empty()) {
+      return reject(out.op, 400, "\"tenant\" must not be empty");
+    }
+    if (p.workload != "synthetic" && p.workload != "queens") {
+      return reject(out.op, 400,
+                    "\"workload\" must be \"synthetic\" or \"queens\"");
+    }
+  } else {
+    return reject(out.op, 400, "unknown op \"" + out.op + "\"");
+  }
+  out.ok = true;
+  out.code = 0;
+  return out;
+}
+
+apps::TaskTrace build_job_trace(const SubmitParams& params) {
+  if (params.workload == "queens") {
+    return apps::build_nqueens_trace(static_cast<i32>(params.queens_n),
+                                     static_cast<i32>(params.queens_split));
+  }
+  RIPS_CHECK(params.workload == "synthetic");
+  apps::SyntheticConfig config;
+  config.num_roots = static_cast<i32>(params.roots);
+  config.max_depth = static_cast<i32>(params.depth);
+  config.spawn_prob = params.spawn;
+  config.max_branch = static_cast<i32>(params.branch);
+  config.mean_work = static_cast<u64>(params.mean_work);
+  config.work_model = static_cast<i32>(params.work_model);
+  config.num_segments = 1;
+  return apps::build_synthetic_trace(config, params.seed);
+}
+
+std::string error_reply(std::string_view op, i32 code,
+                        std::string_view message, i64 retry_after_ms) {
+  std::string out = "{\"ok\":false,\"op\":" + obs::json::quoted(op) +
+                    ",\"code\":" + std::to_string(code) +
+                    ",\"error\":" + obs::json::quoted(message);
+  if (retry_after_ms >= 0) {
+    out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
+  }
+  out += "}";
+  return out;
+}
+
+std::string ok_reply(std::string_view op, const std::string& extra_fields) {
+  RIPS_CHECK_MSG(extra_fields.empty() || extra_fields.front() == ',',
+                 "extra_fields must start with a comma");
+  return "{\"ok\":true,\"op\":" + obs::json::quoted(op) + extra_fields + "}";
+}
+
+}  // namespace rips::serve

@@ -1,0 +1,78 @@
+// The rips_served wire protocol (docs/SERVING.md): line-delimited JSON
+// over a Unix-domain stream socket. Every request is one JSON object on
+// one line; every reply is one JSON object on one line. Error replies use
+// HTTP-flavored codes so clients can share retry logic:
+//   400 bad request   (malformed JSON, unknown op, invalid parameters)
+//   404 unknown job   (status for an id never issued)
+//   409 draining      (submit after drain)
+//   413 frame too large
+//   429 overloaded    (admission reject; carries retry_after_ms)
+//   500 internal
+//
+// This header is pure request/reply encoding — no sockets, no threads —
+// so the protocol suite (tests/test_serve.cpp) exercises exactly the code
+// the daemon runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "apps/task_trace.hpp"
+#include "util/types.hpp"
+
+namespace rips::serve {
+
+/// Longest accepted request line, newline excluded. Longer frames are
+/// rejected with 413 and the connection is closed (a client that lost
+/// framing cannot be resynchronized).
+inline constexpr size_t kMaxFrame = 65536;
+
+struct SubmitParams {
+  std::string tenant = "default";
+  std::string name;  ///< optional display name; server default otherwise
+  std::string workload = "synthetic";  ///< "synthetic" | "queens"
+  // synthetic knobs (apps::SyntheticConfig)
+  i64 roots = 16;
+  i64 depth = 3;
+  i64 branch = 3;
+  double spawn = 0.5;
+  i64 mean_work = 2000;
+  i64 work_model = 2;
+  u64 seed = 1;
+  // queens knobs
+  i64 queens_n = 8;
+  i64 queens_split = 2;
+};
+
+struct Request {
+  enum class Op { kPing, kSubmit, kStatus, kStats, kDrain, kShutdown };
+  Op op = Op::kPing;
+  SubmitParams submit;  ///< kSubmit only
+  i64 job_id = -1;      ///< kStatus only
+};
+
+struct ParseOutcome {
+  bool ok = false;
+  i32 code = 0;       ///< error code when !ok
+  std::string error;  ///< human-readable reason when !ok
+  std::string op;     ///< op name as sent (best effort; "" if unreadable)
+  Request request;
+};
+
+/// Parses and validates one request line. Never throws: every malformed
+/// input maps to ok=false with a 400/413 code (the "malformed JSON line →
+/// error reply, not crash" guarantee).
+ParseOutcome parse_request(std::string_view line);
+
+/// Builds the job's task forest from validated submit parameters.
+apps::TaskTrace build_job_trace(const SubmitParams& params);
+
+/// `{"ok":false,"op":...,"code":...,"error":...[,"retry_after_ms":...]}`
+std::string error_reply(std::string_view op, i32 code,
+                        std::string_view message, i64 retry_after_ms = -1);
+
+/// `{"ok":true,"op":...<extra>}`; `extra_fields` is either empty or a
+/// string starting with "," containing pre-encoded JSON members.
+std::string ok_reply(std::string_view op, const std::string& extra_fields);
+
+}  // namespace rips::serve

@@ -1,0 +1,47 @@
+// SocketServer — the transport of rips_served: a Unix-domain stream
+// socket speaking the line-delimited JSON protocol (serve/protocol.hpp),
+// multiplexing any number of concurrent client connections over a single
+// poll(2) loop and dispatching every complete line to a JobServer.
+//
+// Transport rules:
+//   * one request line in, one reply line out, in order, per connection;
+//   * a connection that accumulates more than kMaxFrame bytes without a
+//     newline gets a 413 reply and is closed (framing is unrecoverable);
+//   * a `shutdown` request is answered, then the accept loop exits and
+//     every remaining connection is closed.
+//
+// The loop itself is single-threaded; the JobServer's engine runs on its
+// own thread, so the socket thread only ever blocks in poll(2) — except
+// during drain/shutdown requests, which by design block the loop until
+// the engine has finished everything admitted (documented in
+// docs/SERVING.md; clients issuing drain expect to wait).
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace rips::serve {
+
+class JobServer;
+
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (an existing stale socket file is
+  /// unlinked first). RIPS_CHECK-fails on bind errors.
+  SocketServer(JobServer& server, std::string socket_path);
+  ~SocketServer();
+
+  /// Serves until a shutdown request arrives. Returns the number of
+  /// connections accepted over the session.
+  u64 serve_forever();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  JobServer& server_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+};
+
+}  // namespace rips::serve

@@ -56,8 +56,9 @@ struct RunMetrics {
 
   /// Which drain-measuring pass the RIPS engine used: true = the O(queue)
   /// drain-sum fast path, false = the legacy full O(subtree) re-simulation
-  /// (forced whenever a fault plan is attached, because slowdowns make
-  /// work position-dependent; always false for dynamic strategies).
+  /// (forced only when the fault plan contains slowdown windows, which
+  /// make work position-dependent — crash/message-fault plans keep the
+  /// fast path; always false for dynamic strategies).
   /// Exported as rips-bench-v1's "measure_pass" ("drain-sum" | "full").
   bool used_fast_measure = false;
 

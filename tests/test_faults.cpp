@@ -242,17 +242,74 @@ TEST(RipsFaults, PlanThatNeverFiresIsBitIdenticalToFaultFree) {
   plan.crashes.push_back({3, base.makespan_ns * 10});  // after the end
   engine.set_fault_plan(&plan);
   auto with_plan = engine.run(trace);
-  // Attaching a plan forces the legacy full measuring pass (slowdowns make
-  // work position-dependent), and the run records which pass it used.
-  // Every simulated bit must still match.
+  // A crash-only plan keeps the drain-sum measuring pass — crashes never
+  // change the undisturbed drain times the pass computes (only slowdown
+  // windows make work position-dependent). Every simulated bit must match,
+  // including the recorded pass.
   EXPECT_TRUE(base.used_fast_measure);
-  EXPECT_FALSE(with_plan.used_fast_measure);
-  with_plan.used_fast_measure = base.used_fast_measure;
+  EXPECT_TRUE(with_plan.used_fast_measure);
   EXPECT_TRUE(base == with_plan);
 
   engine.set_fault_plan(nullptr);
   const auto detached = engine.run(trace);
   EXPECT_TRUE(base == detached);
+}
+
+TEST(RipsFaults, CrashOnlyPlanKeepsDrainSumAndMatchesFullPass) {
+  const auto trace = medium_trace(11);
+  auto sched = sched::make_scheduler("mwa", 16);
+  sim::CostModel cost;
+  cost.ns_per_work = 500.0;
+  RipsEngine engine(*sched, cost, RipsConfig{});
+  const auto base = engine.run(trace);
+
+  // A crash that actually fires mid-run: the drain-sum pass must survive
+  // it (crash admission reads the measured drains, it never changes them)
+  // and stay bit-identical to the legacy full pass on the same plan.
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.crashes.push_back({5, base.makespan_ns / 2});
+  engine.set_fault_plan(&plan);
+  const auto fast = engine.run(trace);
+  EXPECT_TRUE(fast.used_fast_measure);
+  EXPECT_EQ(fast.crashes, 1u);
+
+  engine.set_full_measure_pass(true);
+  auto full = engine.run(trace);
+  EXPECT_FALSE(full.used_fast_measure);
+  full.used_fast_measure = fast.used_fast_measure;
+  EXPECT_TRUE(fast == full);
+  engine.set_full_measure_pass(false);
+}
+
+TEST(RipsFaults, MessageFaultOnlyPlanKeepsDrainSum) {
+  const auto trace = medium_trace(11);
+  auto sched = sched::make_scheduler("mwa", 16);
+  sim::CostModel cost;
+  cost.ns_per_work = 500.0;
+  RipsEngine engine(*sched, cost, RipsConfig{});
+
+  sim::FaultPlan plan;
+  plan.seed = 8;
+  plan.drop_prob = 0.5;  // drops only stretch the detection collectives
+  engine.set_fault_plan(&plan);
+  const auto m = engine.run(trace);
+  EXPECT_TRUE(m.used_fast_measure);
+}
+
+TEST(RipsFaults, SlowdownPlanForcesFullMeasuringPass) {
+  const auto trace = medium_trace(11);
+  auto sched = sched::make_scheduler("mwa", 16);
+  sim::CostModel cost;
+  cost.ns_per_work = 500.0;
+  RipsEngine engine(*sched, cost, RipsConfig{});
+
+  sim::FaultPlan plan;
+  plan.seed = 9;
+  plan.slowdowns.push_back({2, 0, 1'000'000'000, 3.0});
+  engine.set_fault_plan(&plan);
+  const auto m = engine.run(trace);
+  EXPECT_FALSE(m.used_fast_measure);
 }
 
 TEST(RipsFaults, SingleCrashRecoversAndCountsReexecution) {
