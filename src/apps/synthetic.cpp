@@ -31,12 +31,16 @@ u64 sample_work(const SyntheticConfig& config, Rng& rng) {
 
 }  // namespace
 
-TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed) {
+TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed,
+                                u64 max_tasks) {
   RIPS_CHECK(config.num_roots >= 1);
   RIPS_CHECK(config.num_segments >= 1);
   RIPS_CHECK(config.max_branch >= 1);
   Rng rng(seed);
   TaskTrace trace;
+  const auto over_cap = [&] {
+    return max_tasks != 0 && trace.size() > max_tasks;
+  };
 
   struct Open {
     TaskId id;
@@ -49,6 +53,7 @@ TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed) {
     if (seg > 0) trace.begin_segment();
     level.clear();
     for (i32 r = 0; r < config.num_roots; ++r) {
+      if (over_cap()) return trace;
       level.push_back({trace.add_root(sample_work(config, rng)), 0});
     }
     // Breadth-first spawning keeps each parent's children consecutive.
@@ -59,6 +64,7 @@ TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed) {
         if (rng.next_double() >= config.spawn_prob) continue;
         const i64 kids = rng.next_range(1, config.max_branch);
         for (i64 k = 0; k < kids; ++k) {
+          if (over_cap()) return trace;
           next.push_back(
               {trace.add_child(open.id, sample_work(config, rng)),
                open.depth + 1});

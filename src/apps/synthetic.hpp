@@ -20,7 +20,13 @@ struct SyntheticConfig {
   i32 num_segments = 1;      ///< synchronization segments
 };
 
-TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed);
+/// `max_tasks` (0 = unbounded) stops generation as soon as the trace holds
+/// more than `max_tasks` tasks: the returned trace then has exactly
+/// `max_tasks + 1` tasks, so callers enforcing a per-job cap can detect
+/// the overflow with a size check without ever materializing the full
+/// (potentially astronomically large) forest.
+TaskTrace build_synthetic_trace(const SyntheticConfig& config, u64 seed,
+                                u64 max_tasks = 0);
 
 /// The `scale` preset: an irregular million-task-class workload for the
 /// scaling suite (bench/scale_sweep, the CI scale-smoke test). Returns a

@@ -120,6 +120,7 @@ exec::TaskSource::Poll JobServer::engine_poll(
         job.done_ns = view.now;
         running_ -= 1;
         jobs_done_ += 1;
+        tenant_active_[job.tenant] -= 1;
         c_jobs_done_->add();
       }
     }
@@ -128,12 +129,20 @@ exec::TaskSource::Poll JobServer::engine_poll(
   if (view.machine_idle && pending_.empty() && !draining_) {
     // The simulated machine is out of work: block in wall-clock time for
     // the next submission and charge the wait to the simulated clock, so
-    // queueing latency and execution latency share one timebase.
-    const auto t0 = std::chrono::steady_clock::now();
+    // queueing latency and execution latency share one timebase. While we
+    // wait, sim_now_ is frozen; publish the wait's start so submit() can
+    // timestamp arrivals at wait-start-sim + elapsed-wall instead of the
+    // stale clock (otherwise the first job after an idle stretch would be
+    // charged the whole wait as queueing latency).
+    idle_wait_active_ = true;
+    idle_wait_sim_ = sim_now_;
+    idle_wait_wall_ = std::chrono::steady_clock::now();
     cv_.wait(lock, [this] { return !pending_.empty() || draining_; });
-    const auto waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+    idle_wait_active_ = false;
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - idle_wait_wall_)
+            .count();
     *advance_ns = static_cast<SimTime>(waited < 0 ? 0 : waited);
     sim_now_ += *advance_ns;
   }
@@ -161,8 +170,12 @@ exec::TaskSource::Poll JobServer::engine_poll(
 JobServer::SubmitOutcome JobServer::submit(const SubmitParams& params) {
   SubmitOutcome out;
   // Trace construction happens outside the lock: it is the expensive part
-  // of a submission and touches no shared state.
-  apps::TaskTrace trace = build_job_trace(params);
+  // of a submission and touches no shared state. Construction itself is
+  // bounded by the per-job cap — generation stops at cap + 1 tasks — so a
+  // well-formed request for an astronomically large forest costs
+  // O(max_job_tasks) and is rejected below, instead of OOMing the daemon
+  // before admission control ever runs.
+  apps::TaskTrace trace = build_job_trace(params, options_.max_job_tasks);
 
   std::lock_guard<std::mutex> lock(mu_);
   RIPS_CHECK_MSG(started_, "submit before JobServer::start");
@@ -170,17 +183,13 @@ JobServer::SubmitOutcome JobServer::submit(const SubmitParams& params) {
   if (static_cast<u64>(trace.size()) > options_.max_job_tasks) {
     c_rej_too_large_->add();
     out.code = 400;
-    out.error = "job too large: " + std::to_string(trace.size()) +
-                " tasks exceeds the per-job cap of " +
-                std::to_string(options_.max_job_tasks);
+    out.error = "job too large: exceeds the per-job cap of " +
+                std::to_string(options_.max_job_tasks) + " tasks";
     return out;
   }
   i32 tenant_active = 0;
-  for (const Job& j : jobs_) {
-    if (j.state != Job::State::kDone && j.tenant == params.tenant) {
-      tenant_active += 1;
-    }
-  }
+  const auto it = tenant_active_.find(params.tenant);
+  if (it != tenant_active_.end()) tenant_active = it->second;
   const AdmissionVerdict verdict = admission_.check(
       static_cast<i32>(pending_.size()), tenant_active, draining_);
   if (!verdict.admitted) {
@@ -205,8 +214,21 @@ JobServer::SubmitOutcome JobServer::submit(const SubmitParams& params) {
                  ? params.tenant + "/job-" + std::to_string(id)
                  : params.name;
   job.tasks = static_cast<u64>(trace.size());
+  // If the engine thread is parked in the idle wait, sim_now_ is frozen at
+  // the wait's start; timestamp the arrival at wait-start-sim plus the
+  // wall time elapsed since, which is exactly where the engine's clock
+  // will have advanced past when it wakes (it adds the full wait).
   job.submit_ns = sim_now_;
+  if (idle_wait_active_) {
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - idle_wait_wall_)
+            .count();
+    job.submit_ns =
+        idle_wait_sim_ + static_cast<SimTime>(elapsed < 0 ? 0 : elapsed);
+  }
   jobs_.push_back(job);
+  tenant_active_[params.tenant] += 1;
   pending_.push_back(PendingJob{id, job.name, std::move(trace)});
   c_accepted_->add();
 
@@ -438,12 +460,15 @@ std::string JobServer::bench_json() const {
     }
 
     // Serving-specific extras (validators allow unknown members): per-job
-    // submit-to-completion latency percentiles over the session.
+    // submit-to-completion latency percentiles over the session. Every job
+    // contributes one sample — a non-positive latency (clock skew) clamps
+    // to 0 rather than being dropped, so the percentiles always cover
+    // exactly the jobs the session ran.
     std::vector<SimTime> latencies;
     for (size_t j = 0; j < m.jobs.size() && j < engine_to_job_.size(); ++j) {
       const Job& job = jobs_[engine_to_job_[j]];
       const SimTime end = m.jobs[j].completion_ns;
-      if (end > job.submit_ns) latencies.push_back(end - job.submit_ns);
+      latencies.push_back(end > job.submit_ns ? end - job.submit_ns : 0);
     }
     if (!latencies.empty()) {
       std::sort(latencies.begin(), latencies.end());

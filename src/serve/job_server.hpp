@@ -17,6 +17,7 @@
 // execution in one coherent timebase.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -24,6 +25,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/task_source.hpp"
@@ -156,6 +158,16 @@ class JobServer {
   u64 executed_total_ = 0;
   i32 running_ = 0;
   u64 jobs_done_ = 0;
+  // While the engine thread is blocked in the idle cv-wait, sim_now_ is
+  // frozen at the wait's start; these let submit() place a submission at
+  // wait-start-sim + elapsed-wall instead of the stale sim_now_, so the
+  // first job after an idle stretch is not charged the whole idle wait.
+  bool idle_wait_active_ = false;
+  SimTime idle_wait_sim_ = 0;
+  std::chrono::steady_clock::time_point idle_wait_wall_;
+  // Queued + running jobs per tenant, maintained on admit/complete so
+  // admission stays O(1) instead of scanning the ever-growing jobs_ list.
+  std::unordered_map<std::string, i32> tenant_active_;
   sim::RunMetrics result_;
   std::string engine_registry_json_;
   bool monitors_ok_ = true;

@@ -145,8 +145,10 @@ ParseOutcome parse_request(std::string_view line) {
   return out;
 }
 
-apps::TaskTrace build_job_trace(const SubmitParams& params) {
+apps::TaskTrace build_job_trace(const SubmitParams& params, u64 max_tasks) {
   if (params.workload == "queens") {
+    // Bounded by validation (n <= 13, split <= 4): the whole forest is at
+    // most a few tens of thousands of tasks, safe to materialize.
     return apps::build_nqueens_trace(static_cast<i32>(params.queens_n),
                                      static_cast<i32>(params.queens_split));
   }
@@ -159,7 +161,7 @@ apps::TaskTrace build_job_trace(const SubmitParams& params) {
   config.mean_work = static_cast<u64>(params.mean_work);
   config.work_model = static_cast<i32>(params.work_model);
   config.num_segments = 1;
-  return apps::build_synthetic_trace(config, params.seed);
+  return apps::build_synthetic_trace(config, params.seed, max_tasks);
 }
 
 std::string error_reply(std::string_view op, i32 code,

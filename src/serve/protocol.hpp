@@ -65,7 +65,14 @@ struct ParseOutcome {
 ParseOutcome parse_request(std::string_view line);
 
 /// Builds the job's task forest from validated submit parameters.
-apps::TaskTrace build_job_trace(const SubmitParams& params);
+/// `max_tasks` (0 = unbounded) bounds construction itself: synthetic
+/// generation stops at `max_tasks + 1` tasks, so a well-formed request
+/// whose expected forest is astronomically large (e.g. roots=65536,
+/// depth=16, branch=16, spawn=1.0) costs O(max_tasks) memory and time and
+/// is then rejected by the caller's size check — it can never OOM or wedge
+/// the daemon before admission control runs.
+apps::TaskTrace build_job_trace(const SubmitParams& params,
+                                u64 max_tasks = 0);
 
 /// `{"ok":false,"op":...,"code":...,"error":...[,"retry_after_ms":...]}`
 std::string error_reply(std::string_view op, i32 code,

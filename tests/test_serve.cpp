@@ -97,6 +97,20 @@ TEST(ServeProtocol, SubmitValidatesParameterRanges) {
   EXPECT_EQ(code_of("{\"op\":\"status\",\"job\":3}"), 0);
 }
 
+TEST(ServeProtocol, WorstCaseSubmitBuildsBoundedTrace) {
+  // These parameters pass protocol validation but describe a forest whose
+  // expected size is ~65536 * 8.5^16 tasks. Bounded construction must stop
+  // at cap + 1 tasks instead of materializing it (which would OOM the
+  // daemon before admission control ever ran).
+  serve::SubmitParams params;
+  params.roots = 65536;
+  params.depth = 16;
+  params.branch = 16;
+  params.spawn = 1.0;
+  const apps::TaskTrace trace = serve::build_job_trace(params, 10'000);
+  EXPECT_EQ(trace.size(), 10'001u);
+}
+
 TEST(ServeProtocol, ReplyEncodersProduceParseableJson) {
   std::string error;
   auto ok = obs::json::parse(serve::ok_reply("ping", ""), &error);
@@ -331,6 +345,105 @@ TEST(JobServer, AdmissionRejectsAreDeterministicAndCounted) {
       << stats;
   server.drain();
   EXPECT_EQ(server.jobs_done(), 0u);
+}
+
+TEST(JobServer, WorstCaseSubmitIsRejected400AndServerStaysUp) {
+  serve::ServeOptions options;
+  options.nodes = 16;
+  options.max_job_tasks = 5000;
+  serve::JobServer server(options);
+  server.start();
+
+  // One well-formed worst-case request: bounded build + 400 reject, the
+  // socket thread never wedges and the daemon keeps serving.
+  const std::string reply = server.handle_line(
+      "{\"op\":\"submit\",\"roots\":65536,\"depth\":16,\"branch\":16,"
+      "\"spawn\":1.0}");
+  EXPECT_TRUE(reply_is_error(reply, 400));
+  const std::string stats = server.handle_line("{\"op\":\"stats\"}");
+  EXPECT_NE(stats.find("\"server.rejected_too_large\": 1"),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(server.handle_line("{\"op\":\"submit\"}").find("\"job\":0"),
+            std::string::npos);
+  server.drain();
+  EXPECT_EQ(server.jobs_done(), 1u);
+}
+
+TEST(JobServer, TenantSlotFreesWhenItsJobCompletes) {
+  serve::ServeOptions options;
+  options.nodes = 16;
+  options.admission.tenant_cap = 1;
+  serve::JobServer server(options);
+  server.start();
+
+  // ~70k tasks expected: milliseconds of engine work, so the job is still
+  // queued/running when the cap probe lands. The probe itself must be tiny
+  // — submit() builds the trace before taking the lock, so a large probe
+  // would hand the first job that build time to finish in.
+  serve::SubmitParams big;
+  big.tenant = "t";
+  big.roots = 20000;
+  ASSERT_TRUE(server.submit(big).ok);
+  serve::SubmitParams probe;
+  probe.tenant = "t";
+  probe.roots = 1;
+  probe.depth = 0;
+  const auto capped = server.submit(probe);
+  EXPECT_FALSE(capped.ok);  // same tenant, cap 1, first job not done yet
+  EXPECT_EQ(capped.code, 429);
+
+  // Another tenant is unaffected by t's cap.
+  serve::SubmitParams other;
+  other.tenant = "u";
+  other.roots = 1;
+  other.depth = 0;
+  ASSERT_TRUE(server.submit(other).ok);
+
+  // Once both jobs complete, t's slot frees again (the per-tenant active
+  // count decrements on completion, not just at drain).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.jobs_done() < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "jobs never completed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  serve::SubmitParams again;
+  again.tenant = "t";
+  again.roots = 1;
+  again.depth = 0;
+  EXPECT_TRUE(server.submit(again).ok);
+  server.drain();
+  EXPECT_EQ(server.jobs_done(), 3u);
+}
+
+TEST(JobServer, IdleWaitBeforeSubmissionIsNotChargedAsLatency) {
+  serve::ServeOptions options;
+  options.nodes = 16;
+  serve::JobServer server(options);
+  server.start();
+
+  // Park the engine in the idle wait and let real time pass. That idle
+  // stretch predates the submission, so it must not show up in the job's
+  // reported latency (only queueing-after-submit + execution may).
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  serve::SubmitParams p;
+  p.tenant = "t";
+  ASSERT_TRUE(server.submit(p).ok);
+  server.drain();
+
+  std::string error;
+  const auto doc = obs::json::parse(server.bench_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const obs::json::Value* runs = doc->find("runs");
+  ASSERT_TRUE(runs != nullptr && runs->is_array());
+  ASSERT_EQ(runs->array.size(), 1u);
+  const obs::json::Value* p50 = runs->array[0].find("latency_p50_ns");
+  ASSERT_NE(p50, nullptr);
+  // Generous bound: well under the 400 ms idle stretch, far above any
+  // plausible wake-up + execution time for the default job.
+  EXPECT_LT(p50->as_i64(), 200'000'000) << "idle wait leaked into latency";
 }
 
 TEST(JobServer, HandleLineCoversEveryOpAndShutdownIsIdempotent) {
