@@ -1,11 +1,12 @@
 // scale_sweep — the scaling frontier suite (docs/PERFORMANCE.md, Scaling).
 //
-// Runs the `scale` synthetic preset (apps::scale_config) under RIPS at
-// nodes in {128, 512, 2048, 4096}, both strong scaling (one ~1M-task trace
-// across every machine size) and weak scaling (~256 tasks per node), and
-// emits a rips-bench-v1 JSON document. The committed baseline is
-// BENCH_scale.json; CI's nightly job regenerates it and gates the diff
-// with bench_diff, exactly like BENCH_core/BENCH_full.
+// Runs the `scale` synthetic preset (apps::scale_config) under RIPS:
+// strong scaling (one ~1M-task trace across every machine size) at nodes
+// in {128, 512, 2048, 4096, 8192, 16384, 65536} — the 8K-64K tier repeats
+// in weighted mode — and weak scaling (~256 tasks per node) at
+// {128, 512, 2048, 4096}. Emits a rips-bench-v1 JSON document. The
+// committed baseline is BENCH_scale.json; CI's nightly job regenerates it
+// and gates the diff with bench_diff, exactly like BENCH_core/BENCH_full.
 //
 // Two kinds of output, deliberately separated:
 //   stdout + --json   simulated metrics only — deterministic, byte-
@@ -44,10 +45,11 @@ namespace {
 using namespace rips;
 
 struct ScalePoint {
-  std::string group;    // "strong-scaling" / "weak-scaling"
+  std::string group;    // "strong-scaling[-weighted]" / "weak-scaling"
   i32 nodes = 0;
   u64 target_tasks = 0;
   size_t workload = 0;  // index into the built workload vector
+  bool weighted = false;
 };
 
 struct RunRecord {
@@ -117,9 +119,11 @@ int main(int argc, char** argv) {
         "  [--live-status] [--timeseries-out=scale.timeseries.json]\n"
         "  [--fault-seed=N] [--crash-mtbf-ms=N] [--drop-prob=P]\n"
         "  [--fault-horizon-ms=N] [--runstore=DIR] [--run-id=ID]\n"
-        "strong + weak scaling of RIPS on the `scale` synthetic preset at\n"
-        "nodes in {128, 512, 2048, 4096} (quick: one 2048-node ~100k-task\n"
-        "strong point for CI smoke). stdout/--json carry simulated metrics\n"
+        "strong + weak scaling of RIPS on the `scale` synthetic preset:\n"
+        "strong rows at {128, 512, 2048, 4096, 8192, 16384, 65536} nodes\n"
+        "(the 8K-64K frontier repeats in weighted mode), weak rows at\n"
+        "{128, 512, 2048, 4096} (quick: one 2048-node ~100k-task strong\n"
+        "point for CI smoke). stdout/--json carry simulated metrics\n"
         "only (byte-identical for any --jobs); host-side throughput and\n"
         "the --live-status line go to stderr. --full-measure times the\n"
         "legacy O(subtree) measuring pass instead of the drain-sum fast\n"
@@ -148,18 +152,29 @@ int main(int argc, char** argv) {
 
   // The suite: strong scaling re-runs one trace at every machine size;
   // weak scaling grows the trace with the machine (~256 tasks per node,
-  // hitting ~1M tasks at 4096 nodes — the tentpole scale point).
-  const std::vector<i32> node_counts =
-      quick ? std::vector<i32>{2048} : std::vector<i32>{128, 512, 2048, 4096};
+  // hitting ~1M tasks at 4096 nodes). The strong tier extends through the
+  // 8K-64K frontier, where per-phase scheduler/monitor state dwarfs the
+  // per-task state and the flat data-level kernels carry the run; those
+  // same sizes repeat in weighted mode (per-task work as the load unit),
+  // which exercises the gather-sum load collection instead of the
+  // count-only path.
+  const std::vector<i32> strong_nodes =
+      quick ? std::vector<i32>{2048}
+            : std::vector<i32>{128, 512, 2048, 4096, 8192, 16384, 65536};
+  const std::vector<i32> weak_nodes =
+      quick ? std::vector<i32>{} : std::vector<i32>{128, 512, 2048, 4096};
+  const std::vector<i32> weighted_nodes =
+      quick ? std::vector<i32>{} : std::vector<i32>{4096, 8192, 16384, 65536};
   const u64 strong_target = quick ? 102'400 : 1'048'576;
   std::vector<ScalePoint> points;
-  for (i32 n : node_counts) {
-    points.push_back({"strong-scaling", n, strong_target, 0});
+  for (i32 n : strong_nodes) {
+    points.push_back({"strong-scaling", n, strong_target, 0, false});
   }
-  if (!quick) {
-    for (i32 n : node_counts) {
-      points.push_back({"weak-scaling", n, static_cast<u64>(n) * 256, 0});
-    }
+  for (i32 n : weighted_nodes) {
+    points.push_back({"strong-scaling-weighted", n, strong_target, 0, true});
+  }
+  for (i32 n : weak_nodes) {
+    points.push_back({"weak-scaling", n, static_cast<u64>(n) * 256, 0, false});
   }
 
   // Build each distinct trace size once (shared read-only across runs).
@@ -239,10 +254,22 @@ int main(int argc, char** argv) {
     // steady-state configuration it exists to measure.
     d.tuning.phase_snapshots = false;
     d.tuning.full_measure = full_measure;
+    d.config.weighted = p.weighted;
+    // The invariant monitors (conservation / Theorem-1 balance / Lemma-1
+    // locality) ride along on every scale row: their per-phase scans run
+    // on the same flat kernels as the engine, so the frontier rows are
+    // continuously checked, not just spot-checked in CI.
+    d.monitor = true;
     if (inject_faults) d.fault_plan = &fault_plans[i];
     if (live_status) d.live = &live;
     d.collect_timeseries = want_timeseries;
-    d.cost_hint = static_cast<double>(d.workload->trace.size());
+    // Run cost grows with the trace AND the machine (per-phase scheduler
+    // and drain state scale with nodes) — fold both into the hint so the
+    // 64K-node strong rows start first under --jobs=N instead of trailing
+    // the sweep (every strong row has the same trace size, so a
+    // tasks-only hint ties and leaves the largest machines last).
+    d.cost_hint = static_cast<double>(d.workload->trace.size()) +
+                  static_cast<double>(p.nodes) * 256.0;
     descriptors.push_back(d);
   }
   const std::vector<bench::RunResult> results =
@@ -291,7 +318,7 @@ int main(int argc, char** argv) {
       saw_fast && saw_full ? "mixed" : (saw_full ? "full" : "fast");
 
   const i32 max_nodes =
-      *std::max_element(node_counts.begin(), node_counts.end());
+      *std::max_element(strong_nodes.begin(), strong_nodes.end());
   const std::string bench_json = to_json(runs, quick, max_nodes);
   if (args.has("json")) {
     std::string path = args.get("json", "BENCH_scale.json");

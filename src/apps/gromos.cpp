@@ -5,16 +5,21 @@
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace rips::apps {
 
 namespace {
 
-/// Uniform cell grid over the molecule's bounding box for neighbor search.
+/// Uniform cell grid over the molecule's bounding box, stored CSR-style:
+/// one flat atom-id array partitioned by a per-cell offset table (no
+/// vector-of-vectors allocation churn). Atom ids are ascending within each
+/// cell, which lets the pair sweep below charge the lower-indexed atom of
+/// a same-cell pair without comparing indices.
 class CellList {
  public:
   CellList(const std::vector<Vec3>& atoms, double cell_size)
-      : atoms_(atoms), cell_(cell_size) {
+      : cell_(cell_size) {
     RIPS_CHECK(cell_size > 0.0);
     lo_ = atoms.front();
     Vec3 hi = atoms.front();
@@ -29,33 +34,42 @@ class CellList {
     nx_ = dim(lo_.x, hi.x);
     ny_ = dim(lo_.y, hi.y);
     nz_ = dim(lo_.z, hi.z);
-    cells_.resize(static_cast<size_t>(nx_) * ny_ * nz_);
-    for (i32 i = 0; i < static_cast<i32>(atoms.size()); ++i) {
-      cells_[cell_index(atoms[static_cast<size_t>(i)])].push_back(i);
+    const size_t ncells = static_cast<size_t>(nx_) * ny_ * nz_;
+    const size_t n = atoms.size();
+    // Counting sort into CSR: count, prefix-sum, fill. Filling in atom
+    // order keeps each cell's id run ascending.
+    start_.assign(ncells + 1, 0);
+    std::vector<u32> slot(n);
+    for (size_t i = 0; i < n; ++i) {
+      slot[i] = static_cast<u32>(cell_index(atoms[i]));
+      start_[slot[i] + 1] += 1;
+    }
+    for (size_t c = 0; c < ncells; ++c) start_[c + 1] += start_[c];
+    ids_.resize(n);
+    std::vector<u32> cursor(start_.begin(), start_.end() - 1);
+    for (size_t i = 0; i < n; ++i) {
+      ids_[cursor[slot[i]]++] = static_cast<i32>(i);
     }
   }
 
-  /// Calls fn(j) for every atom j in the 27-cell neighborhood of `pos`.
-  template <typename Fn>
-  void for_neighborhood(const Vec3& pos, Fn&& fn) const {
-    const i32 cx = coord(pos.x, lo_.x, nx_);
-    const i32 cy = coord(pos.y, lo_.y, ny_);
-    const i32 cz = coord(pos.z, lo_.z, nz_);
-    for (i32 dx = -1; dx <= 1; ++dx) {
-      for (i32 dy = -1; dy <= 1; ++dy) {
-        for (i32 dz = -1; dz <= 1; ++dz) {
-          const i32 x = cx + dx;
-          const i32 y = cy + dy;
-          const i32 z = cz + dz;
-          if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 || z >= nz_) {
-            continue;
-          }
-          const auto& bucket =
-              cells_[(static_cast<size_t>(x) * ny_ + y) * nz_ + z];
-          for (i32 j : bucket) fn(j);
-        }
-      }
-    }
+  i32 nx() const { return nx_; }
+  i32 ny() const { return ny_; }
+  i32 nz() const { return nz_; }
+
+  /// Atom ids in cell-sorted (slot) order; ascending within each cell.
+  const std::vector<i32>& ids() const { return ids_; }
+
+  /// Slot range [first, last) of cell (x, y, z).
+  std::pair<u32, u32> cell(i32 x, i32 y, i32 z) const {
+    const size_t c = (static_cast<size_t>(x) * ny_ + y) * nz_ + z;
+    return {start_[c], start_[c + 1]};
+  }
+
+  /// Slot range covering cells (x, y, zlo..zhi) — z is the
+  /// fastest-varying index, so a z-run of cells is contiguous in slots.
+  std::pair<u32, u32> row(i32 x, i32 y, i32 zlo, i32 zhi) const {
+    const size_t c = (static_cast<size_t>(x) * ny_ + y) * nz_;
+    return {start_[c + zlo], start_[c + zhi + 1]};
   }
 
  private:
@@ -72,11 +86,11 @@ class CellList {
            coord(a.z, lo_.z, nz_);
   }
 
-  const std::vector<Vec3>& atoms_;
   double cell_;
   Vec3 lo_;
   i32 nx_ = 1, ny_ = 1, nz_ = 1;
-  std::vector<std::vector<i32>> cells_;
+  std::vector<u32> start_;  // ncells + 1 CSR offsets into ids_
+  std::vector<i32> ids_;    // atom ids grouped by cell, ascending per cell
 };
 
 double dist2(const Vec3& a, const Vec3& b) {
@@ -147,7 +161,12 @@ Molecule::Molecule(const GromosConfig& config) {
 
 std::vector<u64> Molecule::pair_counts(double cutoff) const {
   RIPS_CHECK(cutoff > 0.0);
-  const CellList cells(atoms_, cutoff);
+  // Cells of cutoff/2 instead of cutoff: the swept neighborhood shrinks
+  // from (3c)^3 to (2.5c)^3 around the cutoff sphere, ~1.7x fewer distance
+  // tests. Membership is still decided by the exact dist2 <= cutoff2 test,
+  // so the counted pair set is unchanged.
+  const CellList cells(atoms_, cutoff * 0.5);
+  const i32 kR = 2;  // ceil(cutoff / cell size): max cell-index gap of a pair
   const double cutoff2 = cutoff * cutoff;
 
   // Atom -> group map.
@@ -158,16 +177,80 @@ std::vector<u64> Molecule::pair_counts(double cutoff) const {
     }
   }
 
+  // Half sweep over cell-sorted structure-of-arrays positions: each
+  // unordered pair is examined exactly once — the rest of the atom's own
+  // z-row (own-cell upper triangle merged with the forward-z cells, one
+  // contiguous slot run) plus the lexicographically forward (dx, dy) rows.
+  // Each candidate run is a contiguous streak of slots, so the distance
+  // pass is a flat vectorizable loop into a buffer; hits are then charged
+  // to the lower-indexed atom's group. The squared-difference distance is
+  // symmetric bit-for-bit, so counts match a full 27-cell scan exactly.
+  const size_t n = static_cast<size_t>(num_atoms());
+  const std::vector<i32>& ids = cells.ids();
+  std::vector<double> px(n), py(n), pz(n);
+  for (size_t k = 0; k < n; ++k) {
+    const Vec3& a = atoms_[static_cast<size_t>(ids[k])];
+    px[k] = a.x;
+    py[k] = a.y;
+    pz[k] = a.z;
+  }
+
   std::vector<u64> counts(static_cast<size_t>(num_groups()), 0);
-  for (i32 i = 0; i < num_atoms(); ++i) {
-    const Vec3& a = atoms_[static_cast<size_t>(i)];
-    u64 local = 0;
-    cells.for_neighborhood(a, [&](i32 j) {
-      // Charge each unordered pair once, to the lower-indexed atom.
-      if (j <= i) return;
-      if (dist2(a, atoms_[static_cast<size_t>(j)]) <= cutoff2) ++local;
-    });
-    counts[static_cast<size_t>(group_of[static_cast<size_t>(i)])] += local;
+  std::vector<double> d2(n);
+  const double* RIPS_RESTRICT qx = px.data();
+  const double* RIPS_RESTRICT qy = py.data();
+  const double* RIPS_RESTRICT qz = pz.data();
+  for (i32 x = 0; x < cells.nx(); ++x) {
+    for (i32 y = 0; y < cells.ny(); ++y) {
+      for (i32 z = 0; z < cells.nz(); ++z) {
+        const auto [beg, end] = cells.cell(x, y, z);
+        if (beg == end) continue;
+        const i32 zlo = std::max(z - kR, 0);
+        const i32 zhi = std::min(z + kR, cells.nz() - 1);
+        // Forward candidate rows shared by every atom of this cell:
+        // (dx, dy) lexicographically > (0, 0), full clipped z-range.
+        u32 rows[(kR + 1) * (2 * kR + 1)][2];
+        size_t nrows = 0;
+        for (i32 dx = 0; dx <= kR && x + dx < cells.nx(); ++dx) {
+          for (i32 dy = dx != 0 ? -kR : 1; dy <= kR; ++dy) {
+            const i32 oy = y + dy;
+            if (oy < 0 || oy >= cells.ny()) continue;
+            const auto [rb, re] = cells.row(x + dx, oy, zlo, zhi);
+            if (rb != re) {
+              rows[nrows][0] = rb;
+              rows[nrows][1] = re;
+              ++nrows;
+            }
+          }
+        }
+        const u32 tail = cells.row(x, y, z, zhi).second;
+        for (u32 a = beg; a != end; ++a) {
+          const i32 i = ids[a];
+          const double ax = qx[a];
+          const double ay = qy[a];
+          const double az = qz[a];
+          auto sweep = [&](u32 lo, u32 hi) {
+            double* RIPS_RESTRICT buf = d2.data();
+            for (u32 t = lo; t < hi; ++t) {
+              const double dx = ax - qx[t];
+              const double dy = ay - qy[t];
+              const double dz = az - qz[t];
+              buf[t] = dx * dx + dy * dy + dz * dz;
+            }
+            for (u32 t = lo; t < hi; ++t) {
+              if (buf[t] <= cutoff2) {
+                const i32 j = ids[t];
+                counts[static_cast<size_t>(
+                    group_of[static_cast<size_t>(std::min(i, j))])] += 1;
+              }
+            }
+          };
+          // Own-cell upper triangle + forward-z cells: one contiguous run.
+          sweep(a + 1, tail);
+          for (size_t r = 0; r < nrows; ++r) sweep(rows[r][0], rows[r][1]);
+        }
+      }
+    }
   }
   return counts;
 }

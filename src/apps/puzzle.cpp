@@ -1,6 +1,7 @@
 #include "apps/puzzle.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "util/check.hpp"
@@ -12,7 +13,15 @@ namespace {
 
 constexpr i32 kDirDelta[4] = {-4, +4, -1, +1};  // up, down, left, right
 
-bool move_legal(i32 blank, i32 dir) {
+/// Manhattan distance of tile `t` when located at position `pos`.
+constexpr i32 tile_distance(i32 t, i32 pos) {
+  const i32 goal = t - 1;
+  const i32 dr = pos / 4 - goal / 4;
+  const i32 dc = pos % 4 - goal % 4;
+  return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+}
+
+constexpr bool move_legal_slow(i32 blank, i32 dir) {
   switch (dir) {
     case 0:
       return blank >= 4;
@@ -27,13 +36,35 @@ bool move_legal(i32 blank, i32 dir) {
   }
 }
 
-i32 opposite(i32 dir) { return dir ^ 1; }
+// The IDA* inner loop runs millions of node visits per trace build, so
+// legality and heuristic deltas are table lookups instead of div/mod
+// arithmetic: a per-square bitmask of legal blank moves, and the full
+// tile x position Manhattan-distance table (240 bytes, L1-resident).
+constexpr std::array<u8, 16> kLegalMask = [] {
+  std::array<u8, 16> m{};
+  for (i32 pos = 0; pos < 16; ++pos) {
+    for (i32 dir = 0; dir < 4; ++dir) {
+      if (move_legal_slow(pos, dir)) m[pos] |= static_cast<u8>(1u << dir);
+    }
+  }
+  return m;
+}();
 
-/// Manhattan distance of tile `t` when located at position `pos`.
-i32 tile_distance(i32 t, i32 pos) {
-  const i32 goal = t - 1;
-  return std::abs(pos / 4 - goal / 4) + std::abs(pos % 4 - goal % 4);
+constexpr std::array<std::array<i8, 16>, 16> kTileDist = [] {
+  std::array<std::array<i8, 16>, 16> d{};
+  for (i32 t = 1; t < 16; ++t) {
+    for (i32 pos = 0; pos < 16; ++pos) {
+      d[t][pos] = static_cast<i8>(tile_distance(t, pos));
+    }
+  }
+  return d;
+}();
+
+bool move_legal(i32 blank, i32 dir) {
+  return (kLegalMask[static_cast<size_t>(blank)] >> dir) & 1u;
 }
+
+i32 opposite(i32 dir) { return dir ^ 1; }
 
 }  // namespace
 
@@ -78,12 +109,16 @@ i32 Board15::manhattan() const {
 
 bool Board15::apply(i32 dir) {
   if (!move_legal(blank_, dir)) return false;
+  apply_unchecked(dir);
+  return true;
+}
+
+void Board15::apply_unchecked(i32 dir) {
   const i32 from = blank_ + kDirDelta[dir];  // tile that slides into blank
   const u64 tile = (packed_ >> (4 * from)) & 0xF;
   packed_ &= ~(0xFULL << (4 * from));
   packed_ |= tile << (4 * blank_);
   blank_ = from;
-  return true;
 }
 
 void Board15::scramble(i32 steps, u64 seed) {
@@ -117,7 +152,9 @@ struct DfsResult {
 };
 
 /// Bounded DFS of standard IDA*: h is maintained incrementally. Counts one
-/// node per visit; stops at the first goal.
+/// node per visit; stops at the first goal. Candidate moves iterate by
+/// ascending set bit of the legality mask — the same 0..3 order as a
+/// plain dir loop, so visit counts (= task work) are unchanged.
 void ida_dfs(Board15& board, i32 g, i32 h, i32 bound, i32 prev_dir,
              u64& nodes, u64 max_nodes, DfsResult& out) {
   ++nodes;
@@ -126,22 +163,27 @@ void ida_dfs(Board15& board, i32 g, i32 h, i32 bound, i32 prev_dir,
     out.found = true;
     return;
   }
-  for (i32 dir = 0; dir < 4; ++dir) {
-    if (prev_dir != -1 && dir == opposite(prev_dir)) continue;
-    if (!move_legal(board.blank_pos(), dir)) continue;
+  const i32 blank = board.blank_pos();
+  u32 mask = kLegalMask[static_cast<size_t>(blank)];
+  if (prev_dir != -1) mask &= ~(1u << opposite(prev_dir));
+  while (mask != 0) {
+    const i32 dir = std::countr_zero(mask);
+    mask &= mask - 1;
     // The sliding tile moves from `from` to the current blank square.
-    const i32 from = board.blank_pos() + kDirDelta[dir];
+    const i32 from = blank + kDirDelta[dir];
     const i32 tile = board.tile_at(from);
-    const i32 dh = tile_distance(tile, board.blank_pos()) -
-                   tile_distance(tile, from);
+    const i32 dh = kTileDist[static_cast<size_t>(tile)]
+                            [static_cast<size_t>(blank)] -
+                   kTileDist[static_cast<size_t>(tile)]
+                            [static_cast<size_t>(from)];
     const i32 f = g + 1 + h + dh;
     if (f > bound) {
       out.min_excess = std::min(out.min_excess, f);
       continue;
     }
-    board.apply(dir);
+    board.apply_unchecked(dir);
     ida_dfs(board, g + 1, h + dh, bound, dir, nodes, max_nodes, out);
-    board.apply(opposite(dir));
+    board.apply_unchecked(opposite(dir));
     if (out.found) return;
   }
 }

@@ -41,6 +41,11 @@ class Board15 {
   /// moves). Returns false if the move is off-board.
   bool apply(i32 dir);
 
+  /// apply() without the legality test — for search loops that have
+  /// already screened `dir` (and for undoing a just-applied move, which is
+  /// always legal). Off-board dirs corrupt the board.
+  void apply_unchecked(i32 dir);
+
   /// Scrambles by a random walk of `steps` moves from the current state
   /// (never undoing the previous move); stays solvable by construction.
   void scramble(i32 steps, u64 seed);

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <fstream>
 
 #include "obs/json.hpp"
@@ -15,11 +16,29 @@ Histogram::Histogram(std::vector<i64> bounds) : bounds_(std::move(bounds)) {
                          bounds_.end(),
                  "histogram bounds must be strictly increasing");
   counts_.assign(bounds_.size() + 1, 0);
+  // The engines' standard bucket layout {0, 1, 2, 4, ..., 2^k} admits an
+  // O(1) bucket lookup via bit_width instead of the binary search — worth
+  // it because the simulators observe per message / per phase.
+  pow2_ = bounds_[0] == 0;
+  for (size_t i = 1; pow2_ && i < bounds_.size(); ++i) {
+    pow2_ = bounds_[i] == (i64{1} << (i - 1));
+  }
 }
 
 void Histogram::observe(i64 x) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
-  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  size_t idx;
+  if (pow2_) {
+    // Bucket of x in {0, 1, 2, 4, ...}: 0 for x <= 0, else
+    // bit_width(x - 1) + 1, saturated into the overflow bucket.
+    idx = x <= 0 ? 0
+                 : std::min(static_cast<size_t>(
+                                std::bit_width(static_cast<u64>(x - 1)) + 1),
+                            bounds_.size());
+  } else {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    idx = static_cast<size_t>(it - bounds_.begin());
+  }
+  counts_[idx] += 1;
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -45,11 +64,23 @@ i64 Histogram::percentile(double q) const {
   if (target == 0) target = 1;
   u64 cumulative = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
     cumulative += counts_[i];
-    if (cumulative >= target) {
-      const i64 value = i < bounds_.size() ? bounds_[i] : max_;
-      return std::clamp(value, min_, max_);
-    }
+    if (cumulative < target) continue;
+    // Interpolate within the bucket holding the target rank. The bucket's
+    // value range is (bounds[i-1], bounds[i]] intersected with the
+    // observed [min, max] — so a distribution that lands entirely in one
+    // bucket still spreads p50 < p95 < p99 across [min, max] instead of
+    // reporting the bucket's upper edge for all three.
+    const i64 lo = std::max(min_, i == 0 ? min_ : bounds_[i - 1] + 1);
+    const i64 hi = std::min(max_, i < bounds_.size() ? bounds_[i] : max_);
+    const u64 rank = target - (cumulative - counts_[i]);  // 1-based in bucket
+    if (counts_[i] == 1 || hi <= lo) return hi;
+    // Exact integer lerp: lo + (hi-lo) * (rank-1)/(count-1), 128-bit
+    // intermediate so huge time ranges cannot overflow.
+    const auto span = static_cast<unsigned __int128>(hi - lo);
+    const auto num = span * (rank - 1);
+    return lo + static_cast<i64>(num / (counts_[i] - 1));
   }
   return max_;
 }

@@ -56,10 +56,14 @@ class Histogram {
   i64 min() const { return count_ == 0 ? 0 : min_; }
   i64 max() const { return count_ == 0 ? 0 : max_; }
 
-  /// Deterministic integer percentile estimate for q in [0, 1]: the upper
-  /// bound of the bucket holding the ceil(q * count)-th observation,
-  /// clamped to the observed [min, max] (so the overflow bucket reports
-  /// max, not infinity). Resolution is the bucket width — with the pow2
+  /// Deterministic integer percentile estimate for q in [0, 1]: linear
+  /// interpolation (by rank, assuming uniform spread) inside the bucket
+  /// holding the ceil(q * count)-th observation, over the bucket's value
+  /// range intersected with the observed [min, max] (so the overflow
+  /// bucket interpolates up to max, not infinity, and a single-bucket
+  /// distribution reports p50 < p95 < p99 rather than the bucket's upper
+  /// edge for all three). Single-observation buckets report the bucket's
+  /// clamped upper edge. Resolution is the bucket width — with the pow2
   /// bounds the engines use, a reported p95 is within 2x of the true one.
   /// 0 when empty.
   i64 percentile(double q) const;
@@ -79,6 +83,7 @@ class Histogram {
   i64 sum_ = 0;
   i64 min_ = 0;
   i64 max_ = 0;
+  bool pow2_ = false;  // bounds are {0, 1, 2, 4, ...}: O(1) bucket lookup
 };
 
 class MetricsRegistry {

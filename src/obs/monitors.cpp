@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/simd.hpp"
+
 namespace rips::obs {
 
 void InvariantMonitor::add(std::string monitor, u64 phase, NodeId node,
@@ -20,9 +22,12 @@ void InvariantMonitor::check_balance(u64 phase,
                                      i64 expected_total) {
   checks_run_ += 1;
   if (new_load.empty()) return;
-  const auto [lo_it, hi_it] =
-      std::minmax_element(new_load.begin(), new_load.end());
-  if (*hi_it - *lo_it > 1) {
+  // Min/max kernel on the happy path; ranks are only recovered (second
+  // scan) for the violation message.
+  const simd::MinMax mm = simd::minmax_i64(new_load.data(), new_load.size());
+  if (mm.max - mm.min > 1) {
+    const auto [lo_it, hi_it] =
+        std::minmax_element(new_load.begin(), new_load.end());
     const auto hi_node =
         static_cast<NodeId>(hi_it - new_load.begin());
     add("theorem1", phase, hi_node,
@@ -32,8 +37,7 @@ void InvariantMonitor::check_balance(u64 phase,
             " at rank " + std::to_string(lo_it - new_load.begin()) + ")");
   }
   if (expected_total >= 0) {
-    const i64 total =
-        std::accumulate(new_load.begin(), new_load.end(), i64{0});
+    const i64 total = simd::sum_i64(new_load.data(), new_load.size());
     if (total != expected_total) {
       add("theorem1", phase, kInvalidNode,
           "scheduler lost or invented load: total " + std::to_string(total) +

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "exec/task_source.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace rips::core {
 
@@ -224,13 +224,15 @@ SimTime RipsEngine::system_phase(SimTime t) {
 
   // Counts (the paper's choice) or work totals (weighted mode: what
   // perfect grain estimation would let the scheduler balance). Loads are
-  // indexed by logical rank; rank r is physical node live_[r].
+  // indexed by logical rank; rank r is physical node live_[r]. Weighted
+  // loads are a flat gather over the per-task weight array.
   load_.assign(static_cast<size_t>(n), 0);
   for (i32 r = 0; r < n; ++r) {
-    for (TaskId task : nodes_[static_cast<size_t>(live_[r])].rts) {
-      load_[static_cast<size_t>(r)] +=
-          config_.weighted ? static_cast<i64>(trace_->task(task).work) : 1;
-    }
+    const auto& rts = nodes_[static_cast<size_t>(live_[r])].rts;
+    load_[static_cast<size_t>(r)] =
+        config_.weighted
+            ? simd::gather_sum_i64(task_weight_.data(), rts.data(), rts.size())
+            : static_cast<i64>(rts.size());
   }
   // The plan is borrowed from the scheduler's pooled result; it stays valid
   // until the next schedule() call, which only happens next phase.
@@ -291,32 +293,59 @@ SimTime RipsEngine::system_phase(SimTime t) {
     // than overshoot by more than the final task's better half).
     i64 sent = 0;     // tasks moved for this transfer
     i64 sent_work = 0;
-    while (!src.local.empty() || !src.foreign.empty()) {
-      const bool from_foreign = !src.foreign.empty();
-      const TaskId task = from_foreign ? src.foreign.back() : src.local.back();
-      if (config_.weighted) {
-        const i64 w = static_cast<i64>(trace_->task(task).work);
+    if (!config_.weighted) {
+      // Bulk commit: the whole transfer is decided up front (foreign tail
+      // first, then local tail — identical order to popping one task at a
+      // time), so each source vector is truncated once instead of
+      // re-checking emptiness and mode per task.
+      const auto move_tail = [&](std::vector<TaskId>& from, i64 take) {
+        const size_t cut = from.size() - static_cast<size_t>(take);
+        for (size_t i = from.size(); i-- > cut;) {
+          const TaskId task = from[i];
+          if (origin_[static_cast<size_t>(task)] == to_phys) {
+            dst.local.push_back(task);
+          } else {
+            dst.foreign.push_back(task);
+          }
+          if (job_accounting_) {
+            job_migrated_[static_cast<size_t>(
+                (*job_of_)[static_cast<size_t>(task)])] += 1;
+          }
+        }
+        from.resize(cut);
+        sent += take;
+      };
+      const i64 from_foreign =
+          std::min(tr.count, static_cast<i64>(src.foreign.size()));
+      move_tail(src.foreign, from_foreign);
+      move_tail(src.local,
+                std::min(tr.count - from_foreign,
+                         static_cast<i64>(src.local.size())));
+    } else {
+      while (!src.local.empty() || !src.foreign.empty()) {
+        const bool from_foreign = !src.foreign.empty();
+        const TaskId task =
+            from_foreign ? src.foreign.back() : src.local.back();
+        const i64 w = task_weight_[static_cast<size_t>(task)];
         const i64 undershoot = tr.count - sent_work;
         if (undershoot <= 0) break;
         if (sent > 0 && sent_work + w - tr.count > undershoot) break;
         sent_work += w;
-      } else {
-        if (sent >= tr.count) break;
-      }
-      if (from_foreign) {
-        src.foreign.pop_back();
-      } else {
-        src.local.pop_back();
-      }
-      if (origin_[static_cast<size_t>(task)] == to_phys) {
-        dst.local.push_back(task);
-      } else {
-        dst.foreign.push_back(task);
-      }
-      ++sent;
-      if (job_accounting_) {
-        job_migrated_[static_cast<size_t>(
-            (*job_of_)[static_cast<size_t>(task)])] += 1;
+        if (from_foreign) {
+          src.foreign.pop_back();
+        } else {
+          src.local.pop_back();
+        }
+        if (origin_[static_cast<size_t>(task)] == to_phys) {
+          dst.local.push_back(task);
+        } else {
+          dst.foreign.push_back(task);
+        }
+        ++sent;
+        if (job_accounting_) {
+          job_migrated_[static_cast<size_t>(
+              (*job_of_)[static_cast<size_t>(task)])] += 1;
+        }
       }
     }
     moved += static_cast<u64>(sent);
@@ -333,20 +362,17 @@ SimTime RipsEngine::system_phase(SimTime t) {
   // Scheduled tasks enter the RTE queues (own tasks first, then received).
   for (i32 r = 0; r < n; ++r) {
     auto& rte = nodes_[static_cast<size_t>(live_[r])].rte;
-    for (TaskId task : pools_[static_cast<size_t>(r)].local) {
-      rte.push_back(task);
-    }
-    for (TaskId task : pools_[static_cast<size_t>(r)].foreign) {
-      rte.push_back(task);
-    }
+    const Pool& pool = pools_[static_cast<size_t>(r)];
+    rte.append(pool.local.data(), pool.local.size());
+    rte.append(pool.foreign.data(), pool.foreign.size());
   }
 
   // Cost: lock-step scheduling rounds (cheap scalar-only information steps
   // plus full task-payload steps — the paper's "each communication step to
   // migrate tasks takes about 1 ms") plus the slowest node's migration CPU
   // time; the phase is synchronous, everyone leaves it together.
-  SimTime max_migration = 0;
-  for (SimTime m : migration_) max_migration = std::max(max_migration, m);
+  const SimTime max_migration =
+      simd::minmax_i64(migration_.data(), migration_.size()).max;
   const SimTime step_time = plan.info_steps * cost_.info_step_ns +
                             plan.transfer_steps * cost_.step_ns;
   const SimTime duration = step_time + max_migration + recovery_extra;
@@ -466,16 +492,24 @@ void RipsEngine::check_phase_invariants(u64 phase,
   // Map every task to the rank it started the phase on, then find where the
   // replay put it. A task that vanished, appeared from nowhere, or got
   // duplicated is a conservation violation; the relocation count feeds the
-  // Theorem-2 comparison against the Lemma-1 lower bound.
+  // Theorem-2 comparison against the Lemma-1 lower bound. The mapping is a
+  // flat rank-per-task array indexed by id (grown once to trace size, all
+  // touched entries restored before returning), so the scan is two linear
+  // passes over the CSR snapshot — no hashing, no steady-state allocation.
+  constexpr i32 kUnseenRank = -2;  // task absent from the begin snapshot
+  constexpr i32 kConsumedRank = -1;
   const i32 n = static_cast<i32>(live_.size());
-  std::unordered_map<TaskId, i32> start_rank;
-  start_rank.reserve(static_cast<size_t>(total));
+  if (start_rank_.size() < trace_->size()) {
+    start_rank_.resize(trace_->size(), kUnseenRank);
+  }
   bool conserved = true;
   for (i32 r = 0; r < n; ++r) {
     const size_t begin = before_offsets_[static_cast<size_t>(r)];
     const size_t end = before_offsets_[static_cast<size_t>(r) + 1];
     for (size_t i = begin; i < end; ++i) {
-      conserved = start_rank.emplace(before_tasks_[i], r).second && conserved;
+      i32& slot = start_rank_[static_cast<size_t>(before_tasks_[i])];
+      if (slot != kUnseenRank) conserved = false;  // duplicated at begin
+      else slot = r;
     }
   }
   i64 relocated = 0;
@@ -483,16 +517,19 @@ void RipsEngine::check_phase_invariants(u64 phase,
   for (i32 r = 0; r < n; ++r) {
     for (TaskId task : nodes_[static_cast<size_t>(live_[r])].rte) {
       ++seen;
-      auto it = start_rank.find(task);
-      if (it == start_rank.end() || it->second < 0) {
+      i32& slot = start_rank_[static_cast<size_t>(task)];
+      if (slot < 0) {
         conserved = false;  // unknown task, or the same task twice
         continue;
       }
-      if (it->second != r) ++relocated;
-      it->second = -1;  // consumed
+      if (slot != r) ++relocated;
+      slot = kConsumedRank;
     }
   }
   conserved = conserved && seen == total;
+  for (TaskId task : before_tasks_) {
+    start_rank_[static_cast<size_t>(task)] = kUnseenRank;
+  }
   mon->check_conservation(phase, conserved, kInvalidNode,
                           "system-phase replay must queue every collected "
                           "task exactly once");
@@ -500,10 +537,8 @@ void RipsEngine::check_phase_invariants(u64 phase,
   // Theorem 2 against the schedule actually produced (Lemma 1 with the
   // plan's new_load as the target — exact for every scheduler, not only
   // for ones hitting the paper's quota).
-  i64 minimum = 0;
-  for (size_t r = 0; r < load.size(); ++r) {
-    if (plan.new_load[r] > load[r]) minimum += plan.new_load[r] - load[r];
-  }
+  const i64 minimum =
+      simd::sum_pos_diff_i64(plan.new_load.data(), load.data(), load.size());
   mon->check_locality(phase, relocated, minimum);
 }
 
@@ -526,7 +561,7 @@ SimTime RipsEngine::simulate_user_phase(NodeId node, SimTime start_t,
   while (!queue->empty() && now < stop_t) {
     const TaskId task =
         config_.lifo_execution ? queue->pop_back() : queue->pop_front();
-    SimTime work = cost_.work_time(trace_->task(task).work);
+    SimTime work = work_ns_[static_cast<size_t>(task)];
     if (injector_.has_value()) work = injector_->scaled_work(node, now, work);
     now += work;
     if (apply) {
@@ -591,12 +626,13 @@ SimTime RipsEngine::user_phase(SimTime t) {
   std::vector<SimTime>& drain = drain_;
   drain.assign(nodes_.size(), kNever);
   if (fast_measure_) {
+    // Gather-sum kernel over the queue's contiguous id span: the whole
+    // measuring pass is one linear read of drain_cost_ per node.
     for (NodeId phys : live_) {
-      SimTime sum = t;
-      for (TaskId task : nodes_[static_cast<size_t>(phys)].rte) {
-        sum += drain_cost_[static_cast<size_t>(task)];
-      }
-      drain[static_cast<size_t>(phys)] = sum;
+      const sim::TaskQueue& rte = nodes_[static_cast<size_t>(phys)].rte;
+      drain[static_cast<size_t>(phys)] =
+          t + simd::gather_sum_i64(drain_cost_.data(), rte.begin(),
+                                   rte.size());
     }
   } else {
     for (NodeId phys : live_) {
@@ -878,10 +914,11 @@ void RipsEngine::init_run_state(const apps::TaskTrace& trace) {
   g_live_nodes_->set(n);
   if (obs_.trace != nullptr) obs_.trace->clear();
   if (obs_.monitor != nullptr) obs_.monitor->clear();
-  for (size_t i = 0; i < trace.size(); ++i) {
-    metrics_.sequential_ns +=
-        cost_.work_time(trace.task(static_cast<TaskId>(i)).work);
-  }
+  work_ns_.clear();
+  task_weight_.clear();
+  start_rank_.clear();
+  extend_task_costs(0);
+  metrics_.sequential_ns = simd::sum_i64(work_ns_.data(), work_ns_.size());
 
   // Fault state is rebuilt from the plan every run: re-running with the
   // same plan is bit-identical.
@@ -963,16 +1000,29 @@ void RipsEngine::extend_drain_cost(size_t from) {
   const bool lazy = config_.local == LocalPolicy::kLazy;
   for (size_t i = m; i-- > from;) {
     const auto task = static_cast<TaskId>(i);
-    SimTime c = cost_.work_time(trace_->task(task).work);
+    SimTime c = work_ns_[i];
     const u32 kids = trace_->num_children(task);
     c += static_cast<SimTime>(kids) * cost_.spawn_ns;
     if (lazy) {
       const TaskId* child = trace_->children_begin(task);
-      for (u32 k = 0; k < kids; ++k) {
-        c += drain_cost_[static_cast<size_t>(child[k])];
-      }
+      c += simd::gather_sum_i64(drain_cost_.data(), child, kids);
     }
     drain_cost_[i] = c;
+  }
+}
+
+void RipsEngine::extend_task_costs(size_t from) {
+  const size_t m = trace_->size();
+  work_ns_.resize(m);
+  for (size_t i = from; i < m; ++i) {
+    work_ns_[i] = cost_.work_time(trace_->task(static_cast<TaskId>(i)).work);
+  }
+  if (config_.weighted) {
+    task_weight_.resize(m);
+    for (size_t i = from; i < m; ++i) {
+      task_weight_[i] =
+          static_cast<i64>(trace_->task(static_cast<TaskId>(i)).work);
+    }
   }
 }
 
@@ -1074,10 +1124,9 @@ void RipsEngine::grow_online_state(const exec::TaskSource& source) {
                  "online task sources must keep a single segment");
   origin_.resize(m, kInvalidNode);
   exec_node_.resize(m, kInvalidNode);
-  for (size_t i = online_synced_; i < m; ++i) {
-    metrics_.sequential_ns +=
-        cost_.work_time(trace_->task(static_cast<TaskId>(i)).work);
-  }
+  extend_task_costs(online_synced_);
+  metrics_.sequential_ns += simd::sum_i64(work_ns_.data() + online_synced_,
+                                          m - online_synced_);
   if (fast_measure_) extend_drain_cost(online_synced_);
   online_synced_ = m;
 
@@ -1117,10 +1166,8 @@ sim::RunMetrics RipsEngine::finalize_run(SimTime t) {
       metrics_.total_idle_ns += horizon > used ? horizon - used : 0;
     }
   }
-  u64 nonlocal = 0;
-  for (size_t i = 0; i < trace_->size(); ++i) {
-    if (exec_node_[i] != origin_[i]) nonlocal += 1;
-  }
+  const u64 nonlocal = static_cast<u64>(
+      simd::count_ne_i32(exec_node_.data(), origin_.data(), trace_->size()));
   c_tasks_nonlocal_->add(nonlocal);
   RIPS_CHECK_MSG(executed_total_ == trace_->size(),
                  "RIPS finished with unexecuted tasks");

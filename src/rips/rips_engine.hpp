@@ -231,6 +231,9 @@ class RipsEngine {
   /// larger ids than their parent (so a new task's subtree is entirely
   /// inside the new range or already computed).
   void extend_drain_cost(size_t from);
+  /// Extends the flat per-task cost arrays (work_ns_, and task_weight_ in
+  /// weighted mode) over tasks [from, trace size).
+  void extend_task_costs(size_t from);
   bool machine_empty() const;
 
   /// One TaskSource poll (online mode): advances the clock by the source's
@@ -324,6 +327,21 @@ class RipsEngine {
   // array), built per phase ONLY while a monitor is attached.
   std::vector<size_t> before_offsets_;
   std::vector<TaskId> before_tasks_;
+  // Conservation-scan scratch: start rank per task id, kUnseenRank when
+  // the task was not on any queue at phase begin. Grown lazily to trace
+  // size on first monitored phase; entries touched by a scan are restored
+  // to kUnseenRank before it returns, so each phase is O(snapshot) with no
+  // hashing (replaces the per-phase unordered_map).
+  std::vector<i32> start_rank_;
+
+  // --- flat per-task cost state (structure-of-arrays) ---------------------
+  // The hot sweeps (measuring pass, load collection, weighted migration)
+  // index these flat arrays by TaskId instead of chasing trace nodes, so
+  // each pass is a pure gather the data-level kernels (util/simd.hpp) can
+  // stream. Filled by extend_task_costs; task_weight_ only in weighted
+  // mode.
+  std::vector<SimTime> work_ns_;   // cost_.work_time(task.work) per task
+  std::vector<i64> task_weight_;   // task.work per task (weighted mode)
 
   // --- drain-cost fast path ----------------------------------------------
   // drain_cost_[t]: the simulated time a node spends on task t during a

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace rips::sched {
 
@@ -53,9 +54,8 @@ const ScheduleResult& Mwa::schedule(const std::vector<i64>& load) {
   std::vector<i64>& t = scratch_.t;  // t_i = sum of rows 0..i
   t.assign(static_cast<size_t>(n1), 0);
   for (i32 i = 0; i < n1; ++i) {
-    i64 s = 0;
-    for (i32 j = 0; j < n2; ++j) s += w(i, j);
-    total += s;
+    // Row-sum kernel: each row is a contiguous n2-wide slice of new_load.
+    total += simd::sum_i64(&w(i, 0), static_cast<size_t>(n2));
     t[static_cast<size_t>(i)] = total;
   }
   out.info_steps += 2 * (n1 + n2);
@@ -99,7 +99,8 @@ const ScheduleResult& Mwa::schedule(const std::vector<i64>& load) {
     for (i32 i = 0; i + 1 < n1; ++i) {
       if (y[static_cast<size_t>(i)] > 0) {
         chain += 1;
-        for (i32 j = 0; j < n2; ++j) delta[static_cast<size_t>(j)] = w(i, j) - q(i, j);
+        simd::sub_i64(&w(i, 0), &quota[static_cast<size_t>(i * n2)],
+                      delta.data(), static_cast<size_t>(n2));
         const std::vector<i64>& d = scratch_.send;
         eta_gamma_sends(delta, y[static_cast<size_t>(i)], scratch_.send);
         for (i32 j = 0; j < n2; ++j) {
@@ -125,7 +126,8 @@ const ScheduleResult& Mwa::schedule(const std::vector<i64>& load) {
     for (i32 i = n1 - 1; i >= 1; --i) {
       if (y[static_cast<size_t>(i - 1)] < 0) {
         chain += 1;
-        for (i32 j = 0; j < n2; ++j) delta[static_cast<size_t>(j)] = w(i, j) - q(i, j);
+        simd::sub_i64(&w(i, 0), &quota[static_cast<size_t>(i * n2)],
+                      delta.data(), static_cast<size_t>(n2));
         const std::vector<i64>& u = scratch_.send;
         eta_gamma_sends(delta, -y[static_cast<size_t>(i - 1)], scratch_.send);
         for (i32 j = 0; j < n2; ++j) {
@@ -173,8 +175,7 @@ const ScheduleResult& Mwa::schedule(const std::vector<i64>& load) {
       flow[static_cast<size_t>(b)] = prefix;
     }
     std::vector<i64>& hold = scratch_.hold;
-    hold.assign(static_cast<size_t>(n2), 0);
-    for (i32 j = 0; j < n2; ++j) hold[static_cast<size_t>(j)] = w(i, j);
+    hold.assign(&w(i, 0), &w(i, 0) + n2);
 
     i32 round = 0;
     bool pending = true;
@@ -218,7 +219,7 @@ const ScheduleResult& Mwa::schedule(const std::vector<i64>& load) {
     }
     // `round` counts one trailing no-op round; real rounds are round - 1.
     step5_rounds = std::max(step5_rounds, round - 1);
-    for (i32 j = 0; j < n2; ++j) w(i, j) = hold[static_cast<size_t>(j)];
+    std::copy(hold.begin(), hold.end(), &w(i, 0));
   }
   out.transfer_steps += step5_rounds;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace rips::sched {
 
@@ -24,17 +25,12 @@ void quota_into(i64 total, i32 num_nodes, std::vector<i64>& quota) {
 i64 min_nonlocal_tasks(const std::vector<i64>& load,
                        const std::vector<i64>& quota) {
   RIPS_CHECK(load.size() == quota.size());
-  i64 m = 0;
-  for (size_t i = 0; i < load.size(); ++i) {
-    if (load[i] < quota[i]) m += quota[i] - load[i];
-  }
-  return m;
+  return simd::sum_pos_diff_i64(quota.data(), load.data(), load.size());
 }
 
 i64 load_imbalance(const std::vector<i64>& load) {
-  if (load.empty()) return 0;
-  const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
-  return *hi - *lo;
+  const simd::MinMax mm = simd::minmax_i64(load.data(), load.size());
+  return mm.max - mm.min;
 }
 
 ReplayResult replay_transfers(const std::vector<i64>& load,

@@ -26,6 +26,12 @@ class TaskQueue {
 
   void push_back(TaskId task) { buf_.push_back(task); }
 
+  /// Appends `n` tasks in order (one memcpy-able range insert — the bulk
+  /// RTE refill after a system phase).
+  void append(const TaskId* tasks, size_t n) {
+    buf_.insert(buf_.end(), tasks, tasks + n);
+  }
+
   TaskId pop_front() {
     const TaskId task = buf_[head_++];
     if (head_ == buf_.size()) {

@@ -163,6 +163,31 @@ TEST(MetricsRegistry, PercentileEdgeCasesNeverEmitGarbage) {
   EXPECT_EQ(over.p99(), 1000);
 }
 
+// Regression: power-of-two buckets quantize hard, and a phase metric
+// whose samples all land in ONE bucket used to report the bucket's upper
+// edge for p50, p95 and p99 alike. The percentile now interpolates by
+// rank inside [min, max] ∩ bucket range, so the triple stays ordered and
+// informative even when the bucketing resolves nothing.
+TEST(MetricsRegistry, SingleBucketPercentilesInterpolateByRank) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {0, 1000});
+  for (i64 v = 101; v <= 200; ++v) h.observe(v);  // all in (0, 1000]
+
+  // Exact rank lerp over [min=101, max=200], 100 samples: rank r maps to
+  // 101 + 99*(r-1)/99 = 100 + r.
+  EXPECT_EQ(h.p50(), 150);
+  EXPECT_EQ(h.p95(), 195);
+  EXPECT_EQ(h.p99(), 199);
+  EXPECT_EQ(h.percentile(1.0), 200);
+  EXPECT_EQ(h.percentile(0.0), 101);
+
+  // Identical samples have zero spread: every percentile is the value.
+  Histogram& flat = registry.histogram("flat", {0, 1000});
+  for (int i = 0; i < 50; ++i) flat.observe(7);
+  EXPECT_EQ(flat.p50(), 7);
+  EXPECT_EQ(flat.p99(), 7);
+}
+
 TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
   MetricsRegistry registry;
   Counter& c = registry.counter("c");

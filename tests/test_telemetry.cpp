@@ -482,19 +482,21 @@ TEST(TelemetryIntegration, UsedFastMeasureReflectsTheMeasuringPass) {
 
 // ------------------------------------------------- histogram percentiles
 
-TEST(HistogramPercentiles, DerivesTailsFromBucketUpperBounds) {
+TEST(HistogramPercentiles, InterpolatesWithinBuckets) {
   MetricsRegistry registry;
   Histogram& h = registry.histogram("lat", {10, 100, 1000});
   EXPECT_EQ(h.percentile(0.5), 0);  // empty histogram
   for (int i = 0; i < 98; ++i) h.observe(5);
   h.observe(50);
   h.observe(500);
-  // p50 lands in the first bucket (upper bound 10, clamped to max observed
-  // range [5, 500] -> 10); p99 reaches the second bucket; p100 the third.
-  EXPECT_EQ(h.p50(), 10);
+  // p50 lands in the first bucket: rank 50 of 98 observations spread over
+  // the bucket's observed value range [5, 10] -> 5 + 5*49/97 = 7. p99
+  // reaches the second bucket (one observation: its clamped upper edge);
+  // p100 the third.
+  EXPECT_EQ(h.p50(), 7);
   EXPECT_EQ(h.p99(), 100);
   EXPECT_EQ(h.percentile(1.0), 500);  // clamped to the observed max
-  EXPECT_EQ(h.percentile(0.0), 10);   // rank floors at the first observation
+  EXPECT_EQ(h.percentile(0.0), 5);    // rank floors at the first observation
 
   // Snapshots carry the percentile triple.
   registry.snapshot("phase 0");
@@ -502,12 +504,12 @@ TEST(HistogramPercentiles, DerivesTailsFromBucketUpperBounds) {
   const auto& hists = registry.snapshots()[0].hists;
   ASSERT_EQ(hists.size(), 1u);
   EXPECT_EQ(hists[0].first, "lat");
-  EXPECT_EQ(hists[0].second[0], 10);
+  EXPECT_EQ(hists[0].second[0], 7);
   EXPECT_EQ(hists[0].second[2], 100);
 
   // The registry JSON exposes them for bench_diff.
   const std::string json = registry.to_json();
-  EXPECT_NE(json.find("\"p50\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"p99\": 100"), std::string::npos);
 }
 
@@ -517,6 +519,38 @@ TEST(HistogramPercentiles, SingleValueHistogramPinsAllPercentiles) {
   EXPECT_EQ(h.p50(), 3);  // clamped into [min, max] = [3, 3]
   EXPECT_EQ(h.p95(), 3);
   EXPECT_EQ(h.p99(), 3);
+}
+
+// Regression for the BENCH_scale symptom: every observation in one bucket
+// used to report p50 == p95 == p99 == max (the bucket's upper edge for
+// all three). Interpolation must spread the tails across [min, max].
+TEST(HistogramPercentiles, SingleBucketDistributionSpreadsTails) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("phase.duration_us",
+                                    {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  // 100 samples, all in the overflow bucket (> 128), spanning [1000, 9900].
+  for (int i = 0; i < 100; ++i) h.observe(1000 + 1000 * (i % 10) - 100);
+  ASSERT_EQ(h.min(), 900);
+  ASSERT_EQ(h.max(), 9900);
+  EXPECT_LT(h.p50(), h.p95());
+  EXPECT_LT(h.p95(), h.p99());
+  EXPECT_LE(h.p99(), h.max());
+  // Rank interpolation over [900, 9900]: p50 at rank 50 of 100.
+  EXPECT_EQ(h.p50(), 900 + 9000 * 49 / 99);
+  EXPECT_EQ(h.percentile(1.0), 9900);
+
+  // The fixed tails flow through to the registry JSON bench_diff reads.
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"p50\": " + std::to_string(900 + 9000 * 49 / 99)),
+            std::string::npos);
+
+  // All observations in the FIRST bucket (with a wide first bound) spread
+  // the same way — the clamp to observed min/max does the work.
+  Histogram one({1000000});
+  for (int i = 1; i <= 10; ++i) one.observe(i * 10);
+  EXPECT_EQ(one.p50(), 10 + 90 * 4 / 9);  // rank 5 of 10 over [10, 100]
+  EXPECT_LT(one.p50(), one.p95());
+  EXPECT_EQ(one.percentile(1.0), 100);
 }
 
 }  // namespace
